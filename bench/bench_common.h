@@ -1,0 +1,104 @@
+// Shared harness utilities for the figure-reproduction benchmarks.
+// Each bench binary prints the rows/series of one paper table or figure;
+// absolute numbers are interpreter-scale (see EXPERIMENTS.md), the
+// comparisons are the reproduction target.
+#pragma once
+
+#include "rodinia/rodinia.h"
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace paralift::bench {
+
+inline double now() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+
+/// Median-of-N wall-clock seconds.
+template <typename Fn> double medianTime(Fn &&fn, int reps = 3) {
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    double t0 = now();
+    fn();
+    times.push_back(now() - t0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Median-of-N kernel seconds: `setup()` builds fresh state outside the
+/// timed region (workload construction is serial host work and must not
+/// dilute the parallel measurements), `run(state)` is timed.
+template <typename Setup, typename Run>
+double medianKernelTime(Setup &&setup, Run &&run, int reps = 3) {
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    auto state = setup();
+    double t0 = now();
+    run(state);
+    times.push_back(now() - t0);
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+inline double geomean(const std::vector<double> &xs) {
+  if (xs.empty())
+    return 0.0;
+  double logSum = 0;
+  for (double x : xs)
+    logSum += std::log(x);
+  return std::exp(logSum / xs.size());
+}
+
+/// Compiles a Rodinia benchmark's CUDA source with the given options and
+/// returns the median time of running `run` on a workload of `scale`.
+inline double timeCuda(const rodinia::Benchmark &b,
+                       const transforms::PipelineOptions &opts, int scale,
+                       unsigned threads, int reps = 3) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile(b.cudaSource, opts, diag);
+  if (!cc.ok) {
+    std::fprintf(stderr, "compile failed for %s:\n%s\n", b.id.c_str(),
+                 diag.str().c_str());
+    return -1;
+  }
+  driver::Executor exec(cc.module.get(), std::max(threads, 8u),
+                        /*boundsCheck=*/false);
+  exec.setNumThreads(threads);
+  exec.setNestedPolicy(opts.innerSerialize
+                           ? runtime::NestedPolicy::Serialize
+                           : runtime::NestedPolicy::Spawn);
+  return medianKernelTime(
+      [&] { return b.makeWorkload(scale); },
+      [&](rodinia::Workload &w) { exec.run("run", w.args()); }, reps);
+}
+
+inline double timeOpenmp(const rodinia::Benchmark &b, int scale,
+                         unsigned threads, int reps = 3) {
+  if (!b.openmpSource)
+    return -1;
+  DiagnosticEngine diag;
+  transforms::PipelineOptions opts;
+  auto cc = driver::compile(b.openmpSource, opts, diag);
+  if (!cc.ok) {
+    std::fprintf(stderr, "compile failed for %s (omp):\n%s\n", b.id.c_str(),
+                 diag.str().c_str());
+    return -1;
+  }
+  driver::Executor exec(cc.module.get(), std::max(threads, 8u),
+                        /*boundsCheck=*/false);
+  exec.setNumThreads(threads);
+  return medianKernelTime(
+      [&] { return b.makeWorkload(scale); },
+      [&](rodinia::Workload &w) { exec.run("run", w.args()); }, reps);
+}
+
+} // namespace paralift::bench

@@ -1,0 +1,54 @@
+// Supporting table: compilation-time cost of each pipeline stage across
+// the Rodinia suite (not a paper figure; quantifies the compiler itself).
+#include "bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace paralift;
+using namespace paralift::bench;
+
+namespace {
+
+double timeCompile(const rodinia::Benchmark &b,
+                   const transforms::PipelineOptions &opts) {
+  return medianTime(
+      [&] {
+        DiagnosticEngine diag;
+        auto cc = driver::compile(b.cudaSource, opts, diag);
+        benchmark::DoNotOptimize(cc.ok);
+      },
+      3);
+}
+
+void printTable() {
+  std::printf("\n=== Compile time per benchmark (seconds) ===\n\n");
+  std::printf("%-28s%12s%12s%12s\n", "benchmark", "full", "optdis",
+              "mcuda");
+  for (const auto &b : rodinia::suite()) {
+    transforms::PipelineOptions full;
+    std::printf("%-28s%12.4f%12.4f%12.4f\n", b.name.c_str(),
+                timeCompile(b, full),
+                timeCompile(b, transforms::PipelineOptions::optDisabled()),
+                timeCompile(b, transforms::PipelineOptions::mcuda()));
+  }
+}
+
+void BM_CompileBackprop(benchmark::State &state) {
+  const auto *b = rodinia::find("backprop_layerforward");
+  transforms::PipelineOptions opts;
+  for (auto _ : state) {
+    DiagnosticEngine diag;
+    auto cc = driver::compile(b->cudaSource, opts, diag);
+    benchmark::DoNotOptimize(cc.ok);
+  }
+}
+BENCHMARK(BM_CompileBackprop)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printTable();
+  return 0;
+}

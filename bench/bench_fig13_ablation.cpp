@@ -1,0 +1,97 @@
+// Fig. 13 (left) reproduction: per-benchmark speedup over the
+// unoptimized ("Opt Disabled") transpilation as the paper's optimization
+// axes are enabled cumulatively: mincut, openmpopt, affine, innerser.
+// Benchmarks containing barriers are marked with '*'.
+#include "bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace paralift;
+using namespace paralift::bench;
+
+namespace {
+
+struct Stage {
+  const char *name;
+  transforms::PipelineOptions opts;
+};
+
+std::vector<Stage> stages() {
+  using transforms::PipelineOptions;
+  std::vector<Stage> out;
+  PipelineOptions disabled = PipelineOptions::optDisabled();
+  out.push_back({"OptDisabled", disabled});
+  PipelineOptions mincut = disabled;
+  mincut.minCut = true;
+  out.push_back({"+mincut", mincut});
+  // Barrier motion is our extra axis (the paper folds motion into the
+  // §IV-A discussion); it further shrinks the fission caches min-cut
+  // sizes.
+  PipelineOptions motion = mincut;
+  motion.barrierMotion = true;
+  out.push_back({"+motion", motion});
+  PipelineOptions openmp = motion;
+  openmp.openmpOpt = true;
+  out.push_back({"+openmpopt", openmp});
+  PipelineOptions affine = openmp;
+  affine.affineOpts = true;
+  out.push_back({"+affine", affine});
+  PipelineOptions innerser = affine;
+  innerser.innerSerialize = true;
+  out.push_back({"+innerser", innerser});
+  return out;
+}
+
+void printTable() {
+  std::printf("\n=== Fig. 13 (left): ablation, speedup over OptDisabled "
+              "===\n\n");
+  std::printf("%-28s", "benchmark");
+  for (const Stage &s : stages())
+    std::printf("%12s", s.name);
+  std::printf("\n");
+
+  std::vector<std::vector<double>> speedups(stages().size());
+  for (const auto &b : rodinia::suite()) {
+    std::printf("%-28s", b.name.c_str());
+    double base = -1;
+    size_t idx = 0;
+    for (const Stage &s : stages()) {
+      transforms::PipelineOptions opts = s.opts;
+      double t = timeCuda(b, opts, /*scale=*/2, /*threads=*/2);
+      if (base < 0)
+        base = t;
+      double speedup = t > 0 ? base / t : 0.0;
+      if (idx > 0 && speedup > 0)
+        speedups[idx].push_back(speedup);
+      std::printf("%12.3f", speedup);
+      ++idx;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nGeomean speedup per stage (paper: mincut +4.1%% on "
+              "barrier benchmarks, openmpopt +8.9%%, affine +4.6%%):\n");
+  size_t idx = 0;
+  for (const Stage &s : stages()) {
+    if (idx > 0)
+      std::printf("  %-12s %.3fx\n", s.name, geomean(speedups[idx]));
+    ++idx;
+  }
+}
+
+void BM_AblationOne(benchmark::State &state) {
+  const auto &b = rodinia::suite()[static_cast<size_t>(state.range(0))];
+  transforms::PipelineOptions opts;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(timeCuda(b, opts, 1, 2, 1));
+}
+BENCHMARK(BM_AblationOne)->Arg(0)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printTable();
+  return 0;
+}

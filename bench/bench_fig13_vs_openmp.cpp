@@ -1,0 +1,59 @@
+// Fig. 13 (right) reproduction: speedup of transpiled CUDA code over the
+// hand-written OpenMP reference for each Rodinia benchmark, with and
+// without inner serialization. The paper reports a 76% geomean
+// improvement with inner serialization and 43.7% without.
+#include "bench_common.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace paralift;
+using namespace paralift::bench;
+
+namespace {
+
+void printTable() {
+  std::printf("\n=== Fig. 13 (right): transpiled CUDA vs native OpenMP "
+              "(speedup over OpenMP; >1 means CUDA-OpenMP wins) ===\n\n");
+  std::printf("%-28s%14s%14s%14s\n", "benchmark", "t_openmp(s)",
+              "CUDA/InnerSer", "CUDA/InnerPar");
+  std::vector<double> serSpeedups, parSpeedups;
+  for (const auto &b : rodinia::suite()) {
+    if (!b.openmpSource)
+      continue;
+    double tOmp = timeOpenmp(b, /*scale=*/10, /*threads=*/2);
+    transforms::PipelineOptions ser;
+    transforms::PipelineOptions par;
+    par.innerSerialize = false;
+    double tSer = timeCuda(b, ser, 10, 2);
+    double tPar = timeCuda(b, par, 10, 2);
+    double sSer = tSer > 0 ? tOmp / tSer : 0;
+    double sPar = tPar > 0 ? tOmp / tPar : 0;
+    if (sSer > 0)
+      serSpeedups.push_back(sSer);
+    if (sPar > 0)
+      parSpeedups.push_back(sPar);
+    std::printf("%-28s%14.4f%14.3f%14.3f\n", b.name.c_str(), tOmp, sSer,
+                sPar);
+  }
+  std::printf("\nGeomean speedup over OpenMP (paper: 1.76x with innerser, "
+              "1.437x without):\n");
+  std::printf("  InnerSer: %.3fx\n", geomean(serSpeedups));
+  std::printf("  InnerPar: %.3fx\n", geomean(parSpeedups));
+}
+
+void BM_VsOpenmpOne(benchmark::State &state) {
+  const auto &b = rodinia::suite()[static_cast<size_t>(state.range(0))];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(timeOpenmp(b, 1, 2, 1));
+}
+BENCHMARK(BM_VsOpenmpOne)->Arg(2)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  printTable();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Shared-memory tree reduction (the Fig. 7 pattern): a barrier inside a
+// serial loop inside the thread-parallel loop. Demonstrates how the
+// pipeline choices change the generated code:
+//  - with "affine" opts the constant-trip loop is fully unrolled and the
+//    barriers become straight-line fission points;
+//  - without them the barrier is exposed by parallel loop interchange.
+// Both produce the same results as the lockstep SIMT emulator.
+//
+// Build & run:  ./build/examples/reduction
+#include "driver/compiler.h"
+#include "ir/printer.h"
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+using namespace paralift;
+
+const char *kSource = R"(
+__global__ void reduceBlock(float* out, float* in, int n) {
+  __shared__ float buf[64];
+  int tid = threadIdx.x;
+  int gid = blockIdx.x * 64 + threadIdx.x;
+  if (gid < n) {
+    buf[tid] = in[gid];
+  } else {
+    buf[tid] = 0.0f;
+  }
+  __syncthreads();
+  for (int s = 32; s > 0; s = s / 2) {
+    if (tid < s) {
+      buf[tid] = buf[tid] + buf[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    out[blockIdx.x] = buf[0];
+  }
+}
+void run(float* out, float* in, int n) {
+  reduceBlock<<<(n + 63) / 64, 64>>>(out, in, n);
+}
+)";
+
+int main() {
+  int n = 256;
+  int blocks = (n + 63) / 64;
+  std::vector<float> in(n);
+  std::mt19937 rng(1);
+  std::uniform_real_distribution<float> dist(0.0f, 1.0f);
+  double expect = 0;
+  for (auto &v : in) {
+    v = dist(rng);
+    expect += v;
+  }
+
+  struct Config {
+    const char *name;
+    transforms::PipelineOptions opts;
+  };
+  transforms::PipelineOptions affine;
+  transforms::PipelineOptions interchange;
+  interchange.affineOpts = false; // keep the loop: interchange kicks in
+  Config configs[] = {{"unroll+fission (affine)", affine},
+                      {"loop interchange", interchange}};
+
+  for (const Config &cfg : configs) {
+    DiagnosticEngine diag;
+    auto cc = driver::compile(kSource, cfg.opts, diag);
+    if (!cc.ok) {
+      std::printf("%s failed:\n%s\n", cfg.name, diag.str().c_str());
+      return 1;
+    }
+    std::vector<float> out(blocks, 0.0f);
+    driver::Executor exec(cc.module.get(), 2);
+    exec.run("run", {driver::Executor::bufferF32(out.data(), {blocks}),
+                     driver::Executor::bufferF32(in.data(), {n}),
+                     int64_t(n)});
+    double total = 0;
+    for (float v : out)
+      total += v;
+    std::printf("%-26s block sums -> total %.4f (expect %.4f)\n", cfg.name,
+                total, expect);
+  }
+  return 0;
+}

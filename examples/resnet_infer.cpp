@@ -1,0 +1,45 @@
+// MocCUDA example (§V): train the mini residual network for a few steps
+// with each backend, showing that the Polygeist-transpiled PyTorch
+// kernels (NLL loss with __syncthreads, elementwise add/ReLU) are a
+// drop-in replacement for the expert-written versions, and print the
+// emulated GPU the CUDART layer reports to the framework.
+//
+// Build & run:  ./build/examples/resnet_infer
+#include "moccuda/resnet.h"
+
+#include <cstdio>
+#include <random>
+
+using namespace paralift;
+using namespace paralift::moccuda;
+
+int main() {
+  // What "PyTorch" sees when it queries the device.
+  McudaDeviceProp prop;
+  mcudaGetDeviceProperties(&prop, 0);
+  std::printf("MocCUDA device: %s (%d SMs, warp %d, %.1f GB)\n\n",
+              prop.name.c_str(), prop.multiProcessorCount, prop.warpSize,
+              prop.totalGlobalMem / 1073741824.0);
+
+  runtime::ThreadPool pool(2);
+  Tensor images(4, 3, 8, 8);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto &v : images.data)
+    v = dist(rng);
+  std::vector<int32_t> labels = {3, 1, 4, 1};
+
+  for (Backend backend :
+       {Backend::Native, Backend::OneDnnLike, Backend::MocCudaExpert,
+        Backend::MocCudaPolygeist}) {
+    MiniResNet model(backend, pool);
+    std::printf("%-20s loss:", backendName(backend));
+    for (int step = 0; step < 6; ++step)
+      std::printf(" %.4f", model.trainStep(images, labels));
+    std::printf("\n");
+  }
+  std::printf("\nAll backends train on identical weights; "
+              "MocCUDA+Polygeist routes the loss and elementwise kernels "
+              "through CUDA source transpiled by ParaLift.\n");
+  return 0;
+}

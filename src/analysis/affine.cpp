@@ -1,0 +1,226 @@
+#include "analysis/affine.h"
+
+#include "analysis/memory.h"
+#include "ir/ophelpers.h"
+
+#include <unordered_set>
+
+using namespace paralift::ir;
+
+namespace paralift::analysis {
+
+namespace {
+
+std::optional<unsigned> ivIndex(Value v, const std::vector<Value> &ivs) {
+  for (unsigned i = 0; i < ivs.size(); ++i)
+    if (ivs[i] == v)
+      return i;
+  return std::nullopt;
+}
+
+LinearExpr makeUnknown() {
+  LinearExpr e;
+  e.unknown = true;
+  return e;
+}
+
+LinearExpr makeSymbol() {
+  LinearExpr e;
+  e.hasSymbols = true;
+  return e;
+}
+
+LinearExpr addExprs(LinearExpr a, const LinearExpr &b, int64_t sign) {
+  if (a.unknown || b.unknown)
+    return makeUnknown();
+  a.constant += sign * b.constant;
+  for (auto &[iv, c] : b.coeffs) {
+    a.coeffs[iv] += sign * c;
+    if (a.coeffs[iv] == 0)
+      a.coeffs.erase(iv);
+  }
+  a.hasSymbols |= b.hasSymbols;
+  return a;
+}
+
+LinearExpr scaleExpr(LinearExpr a, int64_t factor) {
+  if (a.unknown)
+    return a;
+  a.constant *= factor;
+  for (auto &[iv, c] : a.coeffs)
+    c *= factor;
+  if (factor == 0) {
+    a.coeffs.clear();
+    a.hasSymbols = false;
+  }
+  return a;
+}
+
+} // namespace
+
+bool dependsOnIvs(Value v, const std::vector<Value> &ivs) {
+  if (ivIndex(v, ivs))
+    return true;
+  Op *def = v.definingOp();
+  if (!def)
+    return false; // a different block argument: not one of the IVs
+  // Values defined by non-pure ops (loads, region ops) could depend on the
+  // IVs via memory or control; treat as dependent unless defined outside
+  // the region that owns the IVs.
+  Op *region = ivs.empty() ? nullptr : ivs[0].definingBlock()->parentOp();
+  if (region && ir::isDefinedOutside(v, region))
+    return false;
+  if (!isPure(def->kind()))
+    return true;
+  for (unsigned i = 0; i < def->numOperands(); ++i)
+    if (dependsOnIvs(def->operand(i), ivs))
+      return true;
+  return false;
+}
+
+LinearExpr decomposeLinear(Value v, const std::vector<Value> &ivs) {
+  if (auto idx = ivIndex(v, ivs)) {
+    LinearExpr e;
+    e.coeffs[*idx] = 1;
+    return e;
+  }
+  if (!dependsOnIvs(v, ivs)) {
+    if (auto c = getConstInt(v)) {
+      LinearExpr e;
+      e.constant = *c;
+      return e;
+    }
+    return makeSymbol();
+  }
+  Op *def = v.definingOp();
+  if (!def)
+    return makeUnknown();
+  switch (def->kind()) {
+  case OpKind::AddI:
+    return addExprs(decomposeLinear(def->operand(0), ivs),
+                    decomposeLinear(def->operand(1), ivs), 1);
+  case OpKind::SubI:
+    return addExprs(decomposeLinear(def->operand(0), ivs),
+                    decomposeLinear(def->operand(1), ivs), -1);
+  case OpKind::MulI: {
+    auto c0 = getConstInt(def->operand(0));
+    auto c1 = getConstInt(def->operand(1));
+    if (c1)
+      return scaleExpr(decomposeLinear(def->operand(0), ivs), *c1);
+    if (c0)
+      return scaleExpr(decomposeLinear(def->operand(1), ivs), *c0);
+    return makeUnknown();
+  }
+  case OpKind::IndexCast:
+  case OpKind::ExtSI:
+  case OpKind::TruncI:
+    return decomposeLinear(def->operand(0), ivs);
+  default:
+    return makeUnknown();
+  }
+}
+
+std::vector<Value> accessIndices(Op *op) {
+  std::vector<Value> out;
+  unsigned start = op->kind() == OpKind::Load ? 1 : 2;
+  assert(op->kind() == OpKind::Load || op->kind() == OpKind::Store);
+  for (unsigned i = start; i < op->numOperands(); ++i)
+    out.push_back(op->operand(i));
+  return out;
+}
+
+Value accessedMemRef(Op *op) {
+  assert(op->kind() == OpKind::Load || op->kind() == OpKind::Store);
+  return op->operand(op->kind() == OpKind::Load ? 0 : 1);
+}
+
+bool isThreadPrivateAccess(Op *op, const std::vector<Value> &threadIvs) {
+  if (op->kind() != OpKind::Load && op->kind() != OpKind::Store)
+    return false;
+  std::vector<Value> indices = accessIndices(op);
+  // Account for subview prefixes: leading indices of enclosing subviews
+  // participate in the address too.
+  Value mem = accessedMemRef(op);
+  while (Op *def = mem.definingOp()) {
+    if (def->kind() != OpKind::SubView)
+      break;
+    for (unsigned i = def->numOperands(); i > 1; --i)
+      indices.insert(indices.begin(), def->operand(i - 1));
+    mem = def->operand(0);
+  }
+
+  // Decompose every dimension.
+  std::vector<LinearExpr> exprs;
+  exprs.reserve(indices.size());
+  for (Value idx : indices) {
+    exprs.push_back(decomposeLinear(idx, threadIvs));
+    if (exprs.back().unknown)
+      return false;
+  }
+
+  // Permutation rule: every thread IV must own a dimension where it is the
+  // only IV, with nonzero coefficient, and (to guarantee distinct threads
+  // produce distinct addresses) the symbolic remainder in that dimension
+  // must be IV-invariant — which it is by construction of LinearExpr.
+  std::unordered_set<unsigned> covered;
+  for (const LinearExpr &e : exprs) {
+    if (e.coeffs.size() == 1) {
+      auto [iv, c] = *e.coeffs.begin();
+      if (c != 0)
+        covered.insert(iv);
+    }
+  }
+  for (unsigned i = 0; i < threadIvs.size(); ++i)
+    if (!covered.count(i))
+      return false;
+  return true;
+}
+
+bool isUniform(Value v, Op *par) {
+  assert(hasParallelLayout(par->kind()));
+  ir::ParallelOp p(par);
+  std::vector<Value> ivs;
+  for (unsigned i = 0; i < p.numDims(); ++i)
+    ivs.push_back(p.iv(i));
+
+  if (ir::isDefinedOutside(v, par))
+    return true;
+  if (ivIndex(v, ivs))
+    return false;
+  Op *def = v.definingOp();
+  if (!def)
+    return false; // some other nested block arg: conservative
+  if (isPure(def->kind())) {
+    for (unsigned i = 0; i < def->numOperands(); ++i)
+      if (!isUniform(def->operand(i), par))
+        return false;
+    return true;
+  }
+  if (def->kind() == OpKind::Load) {
+    // Uniform if address is uniform and no write inside `par` may alias
+    // the loaded base.
+    for (unsigned i = 0; i < def->numOperands(); ++i)
+      if (!isUniform(def->operand(i), par))
+        return false;
+    std::vector<MemoryEffect> effects;
+    getEffectsRecursive(par, effects);
+    Value base = getBase(def->operand(0));
+    for (auto &e : effects)
+      if (e.kind != EffectKind::Read && (!e.base || mayAlias(e.base, base)))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+bool sameIndices(Op *a, Op *b) {
+  std::vector<Value> ia = accessIndices(a), ib = accessIndices(b);
+  if (ia.size() != ib.size())
+    return false;
+  for (size_t i = 0; i < ia.size(); ++i)
+    if (ia[i] != ib[i])
+      return false;
+  return true;
+}
+
+} // namespace paralift::analysis

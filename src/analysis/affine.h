@@ -1,0 +1,71 @@
+// Linear (affine-like) decomposition of index expressions over a chosen
+// set of induction variables, used for:
+//  - the "barrier hole" (§III-A): accesses whose address is injective in
+//    the thread IVs are thread-private and excluded from barrier effects;
+//  - uniformity: values that are the same for every thread of a block
+//    (required for parallel-loop interchange, §III-B2);
+//  - syntactic access equality for store-to-load forwarding (§IV-B).
+#pragma once
+
+#include "ir/op.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace paralift::analysis {
+
+using ir::Op;
+using ir::Value;
+
+/// expr = constant + sum(coeff_i * var_i) + sum(symbols) where vars are
+/// the designated IVs and symbols are arbitrary values invariant to them.
+struct LinearExpr {
+  int64_t constant = 0;
+  /// Coefficients per designated variable (by position in `ivs`).
+  std::map<unsigned, int64_t> coeffs;
+  /// True if the expression also contains IV-invariant symbolic terms.
+  bool hasSymbols = false;
+  /// True if the decomposition failed (expression depends on the IVs in a
+  /// non-linear or unanalyzable way).
+  bool unknown = false;
+
+  bool dependsOnIvs() const { return unknown || !coeffs.empty(); }
+};
+
+/// Decomposes `v` as a linear expression over `ivs`. Values defined
+/// outside the region containing the IVs (or any value with no transitive
+/// IV dependence) become symbols.
+LinearExpr decomposeLinear(Value v, const std::vector<Value> &ivs);
+
+/// True if `v` transitively depends on any of `ivs` through pure ops.
+/// Loads and region results conservatively count as dependent unless the
+/// op is outside the IVs' region.
+bool dependsOnIvs(Value v, const std::vector<Value> &ivs);
+
+/// True if the access performed by `op` (a Load or Store) is provably
+/// thread-private w.r.t. the thread IVs: two distinct IV tuples can never
+/// produce the same index vector. Sufficient conditions implemented:
+///  - some dimension's index is `c * iv_k + sym` with |c| >= 1 and no
+///    other IV appearing in that dimension, for every IV that the overall
+///    index depends on (the "permutation rule"); IVs the index does not
+///    depend on must not matter, i.e. this rule requires the access to
+///    depend on ALL thread IVs with extent > 1. Since extents are dynamic,
+///    we require dependence on every IV of the parallel op.
+bool isThreadPrivateAccess(Op *op, const std::vector<Value> &threadIvs);
+
+/// True if `v` is uniform across the threads of the parallel op `par`:
+/// it does not depend on the parallel IVs and is not loaded from memory
+/// that is written inside `par`.
+bool isUniform(Value v, Op *par);
+
+/// Syntactic equality of two access index vectors (same SSA values).
+bool sameIndices(Op *a, Op *b);
+
+/// Returns the index operands of a Load (operands 1..) or Store
+/// (operands 2..).
+std::vector<Value> accessIndices(Op *op);
+/// Returns the accessed memref of a Load/Store.
+Value accessedMemRef(Op *op);
+
+} // namespace paralift::analysis

@@ -1,0 +1,65 @@
+#include "driver/compiler.h"
+
+#include "ir/verifier.h"
+#include "transforms/passes.h"
+
+namespace paralift::driver {
+
+CompileResult compile(const std::string &source,
+                      const transforms::PipelineOptions &opts,
+                      DiagnosticEngine &diag) {
+  CompileResult out;
+  out.module = frontend::compileToIR(source, diag);
+  if (diag.hasErrors())
+    return out;
+  auto errors = ir::verify(out.module.op());
+  if (!errors.empty()) {
+    for (auto &e : errors)
+      diag.error(SourceLoc(), "frontend produced invalid IR: " + e);
+    return out;
+  }
+  out.ok = transforms::runPipeline(out.module.get(), opts, diag);
+  return out;
+}
+
+CompileResult compileForSimt(const std::string &source,
+                             DiagnosticEngine &diag) {
+  CompileResult out;
+  out.module = frontend::compileToIR(source, diag);
+  if (diag.hasErrors())
+    return out;
+  transforms::runInliner(out.module.get(), /*onlyInKernels=*/true);
+  out.ok = ir::verifyOk(out.module.op());
+  return out;
+}
+
+Executor::Executor(ir::ModuleOp module, unsigned maxThreads,
+                   bool boundsCheck)
+    : bc_(vm::compileModule(module)), pool_(maxThreads) {
+  vm::ExecOptions opts;
+  opts.boundsCheck = boundsCheck;
+  interp_ = std::make_unique<vm::Interp>(bc_, pool_, opts);
+}
+
+std::vector<vm::Slot> Executor::run(const std::string &fn,
+                                    const std::vector<Arg> &args) {
+  std::vector<vm::Slot> slots;
+  slots.reserve(args.size());
+  for (const Arg &a : args) {
+    if (auto *i = std::get_if<int64_t>(&a)) {
+      vm::Slot s;
+      s.i = *i;
+      slots.push_back(s);
+    } else if (auto *f = std::get_if<double>(&a)) {
+      vm::Slot s;
+      s.f = *f;
+      slots.push_back(s);
+    } else {
+      const Buffer &b = std::get<Buffer>(a);
+      slots.push_back(interp_->makeMemRef(b.elem, b.data, b.dims));
+    }
+  }
+  return interp_->call(fn, std::move(slots));
+}
+
+} // namespace paralift::driver

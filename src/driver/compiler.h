@@ -1,0 +1,80 @@
+// The ParaLift compiler facade: CUDA-subset source -> optimized CPU
+// module -> executable bytecode, exposed as the public embedding API used
+// by the examples, tests, benchmarks, and MocCUDA.
+//
+// Typical use:
+//   DiagnosticEngine diag;
+//   auto cc = driver::compile(source, PipelineOptions{}, diag);
+//   driver::Executor exec(cc.module.get(), /*maxThreads=*/8);
+//   exec.run("launch", {Executor::buffer(out), Executor::buffer(in),
+//                       int64_t(n)});
+#pragma once
+
+#include "frontend/irgen.h"
+#include "runtime/thread_pool.h"
+#include "transforms/passes.h"
+#include "vm/compile.h"
+#include "vm/interp.h"
+
+#include <memory>
+#include <variant>
+
+namespace paralift::driver {
+
+struct CompileResult {
+  ir::OwnedModule module;
+  bool ok = false;
+};
+
+/// Full pipeline: frontend -> optimization/cpuify/omp-lowering.
+CompileResult compile(const std::string &source,
+                      const transforms::PipelineOptions &opts,
+                      DiagnosticEngine &diag);
+
+/// Reference pipeline: frontend + device-function inlining only. Barriers
+/// are preserved; kernels execute on the lockstep SIMT emulator giving
+/// ground-truth CUDA semantics.
+CompileResult compileForSimt(const std::string &source,
+                             DiagnosticEngine &diag);
+
+/// Executes a compiled module on the thread-pool runtime.
+class Executor {
+public:
+  struct Buffer {
+    ir::TypeKind elem;
+    void *data;
+    std::vector<int64_t> dims;
+  };
+  using Arg = std::variant<int64_t, double, Buffer>;
+
+  static Buffer bufferF32(float *data, std::vector<int64_t> dims) {
+    return {ir::TypeKind::F32, data, std::move(dims)};
+  }
+  static Buffer bufferF64(double *data, std::vector<int64_t> dims) {
+    return {ir::TypeKind::F64, data, std::move(dims)};
+  }
+  static Buffer bufferI32(int32_t *data, std::vector<int64_t> dims) {
+    return {ir::TypeKind::I32, data, std::move(dims)};
+  }
+
+  Executor(ir::ModuleOp module, unsigned maxThreads,
+           bool boundsCheck = true);
+
+  /// Team size for subsequent runs (1..maxThreads).
+  void setNumThreads(unsigned n) { pool_.setNumThreads(n); }
+  /// Nested-parallel policy (Spawn = PolygeistInnerPar cost model).
+  void setNestedPolicy(runtime::NestedPolicy p) {
+    pool_.setNestedPolicy(p);
+  }
+
+  /// Invokes a host function. Scalar results are returned as raw slots.
+  std::vector<vm::Slot> run(const std::string &fn,
+                            const std::vector<Arg> &args);
+
+private:
+  vm::BCModule bc_;
+  runtime::ThreadPool pool_;
+  std::unique_ptr<vm::Interp> interp_;
+};
+
+} // namespace paralift::driver

@@ -1,0 +1,139 @@
+// Abstract syntax tree for the CUDA C subset.
+#pragma once
+
+#include "support/diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paralift::frontend {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+enum class ScalarTy : uint8_t { Void, Bool, Int, Long, Float, Double };
+
+/// A frontend type: scalar, pointer-to-scalar, or (for locals) an array of
+/// scalars with constant extents.
+struct Ty {
+  ScalarTy scalar = ScalarTy::Void;
+  unsigned pointerDepth = 0;          ///< number of '*'
+  std::vector<int64_t> arrayDims;     ///< for array declarators
+
+  bool isVoid() const {
+    return scalar == ScalarTy::Void && pointerDepth == 0;
+  }
+  bool isPointer() const { return pointerDepth > 0; }
+  bool isArray() const { return !arrayDims.empty(); }
+  bool isScalar() const { return !isPointer() && !isArray() && !isVoid(); }
+  bool isFloating() const {
+    return isScalar() &&
+           (scalar == ScalarTy::Float || scalar == ScalarTy::Double);
+  }
+  bool isInteger() const {
+    return isScalar() && (scalar == ScalarTy::Bool ||
+                          scalar == ScalarTy::Int || scalar == ScalarTy::Long);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  IntLit, FloatLit, BoolLit,
+  VarRef,
+  Unary,    ///< op in `text`: - ! ~ * ++pre --pre
+  Binary,   ///< op in `text`: + - * / % << >> < <= > >= == != & | ^ && ||
+  Assign,   ///< op in `text`: = += -= *= /=
+  PostIncDec, ///< text: ++ or --
+  Ternary,
+  Index,    ///< base[idx]
+  Member,   ///< base.field (builtin dim3 components only)
+  Call,     ///< callee name in `text`
+  Cast,     ///< (type)sub
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+  std::string text;      ///< operator spelling / callee / member / var name
+  int64_t intVal = 0;
+  double floatVal = 0;
+  bool isFloat32 = false;
+  Ty castTy;             ///< for Cast
+  std::vector<ExprPtr> children;
+
+  Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,      ///< type in `declTy`, name in `text`, optional init child 0
+  ExprStmt,  ///< child expr
+  If,        ///< cond + then + optional else
+  For,       ///< init stmt, cond expr, inc expr, body
+  While,
+  DoWhile,
+  Return,    ///< optional value
+  Launch,    ///< kernel name in `text`; grid/block configs + args
+  Pragma,    ///< omp parallel for; wraps the following For in child stmt
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  std::string text;
+  Ty declTy;
+  bool isShared = false; ///< __shared__ declaration
+  int collapse = 1;      ///< for Pragma
+  std::vector<ExprPtr> exprs;   ///< usage depends on kind
+  std::vector<StmtPtr> stmts;   ///< nested statements
+
+  Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct Param {
+  Ty type;
+  std::string name;
+};
+
+enum class FnQual : uint8_t { Host, Global, Device };
+
+struct FuncDecl {
+  FnQual qual = FnQual::Host;
+  Ty retTy;
+  std::string name;
+  std::vector<Param> params;
+  StmtPtr body;
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<std::unique_ptr<FuncDecl>> funcs;
+
+  FuncDecl *find(const std::string &name) const {
+    for (auto &f : funcs)
+      if (f->name == name)
+        return f.get();
+    return nullptr;
+  }
+};
+
+} // namespace paralift::frontend

@@ -1,0 +1,26 @@
+// AST -> ParaLift IR generation (the "mini-Polygeist").
+//
+// The CUDA mapping follows §III of the paper exactly:
+//   kernel<<<grid, block>>>(args)
+//     => scf.parallel over blocks        {gpu.grid}
+//          memref.alloca for __shared__  (block scope)
+//          scf.parallel over threads     {gpu.block}
+//            kernel body with polygeist.barrier for __syncthreads()
+// The kernel body is generated inline at the launch site, giving the
+// optimizer full visibility across the host/device boundary (Fig. 3).
+//
+// Locals are rank-0 allocas (mem2reg later builds SSA); `#pragma omp
+// parallel for` maps to plain scf.parallel for the reference OpenMP codes.
+#pragma once
+
+#include "frontend/ast.h"
+#include "ir/ophelpers.h"
+
+namespace paralift::frontend {
+
+/// Parses and generates IR for a full translation unit. On error the
+/// returned module may be incomplete; check `diag`.
+ir::OwnedModule compileToIR(const std::string &source,
+                            DiagnosticEngine &diag);
+
+} // namespace paralift::frontend

@@ -1,0 +1,12 @@
+// Recursive-descent parser for the CUDA C subset.
+#pragma once
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace paralift::frontend {
+
+/// Parses `source`; returns an empty program on errors (check diag).
+Program parse(const std::string &source, DiagnosticEngine &diag);
+
+} // namespace paralift::frontend

@@ -1,0 +1,25 @@
+#include "ir/builder.h"
+
+namespace paralift::ir {
+
+Value Builder::toIndex(Value v) {
+  if (v.type().isIndex())
+    return v;
+  assert(v.type().isInteger());
+  return cast(OpKind::IndexCast, v, Type::index());
+}
+
+Value Builder::toInt(Value v, Type to) {
+  assert(to.isInteger());
+  if (v.type() == to)
+    return v;
+  if (v.type().isIndex() || to.isIndex())
+    return cast(OpKind::IndexCast, v, to);
+  unsigned fromW = byteWidth(v.type().kind());
+  unsigned toW = byteWidth(to.kind());
+  if (fromW < toW)
+    return cast(OpKind::ExtSI, v, to);
+  return cast(OpKind::TruncI, v, to);
+}
+
+} // namespace paralift::ir

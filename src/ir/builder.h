@@ -1,0 +1,184 @@
+// IR construction API: an insertion-point-based builder in the style of
+// mlir::OpBuilder, plus typed convenience creators for every op kind.
+#pragma once
+
+#include "ir/op.h"
+
+namespace paralift::ir {
+
+class Builder {
+public:
+  Builder() = default;
+  explicit Builder(Block *block) { setInsertionPointToEnd(block); }
+
+  // Insertion point ----------------------------------------------------------
+  void setInsertionPointToEnd(Block *b) {
+    block_ = b;
+    before_ = nullptr;
+  }
+  void setInsertionPointToStart(Block *b) {
+    block_ = b;
+    before_ = b->front();
+  }
+  /// New ops are inserted immediately before `op`.
+  void setInsertionPoint(Op *op) {
+    block_ = op->parent();
+    before_ = op;
+  }
+  void setInsertionPointAfter(Op *op) {
+    block_ = op->parent();
+    before_ = op->next();
+  }
+  Block *insertionBlock() const { return block_; }
+  /// The op before which insertion happens (nullptr = append at end).
+  Op *insertionPoint() const { return before_; }
+
+  void setLoc(SourceLoc loc) { loc_ = loc; }
+  SourceLoc loc() const { return loc_; }
+
+  /// Inserts a detached op at the current insertion point.
+  Op *insert(Op *op) {
+    assert(block_ && "no insertion point");
+    block_->insertBefore(before_, op);
+    return op;
+  }
+
+  /// Creates and inserts a raw op.
+  Op *createOp(OpKind kind, std::vector<Type> resultTypes,
+               const std::vector<Value> &operands, unsigned numRegions = 0) {
+    return insert(Op::create(kind, loc_, std::move(resultTypes), operands,
+                             numRegions));
+  }
+
+  // Constants -----------------------------------------------------------------
+  Value constInt(int64_t v, Type t) {
+    Op *op = createOp(OpKind::ConstInt, {t}, {});
+    op->attrs().set("value", v);
+    return op->result();
+  }
+  Value constI32(int64_t v) { return constInt(v, Type::i32()); }
+  Value constI64(int64_t v) { return constInt(v, Type::i64()); }
+  Value constIndex(int64_t v) { return constInt(v, Type::index()); }
+  Value constBool(bool v) { return constInt(v ? 1 : 0, Type::i1()); }
+  Value constFloat(double v, Type t) {
+    Op *op = createOp(OpKind::ConstFloat, {t}, {});
+    op->attrs().set("value", v);
+    return op->result();
+  }
+  Value constF32(double v) { return constFloat(v, Type::f32()); }
+  Value constF64(double v) { return constFloat(v, Type::f64()); }
+
+  // Arithmetic ----------------------------------------------------------------
+  /// Creates a binary op; both operands must share the result type.
+  Value binary(OpKind kind, Value a, Value b) {
+    assert(a.type() == b.type() && "binary operand type mismatch");
+    return createOp(kind, {a.type()}, {a, b})->result();
+  }
+  Value unary(OpKind kind, Value a) {
+    return createOp(kind, {a.type()}, {a})->result();
+  }
+  Value addi(Value a, Value b) { return binary(OpKind::AddI, a, b); }
+  Value subi(Value a, Value b) { return binary(OpKind::SubI, a, b); }
+  Value muli(Value a, Value b) { return binary(OpKind::MulI, a, b); }
+  Value divsi(Value a, Value b) { return binary(OpKind::DivSI, a, b); }
+  Value remsi(Value a, Value b) { return binary(OpKind::RemSI, a, b); }
+  Value addf(Value a, Value b) { return binary(OpKind::AddF, a, b); }
+  Value subf(Value a, Value b) { return binary(OpKind::SubF, a, b); }
+  Value mulf(Value a, Value b) { return binary(OpKind::MulF, a, b); }
+  Value divf(Value a, Value b) { return binary(OpKind::DivF, a, b); }
+
+  Value cmpi(CmpIPred pred, Value a, Value b) {
+    assert(a.type() == b.type());
+    Op *op = createOp(OpKind::CmpI, {Type::i1()}, {a, b});
+    op->attrs().set("pred", static_cast<int64_t>(pred));
+    return op->result();
+  }
+  Value cmpf(CmpFPred pred, Value a, Value b) {
+    assert(a.type() == b.type());
+    Op *op = createOp(OpKind::CmpF, {Type::i1()}, {a, b});
+    op->attrs().set("pred", static_cast<int64_t>(pred));
+    return op->result();
+  }
+  Value select(Value cond, Value a, Value b) {
+    assert(cond.type() == Type::i1() && a.type() == b.type());
+    return createOp(OpKind::Select, {a.type()}, {cond, a, b})->result();
+  }
+  Value cast(OpKind kind, Value v, Type to) {
+    if (v.type() == to)
+      return v;
+    return createOp(kind, {to}, {v})->result();
+  }
+  /// Casts any integer-like value to index.
+  Value toIndex(Value v);
+  /// Casts an index/integer value to the given integer type.
+  Value toInt(Value v, Type to);
+
+  // MemRef ---------------------------------------------------------------------
+  Value allocaMem(Type memrefType, const std::vector<Value> &dynExtents = {}) {
+    assert(memrefType.isMemRef());
+    assert(memrefType.numDynamicDims() == dynExtents.size());
+    return createOp(OpKind::Alloca, {memrefType}, dynExtents)->result();
+  }
+  Value alloc(Type memrefType, const std::vector<Value> &dynExtents = {}) {
+    assert(memrefType.isMemRef());
+    assert(memrefType.numDynamicDims() == dynExtents.size());
+    return createOp(OpKind::Alloc, {memrefType}, dynExtents)->result();
+  }
+  void dealloc(Value memref) { createOp(OpKind::Dealloc, {}, {memref}); }
+  Value load(Value memref, const std::vector<Value> &indices = {}) {
+    assert(memref.type().isMemRef());
+    assert(memref.type().rank() == indices.size());
+    std::vector<Value> operands = {memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    return createOp(OpKind::Load, {Type(memref.type().elemKind())}, operands)
+        ->result();
+  }
+  void store(Value value, Value memref, const std::vector<Value> &indices = {}) {
+    assert(memref.type().isMemRef());
+    assert(memref.type().rank() == indices.size());
+    assert(value.type().kind() == memref.type().elemKind());
+    std::vector<Value> operands = {value, memref};
+    operands.insert(operands.end(), indices.begin(), indices.end());
+    createOp(OpKind::Store, {}, operands);
+  }
+  Value dim(Value memref, int64_t i) {
+    Op *op = createOp(OpKind::Dim, {Type::index()}, {memref});
+    op->attrs().set("index", i);
+    return op->result();
+  }
+  /// Fixes `leading.size()` leading indices of a memref, producing a view
+  /// of lower rank.
+  Value subview(Value memref, const std::vector<Value> &leading) {
+    const Type &t = memref.type();
+    assert(t.isMemRef() && leading.size() <= t.rank());
+    std::vector<int64_t> shape(t.shape().begin() + leading.size(),
+                               t.shape().end());
+    std::vector<Value> operands = {memref};
+    operands.insert(operands.end(), leading.begin(), leading.end());
+    return createOp(OpKind::SubView, {Type::memref(t.elemKind(), shape)},
+                    operands)
+        ->result();
+  }
+
+  // Terminators ----------------------------------------------------------------
+  void yield(const std::vector<Value> &vals = {}) {
+    createOp(OpKind::Yield, {}, vals);
+  }
+  void ret(const std::vector<Value> &vals = {}) {
+    createOp(OpKind::Return, {}, vals);
+  }
+  void condition(Value cond, const std::vector<Value> &forwarded = {}) {
+    std::vector<Value> operands = {cond};
+    operands.insert(operands.end(), forwarded.begin(), forwarded.end());
+    createOp(OpKind::Condition, {}, operands);
+  }
+
+  void barrier() { createOp(OpKind::Barrier, {}, {}); }
+
+private:
+  Block *block_ = nullptr;
+  Op *before_ = nullptr;
+  SourceLoc loc_;
+};
+
+} // namespace paralift::ir

@@ -1,0 +1,511 @@
+#include "ir/op.h"
+
+#include <algorithm>
+
+namespace paralift::ir {
+
+//===----------------------------------------------------------------------===//
+// OpKind names and traits
+//===----------------------------------------------------------------------===//
+
+const char *opKindName(OpKind k) {
+  switch (k) {
+  case OpKind::Module: return "module";
+  case OpKind::Func: return "func";
+  case OpKind::Return: return "return";
+  case OpKind::Call: return "call";
+  case OpKind::Yield: return "yield";
+  case OpKind::Condition: return "condition";
+  case OpKind::ConstInt: return "const.int";
+  case OpKind::ConstFloat: return "const.float";
+  case OpKind::AddI: return "addi";
+  case OpKind::SubI: return "subi";
+  case OpKind::MulI: return "muli";
+  case OpKind::DivSI: return "divsi";
+  case OpKind::RemSI: return "remsi";
+  case OpKind::AndI: return "andi";
+  case OpKind::OrI: return "ori";
+  case OpKind::XOrI: return "xori";
+  case OpKind::ShLI: return "shli";
+  case OpKind::ShRSI: return "shrsi";
+  case OpKind::MinSI: return "minsi";
+  case OpKind::MaxSI: return "maxsi";
+  case OpKind::CmpI: return "cmpi";
+  case OpKind::AddF: return "addf";
+  case OpKind::SubF: return "subf";
+  case OpKind::MulF: return "mulf";
+  case OpKind::DivF: return "divf";
+  case OpKind::RemF: return "remf";
+  case OpKind::NegF: return "negf";
+  case OpKind::MinF: return "minf";
+  case OpKind::MaxF: return "maxf";
+  case OpKind::CmpF: return "cmpf";
+  case OpKind::Select: return "select";
+  case OpKind::SIToFP: return "sitofp";
+  case OpKind::FPToSI: return "fptosi";
+  case OpKind::IndexCast: return "index.cast";
+  case OpKind::ExtSI: return "extsi";
+  case OpKind::TruncI: return "trunci";
+  case OpKind::FPExt: return "fpext";
+  case OpKind::FPTrunc: return "fptrunc";
+  case OpKind::Sqrt: return "math.sqrt";
+  case OpKind::Exp: return "math.exp";
+  case OpKind::Log: return "math.log";
+  case OpKind::Pow: return "math.pow";
+  case OpKind::Abs: return "math.abs";
+  case OpKind::Sin: return "math.sin";
+  case OpKind::Cos: return "math.cos";
+  case OpKind::Tanh: return "math.tanh";
+  case OpKind::Floor: return "math.floor";
+  case OpKind::Ceil: return "math.ceil";
+  case OpKind::Alloca: return "memref.alloca";
+  case OpKind::Alloc: return "memref.alloc";
+  case OpKind::Dealloc: return "memref.dealloc";
+  case OpKind::Load: return "memref.load";
+  case OpKind::Store: return "memref.store";
+  case OpKind::Dim: return "memref.dim";
+  case OpKind::SubView: return "memref.subview";
+  case OpKind::ScfFor: return "scf.for";
+  case OpKind::ScfIf: return "scf.if";
+  case OpKind::ScfWhile: return "scf.while";
+  case OpKind::ScfParallel: return "scf.parallel";
+  case OpKind::Barrier: return "polygeist.barrier";
+  case OpKind::OmpParallel: return "omp.parallel";
+  case OpKind::OmpWsLoop: return "omp.wsloop";
+  case OpKind::OmpBarrier: return "omp.barrier";
+  case OpKind::kNumOpKinds: break;
+  }
+  return "<invalid>";
+}
+
+bool isTerminator(OpKind k) {
+  return k == OpKind::Return || k == OpKind::Yield || k == OpKind::Condition;
+}
+
+bool isPure(OpKind k) {
+  switch (k) {
+  case OpKind::ConstInt:
+  case OpKind::ConstFloat:
+  case OpKind::AddI:
+  case OpKind::SubI:
+  case OpKind::MulI:
+  case OpKind::DivSI:
+  case OpKind::RemSI:
+  case OpKind::AndI:
+  case OpKind::OrI:
+  case OpKind::XOrI:
+  case OpKind::ShLI:
+  case OpKind::ShRSI:
+  case OpKind::MinSI:
+  case OpKind::MaxSI:
+  case OpKind::CmpI:
+  case OpKind::AddF:
+  case OpKind::SubF:
+  case OpKind::MulF:
+  case OpKind::DivF:
+  case OpKind::RemF:
+  case OpKind::NegF:
+  case OpKind::MinF:
+  case OpKind::MaxF:
+  case OpKind::CmpF:
+  case OpKind::Select:
+  case OpKind::SIToFP:
+  case OpKind::FPToSI:
+  case OpKind::IndexCast:
+  case OpKind::ExtSI:
+  case OpKind::TruncI:
+  case OpKind::FPExt:
+  case OpKind::FPTrunc:
+  case OpKind::Sqrt:
+  case OpKind::Exp:
+  case OpKind::Log:
+  case OpKind::Pow:
+  case OpKind::Abs:
+  case OpKind::Sin:
+  case OpKind::Cos:
+  case OpKind::Tanh:
+  case OpKind::Floor:
+  case OpKind::Ceil:
+  case OpKind::Dim:
+  case OpKind::SubView:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isLoopLike(OpKind k) {
+  return k == OpKind::ScfFor || k == OpKind::ScfWhile ||
+         k == OpKind::ScfParallel || k == OpKind::OmpWsLoop;
+}
+
+bool hasParallelLayout(OpKind k) {
+  return k == OpKind::ScfParallel || k == OpKind::OmpWsLoop;
+}
+
+//===----------------------------------------------------------------------===//
+// AttrMap
+//===----------------------------------------------------------------------===//
+
+void AttrMap::set(const std::string &name, AttrValue v) {
+  for (auto &e : entries_)
+    if (e.first == name) {
+      e.second = std::move(v);
+      return;
+    }
+  entries_.emplace_back(name, std::move(v));
+}
+
+void AttrMap::erase(const std::string &name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](auto &e) { return e.first == name; }),
+                 entries_.end());
+}
+
+bool AttrMap::has(const std::string &name) const {
+  for (auto &e : entries_)
+    if (e.first == name)
+      return true;
+  return false;
+}
+
+bool AttrMap::getBool(const std::string &name, bool dflt) const {
+  for (auto &e : entries_)
+    if (e.first == name)
+      if (auto *b = std::get_if<bool>(&e.second))
+        return *b;
+  return dflt;
+}
+
+int64_t AttrMap::getInt(const std::string &name, int64_t dflt) const {
+  for (auto &e : entries_)
+    if (e.first == name)
+      if (auto *i = std::get_if<int64_t>(&e.second))
+        return *i;
+  return dflt;
+}
+
+double AttrMap::getFloat(const std::string &name, double dflt) const {
+  for (auto &e : entries_)
+    if (e.first == name)
+      if (auto *f = std::get_if<double>(&e.second))
+        return *f;
+  return dflt;
+}
+
+std::string AttrMap::getString(const std::string &name) const {
+  for (auto &e : entries_)
+    if (e.first == name)
+      if (auto *s = std::get_if<std::string>(&e.second))
+        return *s;
+  return {};
+}
+
+std::vector<int64_t> AttrMap::getIntVec(const std::string &name) const {
+  for (auto &e : entries_)
+    if (e.first == name)
+      if (auto *v = std::get_if<std::vector<int64_t>>(&e.second))
+        return *v;
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+void Value::replaceAllUsesWith(Value other) {
+  assert(impl_ && other.impl_);
+  assert(impl_ != other.impl_ && "self replacement");
+  // setOperand mutates the use list; copy first.
+  auto uses = impl_->uses;
+  for (auto &[op, idx] : uses)
+    op->setOperand(idx, other);
+  assert(impl_->uses.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+/// Recursively drops the operands of `op` and of everything nested in it,
+/// so that values defined anywhere can be destroyed in any order.
+static void dropAllReferences(Op *op) {
+  op->dropAllOperands();
+  for (unsigned r = 0; r < op->numRegions(); ++r)
+    for (auto &block : op->region(r).blocks())
+      for (Op *inner : *block)
+        dropAllReferences(inner);
+}
+
+Block::~Block() {
+  // Drop all references (including from nested regions) so that use lists
+  // of values defined in this block are empty regardless of op order.
+  for (Op *op = first_; op; op = op->next())
+    dropAllReferences(op);
+  Op *op = first_;
+  while (op) {
+    Op *next = op->next();
+    op->parent_ = nullptr; // already unlinked logically
+    Op::destroy(op);
+    op = next;
+  }
+}
+
+Op *Block::parentOp() const { return parent_ ? parent_->parentOp() : nullptr; }
+
+Value Block::addArg(Type t) {
+  auto impl = std::make_unique<ValueImpl>();
+  impl->type = t;
+  impl->defBlock = this;
+  impl->index = static_cast<unsigned>(args_.size());
+  args_.push_back(std::move(impl));
+  return Value(args_.back().get());
+}
+
+void Block::eraseArg(unsigned i) {
+  assert(i < args_.size() && args_[i]->uses.empty() && "erasing used arg");
+  args_.erase(args_.begin() + i);
+  for (unsigned j = i; j < args_.size(); ++j)
+    args_[j]->index = j;
+}
+
+Op *Block::terminator() const {
+  return (last_ && isTerminator(last_->kind())) ? last_ : nullptr;
+}
+
+void Block::push_back(Op *op) { insertBefore(nullptr, op); }
+
+void Block::push_front(Op *op) { insertBefore(first_, op); }
+
+void Block::insertBefore(Op *anchor, Op *op) {
+  assert(op->parent_ == nullptr && "op already in a block");
+  op->parent_ = this;
+  if (!anchor) {
+    op->prev_ = last_;
+    op->next_ = nullptr;
+    if (last_)
+      last_->next_ = op;
+    else
+      first_ = op;
+    last_ = op;
+    return;
+  }
+  assert(anchor->parent_ == this);
+  op->next_ = anchor;
+  op->prev_ = anchor->prev_;
+  if (anchor->prev_)
+    anchor->prev_->next_ = op;
+  else
+    first_ = op;
+  anchor->prev_ = op;
+}
+
+void Block::unlink(Op *op) {
+  assert(op->parent_ == this);
+  if (op->prev_)
+    op->prev_->next_ = op->next_;
+  else
+    first_ = op->next_;
+  if (op->next_)
+    op->next_->prev_ = op->prev_;
+  else
+    last_ = op->prev_;
+  op->prev_ = op->next_ = nullptr;
+  op->parent_ = nullptr;
+}
+
+size_t Block::size() const {
+  size_t n = 0;
+  for (Op *op = first_; op; op = op->next())
+    ++n;
+  return n;
+}
+
+Block::iterator &Block::iterator::operator++() {
+  op_ = op_->next();
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+Block &Region::emplaceBlock() {
+  blocks_.push_back(std::make_unique<Block>());
+  blocks_.back()->parent_ = this;
+  return *blocks_.back();
+}
+
+void Region::takeBlocks(Region &other) {
+  for (auto &b : other.blocks_) {
+    b->parent_ = this;
+    blocks_.push_back(std::move(b));
+  }
+  other.blocks_.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Op
+//===----------------------------------------------------------------------===//
+
+Op *Op::create(OpKind kind, SourceLoc loc, std::vector<Type> resultTypes,
+               const std::vector<Value> &operands, unsigned numRegions) {
+  Op *op = new Op(kind, loc);
+  op->results_.reserve(resultTypes.size());
+  for (unsigned i = 0; i < resultTypes.size(); ++i) {
+    auto impl = std::make_unique<ValueImpl>();
+    impl->type = resultTypes[i];
+    impl->defOp = op;
+    impl->index = i;
+    op->results_.push_back(std::move(impl));
+  }
+  op->operands_.reserve(operands.size());
+  for (Value v : operands)
+    op->appendOperand(v);
+  op->regions_.reserve(numRegions);
+  for (unsigned i = 0; i < numRegions; ++i) {
+    op->regions_.push_back(std::make_unique<Region>());
+    op->regions_.back()->parentOp_ = op;
+  }
+  return op;
+}
+
+void Op::destroy(Op *op) {
+  assert(op->parent_ == nullptr && "destroying attached op");
+  op->dropAllOperands();
+  delete op;
+}
+
+Op::~Op() {
+#ifndef NDEBUG
+  for (auto &r : results_)
+    assert(r->uses.empty() && "destroying op with used results");
+#endif
+}
+
+Op *Op::parentOp() const {
+  return parent_ ? parent_->parentOp() : nullptr;
+}
+
+bool Op::isAncestorOf(const Op *other) const {
+  for (const Op *cur = other; cur; cur = cur->parentOp())
+    if (cur == this)
+      return true;
+  return false;
+}
+
+static void removeUse(ValueImpl *impl, Op *op, unsigned idx) {
+  auto &uses = impl->uses;
+  for (size_t i = 0; i < uses.size(); ++i) {
+    if (uses[i].first == op && uses[i].second == idx) {
+      uses[i] = uses.back();
+      uses.pop_back();
+      return;
+    }
+  }
+  assert(false && "use not found");
+}
+
+void Op::setOperand(unsigned i, Value v) {
+  assert(i < operands_.size());
+  if (operands_[i])
+    removeUse(operands_[i].impl(), this, i);
+  operands_[i] = v;
+  if (v)
+    v.impl()->uses.emplace_back(this, i);
+}
+
+void Op::appendOperand(Value v) {
+  operands_.push_back(Value());
+  setOperand(static_cast<unsigned>(operands_.size() - 1), v);
+}
+
+void Op::insertOperand(unsigned i, Value v) {
+  assert(i <= operands_.size());
+  // Uses after position i shift by one; re-register them.
+  for (unsigned j = i; j < operands_.size(); ++j)
+    removeUse(operands_[j].impl(), this, j);
+  operands_.insert(operands_.begin() + i, v);
+  for (unsigned j = i; j < operands_.size(); ++j)
+    if (j == i)
+      operands_[j].impl()->uses.emplace_back(this, j);
+    else
+      operands_[j].impl()->uses.emplace_back(this, j);
+}
+
+void Op::eraseOperand(unsigned i) {
+  assert(i < operands_.size());
+  for (unsigned j = i; j < operands_.size(); ++j)
+    removeUse(operands_[j].impl(), this, j);
+  operands_.erase(operands_.begin() + i);
+  for (unsigned j = i; j < operands_.size(); ++j)
+    operands_[j].impl()->uses.emplace_back(this, j);
+}
+
+void Op::dropAllOperands() {
+  for (unsigned i = 0; i < operands_.size(); ++i)
+    if (operands_[i])
+      removeUse(operands_[i].impl(), this, i);
+  operands_.clear();
+}
+
+bool Op::hasAnyUse() const {
+  for (auto &r : results_)
+    if (!r->uses.empty())
+      return true;
+  return false;
+}
+
+void Op::erase() {
+  assert(!hasAnyUse() && "erasing op with live uses");
+  if (parent_)
+    parent_->unlink(this);
+  Op::destroy(this);
+}
+
+void Op::moveBefore(Op *other) {
+  assert(other->parent_);
+  if (parent_)
+    parent_->unlink(this);
+  other->parent_->insertBefore(other, this);
+}
+
+void Op::moveAfter(Op *other) {
+  assert(other->parent_);
+  if (parent_)
+    parent_->unlink(this);
+  other->parent_->insertBefore(other->next_, this);
+}
+
+void Op::removeFromParent() {
+  assert(parent_);
+  parent_->unlink(this);
+}
+
+void Op::walk(const std::function<void(Op *)> &fn) {
+  // Visit this op first; the callback may not erase `this` while nested
+  // ops are still to be visited, so visit regions from a snapshot.
+  fn(this);
+  for (auto &region : regions_) {
+    for (auto &block : region->blocks()) {
+      for (Op *op = block->front(), *next = nullptr; op; op = next) {
+        next = op->next();
+        op->walk(fn);
+      }
+    }
+  }
+}
+
+void Op::walkPostOrder(const std::function<void(Op *)> &fn) {
+  for (auto &region : regions_) {
+    for (auto &block : region->blocks()) {
+      for (Op *op = block->front(), *next = nullptr; op; op = next) {
+        next = op->next();
+        op->walkPostOrder(fn);
+      }
+    }
+  }
+  fn(this);
+}
+
+} // namespace paralift::ir

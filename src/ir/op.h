@@ -1,0 +1,376 @@
+// Core IR data structures: a small MLIR-like SSA IR with nested regions.
+//
+// Design notes (see DESIGN.md §4):
+//  - One concrete Op class parameterized by OpKind; structured-control-flow
+//    ops (scf.for/if/while/parallel) carry regions, each region holds a
+//    single block (control flow is fully structured; there are no branch
+//    ops at the IR level).
+//  - Values are results of ops or block arguments; use-def chains are
+//    maintained eagerly by setOperand/appendOperand/erase.
+//  - Ownership: Region owns Blocks, Block owns Ops (intrusive list),
+//    Op owns its result ValueImpls and nested Regions.
+#pragma once
+
+#include "ir/type.h"
+#include "support/diagnostics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace paralift::ir {
+
+class Op;
+class Block;
+class Region;
+
+//===----------------------------------------------------------------------===//
+// OpKind
+//===----------------------------------------------------------------------===//
+
+enum class OpKind : uint16_t {
+  // Structure
+  Module,   ///< top-level container; region holds Func ops
+  Func,     ///< attr "sym_name"; region args = parameters
+  Return,   ///< operands = returned values
+  Call,     ///< attr "callee"; operands = args; results = callee results
+  Yield,    ///< terminator of scf region bodies
+  Condition,///< terminator of scf.while "before" region: (cond, forwarded...)
+
+  // Constants
+  ConstInt,   ///< attr "value" (int64); result type i1/i32/i64/index
+  ConstFloat, ///< attr "value" (double); result type f32/f64
+
+  // Integer arithmetic (also used for index)
+  AddI, SubI, MulI, DivSI, RemSI, AndI, OrI, XOrI, ShLI, ShRSI,
+  MinSI, MaxSI,
+  CmpI, ///< attr "pred" (CmpIPred); result i1
+
+  // Floating-point arithmetic
+  AddF, SubF, MulF, DivF, RemF, NegF, MinF, MaxF,
+  CmpF, ///< attr "pred" (CmpFPred); result i1
+
+  Select, ///< (i1, a, b) -> a or b
+
+  // Casts
+  SIToFP, FPToSI, IndexCast, ExtSI, TruncI, FPExt, FPTrunc,
+
+  // Math (float)
+  Sqrt, Exp, Log, Pow, Abs, Sin, Cos, Tanh, Floor, Ceil,
+
+  // MemRef
+  Alloca,  ///< stack allocation; operands = dynamic extents
+  Alloc,   ///< heap allocation; operands = dynamic extents
+  Dealloc, ///< frees an Alloc
+  Load,    ///< (memref, indices...) -> elem
+  Store,   ///< (value, memref, indices...)
+  Dim,     ///< (memref) attr "index" -> index extent of one dimension
+  SubView, ///< (memref, leading indices...) -> memref of lower rank
+
+  // Structured control flow
+  ScfFor,      ///< (lb, ub, step, inits...); body args = (iv, carried...)
+  ScfIf,       ///< (cond); region0 = then, region1 = else
+  ScfWhile,    ///< (inits...); region0 = before, region1 = after
+  ScfParallel, ///< attr "dims"; operands = lbs+ubs+steps; body args = ivs
+
+  // GPU-style synchronization (polygeist.barrier)
+  Barrier,
+
+  // OpenMP-like CPU parallel dialect
+  OmpParallel, ///< region executed by every thread of a team
+  OmpWsLoop,   ///< worksharing loop; layout identical to ScfParallel
+  OmpBarrier,  ///< team-wide barrier
+
+  kNumOpKinds
+};
+
+const char *opKindName(OpKind k);
+
+enum class CmpIPred : int64_t { eq, ne, slt, sle, sgt, sge };
+enum class CmpFPred : int64_t { oeq, one, olt, ole, ogt, oge };
+
+//===----------------------------------------------------------------------===//
+// Attributes
+//===----------------------------------------------------------------------===//
+
+using AttrValue =
+    std::variant<bool, int64_t, double, std::string, std::vector<int64_t>>;
+
+/// A small ordered name->value attribute map. Ops carry at most a handful
+/// of attributes, so linear lookup is appropriate.
+class AttrMap {
+public:
+  void set(const std::string &name, AttrValue v);
+  void erase(const std::string &name);
+  bool has(const std::string &name) const;
+
+  bool getBool(const std::string &name, bool dflt = false) const;
+  int64_t getInt(const std::string &name, int64_t dflt = 0) const;
+  double getFloat(const std::string &name, double dflt = 0) const;
+  std::string getString(const std::string &name) const;
+  std::vector<int64_t> getIntVec(const std::string &name) const;
+
+  const std::vector<std::pair<std::string, AttrValue>> &entries() const {
+    return entries_;
+  }
+  bool operator==(const AttrMap &o) const { return entries_ == o.entries_; }
+
+private:
+  std::vector<std::pair<std::string, AttrValue>> entries_;
+};
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+/// Backing storage for one SSA value. Owned by the defining Op (results)
+/// or Block (arguments).
+class ValueImpl {
+public:
+  Type type;
+  Op *defOp = nullptr;
+  Block *defBlock = nullptr;
+  unsigned index = 0;
+  /// (user op, operand index) pairs; order unspecified.
+  std::vector<std::pair<Op *, unsigned>> uses;
+};
+
+/// A lightweight handle to an SSA value.
+class Value {
+public:
+  Value() = default;
+  explicit Value(ValueImpl *impl) : impl_(impl) {}
+
+  explicit operator bool() const { return impl_ != nullptr; }
+  bool operator==(const Value &o) const { return impl_ == o.impl_; }
+  bool operator!=(const Value &o) const { return impl_ != o.impl_; }
+
+  Type type() const { return impl_->type; }
+  void setType(Type t) { impl_->type = t; }
+
+  /// The op defining this value, or nullptr for block arguments.
+  Op *definingOp() const { return impl_->defOp; }
+  /// The block owning this value if it is a block argument, else nullptr.
+  Block *definingBlock() const { return impl_->defBlock; }
+  unsigned index() const { return impl_->index; }
+
+  bool isBlockArg() const { return impl_->defBlock != nullptr; }
+
+  bool hasUses() const { return !impl_->uses.empty(); }
+  size_t numUses() const { return impl_->uses.size(); }
+  const std::vector<std::pair<Op *, unsigned>> &uses() const {
+    return impl_->uses;
+  }
+
+  /// Redirects every use of this value to `other`.
+  void replaceAllUsesWith(Value other);
+
+  ValueImpl *impl() const { return impl_; }
+
+private:
+  ValueImpl *impl_ = nullptr;
+};
+
+struct ValueHash {
+  size_t operator()(const Value &v) const {
+    return std::hash<void *>()(v.impl());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Block
+//===----------------------------------------------------------------------===//
+
+/// A straight-line sequence of ops plus block arguments. Blocks in this IR
+/// always belong to a region of a structured op, and regions hold exactly
+/// one block (enforced by the verifier for scf ops).
+class Block {
+public:
+  Block() = default;
+  ~Block();
+  Block(const Block &) = delete;
+  Block &operator=(const Block &) = delete;
+
+  Region *parent() const { return parent_; }
+  Op *parentOp() const;
+
+  // Arguments ---------------------------------------------------------------
+  Value addArg(Type t);
+  unsigned numArgs() const { return static_cast<unsigned>(args_.size()); }
+  Value arg(unsigned i) const { return Value(args_[i].get()); }
+  /// Erases argument i; it must be unused.
+  void eraseArg(unsigned i);
+
+  // Op list -----------------------------------------------------------------
+  bool empty() const { return first_ == nullptr; }
+  Op *front() const { return first_; }
+  Op *back() const { return last_; }
+  /// The trailing terminator (Yield/Return/Condition), or nullptr.
+  Op *terminator() const;
+
+  void push_back(Op *op);
+  void push_front(Op *op);
+  /// Inserts `op` before `anchor`; a null anchor appends.
+  void insertBefore(Op *anchor, Op *op);
+  /// Detaches `op` from this block without destroying it.
+  void unlink(Op *op);
+
+  size_t size() const;
+
+  // Iteration (supports erasing the current op while iterating via the
+  // idiom: for (Op *op = b.front(), *n; op; op = n) { n = op->next(); ... }).
+  class iterator {
+  public:
+    explicit iterator(Op *op) : op_(op) {}
+    Op *operator*() const { return op_; }
+    iterator &operator++();
+    bool operator!=(const iterator &o) const { return op_ != o.op_; }
+
+  private:
+    Op *op_;
+  };
+  iterator begin() const { return iterator(first_); }
+  iterator end() const { return iterator(nullptr); }
+
+private:
+  friend class Region;
+  friend class Op;
+  Region *parent_ = nullptr;
+  std::vector<std::unique_ptr<ValueImpl>> args_;
+  Op *first_ = nullptr;
+  Op *last_ = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Region
+//===----------------------------------------------------------------------===//
+
+class Region {
+public:
+  Region() = default;
+  Region(const Region &) = delete;
+  Region &operator=(const Region &) = delete;
+
+  Op *parentOp() const { return parentOp_; }
+
+  bool empty() const { return blocks_.empty(); }
+  Block &front() { return *blocks_.front(); }
+  const Block &front() const { return *blocks_.front(); }
+  Block &emplaceBlock();
+  size_t numBlocks() const { return blocks_.size(); }
+  /// Destroys all blocks (and their ops).
+  void clear() { blocks_.clear(); }
+
+  const std::vector<std::unique_ptr<Block>> &blocks() const { return blocks_; }
+
+  /// Moves all blocks of `other` into this (appending). Used by inlining.
+  void takeBlocks(Region &other);
+
+private:
+  friend class Op;
+  Op *parentOp_ = nullptr;
+  std::vector<std::unique_ptr<Block>> blocks_;
+};
+
+//===----------------------------------------------------------------------===//
+// Op
+//===----------------------------------------------------------------------===//
+
+class Op {
+public:
+  /// Creates a detached op. Ownership transfers to the block it is
+  /// eventually inserted into; detached ops must be destroyed with
+  /// Op::destroy().
+  static Op *create(OpKind kind, SourceLoc loc, std::vector<Type> resultTypes,
+                    const std::vector<Value> &operands, unsigned numRegions);
+  /// Destroys a detached op (recursively destroying regions).
+  static void destroy(Op *op);
+
+  OpKind kind() const { return kind_; }
+  SourceLoc loc() const { return loc_; }
+  void setLoc(SourceLoc l) { loc_ = l; }
+
+  Block *parent() const { return parent_; }
+  /// The op owning the region that contains this op's parent block.
+  Op *parentOp() const;
+  Op *prev() const { return prev_; }
+  Op *next() const { return next_; }
+
+  /// True if this op is `other` or transitively contains it.
+  bool isAncestorOf(const Op *other) const;
+
+  // Operands ----------------------------------------------------------------
+  unsigned numOperands() const {
+    return static_cast<unsigned>(operands_.size());
+  }
+  Value operand(unsigned i) const { return operands_[i]; }
+  const std::vector<Value> &operands() const { return operands_; }
+  void setOperand(unsigned i, Value v);
+  void appendOperand(Value v);
+  void insertOperand(unsigned i, Value v);
+  void eraseOperand(unsigned i);
+  void dropAllOperands();
+  /// Replaces every use of `from` among this op's operands with `to`.
+  void replaceUsesOfWith(Value from, Value to);
+
+  // Results -----------------------------------------------------------------
+  unsigned numResults() const { return static_cast<unsigned>(results_.size()); }
+  Value result(unsigned i = 0) const { return Value(results_[i].get()); }
+  bool hasAnyUse() const;
+
+  // Regions -----------------------------------------------------------------
+  unsigned numRegions() const { return static_cast<unsigned>(regions_.size()); }
+  Region &region(unsigned i) { return *regions_[i]; }
+  const Region &region(unsigned i) const { return *regions_[i]; }
+
+  // Attributes ----------------------------------------------------------------
+  AttrMap &attrs() { return attrs_; }
+  const AttrMap &attrs() const { return attrs_; }
+
+  // Mutation ------------------------------------------------------------------
+  /// Unlinks from the parent block and destroys; results must be unused.
+  void erase();
+  void moveBefore(Op *other);
+  void moveAfter(Op *other);
+  /// Detach from parent block without destroying.
+  void removeFromParent();
+
+  /// Walks this op and all nested ops pre-order. The callback may erase
+  /// the op it is given (but not yet-unvisited ops).
+  void walk(const std::function<void(Op *)> &fn);
+  /// Post-order walk (children before parents).
+  void walkPostOrder(const std::function<void(Op *)> &fn);
+
+private:
+  friend class Block;
+  Op(OpKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
+  ~Op();
+
+  OpKind kind_;
+  SourceLoc loc_;
+  Block *parent_ = nullptr;
+  Op *prev_ = nullptr;
+  Op *next_ = nullptr;
+  std::vector<Value> operands_;
+  std::vector<std::unique_ptr<ValueImpl>> results_;
+  std::vector<std::unique_ptr<Region>> regions_;
+  AttrMap attrs_;
+};
+
+//===----------------------------------------------------------------------===//
+// Kind predicates / traits
+//===----------------------------------------------------------------------===//
+
+bool isTerminator(OpKind k);
+/// Pure = no memory effects, no regions, safe to CSE/DCE.
+bool isPure(OpKind k);
+/// Ops whose regions represent loops (bodies may execute 0..N times).
+bool isLoopLike(OpKind k);
+/// scf.parallel / omp.wsloop share the lbs/ubs/steps + "dims" layout.
+bool hasParallelLayout(OpKind k);
+
+} // namespace paralift::ir

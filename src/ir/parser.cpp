@@ -1,0 +1,646 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace paralift::ir {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Token stream
+//===----------------------------------------------------------------------===//
+
+enum class Tok {
+  Eof,
+  SsaId,   ///< %N            (text = digits)
+  Ident,   ///< op/attr names (may contain '.')
+  Integer, ///< [-]digits
+  Float,   ///< [-]digits with '.' and/or exponent
+  Str,     ///< "..." (no escapes; symbol names only)
+  MemRef,  ///< memref<...> captured as one token (text = contents of <>)
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Colon,
+  Equal,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;
+  SourceLoc loc;
+};
+
+/// Splits IR text into tokens. `memref<...>` is lexed as a single token so
+/// the shape grammar (10x?xf32) never collides with identifier lexing.
+class Lexer {
+public:
+  Lexer(const std::string &src, DiagnosticEngine &diag)
+      : src_(src), diag_(diag) {
+    advance();
+    advance(); // fill cur_ and peek_
+  }
+
+  const Token &cur() const { return cur_; }
+  const Token &peek() const { return peek_; }
+
+  void advance() {
+    cur_ = peek_;
+    peek_ = lexOne();
+  }
+
+private:
+  SourceLoc here() const { return {line_, col_}; }
+
+  char at(size_t i) const { return i < src_.size() ? src_[i] : '\0'; }
+
+  void bump() {
+    if (at(pos_) == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  Token lexOne() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(
+                                     src_[pos_])))
+      bump();
+    Token t;
+    t.loc = here();
+    if (pos_ >= src_.size())
+      return t;
+
+    char c = src_[pos_];
+    auto single = [&](Tok k) {
+      t.kind = k;
+      t.text = c;
+      bump();
+      return t;
+    };
+    switch (c) {
+    case '(': return single(Tok::LParen);
+    case ')': return single(Tok::RParen);
+    case '{': return single(Tok::LBrace);
+    case '}': return single(Tok::RBrace);
+    case '[': return single(Tok::LBracket);
+    case ']': return single(Tok::RBracket);
+    case ',': return single(Tok::Comma);
+    case ':': return single(Tok::Colon);
+    case '=': return single(Tok::Equal);
+    default: break;
+    }
+
+    if (c == '%') {
+      bump();
+      std::string digits;
+      while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
+        digits += at(pos_);
+        bump();
+      }
+      if (digits.empty()) {
+        diag_.error(t.loc, "expected value number after '%'");
+        return t; // Eof ends parsing
+      }
+      t.kind = Tok::SsaId;
+      t.text = digits;
+      return t;
+    }
+
+    if (c == '"') {
+      bump();
+      std::string s;
+      while (at(pos_) != '"' && pos_ < src_.size()) {
+        s += at(pos_);
+        bump();
+      }
+      if (at(pos_) != '"') {
+        diag_.error(t.loc, "unterminated string");
+        return t;
+      }
+      bump();
+      t.kind = Tok::Str;
+      t.text = s;
+      return t;
+    }
+
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool isFloat = false;
+      if (c == '-') {
+        num += c;
+        bump();
+        // "-inf" / "-nan"
+        if (std::isalpha(static_cast<unsigned char>(at(pos_)))) {
+          while (std::isalpha(static_cast<unsigned char>(at(pos_)))) {
+            num += at(pos_);
+            bump();
+          }
+          t.kind = Tok::Float;
+          t.text = num;
+          return t;
+        }
+      }
+      while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
+        num += at(pos_);
+        bump();
+      }
+      if (at(pos_) == '.') {
+        isFloat = true;
+        num += '.';
+        bump();
+        while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
+          num += at(pos_);
+          bump();
+        }
+      }
+      if (at(pos_) == 'e' || at(pos_) == 'E') {
+        isFloat = true;
+        num += at(pos_);
+        bump();
+        if (at(pos_) == '+' || at(pos_) == '-') {
+          num += at(pos_);
+          bump();
+        }
+        while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
+          num += at(pos_);
+          bump();
+        }
+      }
+      t.kind = isFloat ? Tok::Float : Tok::Integer;
+      t.text = num;
+      return t;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (std::isalnum(static_cast<unsigned char>(at(pos_))) ||
+             at(pos_) == '_' || at(pos_) == '.') {
+        id += at(pos_);
+        bump();
+      }
+      if (id == "memref" && at(pos_) == '<') {
+        bump();
+        std::string inner;
+        while (at(pos_) != '>' && pos_ < src_.size()) {
+          inner += at(pos_);
+          bump();
+        }
+        if (at(pos_) != '>') {
+          diag_.error(t.loc, "unterminated memref type");
+          return t;
+        }
+        bump();
+        t.kind = Tok::MemRef;
+        t.text = inner;
+        return t;
+      }
+      if (id == "inf" || id == "nan") {
+        t.kind = Tok::Float;
+        t.text = id;
+        return t;
+      }
+      t.kind = Tok::Ident;
+      t.text = id;
+      return t;
+    }
+
+    diag_.error(t.loc, std::string("unexpected character '") + c + "'");
+    bump();
+    return t;
+  }
+
+  const std::string &src_;
+  DiagnosticEngine &diag_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1, col_ = 1;
+  Token cur_, peek_;
+};
+
+//===----------------------------------------------------------------------===//
+// Type parsing
+//===----------------------------------------------------------------------===//
+
+TypeKind scalarKindFromName(const std::string &s) {
+  if (s == "i1") return TypeKind::I1;
+  if (s == "i32") return TypeKind::I32;
+  if (s == "i64") return TypeKind::I64;
+  if (s == "f32") return TypeKind::F32;
+  if (s == "f64") return TypeKind::F64;
+  if (s == "index") return TypeKind::Index;
+  if (s == "none") return TypeKind::None;
+  return TypeKind::MemRef; // sentinel for "not a scalar name"
+}
+
+/// Parses the inside of memref<...>: DIMx...xELEM where DIM is an integer
+/// or '?'. Returns Type() on malformed input. The remainder is probed as
+/// an element name before splitting on 'x' because "index" itself
+/// contains one.
+Type parseMemRefBody(const std::string &body) {
+  std::vector<int64_t> shape;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    std::string rest = body.substr(pos);
+    TypeKind elem = scalarKindFromName(rest);
+    if (elem != TypeKind::MemRef) {
+      if (elem == TypeKind::None)
+        return Type();
+      return Type::memref(elem, std::move(shape));
+    }
+    size_t x = body.find('x', pos);
+    if (x == std::string::npos)
+      return Type(); // trailing component is not a scalar type
+    std::string part = body.substr(pos, x - pos);
+    if (part == "?") {
+      shape.push_back(Type::kDynamic);
+    } else {
+      if (part.empty() ||
+          part.find_first_not_of("0123456789") != std::string::npos)
+        return Type();
+      shape.push_back(std::stoll(part));
+    }
+    pos = x + 1;
+  }
+  return Type();
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const std::unordered_map<std::string, OpKind> &opNameTable() {
+  static const std::unordered_map<std::string, OpKind> table = [] {
+    std::unordered_map<std::string, OpKind> t;
+    for (unsigned k = 0; k < static_cast<unsigned>(OpKind::kNumOpKinds); ++k)
+      t.emplace(opKindName(static_cast<OpKind>(k)), static_cast<OpKind>(k));
+    return t;
+  }();
+  return table;
+}
+
+class Parser {
+public:
+  Parser(const std::string &src, DiagnosticEngine &diag)
+      : lex_(src, diag), diag_(diag) {}
+
+  /// Parses exactly one top-level op (the module) followed by EOF.
+  Op *parseTopLevel() {
+    Op *op = parseOp();
+    if (!op)
+      return nullptr;
+    if (lex_.cur().kind != Tok::Eof) {
+      error("expected end of input after top-level op");
+      Op::destroy(op);
+      return nullptr;
+    }
+    return op;
+  }
+
+private:
+  void error(const std::string &msg) { diag_.error(lex_.cur().loc, msg); }
+
+  bool expect(Tok kind, const char *what) {
+    if (lex_.cur().kind != kind) {
+      error(std::string("expected ") + what);
+      return false;
+    }
+    lex_.advance();
+    return true;
+  }
+
+  Value lookup(const std::string &id) {
+    auto it = values_.find(id);
+    if (it == values_.end()) {
+      error("use of undefined value %" + id);
+      return Value();
+    }
+    return it->second;
+  }
+
+  void define(const std::string &id, Value v) {
+    if (!values_.emplace(id, v).second)
+      error("redefinition of value %" + id);
+  }
+
+  Type parseTypeTok() {
+    const Token &t = lex_.cur();
+    if (t.kind == Tok::MemRef) {
+      Type ty = parseMemRefBody(t.text);
+      if (ty.isNone())
+        error("malformed memref type");
+      lex_.advance();
+      return ty;
+    }
+    if (t.kind == Tok::Ident) {
+      TypeKind k = scalarKindFromName(t.text);
+      if (k != TypeKind::MemRef) {
+        lex_.advance();
+        return k == TypeKind::None ? Type::none() : Type(k);
+      }
+    }
+    error("expected type");
+    return Type();
+  }
+
+  std::optional<AttrValue> parseAttrValue() {
+    const Token &t = lex_.cur();
+    switch (t.kind) {
+    case Tok::Integer: {
+      int64_t v = std::stoll(t.text);
+      lex_.advance();
+      return AttrValue(v);
+    }
+    case Tok::Float: {
+      double v = std::stod(t.text);
+      lex_.advance();
+      return AttrValue(v);
+    }
+    case Tok::Str: {
+      std::string v = t.text;
+      lex_.advance();
+      return AttrValue(v);
+    }
+    case Tok::Ident: {
+      if (t.text == "true" || t.text == "false") {
+        bool v = t.text == "true";
+        lex_.advance();
+        return AttrValue(v);
+      }
+      error("unknown attribute value '" + t.text + "'");
+      return std::nullopt;
+    }
+    case Tok::LBracket: {
+      lex_.advance();
+      std::vector<int64_t> vec;
+      if (lex_.cur().kind != Tok::RBracket) {
+        while (true) {
+          if (lex_.cur().kind != Tok::Integer) {
+            error("expected integer in attribute array");
+            return std::nullopt;
+          }
+          vec.push_back(std::stoll(lex_.cur().text));
+          lex_.advance();
+          if (lex_.cur().kind != Tok::Comma)
+            break;
+          lex_.advance();
+        }
+      }
+      if (!expect(Tok::RBracket, "']'"))
+        return std::nullopt;
+      return AttrValue(std::move(vec));
+    }
+    default:
+      error("expected attribute value");
+      return std::nullopt;
+    }
+  }
+
+  /// Parses `ident = value, ...}` — the opening '{' has been consumed.
+  bool parseAttrDict(AttrMap &attrs) {
+    while (true) {
+      if (lex_.cur().kind != Tok::Ident) {
+        error("expected attribute name");
+        return false;
+      }
+      std::string name = lex_.cur().text;
+      lex_.advance();
+      if (!expect(Tok::Equal, "'=' after attribute name"))
+        return false;
+      auto v = parseAttrValue();
+      if (!v)
+        return false;
+      attrs.set(name, std::move(*v));
+      if (lex_.cur().kind == Tok::Comma) {
+        lex_.advance();
+        continue;
+      }
+      break;
+    }
+    return expect(Tok::RBrace, "'}' after attributes");
+  }
+
+  /// Parses a region body up to and including '}' — the opening '{' has
+  /// been consumed.
+  bool parseRegion(Region &region) {
+    if (lex_.cur().kind == Tok::RBrace) {
+      lex_.advance();
+      return true; // empty region: no blocks
+    }
+    Block &block = region.emplaceBlock();
+    if (lex_.cur().kind == Tok::LBracket) {
+      lex_.advance();
+      while (true) {
+        if (lex_.cur().kind != Tok::SsaId) {
+          error("expected block argument %id");
+          return false;
+        }
+        std::string id = lex_.cur().text;
+        lex_.advance();
+        if (!expect(Tok::Colon, "':' after block argument"))
+          return false;
+        Type ty = parseTypeTok();
+        if (ty.isNone() && !ty.isMemRef())
+          return false;
+        define(id, block.addArg(ty));
+        if (lex_.cur().kind == Tok::Comma) {
+          lex_.advance();
+          continue;
+        }
+        break;
+      }
+      if (!expect(Tok::RBracket, "']' after block arguments") ||
+          !expect(Tok::Colon, "':' after block argument list"))
+        return false;
+    }
+    while (lex_.cur().kind != Tok::RBrace) {
+      if (lex_.cur().kind == Tok::Eof) {
+        error("unterminated region");
+        return false;
+      }
+      Op *op = parseOp();
+      if (!op)
+        return false;
+      block.push_back(op);
+    }
+    lex_.advance(); // consume '}'
+    return true;
+  }
+
+  /// Parses one op; returns a detached op (caller inserts), or nullptr.
+  Op *parseOp() {
+    SourceLoc loc = lex_.cur().loc;
+
+    // Optional result list.
+    std::vector<std::string> resultIds;
+    if (lex_.cur().kind == Tok::SsaId) {
+      while (lex_.cur().kind == Tok::SsaId) {
+        resultIds.push_back(lex_.cur().text);
+        lex_.advance();
+        if (lex_.cur().kind == Tok::Comma) {
+          lex_.advance();
+          continue;
+        }
+        break;
+      }
+      if (!expect(Tok::Equal, "'=' after result list"))
+        return nullptr;
+    }
+
+    // Op name.
+    if (lex_.cur().kind != Tok::Ident) {
+      error("expected op name");
+      return nullptr;
+    }
+    auto it = opNameTable().find(lex_.cur().text);
+    if (it == opNameTable().end()) {
+      error("unknown op '" + lex_.cur().text + "'");
+      return nullptr;
+    }
+    OpKind kind = it->second;
+    lex_.advance();
+
+    // Operands.
+    std::vector<Value> operands;
+    if (lex_.cur().kind == Tok::LParen) {
+      lex_.advance();
+      if (lex_.cur().kind != Tok::RParen) {
+        while (true) {
+          if (lex_.cur().kind != Tok::SsaId) {
+            error("expected operand %id");
+            return nullptr;
+          }
+          Value v = lookup(lex_.cur().text);
+          if (!v)
+            return nullptr;
+          operands.push_back(v);
+          lex_.advance();
+          if (lex_.cur().kind == Tok::Comma) {
+            lex_.advance();
+            continue;
+          }
+          break;
+        }
+      }
+      if (!expect(Tok::RParen, "')' after operands"))
+        return nullptr;
+    }
+
+    // An attribute dict and a region both open with '{'. After consuming
+    // the brace, `Ident '='` can only start a dict entry (op results are
+    // %N tokens, and no op name is followed by '='), so one extra token
+    // of lookahead disambiguates. If the brace opened a region, the op
+    // has no attrs and no result types (types print before regions).
+    AttrMap attrs;
+    std::vector<std::unique_ptr<Region>> regions;
+    if (lex_.cur().kind == Tok::LBrace) {
+      lex_.advance();
+      if (lex_.cur().kind == Tok::Ident && lex_.peek().kind == Tok::Equal) {
+        if (!parseAttrDict(attrs))
+          return nullptr;
+      } else {
+        auto region = std::make_unique<Region>();
+        if (!parseRegion(*region))
+          return nullptr;
+        regions.push_back(std::move(region));
+      }
+    }
+
+    // Result types (only before any region).
+    std::vector<Type> resultTypes;
+    if (regions.empty() && lex_.cur().kind == Tok::Colon) {
+      lex_.advance();
+      while (true) {
+        Type ty = parseTypeTok();
+        if (ty.isNone() && !ty.isMemRef())
+          return nullptr;
+        resultTypes.push_back(ty);
+        if (lex_.cur().kind == Tok::Comma) {
+          lex_.advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (resultTypes.size() != resultIds.size()) {
+      diag_.error(loc, "op has " + std::to_string(resultIds.size()) +
+                           " results but " +
+                           std::to_string(resultTypes.size()) + " types");
+      return nullptr;
+    }
+
+    // Remaining regions. The count is only known after parsing, so they
+    // are built freestanding and moved into the op below.
+    while (lex_.cur().kind == Tok::LBrace) {
+      lex_.advance();
+      auto region = std::make_unique<Region>();
+      if (!parseRegion(*region))
+        return nullptr;
+      regions.push_back(std::move(region));
+    }
+
+    Op *op = Op::create(kind, loc, std::move(resultTypes), operands,
+                        static_cast<unsigned>(regions.size()));
+    op->attrs() = std::move(attrs);
+    for (unsigned i = 0; i < regions.size(); ++i)
+      op->region(i).takeBlocks(*regions[i]);
+    for (unsigned i = 0; i < resultIds.size(); ++i)
+      define(resultIds[i], op->result(i));
+    return op;
+  }
+
+  Lexer lex_;
+  DiagnosticEngine &diag_;
+  std::unordered_map<std::string, Value> values_;
+};
+
+} // namespace
+
+Type parseType(const std::string &text) {
+  // Scalars first.
+  TypeKind k = scalarKindFromName(text);
+  if (k != TypeKind::MemRef)
+    return k == TypeKind::None ? Type::none() : Type(k);
+  constexpr const char *prefix = "memref<";
+  if (text.rfind(prefix, 0) == 0 && text.back() == '>')
+    return parseMemRefBody(text.substr(7, text.size() - 8));
+  return Type();
+}
+
+std::optional<OwnedModule> parseModule(const std::string &text,
+                                       DiagnosticEngine &diag) {
+  Parser parser(text, diag);
+  Op *top = parser.parseTopLevel();
+  if (!top || diag.hasErrors()) {
+    if (top)
+      Op::destroy(top);
+    return std::nullopt;
+  }
+  if (top->kind() != OpKind::Module) {
+    diag.error(top->loc(), "top-level op must be a module");
+    Op::destroy(top);
+    return std::nullopt;
+  }
+  // Move the parsed funcs into a fresh OwnedModule (whose module op owns
+  // the canonical single body block).
+  OwnedModule owned;
+  Block &dst = owned.get().body();
+  if (!top->region(0).empty()) {
+    Block &src = top->region(0).front();
+    for (Op *op = src.front(), *next = nullptr; op; op = next) {
+      next = op->next();
+      src.unlink(op);
+      dst.push_back(op);
+    }
+  }
+  Op::destroy(top);
+  return owned;
+}
+
+} // namespace paralift::ir

@@ -1,0 +1,37 @@
+// Textual IR parser: the inverse of printer.cpp. Accepts the exact
+// format printOp emits (round-trip guarantee: parse(print(m)) prints
+// identically), which enables mlir-opt-style pass pipelines over IR files
+// (tools/paralift-opt) and textual transform test cases.
+//
+// Grammar (one op per line; regions nest with braces):
+//   op        ::= (results '=')? opname operands? attrs? (':' types)? region*
+//   results   ::= ssa-id (',' ssa-id)*
+//   operands  ::= '(' ssa-id (',' ssa-id)* ')'
+//   attrs     ::= '{' ident '=' attr-value (',' ident '=' attr-value)* '}'
+//   region    ::= '{' block-args? op* '}' | '{}'
+//   block-args::= '[' ssa-id ':' type (',' ssa-id ':' type)* ']' ':'
+//   ssa-id    ::= '%' integer
+// Types are the scalar names (i1/i32/i64/f32/f64/index/none) or
+// memref<DIMxDIMx...xELEM> with '?' for dynamic dimensions.
+#pragma once
+
+#include "ir/ophelpers.h"
+#include "support/diagnostics.h"
+
+#include <optional>
+#include <string>
+
+namespace paralift::ir {
+
+/// Parses a textual module (as produced by printOp on a ModuleOp).
+/// On failure reports through `diag` and returns nullopt. The returned
+/// module has been structurally populated but not verified; callers that
+/// ingest untrusted text should run verify() next.
+std::optional<OwnedModule> parseModule(const std::string &text,
+                                       DiagnosticEngine &diag);
+
+/// Parses a type spelling, e.g. "f32" or "memref<4x?xf32>". Returns
+/// Type() (None kind) on failure.
+Type parseType(const std::string &text);
+
+} // namespace paralift::ir

@@ -1,0 +1,164 @@
+#include "ir/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace paralift::ir {
+
+namespace {
+
+/// Formats a double so that it (a) survives a print->parse round trip
+/// exactly and (b) is lexically distinguishable from an integer (always
+/// contains '.', 'e', or a non-finite spelling).
+std::string formatDouble(double d) {
+  std::string s;
+  for (int prec : {6, 15, 17}) {
+    std::ostringstream os;
+    os.precision(prec);
+    os << d;
+    s = os.str();
+    double back = 0;
+    std::istringstream(s) >> back;
+    if (back == d || d != d) // NaN never equals itself
+      break;
+  }
+  if (s.find_first_of(".eE") == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+    s += ".0";
+  return s;
+}
+
+class Printer {
+public:
+  std::string print(Op *op) {
+    number(op);
+    printOpRec(op, 0);
+    return out_.str();
+  }
+
+private:
+  /// Assigns %N names to all values in pre-order.
+  void number(Op *op) {
+    for (unsigned i = 0; i < op->numResults(); ++i)
+      names_.emplace(op->result(i).impl(), nextId_++);
+    for (unsigned r = 0; r < op->numRegions(); ++r)
+      for (auto &block : op->region(r).blocks()) {
+        for (unsigned a = 0; a < block->numArgs(); ++a)
+          names_.emplace(block->arg(a).impl(), nextId_++);
+        for (Op *inner : *block)
+          number(inner);
+      }
+  }
+
+  std::string name(Value v) {
+    auto it = names_.find(v.impl());
+    if (it == names_.end())
+      return "%<invalid>";
+    return "%" + std::to_string(it->second);
+  }
+
+  void indent(int depth) {
+    for (int i = 0; i < depth; ++i)
+      out_ << "  ";
+  }
+
+  void printAttrValue(const AttrValue &v) {
+    if (auto *b = std::get_if<bool>(&v)) {
+      out_ << (*b ? "true" : "false");
+    } else if (auto *i = std::get_if<int64_t>(&v)) {
+      out_ << *i;
+    } else if (auto *f = std::get_if<double>(&v)) {
+      out_ << formatDouble(*f);
+    } else if (auto *s = std::get_if<std::string>(&v)) {
+      out_ << '"' << *s << '"';
+    } else if (auto *vec = std::get_if<std::vector<int64_t>>(&v)) {
+      out_ << '[';
+      for (size_t i = 0; i < vec->size(); ++i)
+        out_ << (i ? ", " : "") << (*vec)[i];
+      out_ << ']';
+    }
+  }
+
+  void printOpRec(Op *op, int depth) {
+    indent(depth);
+    // Results
+    if (op->numResults() > 0) {
+      for (unsigned i = 0; i < op->numResults(); ++i)
+        out_ << (i ? ", " : "") << name(op->result(i));
+      out_ << " = ";
+    }
+    out_ << opKindName(op->kind());
+    // Operands
+    if (op->numOperands() > 0) {
+      out_ << '(';
+      for (unsigned i = 0; i < op->numOperands(); ++i)
+        out_ << (i ? ", " : "") << name(op->operand(i));
+      out_ << ')';
+    }
+    // Attributes
+    if (!op->attrs().entries().empty()) {
+      out_ << " {";
+      bool first = true;
+      for (auto &[k, v] : op->attrs().entries()) {
+        if (!first)
+          out_ << ", ";
+        first = false;
+        out_ << k << " = ";
+        printAttrValue(v);
+      }
+      out_ << '}';
+    }
+    // Result types
+    if (op->numResults() > 0) {
+      out_ << " : ";
+      for (unsigned i = 0; i < op->numResults(); ++i)
+        out_ << (i ? ", " : "") << op->result(i).type().str();
+    }
+    // Regions
+    for (unsigned r = 0; r < op->numRegions(); ++r) {
+      if (op->region(r).empty()) {
+        out_ << " {}";
+        continue;
+      }
+      out_ << " {\n";
+      for (auto &block : op->region(r).blocks()) {
+        if (block->numArgs() > 0) {
+          indent(depth + 1);
+          out_ << '[';
+          for (unsigned a = 0; a < block->numArgs(); ++a) {
+            if (a)
+              out_ << ", ";
+            out_ << name(block->arg(a)) << ": " << block->arg(a).type().str();
+          }
+          out_ << "]:\n";
+        }
+        for (Op *inner : *block) {
+          printOpRec(inner, depth + 1);
+          out_ << '\n';
+        }
+      }
+      indent(depth);
+      out_ << '}';
+    }
+  }
+
+  std::ostringstream out_;
+  std::unordered_map<ValueImpl *, unsigned> names_;
+  unsigned nextId_ = 0;
+};
+
+} // namespace
+
+std::string printOp(Op *op) {
+  Printer p;
+  return p.print(op);
+}
+
+std::string printOpSignature(Op *op) {
+  std::ostringstream os;
+  os << opKindName(op->kind()) << " (" << op->numOperands() << " operands, "
+     << op->numResults() << " results, " << op->numRegions() << " regions)";
+  return os.str();
+}
+
+} // namespace paralift::ir

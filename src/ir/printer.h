@@ -1,0 +1,17 @@
+// Textual rendering of the IR, MLIR-flavored. Deterministic SSA numbering
+// per top-level op so tests can assert on printed output.
+#pragma once
+
+#include "ir/op.h"
+
+#include <string>
+
+namespace paralift::ir {
+
+/// Prints `op` (and nested regions) to a string.
+std::string printOp(Op *op);
+
+/// Prints a single op without regions (one line), used in diagnostics.
+std::string printOpSignature(Op *op);
+
+} // namespace paralift::ir

@@ -1,0 +1,86 @@
+#include "ir/type.h"
+
+namespace paralift::ir {
+
+unsigned byteWidth(TypeKind k) {
+  switch (k) {
+  case TypeKind::I1:
+    return 1;
+  case TypeKind::I32:
+    return 4;
+  case TypeKind::F32:
+    return 4;
+  case TypeKind::I64:
+  case TypeKind::F64:
+  case TypeKind::Index:
+  case TypeKind::MemRef:
+    return 8;
+  case TypeKind::None:
+    return 0;
+  }
+  return 0;
+}
+
+bool isIntLike(TypeKind k) {
+  return k == TypeKind::I1 || k == TypeKind::I32 || k == TypeKind::I64 ||
+         k == TypeKind::Index;
+}
+
+bool isFloatLike(TypeKind k) {
+  return k == TypeKind::F32 || k == TypeKind::F64;
+}
+
+const char *typeKindName(TypeKind k) {
+  switch (k) {
+  case TypeKind::None:
+    return "none";
+  case TypeKind::I1:
+    return "i1";
+  case TypeKind::I32:
+    return "i32";
+  case TypeKind::I64:
+    return "i64";
+  case TypeKind::F32:
+    return "f32";
+  case TypeKind::F64:
+    return "f64";
+  case TypeKind::Index:
+    return "index";
+  case TypeKind::MemRef:
+    return "memref";
+  }
+  return "?";
+}
+
+unsigned Type::numDynamicDims() const {
+  unsigned n = 0;
+  for (int64_t d : shape_)
+    if (d == kDynamic)
+      ++n;
+  return n;
+}
+
+bool Type::hasStaticShape() const { return numDynamicDims() == 0; }
+
+int64_t Type::staticNumElements() const {
+  assert(hasStaticShape());
+  int64_t n = 1;
+  for (int64_t d : shape_)
+    n *= d;
+  return n;
+}
+
+std::string Type::str() const {
+  if (!isMemRef())
+    return typeKindName(kind_);
+  std::string s = "memref<";
+  for (int64_t d : shape_) {
+    s += d == kDynamic ? std::string("?") : std::to_string(d);
+    s += "x";
+  }
+  s += typeKindName(elem_);
+  s += ">";
+  return s;
+}
+
+} // namespace paralift::ir

@@ -1,0 +1,402 @@
+#include "ir/verifier.h"
+
+#include "ir/ophelpers.h"
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace paralift::ir {
+
+bool isBeforeInBlock(Op *a, Op *b) {
+  assert(a->parent() == b->parent());
+  for (Op *cur = a->next(); cur; cur = cur->next())
+    if (cur == b)
+      return true;
+  return false;
+}
+
+bool dominates(Value v, Op *user) {
+  if (Op *def = v.definingOp()) {
+    if (def->parent() == nullptr)
+      return false;
+    // Find the ancestor of `user` (possibly user itself) in def's block.
+    Op *anchor = user;
+    while (anchor && anchor->parent() != def->parent())
+      anchor = anchor->parentOp();
+    if (!anchor)
+      return false;
+    if (anchor == def)
+      return false; // op does not dominate itself / its own regions
+    return isBeforeInBlock(def, anchor);
+  }
+  // Block argument: visible anywhere inside the op owning the block.
+  Block *defBlock = v.definingBlock();
+  for (Op *cur = user; cur; cur = cur->parentOp())
+    if (cur->parent() == defBlock)
+      return true;
+  return false;
+}
+
+namespace {
+
+class Verifier {
+public:
+  std::vector<std::string> run(Op *root) {
+    verifyOp(root);
+    return std::move(errors_);
+  }
+
+private:
+  void error(Op *op, const std::string &msg) {
+    std::ostringstream os;
+    os << opKindName(op->kind()) << " @" << op->loc().str() << ": " << msg;
+    errors_.push_back(os.str());
+  }
+
+  void expectOperands(Op *op, unsigned n) {
+    if (op->numOperands() != n)
+      error(op, "expected " + std::to_string(n) + " operands, got " +
+                    std::to_string(op->numOperands()));
+  }
+  void expectMinOperands(Op *op, unsigned n) {
+    if (op->numOperands() < n)
+      error(op, "expected at least " + std::to_string(n) + " operands");
+  }
+  void expectResults(Op *op, unsigned n) {
+    if (op->numResults() != n)
+      error(op, "expected " + std::to_string(n) + " results");
+  }
+  void expectRegions(Op *op, unsigned n) {
+    if (op->numRegions() != n)
+      error(op, "expected " + std::to_string(n) + " regions");
+  }
+
+  void verifyOp(Op *op) {
+    // Operand visibility (dominance).
+    for (unsigned i = 0; i < op->numOperands(); ++i) {
+      Value v = op->operand(i);
+      if (!v) {
+        error(op, "null operand " + std::to_string(i));
+        continue;
+      }
+      if (op->parent() && !dominates(v, op))
+        error(op, "operand " + std::to_string(i) +
+                      " does not dominate its use");
+    }
+
+    switch (op->kind()) {
+    case OpKind::Module:
+      expectRegions(op, 1);
+      for (Op *inner : op->region(0).front())
+        if (inner->kind() != OpKind::Func)
+          error(op, "module may contain only func ops");
+      break;
+    case OpKind::Func: {
+      expectRegions(op, 1);
+      if (op->region(0).numBlocks() != 1) {
+        error(op, "func must have exactly one block");
+        break;
+      }
+      Op *term = op->region(0).front().terminator();
+      if (!term || term->kind() != OpKind::Return)
+        error(op, "func body must end with return");
+      break;
+    }
+    case OpKind::Return:
+      break; // arity checked against func signature by callers if needed
+    case OpKind::ConstInt:
+      expectOperands(op, 0);
+      expectResults(op, 1);
+      if (!op->result().type().isInteger())
+        error(op, "const.int result must be integer-like");
+      break;
+    case OpKind::ConstFloat:
+      expectOperands(op, 0);
+      expectResults(op, 1);
+      if (!op->result().type().isFloat())
+        error(op, "const.float result must be float");
+      break;
+    case OpKind::AddI:
+    case OpKind::SubI:
+    case OpKind::MulI:
+    case OpKind::DivSI:
+    case OpKind::RemSI:
+    case OpKind::AndI:
+    case OpKind::OrI:
+    case OpKind::XOrI:
+    case OpKind::ShLI:
+    case OpKind::ShRSI:
+    case OpKind::MinSI:
+    case OpKind::MaxSI:
+      expectOperands(op, 2);
+      expectResults(op, 1);
+      if (op->numOperands() == 2 &&
+          (op->operand(0).type() != op->operand(1).type() ||
+           op->operand(0).type() != op->result().type() ||
+           !op->result().type().isInteger()))
+        error(op, "integer binary op type mismatch");
+      break;
+    case OpKind::AddF:
+    case OpKind::SubF:
+    case OpKind::MulF:
+    case OpKind::DivF:
+    case OpKind::RemF:
+    case OpKind::MinF:
+    case OpKind::MaxF:
+    case OpKind::Pow:
+      expectOperands(op, 2);
+      expectResults(op, 1);
+      if (op->numOperands() == 2 &&
+          (op->operand(0).type() != op->operand(1).type() ||
+           op->operand(0).type() != op->result().type() ||
+           !op->result().type().isFloat()))
+        error(op, "float binary op type mismatch");
+      break;
+    case OpKind::NegF:
+    case OpKind::Sqrt:
+    case OpKind::Exp:
+    case OpKind::Log:
+    case OpKind::Abs:
+    case OpKind::Sin:
+    case OpKind::Cos:
+    case OpKind::Tanh:
+    case OpKind::Floor:
+    case OpKind::Ceil:
+      expectOperands(op, 1);
+      expectResults(op, 1);
+      if (op->numOperands() == 1 && (!op->result().type().isFloat() ||
+                                     op->operand(0).type() != op->result().type()))
+        error(op, "float unary op type mismatch");
+      break;
+    case OpKind::CmpI:
+      expectOperands(op, 2);
+      expectResults(op, 1);
+      if (op->numOperands() == 2 &&
+          (op->operand(0).type() != op->operand(1).type() ||
+           !op->operand(0).type().isInteger() ||
+           op->result().type() != Type::i1()))
+        error(op, "cmpi type mismatch");
+      break;
+    case OpKind::CmpF:
+      expectOperands(op, 2);
+      expectResults(op, 1);
+      if (op->numOperands() == 2 && (!op->operand(0).type().isFloat() ||
+                                     op->result().type() != Type::i1()))
+        error(op, "cmpf type mismatch");
+      break;
+    case OpKind::Select:
+      expectOperands(op, 3);
+      expectResults(op, 1);
+      if (op->numOperands() == 3 &&
+          (op->operand(0).type() != Type::i1() ||
+           op->operand(1).type() != op->operand(2).type()))
+        error(op, "select type mismatch");
+      break;
+    case OpKind::SIToFP:
+    case OpKind::FPToSI:
+    case OpKind::IndexCast:
+    case OpKind::ExtSI:
+    case OpKind::TruncI:
+    case OpKind::FPExt:
+    case OpKind::FPTrunc:
+      expectOperands(op, 1);
+      expectResults(op, 1);
+      break;
+    case OpKind::Alloca:
+    case OpKind::Alloc: {
+      expectResults(op, 1);
+      Type t = op->result().type();
+      if (!t.isMemRef())
+        error(op, "allocation result must be memref");
+      else if (op->numOperands() != t.numDynamicDims())
+        error(op, "dynamic extent operand count mismatch");
+      break;
+    }
+    case OpKind::Dealloc:
+      expectOperands(op, 1);
+      break;
+    case OpKind::Load: {
+      expectMinOperands(op, 1);
+      expectResults(op, 1);
+      Type t = op->operand(0).type();
+      if (!t.isMemRef())
+        error(op, "load base must be memref");
+      else {
+        if (op->numOperands() != 1 + t.rank())
+          error(op, "load index count mismatch");
+        if (op->result().type().kind() != t.elemKind())
+          error(op, "load result type mismatch");
+      }
+      break;
+    }
+    case OpKind::Store: {
+      expectMinOperands(op, 2);
+      Type t = op->operand(1).type();
+      if (!t.isMemRef())
+        error(op, "store base must be memref");
+      else {
+        if (op->numOperands() != 2 + t.rank())
+          error(op, "store index count mismatch");
+        if (op->operand(0).type().kind() != t.elemKind())
+          error(op, "store value type mismatch");
+      }
+      break;
+    }
+    case OpKind::Dim:
+      expectOperands(op, 1);
+      expectResults(op, 1);
+      break;
+    case OpKind::SubView: {
+      expectMinOperands(op, 1);
+      expectResults(op, 1);
+      Type base = op->operand(0).type();
+      Type res = op->result().type();
+      if (!base.isMemRef() || !res.isMemRef())
+        error(op, "subview operates on memrefs");
+      else if (op->numOperands() - 1 + res.rank() != base.rank())
+        error(op, "subview rank mismatch");
+      break;
+    }
+    case OpKind::ScfFor: {
+      expectMinOperands(op, 3);
+      expectRegions(op, 1);
+      if (op->numRegions() == 1 && op->region(0).numBlocks() == 1) {
+        Block &body = op->region(0).front();
+        unsigned numIter = op->numOperands() - 3;
+        if (body.numArgs() != 1 + numIter)
+          error(op, "for body arg count mismatch");
+        Op *term = body.terminator();
+        if (!term || term->kind() != OpKind::Yield)
+          error(op, "for body must end with yield");
+        else if (term->numOperands() != numIter)
+          error(op, "for yield arity mismatch");
+        if (op->numResults() != numIter)
+          error(op, "for result count mismatch");
+      } else {
+        error(op, "for must have one region with one block");
+      }
+      break;
+    }
+    case OpKind::ScfIf: {
+      expectOperands(op, 1);
+      expectRegions(op, 2);
+      if (op->numOperands() == 1 && op->operand(0).type() != Type::i1())
+        error(op, "if condition must be i1");
+      if (op->numRegions() == 2) {
+        if (op->region(0).numBlocks() != 1)
+          error(op, "if then region must have one block");
+        else {
+          Op *t = op->region(0).front().terminator();
+          if (!t || t->kind() != OpKind::Yield)
+            error(op, "if then must end with yield");
+          else if (t->numOperands() != op->numResults())
+            error(op, "if then yield arity mismatch");
+        }
+        if (op->numResults() > 0 && op->region(1).empty())
+          error(op, "if with results requires else");
+        if (!op->region(1).empty()) {
+          Op *t = op->region(1).front().terminator();
+          if (!t || t->kind() != OpKind::Yield)
+            error(op, "if else must end with yield");
+          else if (t->numOperands() != op->numResults())
+            error(op, "if else yield arity mismatch");
+        }
+      }
+      break;
+    }
+    case OpKind::ScfWhile: {
+      expectRegions(op, 2);
+      if (op->numRegions() == 2 && !op->region(0).empty() &&
+          !op->region(1).empty()) {
+        Op *cond = op->region(0).front().terminator();
+        if (!cond || cond->kind() != OpKind::Condition)
+          error(op, "while before must end with condition");
+        else {
+          if (cond->numOperands() < 1 ||
+              cond->operand(0).type() != Type::i1())
+            error(op, "while condition must forward i1 first");
+          else if (cond->numOperands() - 1 != op->numResults())
+            error(op, "while condition forwards wrong arity");
+        }
+        Op *y = op->region(1).front().terminator();
+        if (!y || y->kind() != OpKind::Yield)
+          error(op, "while after must end with yield");
+        else if (y->numOperands() != op->numOperands())
+          error(op, "while after yield arity mismatch");
+        if (op->region(0).front().numArgs() != op->numOperands())
+          error(op, "while before arg count mismatch");
+        if (op->region(1).front().numArgs() != op->numResults())
+          error(op, "while after arg count mismatch");
+      }
+      break;
+    }
+    case OpKind::ScfParallel:
+    case OpKind::OmpWsLoop: {
+      expectRegions(op, 1);
+      auto dims = static_cast<unsigned>(op->attrs().getInt("dims"));
+      if (dims == 0)
+        error(op, "parallel requires dims attribute");
+      if (op->numOperands() != 3 * dims)
+        error(op, "parallel operand count must be 3*dims");
+      if (op->numResults() != 0)
+        error(op, "parallel has no results");
+      if (op->numRegions() == 1 && op->region(0).numBlocks() == 1) {
+        Block &body = op->region(0).front();
+        if (body.numArgs() != dims)
+          error(op, "parallel body arg count mismatch");
+        Op *t = body.terminator();
+        if (!t || t->kind() != OpKind::Yield || t->numOperands() != 0)
+          error(op, "parallel body must end with empty yield");
+      } else {
+        error(op, "parallel must have one region with one block");
+      }
+      break;
+    }
+    case OpKind::Barrier: {
+      expectOperands(op, 0);
+      if (!getEnclosingThreadParallel(op))
+        error(op, "barrier must be nested in a gpu.block scf.parallel");
+      break;
+    }
+    case OpKind::OmpParallel: {
+      expectRegions(op, 1);
+      if (op->numRegions() == 1 && op->region(0).numBlocks() == 1) {
+        Op *t = op->region(0).front().terminator();
+        if (!t || t->kind() != OpKind::Yield || t->numOperands() != 0)
+          error(op, "omp.parallel body must end with empty yield");
+      }
+      break;
+    }
+    case OpKind::OmpBarrier:
+      expectOperands(op, 0);
+      if (!getEnclosing(op, OpKind::OmpParallel))
+        error(op, "omp.barrier must be nested in omp.parallel");
+      break;
+    default:
+      break;
+    }
+
+    // Terminator position: terminators must be last in their block.
+    if (isTerminator(op->kind()) && op->parent() && op->next() != nullptr)
+      error(op, "terminator is not last in block");
+
+    // Recurse.
+    for (unsigned r = 0; r < op->numRegions(); ++r)
+      for (auto &block : op->region(r).blocks())
+        for (Op *inner : *block)
+          verifyOp(inner);
+  }
+
+  std::vector<std::string> errors_;
+};
+
+} // namespace
+
+std::vector<std::string> verify(Op *root) {
+  Verifier v;
+  return v.run(root);
+}
+
+bool verifyOk(Op *root) { return verify(root).empty(); }
+
+} // namespace paralift::ir

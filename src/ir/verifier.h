@@ -1,0 +1,25 @@
+// Structural and type verification of the IR. Run after construction and
+// between passes in debug pipelines; returns all violations found.
+#pragma once
+
+#include "ir/op.h"
+
+#include <string>
+#include <vector>
+
+namespace paralift::ir {
+
+/// Verifies `root` and everything nested in it. Returns a list of
+/// human-readable violations (empty = valid).
+std::vector<std::string> verify(Op *root);
+
+/// Convenience: verifies and returns true when valid.
+bool verifyOk(Op *root);
+
+/// True if `a` appears strictly before `b` in the same block.
+bool isBeforeInBlock(Op *a, Op *b);
+
+/// True if value `v` is visible (dominates) at the position of `user`.
+bool dominates(Value v, Op *user);
+
+} // namespace paralift::ir

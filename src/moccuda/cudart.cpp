@@ -1,0 +1,126 @@
+#include "moccuda/cudart.h"
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace paralift::moccuda {
+
+namespace {
+std::mutex gMutex;
+std::unordered_map<void *, size_t> gAllocations;
+std::set<McudaStream *> gStreams;
+size_t gAllocated = 0;
+} // namespace
+
+int mcudaGetDeviceCount() { return 1; }
+
+McudaError mcudaGetDeviceProperties(McudaDeviceProp *prop, int device) {
+  if (!prop || device != 0)
+    return McudaError::InvalidValue;
+  // Values dumped from an NVIDIA GeForce RTX 2080 Ti, following the
+  // paper's approach of replaying a real GPU's properties on the
+  // GPU-less system.
+  prop->name = "NVIDIA GeForce RTX 2080 Ti (MocCUDA)";
+  prop->totalGlobalMem = 11554717696ull;
+  prop->multiProcessorCount = 68;
+  prop->maxThreadsPerBlock = 1024;
+  prop->maxThreadsDim[0] = 1024;
+  prop->maxThreadsDim[1] = 1024;
+  prop->maxThreadsDim[2] = 64;
+  prop->maxGridSize[0] = 2147483647;
+  prop->maxGridSize[1] = 65535;
+  prop->maxGridSize[2] = 65535;
+  prop->warpSize = 32;
+  prop->sharedMemPerBlock = 49152;
+  prop->clockRate = 1545000;
+  prop->major = 7;
+  prop->minor = 5;
+  return McudaError::Success;
+}
+
+McudaError mcudaMalloc(void **ptr, size_t bytes) {
+  if (!ptr)
+    return McudaError::InvalidValue;
+  void *mem = ::operator new(bytes, std::nothrow_t{});
+  if (!mem)
+    return McudaError::MemoryAllocation;
+  {
+    std::scoped_lock lock(gMutex);
+    gAllocations[mem] = bytes;
+    gAllocated += bytes;
+  }
+  *ptr = mem;
+  return McudaError::Success;
+}
+
+McudaError mcudaFree(void *ptr) {
+  if (!ptr)
+    return McudaError::Success;
+  {
+    std::scoped_lock lock(gMutex);
+    auto it = gAllocations.find(ptr);
+    if (it == gAllocations.end())
+      return McudaError::InvalidValue;
+    gAllocated -= it->second;
+    gAllocations.erase(it);
+  }
+  ::operator delete(ptr);
+  return McudaError::Success;
+}
+
+McudaError mcudaMemcpy(void *dst, const void *src, size_t bytes,
+                       McudaMemcpyKind) {
+  // Device memory is host memory: every copy is a memcpy.
+  std::memcpy(dst, src, bytes);
+  return McudaError::Success;
+}
+
+McudaError mcudaStreamCreate(McudaStream **stream) {
+  if (!stream)
+    return McudaError::InvalidValue;
+  auto *s = new McudaStream();
+  {
+    std::scoped_lock lock(gMutex);
+    gStreams.insert(s);
+  }
+  *stream = s;
+  return McudaError::Success;
+}
+
+McudaError mcudaStreamDestroy(McudaStream *stream) {
+  if (!stream)
+    return McudaError::InvalidValue;
+  stream->synchronize();
+  {
+    std::scoped_lock lock(gMutex);
+    gStreams.erase(stream);
+  }
+  delete stream;
+  return McudaError::Success;
+}
+
+McudaError mcudaStreamSynchronize(McudaStream *stream) {
+  if (!stream)
+    return McudaError::InvalidValue;
+  stream->synchronize();
+  return McudaError::Success;
+}
+
+McudaError mcudaDeviceSynchronize() {
+  std::vector<McudaStream *> streams;
+  {
+    std::scoped_lock lock(gMutex);
+    streams.assign(gStreams.begin(), gStreams.end());
+  }
+  for (auto *s : streams)
+    s->synchronize();
+  return McudaError::Success;
+}
+
+size_t mcudaAllocatedBytes() {
+  std::scoped_lock lock(gMutex);
+  return gAllocated;
+}
+
+} // namespace paralift::moccuda

@@ -1,0 +1,62 @@
+// MocCUDA CUDART emulation (§V-B): the subset of the CUDA runtime that
+// PyTorch's GPU backend exercises — device properties (dumped from a real
+// NVIDIA GeForce RTX 2080 Ti, as the paper does), memory management over
+// host memory, and streams emulated with GCD-style serial dispatch queues.
+#pragma once
+
+#include "runtime/thread_pool.h"
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace paralift::moccuda {
+
+enum class McudaError { Success, InvalidValue, MemoryAllocation };
+
+struct McudaDeviceProp {
+  std::string name;
+  size_t totalGlobalMem;
+  int multiProcessorCount;
+  int maxThreadsPerBlock;
+  int maxThreadsDim[3];
+  int maxGridSize[3];
+  int warpSize;
+  size_t sharedMemPerBlock;
+  int clockRate;   ///< kHz
+  int major, minor;///< compute capability
+};
+
+/// One emulated GPU per NUMA node (the paper's prototype policy); this
+/// container exposes a single device.
+int mcudaGetDeviceCount();
+McudaError mcudaGetDeviceProperties(McudaDeviceProp *prop, int device);
+
+McudaError mcudaMalloc(void **ptr, size_t bytes);
+McudaError mcudaFree(void *ptr);
+
+enum class McudaMemcpyKind { HostToDevice, DeviceToHost, DeviceToDevice };
+McudaError mcudaMemcpy(void *dst, const void *src, size_t bytes,
+                       McudaMemcpyKind kind);
+
+/// Streams: FIFO asynchronous execution via a dispatch queue.
+class McudaStream {
+public:
+  void launch(std::function<void()> work) { queue_.async(std::move(work)); }
+  void synchronize() { queue_.sync(); }
+
+private:
+  runtime::DispatchQueue queue_;
+};
+
+McudaError mcudaStreamCreate(McudaStream **stream);
+McudaError mcudaStreamDestroy(McudaStream *stream);
+McudaError mcudaStreamSynchronize(McudaStream *stream);
+McudaError mcudaDeviceSynchronize();
+
+/// Bytes currently allocated through mcudaMalloc (for tests).
+size_t mcudaAllocatedBytes();
+
+} // namespace paralift::moccuda

@@ -1,0 +1,31 @@
+// Minimal NCHW float tensor used by the MocCUDA layer (§V of the paper):
+// the PyTorch-side data structure that MocCUDA's cuDNN/cuBLAS
+// re-implementations operate on.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace paralift::moccuda {
+
+struct Tensor {
+  int n = 0, c = 0, h = 0, w = 0;
+  std::vector<float> data;
+
+  Tensor() = default;
+  Tensor(int n, int c, int h, int w)
+      : n(n), c(c), h(h), w(w),
+        data(static_cast<size_t>(n) * c * h * w, 0.0f) {}
+
+  size_t size() const { return data.size(); }
+  float &at(int in, int ic, int ih, int iw) {
+    return data[((static_cast<size_t>(in) * c + ic) * h + ih) * w + iw];
+  }
+  float at(int in, int ic, int ih, int iw) const {
+    return data[((static_cast<size_t>(in) * c + ic) * h + ih) * w + iw];
+  }
+  void zero() { std::fill(data.begin(), data.end(), 0.0f); }
+};
+
+} // namespace paralift::moccuda

@@ -1,0 +1,382 @@
+// Rodinia graph benchmarks: bfs (frontier expansion, host-side
+// convergence loop) and b+tree findK / findRangeK (one block per query,
+// one tree level per iteration with two __syncthreads per level).
+//
+// The b+tree is stored in flattened arrays (keys / child indices) with a
+// synthetically generated topology: the traversal and synchronization
+// structure is identical to the original, while node contents are random
+// (outputs are validated against the SIMT emulator, not a B-tree oracle).
+#include "rodinia/rodinia.h"
+
+#include <random>
+
+namespace paralift::rodinia {
+
+namespace {
+
+const char *kBfsCuda = R"(
+#define MAX_THREADS_PER_BLOCK 64
+__global__ void Kernel(int* g_starts, int* g_nums, int* g_edges,
+                       int* g_graph_mask, int* g_updating_graph_mask,
+                       int* g_graph_visited, int* g_cost, int no_of_nodes) {
+  int tid = blockIdx.x * MAX_THREADS_PER_BLOCK + threadIdx.x;
+  if (tid < no_of_nodes && g_graph_mask[tid] != 0) {
+    g_graph_mask[tid] = 0;
+    int start = g_starts[tid];
+    int num = g_nums[tid];
+    for (int i = start; i < start + num; i++) {
+      int id = g_edges[i];
+      if (g_graph_visited[id] == 0) {
+        g_cost[id] = g_cost[tid] + 1;
+        g_updating_graph_mask[id] = 1;
+      }
+    }
+  }
+}
+__global__ void Kernel2(int* g_graph_mask, int* g_updating_graph_mask,
+                        int* g_graph_visited, int* g_over, int no_of_nodes) {
+  int tid = blockIdx.x * MAX_THREADS_PER_BLOCK + threadIdx.x;
+  if (tid < no_of_nodes && g_updating_graph_mask[tid] != 0) {
+    g_graph_mask[tid] = 1;
+    g_graph_visited[tid] = 1;
+    g_over[0] = 1;
+    g_updating_graph_mask[tid] = 0;
+  }
+}
+void run(int* starts, int* nums, int* edges, int* mask, int* updating,
+         int* visited, int* cost, int* over, int no_of_nodes) {
+  int num_blocks = (no_of_nodes + 63) / 64;
+  int stop = 1;
+  while (stop != 0) {
+    over[0] = 0;
+    Kernel<<<num_blocks, 64>>>(starts, nums, edges, mask, updating, visited,
+                               cost, no_of_nodes);
+    Kernel2<<<num_blocks, 64>>>(mask, updating, visited, over, no_of_nodes);
+    stop = over[0];
+  }
+}
+)";
+
+const char *kBfsOmp = R"(
+void run(int* starts, int* nums, int* edges, int* mask, int* updating,
+         int* visited, int* cost, int* over, int no_of_nodes) {
+  int stop = 1;
+  while (stop != 0) {
+    over[0] = 0;
+    #pragma omp parallel for
+    for (int tid = 0; tid < no_of_nodes; tid++) {
+      if (mask[tid] != 0) {
+        mask[tid] = 0;
+        int start = starts[tid];
+        int num = nums[tid];
+        for (int i = start; i < start + num; i++) {
+          int id = edges[i];
+          if (visited[id] == 0) {
+            cost[id] = cost[tid] + 1;
+            updating[id] = 1;
+          }
+        }
+      }
+    }
+    #pragma omp parallel for
+    for (int tid = 0; tid < no_of_nodes; tid++) {
+      if (updating[tid] != 0) {
+        mask[tid] = 1;
+        visited[tid] = 1;
+        over[0] = 1;
+        updating[tid] = 0;
+      }
+    }
+    stop = over[0];
+  }
+}
+)";
+
+const char *kFindKCuda = R"(
+#define ORDER 16
+__global__ void findK(int height, int* kkeys, int* kindices, int knodes_elem,
+                      int* records, int* currKnode, int* offset, int* keys,
+                      int* ans) {
+  int thid = threadIdx.x;
+  int bid = blockIdx.x;
+  for (int i = 0; i < height; i++) {
+    int node = currKnode[bid];
+    if (kkeys[node * (ORDER + 1) + thid] <= keys[bid] &&
+        kkeys[node * (ORDER + 1) + thid + 1] > keys[bid]) {
+      int child = kindices[offset[bid] * ORDER + thid];
+      if (child < knodes_elem) {
+        offset[bid] = child;
+      }
+    }
+    __syncthreads();
+    if (thid == 0) {
+      currKnode[bid] = offset[bid];
+    }
+    __syncthreads();
+  }
+  int node2 = currKnode[bid];
+  if (kkeys[node2 * (ORDER + 1) + thid] == keys[bid]) {
+    ans[bid] = records[kindices[node2 * ORDER + thid]];
+  }
+}
+void run(int* kkeys, int* kindices, int* records, int* currKnode,
+         int* offset, int* keys, int* ans, int height, int knodes_elem,
+         int count) {
+  findK<<<count, 16>>>(height, kkeys, kindices, knodes_elem, records,
+                       currKnode, offset, keys, ans);
+}
+)";
+
+const char *kFindKOmp = R"(
+#define ORDER 16
+void run(int* kkeys, int* kindices, int* records, int* currKnode,
+         int* offset, int* keys, int* ans, int height, int knodes_elem,
+         int count) {
+  #pragma omp parallel for
+  for (int bid = 0; bid < count; bid++) {
+    for (int i = 0; i < height; i++) {
+      int node = currKnode[bid];
+      for (int thid = 0; thid < ORDER; thid++) {
+        if (kkeys[node * (ORDER + 1) + thid] <= keys[bid] &&
+            kkeys[node * (ORDER + 1) + thid + 1] > keys[bid]) {
+          int child = kindices[offset[bid] * ORDER + thid];
+          if (child < knodes_elem) {
+            offset[bid] = child;
+          }
+        }
+      }
+      currKnode[bid] = offset[bid];
+    }
+    int node2 = currKnode[bid];
+    for (int thid = 0; thid < ORDER; thid++) {
+      if (kkeys[node2 * (ORDER + 1) + thid] == keys[bid]) {
+        ans[bid] = records[kindices[node2 * ORDER + thid]];
+      }
+    }
+  }
+}
+)";
+
+const char *kFindRangeKCuda = R"(
+#define ORDER 16
+__global__ void findRangeK(int height, int* kkeys, int* kindices,
+                           int knodes_elem, int* currKnode, int* offset,
+                           int* lastKnode, int* offset2, int* startKeys,
+                           int* endKeys, int* recstart, int* reclength) {
+  int thid = threadIdx.x;
+  int bid = blockIdx.x;
+  for (int i = 0; i < height; i++) {
+    int node = currKnode[bid];
+    if (kkeys[node * (ORDER + 1) + thid] <= startKeys[bid] &&
+        kkeys[node * (ORDER + 1) + thid + 1] > startKeys[bid]) {
+      int child = kindices[offset[bid] * ORDER + thid];
+      if (child < knodes_elem) {
+        offset[bid] = child;
+      }
+    }
+    int node_l = lastKnode[bid];
+    if (kkeys[node_l * (ORDER + 1) + thid] <= endKeys[bid] &&
+        kkeys[node_l * (ORDER + 1) + thid + 1] > endKeys[bid]) {
+      int child2 = kindices[offset2[bid] * ORDER + thid];
+      if (child2 < knodes_elem) {
+        offset2[bid] = child2;
+      }
+    }
+    __syncthreads();
+    if (thid == 0) {
+      currKnode[bid] = offset[bid];
+      lastKnode[bid] = offset2[bid];
+    }
+    __syncthreads();
+  }
+  int node2 = currKnode[bid];
+  if (kkeys[node2 * (ORDER + 1) + thid] == startKeys[bid]) {
+    recstart[bid] = kindices[node2 * ORDER + thid];
+  }
+  __syncthreads();
+  int node3 = lastKnode[bid];
+  if (kkeys[node3 * (ORDER + 1) + thid] == endKeys[bid]) {
+    reclength[bid] = kindices[node3 * ORDER + thid] - recstart[bid] + 1;
+  }
+}
+void run(int* kkeys, int* kindices, int* currKnode, int* offset,
+         int* lastKnode, int* offset2, int* startKeys, int* endKeys,
+         int* recstart, int* reclength, int height, int knodes_elem,
+         int count) {
+  findRangeK<<<count, 16>>>(height, kkeys, kindices, knodes_elem, currKnode,
+                            offset, lastKnode, offset2, startKeys, endKeys,
+                            recstart, reclength);
+}
+)";
+
+const char *kFindRangeKOmp = R"(
+#define ORDER 16
+void run(int* kkeys, int* kindices, int* currKnode, int* offset,
+         int* lastKnode, int* offset2, int* startKeys, int* endKeys,
+         int* recstart, int* reclength, int height, int knodes_elem,
+         int count) {
+  #pragma omp parallel for
+  for (int bid = 0; bid < count; bid++) {
+    for (int i = 0; i < height; i++) {
+      int node = currKnode[bid];
+      int node_l = lastKnode[bid];
+      for (int thid = 0; thid < ORDER; thid++) {
+        if (kkeys[node * (ORDER + 1) + thid] <= startKeys[bid] &&
+            kkeys[node * (ORDER + 1) + thid + 1] > startKeys[bid]) {
+          int child = kindices[offset[bid] * ORDER + thid];
+          if (child < knodes_elem) {
+            offset[bid] = child;
+          }
+        }
+        if (kkeys[node_l * (ORDER + 1) + thid] <= endKeys[bid] &&
+            kkeys[node_l * (ORDER + 1) + thid + 1] > endKeys[bid]) {
+          int child2 = kindices[offset2[bid] * ORDER + thid];
+          if (child2 < knodes_elem) {
+            offset2[bid] = child2;
+          }
+        }
+      }
+      currKnode[bid] = offset[bid];
+      lastKnode[bid] = offset2[bid];
+    }
+    int node2 = currKnode[bid];
+    for (int thid = 0; thid < ORDER; thid++) {
+      if (kkeys[node2 * (ORDER + 1) + thid] == startKeys[bid]) {
+        recstart[bid] = kindices[node2 * ORDER + thid];
+      }
+    }
+    int node3 = lastKnode[bid];
+    for (int thid = 0; thid < ORDER; thid++) {
+      if (kkeys[node3 * (ORDER + 1) + thid] == endKeys[bid]) {
+        reclength[bid] = kindices[node3 * ORDER + thid] - recstart[bid] + 1;
+      }
+    }
+  }
+}
+)";
+
+/// Random graph in CSR form with out-degree 2..5.
+struct Graph {
+  std::vector<int32_t> starts, nums, edges;
+};
+Graph makeGraph(int n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> degree(2, 5);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.starts.push_back(static_cast<int32_t>(g.edges.size()));
+    int d = degree(rng);
+    g.nums.push_back(d);
+    for (int e = 0; e < d; ++e)
+      g.edges.push_back(node(rng));
+  }
+  return g;
+}
+
+/// Synthetic flattened b+tree node arrays (sorted keys per node, random
+/// child pointers within range).
+struct BTree {
+  std::vector<int32_t> kkeys, kindices;
+  int numNodes, height;
+};
+BTree makeBTree(int numNodes, int order, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> key(0, 1000);
+  std::uniform_int_distribution<int> child(0, numNodes - 1);
+  BTree t;
+  t.numNodes = numNodes;
+  t.height = 4;
+  for (int n = 0; n < numNodes; ++n) {
+    std::vector<int32_t> keys(order + 1);
+    for (auto &k : keys)
+      k = key(rng);
+    std::sort(keys.begin(), keys.end());
+    t.kkeys.insert(t.kkeys.end(), keys.begin(), keys.end());
+    for (int i = 0; i < order; ++i)
+      t.kindices.push_back(child(rng));
+  }
+  return t;
+}
+
+} // namespace
+
+void registerGraph(std::vector<Benchmark> &out) {
+  out.push_back(Benchmark{
+      "b+tree findK*", "btree_findk", true, kFindKCuda, kFindKOmp,
+      [](int scale) {
+        Workload w;
+        int count = 24 * scale; // queries
+        BTree t = makeBTree(64, 16, 31);
+        std::mt19937 rng(32);
+        std::uniform_int_distribution<int> key(0, 1000);
+        w.addI32(t.kkeys);
+        w.addI32(t.kindices);
+        std::vector<int32_t> records(1024);
+        for (auto &r : records)
+          r = key(rng);
+        w.addI32(records);
+        w.addI32(std::vector<int32_t>(count, 0)); // currKnode
+        w.addI32(std::vector<int32_t>(count, 0)); // offset
+        std::vector<int32_t> keys(count);
+        for (auto &k : keys)
+          k = key(rng);
+        w.addI32(keys);
+        w.addI32(std::vector<int32_t>(count, -1)); // ans
+        w.addInt(t.height);
+        w.addInt(t.numNodes);
+        w.addInt(count);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "b+tree findRangeK*", "btree_findrangek", true, kFindRangeKCuda,
+      kFindRangeKOmp, [](int scale) {
+        Workload w;
+        int count = 24 * scale;
+        BTree t = makeBTree(64, 16, 41);
+        std::mt19937 rng(42);
+        std::uniform_int_distribution<int> key(0, 1000);
+        w.addI32(t.kkeys);
+        w.addI32(t.kindices);
+        w.addI32(std::vector<int32_t>(count, 0)); // currKnode
+        w.addI32(std::vector<int32_t>(count, 0)); // offset
+        w.addI32(std::vector<int32_t>(count, 0)); // lastKnode
+        w.addI32(std::vector<int32_t>(count, 0)); // offset2
+        std::vector<int32_t> startKeys(count), endKeys(count);
+        for (int i = 0; i < count; ++i) {
+          startKeys[i] = key(rng);
+          endKeys[i] = std::min(1000, startKeys[i] + 50);
+        }
+        w.addI32(startKeys);
+        w.addI32(endKeys);
+        w.addI32(std::vector<int32_t>(count, 0));  // recstart
+        w.addI32(std::vector<int32_t>(count, 0));  // reclength
+        w.addInt(t.height);
+        w.addInt(t.numNodes);
+        w.addInt(count);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "bfs", "bfs", false, kBfsCuda, kBfsOmp, [](int scale) {
+        Workload w;
+        int n = 256 * scale;
+        Graph g = makeGraph(n, 51);
+        w.addI32(g.starts);
+        w.addI32(g.nums);
+        w.addI32(g.edges);
+        std::vector<int32_t> mask(n, 0), updating(n, 0), visited(n, 0),
+            cost(n, -1);
+        mask[0] = 1;
+        visited[0] = 1;
+        cost[0] = 0;
+        w.addI32(mask);
+        w.addI32(updating);
+        w.addI32(visited);
+        w.addI32(cost);
+        w.addI32(std::vector<int32_t>(1, 0)); // over flag
+        w.addInt(n);
+        return w;
+      }});
+}
+
+} // namespace paralift::rodinia

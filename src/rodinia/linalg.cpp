@@ -1,0 +1,613 @@
+// Rodinia linear-algebra / image benchmarks: lud (blocked LU with
+// shared-memory tiles; the paper notes its shared-memory caching hurts on
+// CPU), nw (Needleman-Wunsch anti-diagonal wavefront in a shared tile,
+// barrier per diagonal), srad_v1 (prepare/reduce/srad/srad2/compress
+// kernel chain with a tree reduction), and srad_v2 (tiled stencils).
+#include "rodinia/rodinia.h"
+
+#include <random>
+
+namespace paralift::rodinia {
+
+namespace {
+
+const char *kLudCuda = R"(
+#define BS 16
+__global__ void lud_diagonal(float* m, int matrix_dim, int offset) {
+  __shared__ float shadow[BS][BS];
+  int tx = threadIdx.x;
+  for (int i = 0; i < BS; i++) {
+    shadow[i][tx] = m[(offset + i) * matrix_dim + offset + tx];
+  }
+  __syncthreads();
+  for (int i = 0; i < BS - 1; i++) {
+    if (tx > i) {
+      shadow[tx][i] = shadow[tx][i] / shadow[i][i];
+      for (int j = i + 1; j < BS; j++) {
+        shadow[tx][j] = shadow[tx][j] - shadow[tx][i] * shadow[i][j];
+      }
+    }
+    __syncthreads();
+  }
+  for (int i = 1; i < BS; i++) {
+    m[(offset + i) * matrix_dim + offset + tx] = shadow[i][tx];
+  }
+}
+__global__ void lud_internal(float* m, int matrix_dim, int offset) {
+  __shared__ float peri_row[BS][BS];
+  __shared__ float peri_col[BS][BS];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int global_row_id = offset + (by + 1) * BS;
+  int global_col_id = offset + (bx + 1) * BS;
+  peri_row[ty][tx] = m[(offset + ty) * matrix_dim + global_col_id + tx];
+  peri_col[ty][tx] = m[(global_row_id + ty) * matrix_dim + offset + tx];
+  __syncthreads();
+  float sum = 0.0f;
+  for (int i = 0; i < BS; i++) {
+    sum += peri_col[ty][i] * peri_row[i][tx];
+  }
+  m[(global_row_id + ty) * matrix_dim + global_col_id + tx] -= sum;
+}
+void run(float* m, int matrix_dim) {
+  int i = 0;
+  while (i < matrix_dim - BS) {
+    lud_diagonal<<<1, BS>>>(m, matrix_dim, i);
+    int blocks = (matrix_dim - i) / BS - 1;
+    lud_internal<<<dim3(blocks, blocks), dim3(BS, BS)>>>(m, matrix_dim, i);
+    i += BS;
+  }
+  lud_diagonal<<<1, BS>>>(m, matrix_dim, i);
+}
+)";
+
+const char *kLudOmp = R"(
+#define BS 16
+void run(float* m, int matrix_dim) {
+  for (int off = 0; off < matrix_dim; off += BS) {
+    for (int i = off; i < off + BS - 1 && i < matrix_dim - 1; i++) {
+      for (int r = i + 1; r < off + BS; r++) {
+        m[r * matrix_dim + i] = m[r * matrix_dim + i] / m[i * matrix_dim + i];
+        for (int c = i + 1; c < off + BS; c++) {
+          m[r * matrix_dim + c] -= m[r * matrix_dim + i] * m[i * matrix_dim + c];
+        }
+      }
+    }
+    if (off < matrix_dim - BS) {
+      #pragma omp parallel for collapse(2)
+      for (int rb = 0; rb < (matrix_dim - off) / BS - 1; rb++) {
+        for (int cb = 0; cb < (matrix_dim - off) / BS - 1; cb++) {
+          for (int r = 0; r < BS; r++) {
+            for (int c = 0; c < BS; c++) {
+              float sum = 0.0f;
+              for (int k = 0; k < BS; k++) {
+                sum += m[(off + BS + rb * BS + r) * matrix_dim + off + k] *
+                       m[(off + k) * matrix_dim + off + BS + cb * BS + c];
+              }
+              m[(off + BS + rb * BS + r) * matrix_dim + off + BS + cb * BS + c] -= sum;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+)";
+
+const char *kNwCuda = R"(
+#define BL 16
+__global__ void needle_cuda_shared_1(int* referrence, int* matrix_cuda,
+                                     int cols, int penalty, int i) {
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  __shared__ int temp[BL + 1][BL + 1];
+  __shared__ int ref[BL][BL];
+  int b_index_x = bx;
+  int b_index_y = i - 1 - bx;
+  int index = cols * BL * b_index_y + BL * b_index_x + tx + cols + 1;
+  int index_n = cols * BL * b_index_y + BL * b_index_x + tx + 1;
+  int index_w = cols * BL * b_index_y + BL * b_index_x + cols;
+  int index_nw = cols * BL * b_index_y + BL * b_index_x;
+  if (tx == 0) {
+    temp[tx][0] = matrix_cuda[index_nw];
+  }
+  for (int ty = 0; ty < BL; ty++) {
+    ref[ty][tx] = referrence[index + cols * ty];
+  }
+  __syncthreads();
+  temp[tx + 1][0] = matrix_cuda[index_w + cols * tx];
+  __syncthreads();
+  temp[0][tx + 1] = matrix_cuda[index_n];
+  __syncthreads();
+  for (int m = 0; m < BL; m++) {
+    if (tx <= m) {
+      int t_index_x = tx + 1;
+      int t_index_y = m - tx + 1;
+      temp[t_index_y][t_index_x] =
+          max(temp[t_index_y - 1][t_index_x - 1] +
+                  ref[t_index_y - 1][t_index_x - 1],
+              max(temp[t_index_y][t_index_x - 1] - penalty,
+                  temp[t_index_y - 1][t_index_x] - penalty));
+    }
+    __syncthreads();
+  }
+  for (int mm = 0; mm < BL - 1; mm++) {
+    int m = BL - 2 - mm;
+    if (tx <= m) {
+      int t_index_x = tx + BL - m;
+      int t_index_y = BL - tx;
+      temp[t_index_y][t_index_x] =
+          max(temp[t_index_y - 1][t_index_x - 1] +
+                  ref[t_index_y - 1][t_index_x - 1],
+              max(temp[t_index_y][t_index_x - 1] - penalty,
+                  temp[t_index_y - 1][t_index_x] - penalty));
+    }
+    __syncthreads();
+  }
+  for (int ty = 0; ty < BL; ty++) {
+    matrix_cuda[index + ty * cols] = temp[ty + 1][tx + 1];
+  }
+}
+void run(int* referrence, int* matrix_cuda, int cols, int penalty) {
+  int block_width = (cols - 1) / BL;
+  for (int i = 1; i <= block_width; i++) {
+    needle_cuda_shared_1<<<i, BL>>>(referrence, matrix_cuda, cols, penalty,
+                                    i);
+  }
+}
+)";
+
+const char *kNwOmp = R"(
+#define BL 16
+void run(int* referrence, int* matrix_cuda, int cols, int penalty) {
+  int block_width = (cols - 1) / BL;
+  for (int blk = 1; blk <= block_width; blk++) {
+    #pragma omp parallel for
+    for (int b_index_x = 0; b_index_x < blk; b_index_x++) {
+      int b_index_y = blk - 1 - b_index_x;
+      for (int ty = 0; ty < BL; ty++) {
+        for (int tx = 0; tx < BL; tx++) {
+          int r = BL * b_index_y + ty + 1;
+          int c = BL * b_index_x + tx + 1;
+          int v = max(matrix_cuda[(r - 1) * cols + c - 1] +
+                          referrence[r * cols + c],
+                      max(matrix_cuda[r * cols + c - 1] - penalty,
+                          matrix_cuda[(r - 1) * cols + c] - penalty));
+          matrix_cuda[r * cols + c] = v;
+        }
+      }
+    }
+  }
+}
+)";
+
+const char *kSradV1Cuda = R"(
+#define TB 64
+__global__ void prepare(int ne, float* I, float* sums, float* sums2) {
+  int ei = blockIdx.x * TB + threadIdx.x;
+  if (ei < ne) {
+    sums[ei] = I[ei];
+    sums2[ei] = I[ei] * I[ei];
+  }
+}
+__global__ void reduce(int n, int mul, float* sums, float* sums2) {
+  int bx = blockIdx.x;
+  int tx = threadIdx.x;
+  int ei = (bx * TB + tx) * mul;
+  __shared__ float psum[TB];
+  __shared__ float psum2[TB];
+  if (ei < n) {
+    psum[tx] = sums[ei];
+    psum2[tx] = sums2[ei];
+  } else {
+    psum[tx] = 0.0f;
+    psum2[tx] = 0.0f;
+  }
+  __syncthreads();
+  for (int s = TB / 2; s > 0; s = s / 2) {
+    if (tx < s) {
+      psum[tx] += psum[tx + s];
+      psum2[tx] += psum2[tx + s];
+    }
+    __syncthreads();
+  }
+  if (tx == 0) {
+    sums[bx * TB * mul] = psum[0];
+    sums2[bx * TB * mul] = psum2[0];
+  }
+}
+__global__ void srad(float lambda, int nr, int nc, int ne, int* iN, int* iS,
+                     int* jE, int* jW, float* dN, float* dS, float* dE,
+                     float* dW, float q0sqr, float* c, float* I) {
+  int ei = blockIdx.x * TB + threadIdx.x;
+  if (ei < ne) {
+    int row = ei % nr;
+    int col = ei / nr;
+    float Jc = I[ei];
+    float dN_loc = I[iN[row] + nr * col] - Jc;
+    float dS_loc = I[iS[row] + nr * col] - Jc;
+    float dW_loc = I[row + nr * jW[col]] - Jc;
+    float dE_loc = I[row + nr * jE[col]] - Jc;
+    float G2 = (dN_loc * dN_loc + dS_loc * dS_loc + dW_loc * dW_loc +
+                dE_loc * dE_loc) / (Jc * Jc);
+    float L = (dN_loc + dS_loc + dW_loc + dE_loc) / Jc;
+    float num = (0.5f * G2) - ((1.0f / 16.0f) * (L * L));
+    float den = 1.0f + (0.25f * L);
+    float qsqr = num / (den * den);
+    den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+    float c_loc = 1.0f / (1.0f + den);
+    if (c_loc < 0.0f) {
+      c_loc = 0.0f;
+    }
+    if (c_loc > 1.0f) {
+      c_loc = 1.0f;
+    }
+    dN[ei] = dN_loc;
+    dS[ei] = dS_loc;
+    dW[ei] = dW_loc;
+    dE[ei] = dE_loc;
+    c[ei] = c_loc;
+  }
+}
+__global__ void srad2(float lambda, int nr, int nc, int ne, int* iN, int* iS,
+                      int* jE, int* jW, float* dN, float* dS, float* dE,
+                      float* dW, float* c, float* I) {
+  int ei = blockIdx.x * TB + threadIdx.x;
+  if (ei < ne) {
+    int row = ei % nr;
+    int col = ei / nr;
+    float cN = c[ei];
+    float cS = c[iS[row] + nr * col];
+    float cW = c[ei];
+    float cE = c[row + nr * jE[col]];
+    float D = cN * dN[ei] + cS * dS[ei] + cW * dW[ei] + cE * dE[ei];
+    I[ei] = I[ei] + 0.25f * lambda * D;
+  }
+}
+void run(float* I, float* sums, float* sums2, int* iN, int* iS, int* jE,
+         int* jW, float* dN, float* dS, float* dE, float* dW, float* c,
+         int nr, int nc, int niter) {
+  int ne = nr * nc;
+  int blocks = (ne + TB - 1) / TB;
+  float lambda = 0.5f;
+  for (int iter = 0; iter < niter; iter++) {
+    prepare<<<blocks, TB>>>(ne, I, sums, sums2);
+    int n = ne;
+    int mul = 1;
+    while (n > 1) {
+      int rblocks = (n + TB - 1) / TB;
+      reduce<<<rblocks, TB>>>(ne, mul, sums, sums2);
+      n = rblocks;
+      mul = mul * TB;
+    }
+    float total = sums[0];
+    float total2 = sums2[0];
+    float meanROI = total / (1.0f * ne);
+    float varROI = (total2 / (1.0f * ne)) - meanROI * meanROI;
+    float q0sqr = varROI / (meanROI * meanROI);
+    srad<<<blocks, TB>>>(lambda, nr, nc, ne, iN, iS, jE, jW, dN, dS, dE, dW,
+                         q0sqr, c, I);
+    srad2<<<blocks, TB>>>(lambda, nr, nc, ne, iN, iS, jE, jW, dN, dS, dE,
+                          dW, c, I);
+  }
+}
+)";
+
+const char *kSradV1Omp = R"(
+void run(float* I, float* sums, float* sums2, int* iN, int* iS, int* jE,
+         int* jW, float* dN, float* dS, float* dE, float* dW, float* c,
+         int nr, int nc, int niter) {
+  int ne = nr * nc;
+  float lambda = 0.5f;
+  for (int iter = 0; iter < niter; iter++) {
+    float total = 0.0f;
+    float total2 = 0.0f;
+    for (int i = 0; i < ne; i++) {
+      total += I[i];
+      total2 += I[i] * I[i];
+    }
+    float meanROI = total / (1.0f * ne);
+    float varROI = (total2 / (1.0f * ne)) - meanROI * meanROI;
+    float q0sqr = varROI / (meanROI * meanROI);
+    #pragma omp parallel for
+    for (int ei = 0; ei < ne; ei++) {
+      int row = ei % nr;
+      int col = ei / nr;
+      float Jc = I[ei];
+      float dN_loc = I[iN[row] + nr * col] - Jc;
+      float dS_loc = I[iS[row] + nr * col] - Jc;
+      float dW_loc = I[row + nr * jW[col]] - Jc;
+      float dE_loc = I[row + nr * jE[col]] - Jc;
+      float G2 = (dN_loc * dN_loc + dS_loc * dS_loc + dW_loc * dW_loc +
+                  dE_loc * dE_loc) / (Jc * Jc);
+      float L = (dN_loc + dS_loc + dW_loc + dE_loc) / Jc;
+      float num = (0.5f * G2) - ((1.0f / 16.0f) * (L * L));
+      float den = 1.0f + (0.25f * L);
+      float qsqr = num / (den * den);
+      den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+      float c_loc = 1.0f / (1.0f + den);
+      if (c_loc < 0.0f) {
+        c_loc = 0.0f;
+      }
+      if (c_loc > 1.0f) {
+        c_loc = 1.0f;
+      }
+      dN[ei] = dN_loc;
+      dS[ei] = dS_loc;
+      dW[ei] = dW_loc;
+      dE[ei] = dE_loc;
+      c[ei] = c_loc;
+    }
+    #pragma omp parallel for
+    for (int ei = 0; ei < ne; ei++) {
+      int row = ei % nr;
+      int col = ei / nr;
+      float cN = c[ei];
+      float cS = c[iS[row] + nr * col];
+      float cW = c[ei];
+      float cE = c[row + nr * jE[col]];
+      float D = cN * dN[ei] + cS * dS[ei] + cW * dW[ei] + cE * dE[ei];
+      I[ei] = I[ei] + 0.25f * lambda * D;
+    }
+  }
+}
+)";
+
+const char *kSradV2Cuda = R"(
+#define BSZ 16
+__global__ void srad_cuda_1(float* E_C, float* W_C, float* N_C, float* S_C,
+                            float* J_cuda, float* C_cuda, int cols, int rows,
+                            float q0sqr) {
+  __shared__ float temp[BSZ][BSZ];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = by * BSZ + ty;
+  int col = bx * BSZ + tx;
+  int index = cols * row + col;
+  temp[ty][tx] = J_cuda[index];
+  __syncthreads();
+  float jc = temp[ty][tx];
+  float n;
+  float s;
+  float w;
+  float e;
+  if (ty == 0) {
+    if (row == 0) { n = jc; } else { n = J_cuda[index - cols]; }
+  } else {
+    n = temp[ty - 1][tx];
+  }
+  if (ty == BSZ - 1) {
+    if (row == rows - 1) { s = jc; } else { s = J_cuda[index + cols]; }
+  } else {
+    s = temp[ty + 1][tx];
+  }
+  if (tx == 0) {
+    if (col == 0) { w = jc; } else { w = J_cuda[index - 1]; }
+  } else {
+    w = temp[ty][tx - 1];
+  }
+  if (tx == BSZ - 1) {
+    if (col == cols - 1) { e = jc; } else { e = J_cuda[index + 1]; }
+  } else {
+    e = temp[ty][tx + 1];
+  }
+  float nd = n - jc;
+  float sd = s - jc;
+  float wd = w - jc;
+  float ed = e - jc;
+  float g2 = (nd * nd + sd * sd + wd * wd + ed * ed) / (jc * jc);
+  float l = (nd + sd + wd + ed) / jc;
+  float num = (0.5f * g2) - ((1.0f / 16.0f) * (l * l));
+  float den = 1.0f + 0.25f * l;
+  float qsqr = num / (den * den);
+  den = (qsqr - q0sqr) / (q0sqr * (1.0f + q0sqr));
+  float cv = 1.0f / (1.0f + den);
+  if (cv < 0.0f) { cv = 0.0f; }
+  if (cv > 1.0f) { cv = 1.0f; }
+  C_cuda[index] = cv;
+  E_C[index] = ed;
+  W_C[index] = wd;
+  N_C[index] = nd;
+  S_C[index] = sd;
+}
+__global__ void srad_cuda_2(float* E_C, float* W_C, float* N_C, float* S_C,
+                            float* J_cuda, float* C_cuda, int cols, int rows,
+                            float lambda) {
+  __shared__ float c_tile[BSZ][BSZ];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = by * BSZ + ty;
+  int col = bx * BSZ + tx;
+  int index = cols * row + col;
+  c_tile[ty][tx] = C_cuda[index];
+  __syncthreads();
+  float cc = c_tile[ty][tx];
+  float cs;
+  float ce;
+  if (ty == BSZ - 1) {
+    if (row == rows - 1) { cs = cc; } else { cs = C_cuda[index + cols]; }
+  } else {
+    cs = c_tile[ty + 1][tx];
+  }
+  if (tx == BSZ - 1) {
+    if (col == cols - 1) { ce = cc; } else { ce = C_cuda[index + 1]; }
+  } else {
+    ce = c_tile[ty][tx + 1];
+  }
+  float d = cc * N_C[index] + cs * S_C[index] + cc * W_C[index] +
+            ce * E_C[index];
+  J_cuda[index] = J_cuda[index] + 0.25f * lambda * d;
+}
+void run(float* E_C, float* W_C, float* N_C, float* S_C, float* J_cuda,
+         float* C_cuda, int cols, int rows, int niter) {
+  int gx = cols / BSZ;
+  int gy = rows / BSZ;
+  for (int iter = 0; iter < niter; iter++) {
+    srad_cuda_1<<<dim3(gx, gy), dim3(BSZ, BSZ)>>>(E_C, W_C, N_C, S_C,
+                                                  J_cuda, C_cuda, cols,
+                                                  rows, 0.05f);
+    srad_cuda_2<<<dim3(gx, gy), dim3(BSZ, BSZ)>>>(E_C, W_C, N_C, S_C,
+                                                  J_cuda, C_cuda, cols,
+                                                  rows, 0.5f);
+  }
+}
+)";
+
+const char *kSradV2Omp = R"(
+void run(float* E_C, float* W_C, float* N_C, float* S_C, float* J_cuda,
+         float* C_cuda, int cols, int rows, int niter) {
+  for (int iter = 0; iter < niter; iter++) {
+    #pragma omp parallel for collapse(2)
+    for (int row = 0; row < rows; row++) {
+      for (int col = 0; col < cols; col++) {
+        int index = cols * row + col;
+        float jc = J_cuda[index];
+        float n = jc;
+        float s = jc;
+        float w = jc;
+        float e = jc;
+        if (row > 0) { n = J_cuda[index - cols]; }
+        if (row < rows - 1) { s = J_cuda[index + cols]; }
+        if (col > 0) { w = J_cuda[index - 1]; }
+        if (col < cols - 1) { e = J_cuda[index + 1]; }
+        float nd = n - jc;
+        float sd = s - jc;
+        float wd = w - jc;
+        float ed = e - jc;
+        float g2 = (nd * nd + sd * sd + wd * wd + ed * ed) / (jc * jc);
+        float l = (nd + sd + wd + ed) / jc;
+        float num = (0.5f * g2) - ((1.0f / 16.0f) * (l * l));
+        float den = 1.0f + 0.25f * l;
+        float qsqr = num / (den * den);
+        den = (qsqr - 0.05f) / (0.05f * (1.0f + 0.05f));
+        float cv = 1.0f / (1.0f + den);
+        if (cv < 0.0f) { cv = 0.0f; }
+        if (cv > 1.0f) { cv = 1.0f; }
+        C_cuda[index] = cv;
+        E_C[index] = ed;
+        W_C[index] = wd;
+        N_C[index] = nd;
+        S_C[index] = sd;
+      }
+    }
+    #pragma omp parallel for collapse(2)
+    for (int row = 0; row < rows; row++) {
+      for (int col = 0; col < cols; col++) {
+        int index = cols * row + col;
+        float cc = C_cuda[index];
+        float cs = cc;
+        float ce = cc;
+        if (row < rows - 1) { cs = C_cuda[index + cols]; }
+        if (col < cols - 1) { ce = C_cuda[index + 1]; }
+        float d = cc * N_C[index] + cs * S_C[index] + cc * W_C[index] +
+                  ce * E_C[index];
+        J_cuda[index] = J_cuda[index] + 0.25f * 0.5f * d;
+      }
+    }
+  }
+}
+)";
+
+std::vector<float> randomF(size_t n, uint32_t seed, float lo, float hi) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> out(n);
+  for (auto &v : out)
+    v = dist(rng);
+  return out;
+}
+std::vector<int32_t> randomI(size_t n, uint32_t seed, int lo, int hi) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  std::vector<int32_t> out(n);
+  for (auto &v : out)
+    v = dist(rng);
+  return out;
+}
+
+} // namespace
+
+void registerLinalg(std::vector<Benchmark> &out) {
+  out.push_back(Benchmark{
+      "lud*", "lud", true, kLudCuda, kLudOmp, [](int scale) {
+        Workload w;
+        int dim = 16 * (scale + 1);
+        // Diagonally dominant matrix keeps the factorization stable.
+        auto m = randomF(static_cast<size_t>(dim) * dim, 91, 0.1f, 1.0f);
+        for (int i = 0; i < dim; ++i)
+          m[i * dim + i] += static_cast<float>(dim);
+        w.addF32(m);
+        w.addInt(dim);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "nw*", "nw", true, kNwCuda, kNwOmp, [](int scale) {
+        Workload w;
+        int cols = 16 * (2 * scale) + 1;
+        w.addI32(randomI(static_cast<size_t>(cols) * cols, 92, -2, 2));
+        std::vector<int32_t> matrix(static_cast<size_t>(cols) * cols, 0);
+        for (int i = 0; i < cols; ++i) {
+          matrix[i] = -i;            // first row
+          matrix[i * cols] = -i;     // first column
+        }
+        w.addI32(matrix);
+        w.addInt(cols);
+        w.addInt(10); // penalty
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "srad_v1*", "srad_v1", true, kSradV1Cuda, kSradV1Omp, [](int scale) {
+        Workload w;
+        int nr = 16, nc = 16;
+        int ne = nr * nc;
+        w.addF32(randomF(ne, 93, 0.5f, 1.5f)); // I
+        w.addF32(std::vector<float>(ne, 0.0f)); // sums
+        w.addF32(std::vector<float>(ne, 0.0f)); // sums2
+        std::vector<int32_t> iN(nr), iS(nr), jW(nc), jE(nc);
+        for (int i = 0; i < nr; ++i) {
+          iN[i] = std::max(0, i - 1);
+          iS[i] = std::min(nr - 1, i + 1);
+        }
+        for (int j = 0; j < nc; ++j) {
+          jW[j] = std::max(0, j - 1);
+          jE[j] = std::min(nc - 1, j + 1);
+        }
+        w.addI32(iN);
+        w.addI32(iS);
+        w.addI32(jE);
+        w.addI32(jW);
+        w.addF32(std::vector<float>(ne, 0.0f)); // dN
+        w.addF32(std::vector<float>(ne, 0.0f)); // dS
+        w.addF32(std::vector<float>(ne, 0.0f)); // dE
+        w.addF32(std::vector<float>(ne, 0.0f)); // dW
+        w.addF32(std::vector<float>(ne, 0.0f)); // c
+        w.addInt(nr);
+        w.addInt(nc);
+        w.addInt(scale); // iterations
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "srad_v2*", "srad_v2", true, kSradV2Cuda, kSradV2Omp, [](int scale) {
+        Workload w;
+        int rows = 32, cols = 32;
+        int ne = rows * cols;
+        w.addF32(std::vector<float>(ne, 0.0f)); // E_C
+        w.addF32(std::vector<float>(ne, 0.0f)); // W_C
+        w.addF32(std::vector<float>(ne, 0.0f)); // N_C
+        w.addF32(std::vector<float>(ne, 0.0f)); // S_C
+        w.addF32(randomF(ne, 94, 0.5f, 1.5f));  // J
+        w.addF32(std::vector<float>(ne, 0.0f)); // C
+        w.addInt(cols);
+        w.addInt(rows);
+        w.addInt(scale);
+        return w;
+      }});
+}
+
+} // namespace paralift::rodinia

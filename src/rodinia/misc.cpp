@@ -1,0 +1,378 @@
+// Remaining Rodinia benchmarks:
+//  - cfd: euler3d step-factor + a flux-style neighbor kernel (heavy
+//    per-cell floating point, no barriers);
+//  - myocyte solver_2: per-instance ODE integration (FitzHugh-Nagumo-
+//    style dynamics standing in for the original cell model);
+//  - particlefilter (float): likelihood update + block tree-reduction for
+//    weight normalization (barriers) — and a "naive" variant without the
+//    shared-memory reduction;
+//  - streamcluster: weighted cost of reassigning points to a candidate
+//    center.
+#include "rodinia/rodinia.h"
+
+#include <random>
+
+namespace paralift::rodinia {
+
+namespace {
+
+const char *kCfdCuda = R"(
+#define TB 64
+__global__ void cuda_compute_step_factor(int nelr, float* variables,
+                                         float* areas, float* step_factors) {
+  int i = blockIdx.x * TB + threadIdx.x;
+  if (i < nelr) {
+    float density = variables[i];
+    float mx = variables[i + nelr];
+    float my = variables[i + 2 * nelr];
+    float mz = variables[i + 3 * nelr];
+    float density_energy = variables[i + 4 * nelr];
+    float speed_sqd = (mx * mx + my * my + mz * mz) / (density * density);
+    float pressure = 0.4f * (density_energy - 0.5f * density * speed_sqd);
+    float speed_of_sound = sqrtf(1.4f * pressure / density);
+    step_factors[i] =
+        0.5f / (sqrtf(areas[i]) * (sqrtf(speed_sqd) + speed_of_sound));
+  }
+}
+__global__ void cuda_compute_flux(int nelr, int* neighbors,
+                                  float* variables, float* fluxes) {
+  int i = blockIdx.x * TB + threadIdx.x;
+  if (i < nelr) {
+    float density_i = variables[i];
+    float energy_i = variables[i + 4 * nelr];
+    float flux = 0.0f;
+    for (int j = 0; j < 4; j++) {
+      int nb = neighbors[i * 4 + j];
+      if (nb >= 0) {
+        float density_nb = variables[nb];
+        float energy_nb = variables[nb + 4 * nelr];
+        float p_i = 0.4f * (energy_i - 0.5f * density_i);
+        float p_nb = 0.4f * (energy_nb - 0.5f * density_nb);
+        flux += 0.5f * (p_i + p_nb) * (density_nb - density_i);
+      }
+    }
+    fluxes[i] = flux;
+  }
+}
+void run(float* variables, float* areas, float* step_factors,
+         int* neighbors, float* fluxes, int nelr, int iters) {
+  int blocks = (nelr + TB - 1) / TB;
+  for (int t = 0; t < iters; t++) {
+    cuda_compute_step_factor<<<blocks, TB>>>(nelr, variables, areas,
+                                             step_factors);
+    cuda_compute_flux<<<blocks, TB>>>(nelr, neighbors, variables, fluxes);
+  }
+}
+)";
+
+const char *kCfdOmp = R"(
+void run(float* variables, float* areas, float* step_factors,
+         int* neighbors, float* fluxes, int nelr, int iters) {
+  for (int t = 0; t < iters; t++) {
+    #pragma omp parallel for
+    for (int i = 0; i < nelr; i++) {
+      float density = variables[i];
+      float mx = variables[i + nelr];
+      float my = variables[i + 2 * nelr];
+      float mz = variables[i + 3 * nelr];
+      float density_energy = variables[i + 4 * nelr];
+      float speed_sqd = (mx * mx + my * my + mz * mz) / (density * density);
+      float pressure = 0.4f * (density_energy - 0.5f * density * speed_sqd);
+      float speed_of_sound = sqrtf(1.4f * pressure / density);
+      step_factors[i] =
+          0.5f / (sqrtf(areas[i]) * (sqrtf(speed_sqd) + speed_of_sound));
+    }
+    #pragma omp parallel for
+    for (int i = 0; i < nelr; i++) {
+      float density_i = variables[i];
+      float energy_i = variables[i + 4 * nelr];
+      float flux = 0.0f;
+      for (int j = 0; j < 4; j++) {
+        int nb = neighbors[i * 4 + j];
+        if (nb >= 0) {
+          float density_nb = variables[nb];
+          float energy_nb = variables[nb + 4 * nelr];
+          float p_i = 0.4f * (energy_i - 0.5f * density_i);
+          float p_nb = 0.4f * (energy_nb - 0.5f * density_nb);
+          flux += 0.5f * (p_i + p_nb) * (density_nb - density_i);
+        }
+      }
+      fluxes[i] = flux;
+    }
+  }
+}
+)";
+
+const char *kMyocyteCuda = R"(
+__global__ void solver_2(float* y, float* params, int workload, int steps) {
+  int i = blockIdx.x * 32 + threadIdx.x;
+  if (i < workload) {
+    float v = y[i];
+    float u = params[i];
+    for (int s = 0; s < steps; s++) {
+      float dv = u * v - (v * v * v) / 3.0f + 0.7f;
+      float du = 0.08f * (v + 0.7f - 0.8f * u);
+      v += 0.01f * dv;
+      u += 0.01f * du;
+    }
+    y[i] = v;
+    params[i] = u;
+  }
+}
+void run(float* y, float* params, int workload, int steps) {
+  int blocks = (workload + 31) / 32;
+  solver_2<<<blocks, 32>>>(y, params, workload, steps);
+}
+)";
+
+const char *kMyocyteOmp = R"(
+void run(float* y, float* params, int workload, int steps) {
+  #pragma omp parallel for
+  for (int i = 0; i < workload; i++) {
+    float v = y[i];
+    float u = params[i];
+    for (int s = 0; s < steps; s++) {
+      float dv = u * v - (v * v * v) / 3.0f + 0.7f;
+      float du = 0.08f * (v + 0.7f - 0.8f * u);
+      v += 0.01f * dv;
+      u += 0.01f * du;
+    }
+    y[i] = v;
+    params[i] = u;
+  }
+}
+)";
+
+const char *kParticlefilterCuda = R"(
+#define TB 64
+__global__ void likelihood_kernel(float* arrayX, float* arrayY,
+                                  float* likelihood, float* weights,
+                                  float* partial_sums, int Nparticles) {
+  __shared__ float buffer[TB];
+  int tid = threadIdx.x;
+  int i = blockIdx.x * TB + tid;
+  if (i < Nparticles) {
+    float dx = arrayX[i];
+    float dy = arrayY[i];
+    float lk = -0.5f * (dx * dx + dy * dy);
+    likelihood[i] = lk;
+    weights[i] = weights[i] * expf(lk);
+    buffer[tid] = weights[i];
+  } else {
+    buffer[tid] = 0.0f;
+  }
+  __syncthreads();
+  for (int s = TB / 2; s > 0; s = s / 2) {
+    if (tid < s) {
+      buffer[tid] += buffer[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    partial_sums[blockIdx.x] = buffer[0];
+  }
+}
+__global__ void normalize_weights_kernel(float* weights, int Nparticles,
+                                         float* partial_sums, int nblocks) {
+  int i = blockIdx.x * TB + threadIdx.x;
+  __shared__ float sum_shared[1];
+  if (threadIdx.x == 0) {
+    float total = 0.0f;
+    for (int b = 0; b < nblocks; b++) {
+      total += partial_sums[b];
+    }
+    sum_shared[0] = total;
+  }
+  __syncthreads();
+  if (i < Nparticles) {
+    weights[i] = weights[i] / sum_shared[0];
+  }
+}
+void run(float* arrayX, float* arrayY, float* likelihood, float* weights,
+         float* partial_sums, int Nparticles, int iters) {
+  int blocks = (Nparticles + TB - 1) / TB;
+  for (int t = 0; t < iters; t++) {
+    likelihood_kernel<<<blocks, TB>>>(arrayX, arrayY, likelihood, weights,
+                                      partial_sums, Nparticles);
+    normalize_weights_kernel<<<blocks, TB>>>(weights, Nparticles,
+                                             partial_sums, blocks);
+  }
+}
+)";
+
+// The OpenMP particlefilter achieves the same dependence structure with
+// separate parallel-for loops instead of __syncthreads (as the paper
+// notes when explaining its relative speedup).
+const char *kParticlefilterOmp = R"(
+void run(float* arrayX, float* arrayY, float* likelihood, float* weights,
+         float* partial_sums, int Nparticles, int iters) {
+  for (int t = 0; t < iters; t++) {
+    #pragma omp parallel for
+    for (int i = 0; i < Nparticles; i++) {
+      float dx = arrayX[i];
+      float dy = arrayY[i];
+      float lk = -0.5f * (dx * dx + dy * dy);
+      likelihood[i] = lk;
+      weights[i] = weights[i] * expf(lk);
+    }
+    float total = 0.0f;
+    for (int i = 0; i < Nparticles; i++) {
+      total += weights[i];
+    }
+    partial_sums[0] = total;
+    #pragma omp parallel for
+    for (int i = 0; i < Nparticles; i++) {
+      weights[i] = weights[i] / total;
+    }
+  }
+}
+)";
+
+const char *kStreamclusterCuda = R"(
+#define TB 64
+__global__ void kernel_compute_cost(int num, int dim, float* coord,
+                                    float* weight, int* center_table,
+                                    int* switch_membership, float* work_mem,
+                                    float* center_coord, float cost_of_opening) {
+  int i = blockIdx.x * TB + threadIdx.x;
+  if (i < num) {
+    float dist = 0.0f;
+    for (int d = 0; d < dim; d++) {
+      float diff = coord[d * num + i] - center_coord[d];
+      dist += diff * diff;
+    }
+    float x_cost = dist * weight[i];
+    float current_cost = work_mem[i];
+    if (x_cost < current_cost) {
+      switch_membership[i] = 1;
+      work_mem[num + i] = x_cost - current_cost;
+    } else {
+      work_mem[num + i] = 0.0f;
+    }
+  }
+}
+void run(float* coord, float* weight, int* center_table,
+         int* switch_membership, float* work_mem, float* center_coord,
+         int num, int dim, int iters) {
+  int blocks = (num + TB - 1) / TB;
+  for (int t = 0; t < iters; t++) {
+    kernel_compute_cost<<<blocks, TB>>>(num, dim, coord, weight,
+                                        center_table, switch_membership,
+                                        work_mem, center_coord, 1.0f);
+  }
+}
+)";
+
+const char *kStreamclusterOmp = R"(
+void run(float* coord, float* weight, int* center_table,
+         int* switch_membership, float* work_mem, float* center_coord,
+         int num, int dim, int iters) {
+  for (int t = 0; t < iters; t++) {
+    #pragma omp parallel for
+    for (int i = 0; i < num; i++) {
+      float dist = 0.0f;
+      for (int d = 0; d < dim; d++) {
+        float diff = coord[d * num + i] - center_coord[d];
+        dist += diff * diff;
+      }
+      float x_cost = dist * weight[i];
+      float current_cost = work_mem[i];
+      if (x_cost < current_cost) {
+        switch_membership[i] = 1;
+        work_mem[num + i] = x_cost - current_cost;
+      } else {
+        work_mem[num + i] = 0.0f;
+      }
+    }
+  }
+}
+)";
+
+std::vector<float> randomF(size_t n, uint32_t seed, float lo, float hi) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> out(n);
+  for (auto &v : out)
+    v = dist(rng);
+  return out;
+}
+
+} // namespace
+
+void registerMisc(std::vector<Benchmark> &out) {
+  out.push_back(Benchmark{
+      "cfd", "cfd", false, kCfdCuda, kCfdOmp, [](int scale) {
+        Workload w;
+        int nelr = 256;
+        // Physically plausible state: density ~1, small momenta, energy
+        // high enough to keep the pressure positive.
+        std::vector<float> variables(static_cast<size_t>(nelr) * 5);
+        auto dens = randomF(nelr, 101, 0.9f, 1.1f);
+        auto mom = randomF(static_cast<size_t>(nelr) * 3, 104, -0.1f, 0.1f);
+        auto energy = randomF(nelr, 105, 2.0f, 3.0f);
+        for (int i = 0; i < nelr; ++i) {
+          variables[i] = dens[i];
+          variables[i + nelr] = mom[i];
+          variables[i + 2 * nelr] = mom[nelr + i];
+          variables[i + 3 * nelr] = mom[2 * nelr + i];
+          variables[i + 4 * nelr] = energy[i];
+        }
+        w.addF32(variables);
+        w.addF32(randomF(nelr, 102, 0.5f, 2.0f));
+        w.addF32(std::vector<float>(nelr, 0.0f));
+        std::mt19937 rng(103);
+        std::uniform_int_distribution<int> nb(-1, nelr - 1);
+        std::vector<int32_t> neighbors(static_cast<size_t>(nelr) * 4);
+        for (auto &v : neighbors)
+          v = nb(rng);
+        w.addI32(neighbors);
+        w.addF32(std::vector<float>(nelr, 0.0f));
+        w.addInt(nelr);
+        w.addInt(scale);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "myocyte solver_2", "myocyte", false, kMyocyteCuda, kMyocyteOmp,
+      [](int scale) {
+        Workload w;
+        int workload = 64;
+        w.addF32(randomF(workload, 111, -1.0f, 1.0f));
+        w.addF32(randomF(workload, 112, -1.0f, 1.0f));
+        w.addInt(workload);
+        w.addInt(50 * scale); // integration steps
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "particlefilter float*", "particlefilter_float", true,
+      kParticlefilterCuda, kParticlefilterOmp, [](int scale) {
+        Workload w;
+        int n = 128;
+        int blocks = (n + 63) / 64;
+        w.addF32(randomF(n, 121, -1.0f, 1.0f));
+        w.addF32(randomF(n, 122, -1.0f, 1.0f));
+        w.addF32(std::vector<float>(n, 0.0f));
+        w.addF32(std::vector<float>(n, 1.0f)); // weights
+        w.addF32(std::vector<float>(blocks, 0.0f));
+        w.addInt(n);
+        w.addInt(scale);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "streamcluster", "streamcluster", false, kStreamclusterCuda,
+      kStreamclusterOmp, [](int scale) {
+        Workload w;
+        int num = 256, dim = 8;
+        w.addF32(randomF(static_cast<size_t>(num) * dim, 131, 0.0f, 1.0f));
+        w.addF32(randomF(num, 132, 0.5f, 1.5f));
+        w.addI32(std::vector<int32_t>(num, 0));
+        w.addI32(std::vector<int32_t>(num, 0));
+        w.addF32(randomF(static_cast<size_t>(num) * 2, 133, 0.5f, 2.0f));
+        w.addF32(randomF(dim, 134, 0.0f, 1.0f));
+        w.addInt(num);
+        w.addInt(dim);
+        w.addInt(scale);
+        return w;
+      }});
+}
+
+} // namespace paralift::rodinia

@@ -1,0 +1,31 @@
+#include "rodinia/rodinia.h"
+
+namespace paralift::rodinia {
+
+void registerBackprop(std::vector<Benchmark> &out);
+void registerGraph(std::vector<Benchmark> &out);
+void registerStencil(std::vector<Benchmark> &out);
+void registerLinalg(std::vector<Benchmark> &out);
+void registerMisc(std::vector<Benchmark> &out);
+
+const std::vector<Benchmark> &suite() {
+  static const std::vector<Benchmark> benchmarks = [] {
+    std::vector<Benchmark> out;
+    registerGraph(out);       // b+tree, bfs
+    registerBackprop(out);    // backprop
+    registerMisc(out);        // cfd, myocyte, particlefilter, streamcluster
+    registerStencil(out);     // hotspot, hotspot3D, pathfinder
+    registerLinalg(out);      // lud, nw, srad_v1, srad_v2
+    return out;
+  }();
+  return benchmarks;
+}
+
+const Benchmark *find(const std::string &id) {
+  for (const auto &b : suite())
+    if (b.id == id)
+      return &b;
+  return nullptr;
+}
+
+} // namespace paralift::rodinia

@@ -1,0 +1,83 @@
+// The Rodinia-style benchmark suite used by the paper's evaluation
+// (Fig. 13/14): for each benchmark, a CUDA-subset source (the transpiled
+// side), a hand-written OpenMP-dialect reference (the baseline side,
+// where the original suite has one), and a workload generator.
+//
+// The kernels reproduce the parallel/synchronization structure of the
+// original Rodinia codes — shared-memory tiling, __syncthreads inside
+// reduction/wavefront loops, ghost-zone stencils — at sizes suited to the
+// VM executor. Structural simplifications per benchmark are noted inline.
+#pragma once
+
+#include "driver/compiler.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paralift::rodinia {
+
+/// A benchmark instance: buffers plus the argument list for its `run`
+/// entry point. Buffers stay alive (and stable) for the Workload's
+/// lifetime; args reference them.
+class Workload {
+public:
+  /// Allocates a float buffer and appends it to the argument list.
+  std::vector<float> &addF32(std::vector<float> init) {
+    fbufs_.push_back(std::make_unique<std::vector<float>>(std::move(init)));
+    auto &buf = *fbufs_.back();
+    args_.push_back(driver::Executor::bufferF32(
+        buf.data(), {static_cast<int64_t>(buf.size())}));
+    return buf;
+  }
+  std::vector<int32_t> &addI32(std::vector<int32_t> init) {
+    ibufs_.push_back(
+        std::make_unique<std::vector<int32_t>>(std::move(init)));
+    auto &buf = *ibufs_.back();
+    args_.push_back(driver::Executor::bufferI32(
+        buf.data(), {static_cast<int64_t>(buf.size())}));
+    return buf;
+  }
+  void addInt(int64_t v) { args_.push_back(v); }
+  void addFloat(double v) { args_.push_back(v); }
+
+  const std::vector<driver::Executor::Arg> &args() const { return args_; }
+
+  /// All float buffer contents, concatenated (for output comparison).
+  std::vector<float> floatState() const {
+    std::vector<float> out;
+    for (auto &b : fbufs_)
+      out.insert(out.end(), b->begin(), b->end());
+    return out;
+  }
+  std::vector<int32_t> intState() const {
+    std::vector<int32_t> out;
+    for (auto &b : ibufs_)
+      out.insert(out.end(), b->begin(), b->end());
+    return out;
+  }
+
+private:
+  std::vector<std::unique_ptr<std::vector<float>>> fbufs_;
+  std::vector<std::unique_ptr<std::vector<int32_t>>> ibufs_;
+  std::vector<driver::Executor::Arg> args_;
+};
+
+struct Benchmark {
+  std::string name;        ///< paper label, e.g. "backprop layerforward*"
+  std::string id;          ///< filesystem-safe identifier
+  bool hasBarrier;         ///< marked with * in the paper's figures
+  const char *cudaSource;  ///< defines host entry `run(...)`
+  const char *openmpSource;///< OpenMP reference; nullptr if none exists
+  /// Builds a workload; `scale` = 1 for tests, larger for benchmarks.
+  std::function<Workload(int scale)> makeWorkload;
+};
+
+/// The full suite in paper order.
+const std::vector<Benchmark> &suite();
+
+/// Lookup by id; null if unknown.
+const Benchmark *find(const std::string &id);
+
+} // namespace paralift::rodinia

@@ -1,0 +1,393 @@
+// Rodinia stencils: hotspot (2D tiled with shared memory, the paper notes
+// its ghost-zone recomputation makes the CUDA version costlier than the
+// OpenMP one on CPU), hotspot3D (global-memory 3D stencil, no barrier),
+// and pathfinder (dynamic programming with a barrier per pyramid step).
+//
+// Simplification: hotspot/pathfinder tiles do not replicate the original
+// ghost-zone (pyramid) halo exchange across blocks — each launch advances
+// one step, with block-edge cells reading global memory — preserving the
+// load/sync/compute structure per launch.
+#include "rodinia/rodinia.h"
+
+#include <random>
+
+namespace paralift::rodinia {
+
+namespace {
+
+const char *kHotspotCuda = R"(
+#define BLOCK_SIZE 16
+__global__ void calculate_temp(float* power, float* temp_src,
+                               float* temp_dst, int grid_cols, int grid_rows,
+                               float Rx_1, float Ry_1, float Rz_1,
+                               float step_div_Cap, float amb_temp) {
+  __shared__ float temp_on_cuda[BLOCK_SIZE][BLOCK_SIZE];
+  __shared__ float power_on_cuda[BLOCK_SIZE][BLOCK_SIZE];
+  int bx = blockIdx.x;
+  int by = blockIdx.y;
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  int row = by * BLOCK_SIZE + ty;
+  int col = bx * BLOCK_SIZE + tx;
+  if (row < grid_rows && col < grid_cols) {
+    temp_on_cuda[ty][tx] = temp_src[row * grid_cols + col];
+    power_on_cuda[ty][tx] = power[row * grid_cols + col];
+  }
+  __syncthreads();
+  if (row < grid_rows && col < grid_cols) {
+    float tc = temp_on_cuda[ty][tx];
+    float tn = tc;
+    float ts = tc;
+    float tw = tc;
+    float te = tc;
+    if (row > 0) {
+      if (ty > 0) {
+        tn = temp_on_cuda[ty - 1][tx];
+      } else {
+        tn = temp_src[(row - 1) * grid_cols + col];
+      }
+    }
+    if (row < grid_rows - 1) {
+      if (ty < BLOCK_SIZE - 1) {
+        ts = temp_on_cuda[ty + 1][tx];
+      } else {
+        ts = temp_src[(row + 1) * grid_cols + col];
+      }
+    }
+    if (col > 0) {
+      if (tx > 0) {
+        tw = temp_on_cuda[ty][tx - 1];
+      } else {
+        tw = temp_src[row * grid_cols + col - 1];
+      }
+    }
+    if (col < grid_cols - 1) {
+      if (tx < BLOCK_SIZE - 1) {
+        te = temp_on_cuda[ty][tx + 1];
+      } else {
+        te = temp_src[row * grid_cols + col + 1];
+      }
+    }
+    float delta = step_div_Cap *
+        (power_on_cuda[ty][tx] + (ts + tn - 2.0f * tc) * Ry_1 +
+         (te + tw - 2.0f * tc) * Rx_1 + (amb_temp - tc) * Rz_1);
+    temp_dst[row * grid_cols + col] = tc + delta;
+  }
+}
+void run(float* power, float* temp_a, float* temp_b, int grid_cols,
+         int grid_rows, int total_iterations) {
+  int gx = (grid_cols + BLOCK_SIZE - 1) / BLOCK_SIZE;
+  int gy = (grid_rows + BLOCK_SIZE - 1) / BLOCK_SIZE;
+  for (int t = 0; t < total_iterations; t++) {
+    if (t % 2 == 0) {
+      calculate_temp<<<dim3(gx, gy), dim3(16, 16)>>>(
+          power, temp_a, temp_b, grid_cols, grid_rows, 0.1f, 0.1f, 0.33f,
+          0.0005f, 80.0f);
+    } else {
+      calculate_temp<<<dim3(gx, gy), dim3(16, 16)>>>(
+          power, temp_b, temp_a, grid_cols, grid_rows, 0.1f, 0.1f, 0.33f,
+          0.0005f, 80.0f);
+    }
+  }
+}
+)";
+
+const char *kHotspotOmp = R"(
+void single_iteration(float* result, float* temp, float* power,
+                      int grid_rows, int grid_cols, float Rx_1, float Ry_1,
+                      float Rz_1, float step_div_Cap, float amb_temp) {
+  #pragma omp parallel for
+  for (int r = 0; r < grid_rows; r++) {
+    for (int c = 0; c < grid_cols; c++) {
+      float tc = temp[r * grid_cols + c];
+      float tn = tc;
+      float ts = tc;
+      float tw = tc;
+      float te = tc;
+      if (r > 0) {
+        tn = temp[(r - 1) * grid_cols + c];
+      }
+      if (r < grid_rows - 1) {
+        ts = temp[(r + 1) * grid_cols + c];
+      }
+      if (c > 0) {
+        tw = temp[r * grid_cols + c - 1];
+      }
+      if (c < grid_cols - 1) {
+        te = temp[r * grid_cols + c + 1];
+      }
+      float delta = step_div_Cap *
+          (power[r * grid_cols + c] + (ts + tn - 2.0f * tc) * Ry_1 +
+           (te + tw - 2.0f * tc) * Rx_1 + (amb_temp - tc) * Rz_1);
+      result[r * grid_cols + c] = tc + delta;
+    }
+  }
+}
+void run(float* power, float* temp_a, float* temp_b, int grid_cols,
+         int grid_rows, int total_iterations) {
+  for (int t = 0; t < total_iterations; t++) {
+    if (t % 2 == 0) {
+      single_iteration(temp_b, temp_a, power, grid_rows, grid_cols, 0.1f,
+                       0.1f, 0.33f, 0.0005f, 80.0f);
+    } else {
+      single_iteration(temp_a, temp_b, power, grid_rows, grid_cols, 0.1f,
+                       0.1f, 0.33f, 0.0005f, 80.0f);
+    }
+  }
+}
+)";
+
+const char *kHotspot3DCuda = R"(
+__global__ void hotspotOpt1(float* p, float* tIn, float* tOut, int nx,
+                            int ny, int nz, float ce, float cw, float cn,
+                            float cs, float ct, float cb, float cc,
+                            float amb) {
+  int i = blockIdx.x * 8 + threadIdx.x;
+  int j = blockIdx.y * 8 + threadIdx.y;
+  if (i < nx && j < ny) {
+    for (int k = 0; k < nz; k++) {
+      int xy = nx * ny;
+      int c = i + j * nx + k * xy;
+      float center = tIn[c];
+      float west = center;
+      float east = center;
+      float north = center;
+      float south = center;
+      float bottom = center;
+      float top = center;
+      if (i > 0) { west = tIn[c - 1]; }
+      if (i < nx - 1) { east = tIn[c + 1]; }
+      if (j > 0) { north = tIn[c - nx]; }
+      if (j < ny - 1) { south = tIn[c + nx]; }
+      if (k > 0) { bottom = tIn[c - xy]; }
+      if (k < nz - 1) { top = tIn[c + xy]; }
+      tOut[c] = cc * center + cw * west + ce * east + cs * south +
+                cn * north + cb * bottom + ct * top + cc * p[c] +
+                ct * amb * 0.01f;
+    }
+  }
+}
+void run(float* p, float* tIn, float* tOut, int nx, int ny, int nz,
+         int iterations) {
+  int gx = (nx + 7) / 8;
+  int gy = (ny + 7) / 8;
+  for (int t = 0; t < iterations; t++) {
+    if (t % 2 == 0) {
+      hotspotOpt1<<<dim3(gx, gy), dim3(8, 8)>>>(
+          p, tIn, tOut, nx, ny, nz, 0.03f, 0.03f, 0.03f, 0.03f, 0.03f,
+          0.03f, 0.82f, 80.0f);
+    } else {
+      hotspotOpt1<<<dim3(gx, gy), dim3(8, 8)>>>(
+          p, tOut, tIn, nx, ny, nz, 0.03f, 0.03f, 0.03f, 0.03f, 0.03f,
+          0.03f, 0.82f, 80.0f);
+    }
+  }
+}
+)";
+
+const char *kHotspot3DOmp = R"(
+void run(float* p, float* tIn, float* tOut, int nx, int ny, int nz,
+         int iterations) {
+  for (int t = 0; t < iterations; t++) {
+    #pragma omp parallel for collapse(2)
+    for (int j = 0; j < ny; j++) {
+      for (int i = 0; i < nx; i++) {
+        for (int k = 0; k < nz; k++) {
+          int xy = nx * ny;
+          int c = i + j * nx + k * xy;
+          float x0;
+          float x1;
+          if (t % 2 == 0) { x0 = tIn[c]; } else { x0 = tOut[c]; }
+          float center = x0;
+          float west = center;
+          float east = center;
+          float north = center;
+          float south = center;
+          float bottom = center;
+          float top = center;
+          if (t % 2 == 0) {
+            if (i > 0) { west = tIn[c - 1]; }
+            if (i < nx - 1) { east = tIn[c + 1]; }
+            if (j > 0) { north = tIn[c - nx]; }
+            if (j < ny - 1) { south = tIn[c + nx]; }
+            if (k > 0) { bottom = tIn[c - xy]; }
+            if (k < nz - 1) { top = tIn[c + xy]; }
+            tOut[c] = 0.82f * center + 0.03f * west + 0.03f * east +
+                      0.03f * south + 0.03f * north + 0.03f * bottom +
+                      0.03f * top + 0.82f * p[c] + 0.03f * 80.0f * 0.01f;
+          } else {
+            if (i > 0) { west = tOut[c - 1]; }
+            if (i < nx - 1) { east = tOut[c + 1]; }
+            if (j > 0) { north = tOut[c - nx]; }
+            if (j < ny - 1) { south = tOut[c + nx]; }
+            if (k > 0) { bottom = tOut[c - xy]; }
+            if (k < nz - 1) { top = tOut[c + xy]; }
+            tIn[c] = 0.82f * center + 0.03f * west + 0.03f * east +
+                     0.03f * south + 0.03f * north + 0.03f * bottom +
+                     0.03f * top + 0.82f * p[c] + 0.03f * 80.0f * 0.01f;
+          }
+          x1 = 0.0f;
+        }
+      }
+    }
+  }
+}
+)";
+
+const char *kPathfinderCuda = R"(
+#define BLOCK 64
+__global__ void dynproc_kernel(int iteration, int* wall, int* src, int* dst,
+                               int cols, int startStep) {
+  __shared__ int prev[BLOCK];
+  __shared__ int result[BLOCK];
+  int tx = threadIdx.x;
+  int xidx = blockIdx.x * BLOCK + tx;
+  if (xidx < cols) {
+    prev[tx] = src[xidx];
+  }
+  __syncthreads();
+  for (int i = 0; i < iteration; i++) {
+    if (xidx < cols) {
+      int shortest = prev[tx];
+      if (tx > 0) {
+        shortest = min(shortest, prev[tx - 1]);
+      }
+      if (tx < BLOCK - 1 && xidx < cols - 1) {
+        shortest = min(shortest, prev[tx + 1]);
+      }
+      result[tx] = shortest + wall[(startStep + i) * cols + xidx];
+    }
+    __syncthreads();
+    if (xidx < cols) {
+      prev[tx] = result[tx];
+    }
+    __syncthreads();
+  }
+  if (xidx < cols) {
+    dst[xidx] = prev[tx];
+  }
+}
+void run(int* wall, int* src, int* dst, int cols, int rows,
+         int pyramid_height) {
+  int num_blocks = (cols + BLOCK - 1) / BLOCK;
+  int startStep = 0;
+  int remaining = rows - 1;
+  while (remaining > 0) {
+    int iteration = min(pyramid_height, remaining);
+    if (startStep % 2 == 0) {
+      dynproc_kernel<<<num_blocks, BLOCK>>>(iteration, wall, src, dst, cols,
+                                            startStep);
+    } else {
+      dynproc_kernel<<<num_blocks, BLOCK>>>(iteration, wall, dst, src, cols,
+                                            startStep);
+    }
+    startStep = startStep + iteration;
+    remaining = remaining - iteration;
+  }
+}
+)";
+
+// The OpenMP pathfinder mirrors the block-local neighborhood of the CUDA
+// version (the original's ghost zones are likewise absent on both sides).
+const char *kPathfinderOmp = R"(
+#define BLOCK 64
+void run(int* wall, int* src, int* dst, int cols, int rows,
+         int pyramid_height) {
+  int startStep = 0;
+  int remaining = rows - 1;
+  while (remaining > 0) {
+    int iteration = min(pyramid_height, remaining);
+    for (int i = 0; i < iteration; i++) {
+      #pragma omp parallel for
+      for (int x = 0; x < cols; x++) {
+        int tx = x % BLOCK;
+        int s;
+        if ((startStep + i) % 2 == 0) { s = src[x]; } else { s = dst[x]; }
+        int shortest = s;
+        if (tx > 0) {
+          int left;
+          if ((startStep + i) % 2 == 0) { left = src[x - 1]; }
+          else { left = dst[x - 1]; }
+          shortest = min(shortest, left);
+        }
+        if (tx < BLOCK - 1 && x < cols - 1) {
+          int right;
+          if ((startStep + i) % 2 == 0) { right = src[x + 1]; }
+          else { right = dst[x + 1]; }
+          shortest = min(shortest, right);
+        }
+        int v = shortest + wall[(startStep + i) * cols + x];
+        if ((startStep + i) % 2 == 0) { dst[x] = v; } else { src[x] = v; }
+      }
+    }
+    startStep = startStep + iteration;
+    remaining = remaining - iteration;
+  }
+}
+)";
+
+std::vector<float> randomF(size_t n, uint32_t seed, float lo, float hi) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> out(n);
+  for (auto &v : out)
+    v = dist(rng);
+  return out;
+}
+std::vector<int32_t> randomI(size_t n, uint32_t seed, int lo, int hi) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  std::vector<int32_t> out(n);
+  for (auto &v : out)
+    v = dist(rng);
+  return out;
+}
+
+} // namespace
+
+void registerStencil(std::vector<Benchmark> &out) {
+  out.push_back(Benchmark{
+      "hotspot*", "hotspot", true, kHotspotCuda, kHotspotOmp, [](int scale) {
+        Workload w;
+        int rows = 32, cols = 32;
+        int iters = 2 * scale;
+        w.addF32(randomF(rows * cols, 61, 0.0f, 1.0f)); // power
+        w.addF32(randomF(rows * cols, 62, 70.0f, 90.0f)); // temp_a
+        w.addF32(std::vector<float>(rows * cols, 0.0f));  // temp_b
+        w.addInt(cols);
+        w.addInt(rows);
+        w.addInt(iters);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "hotspot3D", "hotspot3d", false, kHotspot3DCuda, kHotspot3DOmp,
+      [](int scale) {
+        Workload w;
+        int nx = 16, ny = 16, nz = 4;
+        int iters = 2 * scale;
+        w.addF32(randomF(nx * ny * nz, 71, 0.0f, 1.0f));
+        w.addF32(randomF(nx * ny * nz, 72, 70.0f, 90.0f));
+        w.addF32(std::vector<float>(nx * ny * nz, 0.0f));
+        w.addInt(nx);
+        w.addInt(ny);
+        w.addInt(nz);
+        w.addInt(iters);
+        return w;
+      }});
+  out.push_back(Benchmark{
+      "pathfinder*", "pathfinder", true, kPathfinderCuda, kPathfinderOmp,
+      [](int scale) {
+        Workload w;
+        int cols = 128, rows = 8 * scale + 1;
+        w.addI32(randomI(static_cast<size_t>(rows) * cols, 81, 0, 10));
+        std::vector<int32_t> src(randomI(cols, 82, 0, 10));
+        w.addI32(src);
+        w.addI32(std::vector<int32_t>(cols, 0));
+        w.addInt(cols);
+        w.addInt(rows);
+        w.addInt(4); // pyramid height
+        return w;
+      }});
+}
+
+} // namespace paralift::rodinia

@@ -1,0 +1,35 @@
+#include "support/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace paralift {
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+std::string Diagnostic::str() const {
+  const char *sev = severity == Severity::Error     ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  return loc.str() + ": " + sev + ": " + message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string out;
+  for (const auto &d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void fatalError(const std::string &msg) {
+  std::fprintf(stderr, "paralift fatal error: %s\n", msg.c_str());
+  std::abort();
+}
+
+} // namespace paralift

@@ -1,0 +1,72 @@
+// Diagnostic reporting for the ParaLift compiler: source locations, errors,
+// warnings, and notes collected into a DiagnosticEngine that callers can
+// inspect or render. Exceptions are not used for control flow; passes and
+// the frontend report through this engine and return failure.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace paralift {
+
+/// A half-open location in a source buffer. Line/column are 1-based;
+/// line 0 means "unknown location" (e.g. synthesized IR).
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  bool isValid() const { return line != 0; }
+  std::string str() const;
+};
+
+enum class Severity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  Severity severity;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics for one compilation. Not thread-safe; each
+/// compilation owns its engine.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc loc, const std::string &msg) {
+    diags_.push_back({Severity::Error, loc, msg});
+    ++numErrors_;
+  }
+  void warning(SourceLoc loc, const std::string &msg) {
+    diags_.push_back({Severity::Warning, loc, msg});
+  }
+  void note(SourceLoc loc, const std::string &msg) {
+    diags_.push_back({Severity::Note, loc, msg});
+  }
+
+  bool hasErrors() const { return numErrors_ != 0; }
+  size_t numErrors() const { return numErrors_; }
+  const std::vector<Diagnostic> &diagnostics() const { return diags_; }
+
+  /// All diagnostics rendered one per line, suitable for test assertions
+  /// and CLI output.
+  std::string str() const;
+
+  void clear() {
+    diags_.clear();
+    numErrors_ = 0;
+  }
+
+private:
+  std::vector<Diagnostic> diags_;
+  size_t numErrors_ = 0;
+};
+
+/// Aborts with a message. Used for internal invariant violations only,
+/// never for user-input errors (those go through DiagnosticEngine).
+[[noreturn]] void fatalError(const std::string &msg);
+
+} // namespace paralift

@@ -1,0 +1,34 @@
+// Barrier elimination (§IV-A): a barrier whose before/after effect sets
+// (computed with the thread-private hole) have no non-RAR conflict is
+// subsumed by its neighbours and erased. Covers the trivial cases
+// (no effects at all, adjacent barriers) and the Fig. 9 backprop cases.
+#include "analysis/barrier.h"
+#include "ir/ophelpers.h"
+#include "transforms/passes.h"
+
+using namespace paralift::ir;
+
+namespace paralift::transforms {
+
+void runBarrierElim(ModuleOp module) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Op *> barriers;
+    module.op->walk([&](Op *op) {
+      if (op->kind() == OpKind::Barrier)
+        barriers.push_back(op);
+    });
+    for (Op *barrier : barriers) {
+      Op *threadPar = getEnclosingThreadParallel(barrier);
+      if (!threadPar)
+        continue;
+      if (analysis::isBarrierRedundant(barrier, threadPar)) {
+        barrier->erase();
+        changed = true;
+      }
+    }
+  }
+}
+
+} // namespace paralift::transforms

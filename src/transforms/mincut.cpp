@@ -1,0 +1,260 @@
+#include "transforms/mincut.h"
+
+#include "ir/ophelpers.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace paralift::ir;
+
+namespace paralift::transforms {
+
+namespace {
+
+constexpr int64_t kInf = std::numeric_limits<int64_t>::max() / 4;
+
+/// Dinic max-flow on a small graph.
+class MaxFlow {
+public:
+  explicit MaxFlow(int n) : adj_(n) {}
+
+  void addEdge(int from, int to, int64_t cap) {
+    adj_[from].push_back(static_cast<int>(edges_.size()));
+    edges_.push_back({to, cap});
+    adj_[to].push_back(static_cast<int>(edges_.size()));
+    edges_.push_back({from, 0});
+  }
+
+  int64_t run(int s, int t) {
+    int64_t flow = 0;
+    while (bfs(s, t)) {
+      iter_.assign(adj_.size(), 0);
+      while (int64_t pushed = dfs(s, t, kInf))
+        flow += pushed;
+    }
+    return flow;
+  }
+
+  /// After run(): nodes reachable from s in the residual graph.
+  std::vector<bool> reachableFromSource(int s) const {
+    std::vector<bool> seen(adj_.size(), false);
+    std::queue<int> q;
+    q.push(s);
+    seen[s] = true;
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (int eid : adj_[u]) {
+        const Edge &e = edges_[eid];
+        if (e.cap > 0 && !seen[e.to]) {
+          seen[e.to] = true;
+          q.push(e.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+private:
+  struct Edge {
+    int to;
+    int64_t cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(adj_.size(), -1);
+    std::queue<int> q;
+    q.push(s);
+    level_[s] = 0;
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (int eid : adj_[u]) {
+        const Edge &e = edges_[eid];
+        if (e.cap > 0 && level_[e.to] < 0) {
+          level_[e.to] = level_[u] + 1;
+          q.push(e.to);
+        }
+      }
+    }
+    return level_[t] >= 0;
+  }
+
+  int64_t dfs(int u, int t, int64_t limit) {
+    if (u == t)
+      return limit;
+    for (size_t &i = iter_[u]; i < adj_[u].size(); ++i) {
+      int eid = adj_[u][i];
+      Edge &e = edges_[eid];
+      if (e.cap > 0 && level_[e.to] == level_[u] + 1) {
+        int64_t pushed = dfs(e.to, t, std::min(limit, e.cap));
+        if (pushed > 0) {
+          e.cap -= pushed;
+          edges_[eid ^ 1].cap += pushed;
+          return pushed;
+        }
+      }
+    }
+    return 0;
+  }
+
+  std::vector<std::vector<int>> adj_;
+  std::vector<Edge> edges_;
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+};
+
+/// A crossing value can be recomputed in the second loop when its
+/// defining op is pure (regionless arithmetic / subviews).
+bool isRecomputable(Value v) {
+  Op *def = v.definingOp();
+  return def && isPure(def->kind()) && def->numRegions() == 0;
+}
+
+/// Operands of `v`'s defining op that are themselves defined by ops in the
+/// same block as `def` (i.e. top-level segment values that participate in
+/// the data-flow graph). Values from outer scopes or block args are free.
+std::vector<Value> segmentOperands(Value v) {
+  std::vector<Value> out;
+  Op *def = v.definingOp();
+  if (!def)
+    return out;
+  for (unsigned i = 0; i < def->numOperands(); ++i) {
+    Value u = def->operand(i);
+    if (Op *udef = u.definingOp())
+      if (udef->parent() == def->parent())
+        out.push_back(u);
+  }
+  return out;
+}
+
+/// Given the chosen cache set, computes the ordered list of ops to clone
+/// to recompute everything else, extending `cached` with any
+/// non-recomputable scalar discovered on the way (defensive; with min-cut
+/// this cannot happen by construction).
+void buildRecomputeClosure(const std::vector<Value> &liveOut,
+                           std::vector<Value> &cached,
+                           std::vector<Op *> &recompute) {
+  std::unordered_set<ValueImpl *> cachedSet;
+  for (Value v : cached)
+    cachedSet.insert(v.impl());
+  std::unordered_set<Op *> cloneSet;
+
+  std::vector<Value> worklist(liveOut.begin(), liveOut.end());
+  while (!worklist.empty()) {
+    Value v = worklist.back();
+    worklist.pop_back();
+    if (cachedSet.count(v.impl()))
+      continue;
+    Op *def = v.definingOp();
+    if (!def)
+      continue; // block arg: remapped directly
+    if (cloneSet.count(def))
+      continue;
+    if (!isRecomputable(v)) {
+      assert(!v.type().isMemRef() &&
+             "non-recomputable memref crossing a split");
+      cached.push_back(v);
+      cachedSet.insert(v.impl());
+      continue;
+    }
+    cloneSet.insert(def);
+    for (Value u : segmentOperands(v))
+      worklist.push_back(u);
+  }
+
+  // Order clones by original block position.
+  for (Op *op : cloneSet)
+    recompute.push_back(op);
+  std::sort(recompute.begin(), recompute.end(), [](Op *a, Op *b) {
+    for (Op *cur = a->next(); cur; cur = cur->next())
+      if (cur == b)
+        return true;
+    return false;
+  });
+}
+
+} // namespace
+
+SplitPlan planSplit(const std::vector<Value> &liveOut, bool useMinCut) {
+  SplitPlan plan;
+  if (liveOut.empty())
+    return plan;
+
+  if (!useMinCut) {
+    // Cache every computed scalar crossing value directly (the MCUDA-style
+    // baseline); constants and memrefs are rematerialized — a source-level
+    // splitter would likewise keep literals as literals.
+    std::vector<Value> remat;
+    for (Value v : liveOut) {
+      Op *def = v.definingOp();
+      bool isConst = def && (def->kind() == ir::OpKind::ConstInt ||
+                             def->kind() == ir::OpKind::ConstFloat);
+      if (v.type().isMemRef() || isConst)
+        remat.push_back(v);
+      else
+        plan.cached.push_back(v);
+    }
+    buildRecomputeClosure(remat, plan.cached, plan.recompute);
+    return plan;
+  }
+
+  // Gather the full data-flow graph: all segment values transitively
+  // feeding liveOut.
+  std::vector<Value> nodes;
+  std::unordered_map<ValueImpl *, int> nodeId;
+  std::vector<Value> stack(liveOut.begin(), liveOut.end());
+  while (!stack.empty()) {
+    Value v = stack.back();
+    stack.pop_back();
+    if (!v.definingOp())
+      continue; // parallel IVs etc.: free
+    if (nodeId.count(v.impl()))
+      continue;
+    nodeId[v.impl()] = static_cast<int>(nodes.size());
+    nodes.push_back(v);
+    if (isRecomputable(v))
+      for (Value u : segmentOperands(v))
+        stack.push_back(u);
+  }
+
+  // Node-split graph: in(v) = 2*i, out(v) = 2*i+1.
+  int n = static_cast<int>(nodes.size());
+  int S = 2 * n, T = 2 * n + 1;
+  MaxFlow flow(2 * n + 2);
+  std::unordered_set<ValueImpl *> liveOutSet;
+  for (Value v : liveOut)
+    liveOutSet.insert(v.impl());
+
+  for (int i = 0; i < n; ++i) {
+    Value v = nodes[i];
+    int64_t cost =
+        v.type().isMemRef() ? kInf : byteWidth(v.type().kind());
+    flow.addEdge(2 * i, 2 * i + 1, cost);
+    if (!isRecomputable(v))
+      flow.addEdge(S, 2 * i, kInf);
+    else
+      for (Value u : segmentOperands(v)) {
+        auto it = nodeId.find(u.impl());
+        if (it != nodeId.end())
+          flow.addEdge(2 * it->second + 1, 2 * i, kInf);
+      }
+    if (liveOutSet.count(v.impl()))
+      flow.addEdge(2 * i + 1, T, kInf);
+  }
+
+  flow.run(S, T);
+  std::vector<bool> reach = flow.reachableFromSource(S);
+  for (int i = 0; i < n; ++i)
+    if (reach[2 * i] && !reach[2 * i + 1])
+      plan.cached.push_back(nodes[i]);
+
+  buildRecomputeClosure(liveOut, plan.cached, plan.recompute);
+  return plan;
+}
+
+} // namespace paralift::transforms

@@ -1,0 +1,41 @@
+// Live-value minimization for parallel-loop fission (§III-B1).
+//
+// When a thread-parallel body is split at a barrier, SSA values defined
+// before the split and used after it must be communicated through
+// per-thread cache arrays. Following the paper (and Enzyme's cache
+// minimization), we model the choice of *which* values to store versus
+// recompute as a min vertex cut on the SSA data-flow graph:
+//   - non-recomputable values (results of loads, calls, region ops) are
+//     connected to the source;
+//   - values used after the split are connected to the sink;
+//   - each value node has capacity equal to its byte width (memref-typed
+//     values get infinite capacity: they must be recomputed, e.g. a
+//     subview of a replicated array);
+//   - def->use edges are infinite.
+// The min cut is the cheapest set of values to cache; everything on the
+// sink side is recomputed in the second loop from the cached values.
+#pragma once
+
+#include "ir/op.h"
+
+#include <vector>
+
+namespace paralift::transforms {
+
+struct SplitPlan {
+  /// Scalar values to store into per-thread caches at the end of the
+  /// first loop and load at the start of the second.
+  std::vector<ir::Value> cached;
+  /// Ops (in original program order) to clone into the second loop to
+  /// recompute the remaining crossing values.
+  std::vector<ir::Op *> recompute;
+};
+
+/// Plans the split of a parallel body at `splitPoint` (a top-level barrier
+/// in the body). `liveOut` are the values defined by top-level ops before
+/// the split that are used at-or-after it. With `useMinCut` false, every
+/// scalar in `liveOut` is cached directly (MCUDA-style; the paper's
+/// "Opt Disabled" fission) and only memref-typed values are recomputed.
+SplitPlan planSplit(const std::vector<ir::Value> &liveOut, bool useMinCut);
+
+} // namespace paralift::transforms

@@ -1,0 +1,321 @@
+// Lowering of scf.parallel to the OpenMP-like dialect (§IV-D):
+//   - collapse of grid x block loops into one parallel loop when the grid
+//     body holds no shared memory,
+//   - omp.parallel { omp.wsloop } structure for outer loops,
+//   - parallel-region fusion across adjacent regions (Fig. 10),
+//   - parallel-region hoisting out of serial for loops (Fig. 11),
+//   - inner serialization: nested (block-level) scf.parallel loops become
+//     serial scf.for nests (PolygeistInnerSer) or nested omp regions
+//     (PolygeistInnerPar).
+#include "ir/builder.h"
+#include "ir/ophelpers.h"
+#include "transforms/passes.h"
+
+#include <unordered_map>
+
+using namespace paralift::ir;
+
+namespace paralift::transforms {
+
+namespace {
+
+/// Moves all ops of `from` except its terminator before `anchor`.
+void spliceBefore(Block &from, Block &to, Op *anchor) {
+  Op *term = from.terminator();
+  for (Op *op = from.front(), *next = nullptr; op && op != term; op = next) {
+    next = op->next();
+    op->removeFromParent();
+    to.insertBefore(anchor, op);
+  }
+}
+
+void remapUses(Op *op, const std::unordered_map<ValueImpl *, Value> &map) {
+  op->walk([&](Op *inner) {
+    for (unsigned i = 0; i < inner->numOperands(); ++i) {
+      auto it = map.find(inner->operand(i).impl());
+      if (it != map.end())
+        inner->setOperand(i, it->second);
+    }
+  });
+}
+
+/// Grid parallel whose body is { pure ops...; thread-parallel; yield }
+/// with thread bounds defined outside: merge into a single scf.parallel
+/// (pure prefix ops — e.g. LICM-hoisted index math — sink into the
+/// merged body).
+bool collapseOne(Op *gridOp) {
+  Block &gridBody = gridOp->region(0).front();
+  Op *first = gridBody.front();
+  // Skip a pure regionless prefix.
+  std::vector<Op *> prefix;
+  while (first && isPure(first->kind()) && first->numRegions() == 0) {
+    prefix.push_back(first);
+    first = first->next();
+  }
+  if (!first || first->kind() != OpKind::ScfParallel ||
+      first->next() != gridBody.terminator())
+    return false;
+  ir::ParallelOp grid(gridOp), inner(first);
+  for (unsigned i = 0; i < inner.op->numOperands(); ++i)
+    if (!isDefinedOutside(inner.op->operand(i), gridOp))
+      return false;
+
+  std::vector<Value> lbs, ubs, steps;
+  for (unsigned i = 0; i < grid.numDims(); ++i) {
+    lbs.push_back(grid.lb(i));
+    ubs.push_back(grid.ub(i));
+    steps.push_back(grid.step(i));
+  }
+  for (unsigned i = 0; i < inner.numDims(); ++i) {
+    lbs.push_back(inner.lb(i));
+    ubs.push_back(inner.ub(i));
+    steps.push_back(inner.step(i));
+  }
+  Builder b;
+  b.setInsertionPoint(gridOp);
+  ir::ParallelOp merged =
+      ir::ParallelOp::create(b, OpKind::ScfParallel, lbs, ubs, steps);
+  merged.op->attrs().set("gpu.grid", true);
+  std::unordered_map<ValueImpl *, Value> map;
+  for (unsigned i = 0; i < grid.numDims(); ++i)
+    map[grid.iv(i).impl()] = merged.iv(i);
+  for (unsigned i = 0; i < inner.numDims(); ++i)
+    map[inner.iv(i).impl()] = merged.iv(grid.numDims() + i);
+  Builder mb(&merged.body());
+  mb.yield({});
+  // Move the pure prefix first, then the thread body.
+  for (Op *op : prefix) {
+    op->removeFromParent();
+    merged.body().insertBefore(merged.body().terminator(), op);
+  }
+  spliceBefore(inner.body(), merged.body(), merged.body().terminator());
+  for (Op *op : merged.body())
+    remapUses(op, map);
+  first->erase();
+  gridOp->erase();
+  return true;
+}
+
+/// Rewrites a scf.parallel as omp.parallel { omp.wsloop }.
+void toOmp(Op *parOp) {
+  ir::ParallelOp par(parOp);
+  Builder b;
+  b.setInsertionPoint(parOp);
+  OmpParallelOp region = OmpParallelOp::create(b);
+  Builder rb(&region.body());
+  std::vector<Value> lbs, ubs, steps;
+  for (unsigned i = 0; i < par.numDims(); ++i) {
+    lbs.push_back(par.lb(i));
+    ubs.push_back(par.ub(i));
+    steps.push_back(par.step(i));
+  }
+  ir::ParallelOp ws =
+      ir::ParallelOp::create(rb, OpKind::OmpWsLoop, lbs, ubs, steps);
+  rb.yield({});
+  std::unordered_map<ValueImpl *, Value> map;
+  for (unsigned i = 0; i < par.numDims(); ++i)
+    map[par.iv(i).impl()] = ws.iv(i);
+  Builder wb(&ws.body());
+  wb.yield({});
+  spliceBefore(parOp->region(0).front(), ws.body(),
+               ws.body().terminator());
+  for (Op *op : ws.body())
+    remapUses(op, map);
+  parOp->erase();
+}
+
+/// Rewrites a scf.parallel as a serial scf.for nest.
+void serialize(Op *parOp) {
+  ir::ParallelOp par(parOp);
+  Builder b;
+  b.setInsertionPoint(parOp);
+  std::unordered_map<ValueImpl *, Value> map;
+  Block *innerBlock = nullptr;
+  for (unsigned i = 0; i < par.numDims(); ++i) {
+    ForOp loop = ForOp::create(b, par.lb(i), par.ub(i), par.step(i), {});
+    map[par.iv(i).impl()] = loop.iv();
+    Builder body(&loop.body());
+    body.yield({});
+    innerBlock = &loop.body();
+    b.setInsertionPoint(innerBlock->terminator());
+  }
+  spliceBefore(parOp->region(0).front(), *innerBlock,
+               innerBlock->terminator());
+  for (Op *op : *innerBlock)
+    remapUses(op, map);
+  parOp->erase();
+}
+
+/// Fig. 10: fuse adjacent omp.parallel siblings, separated only by pure
+/// ops, inserting an omp.barrier between their bodies.
+bool fuseAdjacent(Block &block) {
+  for (Op *op = block.front(); op; op = op->next()) {
+    if (op->kind() != OpKind::OmpParallel)
+      continue;
+    // Find the next omp.parallel, skipping pure ops (which we move above
+    // the first region so they stay visible to both).
+    std::vector<Op *> between;
+    Op *second = nullptr;
+    for (Op *cur = op->next(); cur; cur = cur->next()) {
+      if (cur->kind() == OpKind::OmpParallel) {
+        second = cur;
+        break;
+      }
+      if (isPure(cur->kind()) && cur->numRegions() == 0) {
+        between.push_back(cur);
+        continue;
+      }
+      break;
+    }
+    if (!second)
+      continue;
+    for (Op *p : between)
+      p->moveBefore(op);
+    Block &firstBody = op->region(0).front();
+    Builder b;
+    b.setInsertionPoint(firstBody.terminator());
+    b.createOp(OpKind::OmpBarrier, {}, {});
+    spliceBefore(second->region(0).front(), firstBody,
+                 firstBody.terminator());
+    second->erase();
+    return true;
+  }
+  return false;
+}
+
+/// Fig. 11: hoist omp.parallel out of a serial scf.for whose body is
+/// exactly { omp.parallel; yield }.
+bool hoistOne(Op *forOp) {
+  ForOp f(forOp);
+  if (f.numIterArgs() != 0)
+    return false;
+  Block &body = f.body();
+  Op *inner = body.front();
+  if (!inner || inner->kind() != OpKind::OmpParallel ||
+      inner->next() != body.terminator())
+    return false;
+  // All loop bounds already dominate the loop. Build:
+  // omp.parallel { scf.for { <inner body>; omp.barrier } }
+  Builder b;
+  b.setInsertionPoint(forOp);
+  OmpParallelOp region = OmpParallelOp::create(b);
+  Builder rb(&region.body());
+  ForOp newFor = ForOp::create(rb, f.lb(), f.ub(), f.step(), {});
+  rb.yield({});
+  Builder fb(&newFor.body());
+  fb.yield({});
+  std::unordered_map<ValueImpl *, Value> map;
+  map[f.iv().impl()] = newFor.iv();
+  spliceBefore(inner->region(0).front(), newFor.body(),
+               newFor.body().terminator());
+  Builder bb;
+  bb.setInsertionPoint(newFor.body().terminator());
+  bb.createOp(OpKind::OmpBarrier, {}, {});
+  for (Op *op : newFor.body())
+    remapUses(op, map);
+  inner->erase();
+  forOp->erase();
+  return true;
+}
+
+} // namespace
+
+void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
+  // 1. Collapse grid x block where possible.
+  if (opts.collapse) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<Op *> grids;
+      module.op->walk([&](Op *op) {
+        if (op->kind() == OpKind::ScfParallel &&
+            op->attrs().getBool("gpu.grid"))
+          grids.push_back(op);
+      });
+      for (Op *g : grids)
+        if (collapseOne(g)) {
+          changed = true;
+          break;
+        }
+    }
+  }
+
+  // 2. Outermost scf.parallel -> omp.parallel + wsloop.
+  {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<Op *> outers;
+      module.op->walk([&](Op *op) {
+        if (op->kind() == OpKind::ScfParallel &&
+            !getEnclosing(op, OpKind::ScfParallel) &&
+            !getEnclosing(op, OpKind::OmpParallel))
+          outers.push_back(op);
+      });
+      for (Op *p : outers) {
+        toOmp(p);
+        changed = true;
+        break; // re-walk; op pointers invalidated
+      }
+    }
+  }
+
+  // 3. Nested scf.parallel: serialize or lower to nested omp regions.
+  {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<Op *> inners;
+      module.op->walk([&](Op *op) {
+        if (op->kind() == OpKind::ScfParallel)
+          inners.push_back(op);
+      });
+      for (Op *p : inners) {
+        if (opts.innerSerialize || opts.outerOnly)
+          serialize(p);
+        else
+          toOmp(p);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // 4. OpenMP region optimizations.
+  if (opts.fuseRegions) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<Block *> blocks;
+      module.op->walk([&](Op *op) {
+        for (unsigned r = 0; r < op->numRegions(); ++r)
+          for (auto &b : op->region(r).blocks())
+            blocks.push_back(b.get());
+      });
+      for (Block *b : blocks)
+        if (fuseAdjacent(*b)) {
+          changed = true;
+          break;
+        }
+    }
+  }
+  if (opts.hoistRegions) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<Op *> fors;
+      module.op->walk([&](Op *op) {
+        if (op->kind() == OpKind::ScfFor &&
+            !getEnclosing(op, OpKind::OmpParallel))
+          fors.push_back(op);
+      });
+      for (Op *f : fors)
+        if (hoistOne(f)) {
+          changed = true;
+          break;
+        }
+    }
+  }
+}
+
+} // namespace paralift::transforms

@@ -1,0 +1,124 @@
+// Entry points for all ParaLift transformations and the pipeline driver.
+//
+// Pipeline (mirrors the paper):
+//   frontend IR
+//     -> inline (device functions into kernels)
+//     -> canonicalize / CSE / mem2reg / store-forward / LICM (incl. parallel
+//        LICM, §IV-C) / barrier elimination (§IV-A)      [core opts]
+//     -> loop unroll of constant-trip barrier loops       ["affine" opts]
+//     -> cpuify: barrier lowering by parallel-loop fission with min-cut
+//        (§III-B1) and interchange (§III-B2)
+//     -> omp lowering: collapse / fusion / hoisting / inner serialization
+//        (§IV-D)
+#pragma once
+
+#include "ir/ophelpers.h"
+#include "support/diagnostics.h"
+
+namespace paralift::transforms {
+
+using ir::ModuleOp;
+
+/// Options reproducing the paper's ablation axes (Fig. 13 left) plus the
+/// MCUDA comparison mode (Fig. 12).
+struct PipelineOptions {
+  /// Core optimizations: inline, canonicalize, CSE, mem2reg,
+  /// store-forwarding, LICM, barrier elimination. Off only in MCUDA mode.
+  bool coreOpts = true;
+  /// Min-cut live-value minimization during fission ("mincut").
+  bool minCut = true;
+  /// Barrier motion to shrink fission caches (§IV-A; our ablation axis —
+  /// the paper folds motion into the barrier-elimination discussion).
+  bool barrierMotion = true;
+  /// OpenMP region fusion/hoisting/collapse ("openmpopt").
+  bool openmpOpt = true;
+  /// Raising + unrolling of constant-trip loops ("affine").
+  bool affineOpts = true;
+  /// Serialize thread-level loops instead of nested parallelism
+  /// ("innerser"; PolygeistInnerSer vs PolygeistInnerPar).
+  bool innerSerialize = true;
+  /// MCUDA emulation: fission-only lowering, outer-loop parallelism only,
+  /// no parallel-specific optimization.
+  bool mcudaMode = false;
+
+  static PipelineOptions optDisabled() {
+    PipelineOptions o;
+    o.minCut = o.barrierMotion = o.openmpOpt = o.affineOpts =
+        o.innerSerialize = false;
+    return o;
+  }
+  static PipelineOptions mcuda() {
+    PipelineOptions o;
+    o.coreOpts = false;
+    o.minCut = o.barrierMotion = o.openmpOpt = o.affineOpts = false;
+    o.innerSerialize = true; // MCUDA parallelizes only the outermost loop
+    o.mcudaMode = true;
+    return o;
+  }
+};
+
+// Individual passes ----------------------------------------------------------
+
+/// Constant folding, algebraic simplification, structured-control-flow
+/// folding and dead-code elimination, to fixpoint.
+void runCanonicalize(ModuleOp module);
+
+/// Common subexpression elimination of pure ops (per-block scope).
+void runCSE(ModuleOp module);
+
+/// Inlines calls to module-local functions. With `onlyInKernels`, only
+/// call sites nested in gpu parallel nests are inlined (device functions).
+void runInliner(ModuleOp module, bool onlyInKernels = false);
+
+/// Scalar (rank-0 alloca) promotion to SSA across structured control flow.
+/// Respects the barrier hole: allocas used inside barrier-containing
+/// region ops are skipped (they are handled by replication in cpuify).
+void runMem2Reg(ModuleOp module);
+
+/// Store-to-load forwarding and dead-store elimination on arrays with
+/// syntactically identical thread-private indices, across barriers
+/// (§IV-B; the Fig. 9 "unnecessary store/load" case).
+void runStoreForward(ModuleOp module);
+
+/// Loop-invariant code motion. Serial loops use the classic rule;
+/// parallel loops use the lock-step rule of §IV-C (only *prior* ops in
+/// the body need to be conflict-free).
+void runLICM(ModuleOp module);
+
+/// Erases barriers proven redundant by memory semantics (§IV-A).
+void runBarrierElim(ModuleOp module);
+
+/// Hoists barriers earlier within a thread-parallel body when legal (the
+/// §IV-A fictitious-barrier criterion) and profitable (strictly fewer
+/// bytes live across the barrier, shrinking cpuify's fission caches).
+void runBarrierMotion(ModuleOp module);
+
+/// Fully unrolls scf.for loops with constant trip count <= threshold.
+/// Loops containing barriers are prioritized (enables straight-line
+/// fission; the paper's backprop 2.6x case).
+void runUnroll(ModuleOp module, int64_t maxTrip = 8);
+
+/// Barrier lowering: eliminates every polygeist.barrier by parallel-loop
+/// fission and interchange. With `useMinCut`, crossing values are chosen
+/// by a max-flow min-cut over the SSA graph; otherwise all live crossing
+/// scalars are cached (MCUDA-style).
+void runCpuify(ModuleOp module, bool useMinCut, DiagnosticEngine &diag);
+
+struct OmpLowerOptions {
+  bool collapse = true;       ///< merge grid+block loops when no shared mem
+  bool fuseRegions = true;    ///< Fig. 10 parallel-region fusion
+  bool hoistRegions = true;   ///< Fig. 11 parallel-region hoisting
+  bool innerSerialize = true; ///< serialize nested (block-level) loops
+  bool outerOnly = false;     ///< MCUDA: parallelize only outermost loop
+};
+
+/// Lowers scf.parallel to omp.parallel/omp.wsloop with the §IV-D
+/// optimizations.
+void runOmpLower(ModuleOp module, const OmpLowerOptions &opts);
+
+/// Full pipeline per PipelineOptions. Returns false if a hard error was
+/// reported (e.g. non-uniform barrier condition).
+bool runPipeline(ModuleOp module, const PipelineOptions &opts,
+                 DiagnosticEngine &diag);
+
+} // namespace paralift::transforms

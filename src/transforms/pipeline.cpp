@@ -1,0 +1,68 @@
+// The full compilation pipeline, assembling the individual passes per
+// the ablation/pipeline options (see passes.h for the stage diagram).
+#include "ir/verifier.h"
+#include "transforms/passes.h"
+
+namespace paralift::transforms {
+
+bool runPipeline(ModuleOp module, const PipelineOptions &opts,
+                 DiagnosticEngine &diag) {
+  // Device-function inlining is required for barrier lowering and the
+  // SIMT executor, so it runs even in MCUDA mode.
+  runInliner(module, /*onlyInKernels=*/!opts.coreOpts);
+
+  if (opts.coreOpts) {
+    runCanonicalize(module);
+    runCSE(module);
+    runMem2Reg(module);
+    // CSE again: promotion turns per-use load+cast chains into identical
+    // pure chains, which store-forwarding matches syntactically.
+    runCSE(module);
+    runStoreForward(module);
+    runCanonicalize(module);
+    runLICM(module);
+    runCSE(module);
+    runBarrierElim(module);
+    if (opts.barrierMotion)
+      runBarrierMotion(module);
+  }
+
+  if (opts.affineOpts) {
+    runUnroll(module);
+    runCanonicalize(module);
+    if (opts.coreOpts) {
+      runCSE(module);
+      runStoreForward(module);
+      runBarrierElim(module);
+      if (opts.barrierMotion)
+        runBarrierMotion(module);
+    }
+  }
+
+  runCpuify(module, opts.minCut && !opts.mcudaMode, diag);
+  if (diag.hasErrors())
+    return false;
+
+  if (opts.coreOpts) {
+    runCanonicalize(module);
+    runCSE(module);
+    runMem2Reg(module);
+    runLICM(module);
+  }
+
+  OmpLowerOptions ompOpts;
+  ompOpts.collapse = opts.openmpOpt;
+  ompOpts.fuseRegions = opts.openmpOpt;
+  ompOpts.hoistRegions = opts.openmpOpt;
+  ompOpts.innerSerialize = opts.innerSerialize;
+  ompOpts.outerOnly = opts.mcudaMode;
+  runOmpLower(module, ompOpts);
+
+  if (opts.coreOpts) {
+    runCanonicalize(module);
+    runCSE(module);
+  }
+  return ir::verifyOk(module.op);
+}
+
+} // namespace paralift::transforms

@@ -1,0 +1,122 @@
+#include "transforms/registry.h"
+
+#include "ir/verifier.h"
+
+namespace paralift::transforms {
+
+namespace {
+
+/// Adapts a diag-free pass to the registry signature.
+PassInfo simple(std::string name, std::string description,
+                void (*fn)(ModuleOp)) {
+  return {std::move(name), std::move(description),
+          [fn](ModuleOp m, DiagnosticEngine &) { fn(m); }};
+}
+
+std::vector<PassInfo> buildRegistry() {
+  std::vector<PassInfo> passes;
+  passes.push_back(simple("canonicalize",
+                          "fold constants, simplify control flow, DCE",
+                          runCanonicalize));
+  passes.push_back(simple("cse", "common subexpression elimination", runCSE));
+  passes.push_back({"inline", "inline module-local calls",
+                    [](ModuleOp m, DiagnosticEngine &) { runInliner(m); }});
+  passes.push_back({"inline-kernels",
+                    "inline device functions into parallel nests",
+                    [](ModuleOp m, DiagnosticEngine &) {
+                      runInliner(m, /*onlyInKernels=*/true);
+                    }});
+  passes.push_back(simple("mem2reg",
+                          "promote scalar allocas to SSA (barrier-aware)",
+                          runMem2Reg));
+  passes.push_back(simple("store-forward",
+                          "store-to-load forwarding across barriers (§IV-B)",
+                          runStoreForward));
+  passes.push_back(simple("licm",
+                          "loop-invariant code motion (parallel rule §IV-C)",
+                          runLICM));
+  passes.push_back(simple("barrier-elim",
+                          "erase redundant barriers (§IV-A)",
+                          runBarrierElim));
+  passes.push_back(simple("barrier-motion",
+                          "hoist barriers to shrink fission caches (§IV-A)",
+                          runBarrierMotion));
+  passes.push_back({"unroll", "fully unroll constant-trip scf.for loops",
+                    [](ModuleOp m, DiagnosticEngine &) { runUnroll(m); }});
+  passes.push_back({"cpuify",
+                    "lower barriers by fission (min-cut) + interchange",
+                    [](ModuleOp m, DiagnosticEngine &diag) {
+                      runCpuify(m, /*useMinCut=*/true, diag);
+                    }});
+  passes.push_back({"cpuify-nomincut",
+                    "lower barriers caching all live values (MCUDA-style)",
+                    [](ModuleOp m, DiagnosticEngine &diag) {
+                      runCpuify(m, /*useMinCut=*/false, diag);
+                    }});
+  passes.push_back({"omp-lower",
+                    "lower scf.parallel to omp with fusion/hoist/collapse",
+                    [](ModuleOp m, DiagnosticEngine &) {
+                      runOmpLower(m, OmpLowerOptions{});
+                    }});
+  passes.push_back({"omp-lower-innerpar",
+                    "omp lowering keeping nested (block-level) parallelism",
+                    [](ModuleOp m, DiagnosticEngine &) {
+                      OmpLowerOptions o;
+                      o.innerSerialize = false;
+                      runOmpLower(m, o);
+                    }});
+  passes.push_back({"omp-lower-outer-only",
+                    "omp lowering parallelizing only the outermost loop",
+                    [](ModuleOp m, DiagnosticEngine &) {
+                      OmpLowerOptions o;
+                      o.collapse = o.fuseRegions = o.hoistRegions = false;
+                      o.outerOnly = true;
+                      runOmpLower(m, o);
+                    }});
+  return passes;
+}
+
+} // namespace
+
+const std::vector<PassInfo> &passRegistry() {
+  static const std::vector<PassInfo> registry = buildRegistry();
+  return registry;
+}
+
+const PassInfo *lookupPass(const std::string &name) {
+  for (const PassInfo &p : passRegistry())
+    if (p.name == name)
+      return &p;
+  return nullptr;
+}
+
+bool runPassPipeline(ModuleOp module, const std::string &pipeline,
+                     DiagnosticEngine &diag) {
+  size_t pos = 0;
+  while (pos <= pipeline.size()) {
+    size_t comma = pipeline.find(',', pos);
+    std::string name = comma == std::string::npos
+                           ? pipeline.substr(pos)
+                           : pipeline.substr(pos, comma - pos);
+    if (!name.empty()) {
+      const PassInfo *pass = lookupPass(name);
+      if (!pass) {
+        diag.error({}, "unknown pass '" + name + "'");
+        return false;
+      }
+      pass->run(module, diag);
+      if (diag.hasErrors())
+        return false;
+      for (const std::string &msg : ir::verify(module.op)) {
+        diag.error({}, "after pass '" + name + "': " + msg);
+        return false;
+      }
+    }
+    if (comma == std::string::npos)
+      break;
+    pos = comma + 1;
+  }
+  return true;
+}
+
+} // namespace paralift::transforms

@@ -1,0 +1,33 @@
+// Name-based pass registry: maps textual pass names (as used by
+// tools/paralift-opt pipelines and by tests) onto the pass entry points
+// in passes.h. Parameterized passes are registered as named variants
+// (e.g. "cpuify" vs "cpuify-nomincut").
+#pragma once
+
+#include "transforms/passes.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace paralift::transforms {
+
+struct PassInfo {
+  std::string name;
+  std::string description;
+  std::function<void(ModuleOp, DiagnosticEngine &)> run;
+};
+
+/// All registered passes, in a stable order suitable for --help listings.
+const std::vector<PassInfo> &passRegistry();
+
+/// Finds a pass by name; nullptr if unknown.
+const PassInfo *lookupPass(const std::string &name);
+
+/// Runs a comma-separated pipeline ("canonicalize,cse,cpuify"). Reports
+/// unknown pass names and verifier failures through `diag`; returns false
+/// on any error.
+bool runPassPipeline(ModuleOp module, const std::string &pipeline,
+                     DiagnosticEngine &diag);
+
+} // namespace paralift::transforms

@@ -1,0 +1,136 @@
+// Bytecode for the ParaLift VM: a register machine compiled from the IR.
+//
+// Serial structured control flow (scf.for/if/while and omp.wsloop chunking)
+// is flattened to jumps within one frame. Region ops that execute on other
+// threads (omp.parallel) or with SIMT semantics (scf.parallel) become
+// closures: separately compiled functions receiving captured values plus
+// induction variables as leading registers.
+//
+// Both the transpiled-CUDA and the reference-OpenMP sides of every
+// benchmark run on this same VM, so relative performance comparisons
+// isolate the compiler's effects (see DESIGN.md).
+#pragma once
+
+#include "ir/type.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace paralift::vm {
+
+using ir::Type;
+using ir::TypeKind;
+
+/// One 8-byte VM register.
+union Slot {
+  int64_t i;
+  double f;
+  void *p;
+};
+
+constexpr unsigned kMaxRank = 6;
+
+/// Runtime memref descriptor: base pointer + row-major sizes.
+struct MemRef {
+  TypeKind elem = TypeKind::F32;
+  uint8_t rank = 0;
+  char *data = nullptr;
+  int64_t sizes[kMaxRank] = {};
+
+  int64_t numElements() const {
+    int64_t n = 1;
+    for (unsigned i = 0; i < rank; ++i)
+      n *= sizes[i];
+    return n;
+  }
+  int64_t byteSize() const {
+    return numElements() * ir::byteWidth(elem);
+  }
+};
+
+enum class BC : uint8_t {
+  ConstI,    ///< d <- imm
+  ConstF,    ///< d <- fimm
+  Copy,      ///< d <- a
+  // Integer arithmetic (a, b -> d); t selects 32/64-bit wrapping.
+  AddI, SubI, MulI, DivSI, RemSI, AndI, OrI, XOrI, ShLI, ShRSI, MinSI, MaxSI,
+  CmpI,      ///< d <- pred(a, b); pred in imm
+  // Float arithmetic (a, b -> d); t selects f32 rounding.
+  AddF, SubF, MulF, DivF, RemF, MinF, MaxF, PowF,
+  // Float unary (a -> d).
+  NegF, SqrtF, ExpF, LogF, AbsF, SinF, CosF, TanhF, FloorF, CeilF,
+  CmpF,      ///< d <- pred(a, b); pred in imm
+  Select,    ///< d <- a ? b : c
+  SIToFP,    ///< d.f <- (double)a.i
+  FPToSI,    ///< d.i <- (int64)a.f
+  TruncI32,  ///< d.i <- sign-extended int32 of a.i
+  Alloca,    ///< d <- stack memref; imm = shape idx; extras[b..b+c) extents
+  AllocHeap, ///< like Alloca but heap-lifetime (freed at invocation end)
+  Dealloc,   ///< frees a (no-op for arena buffers; kept for symmetry)
+  Load,      ///< d <- a[extras[b..b+c)]; t = elem kind
+  Store,     ///< a[extras[b..b+c)] <- d
+  Dim,       ///< d <- a.sizes[imm]
+  SubView,   ///< d <- subview(a, extras[b..b+c))
+  Jump,        ///< pc <- imm
+  JumpIfFalse, ///< if !a: pc <- imm
+  Call,      ///< imm = callee index; extras[b..b+c) args; extras[b+c..b+c+d) results
+  Ret,       ///< return extras[b..b+c)
+  GetTid,      ///< d <- current team thread id
+  GetTeamSize, ///< d <- current team size
+  TeamBarrier, ///< omp.barrier
+  SimtBarrier, ///< polygeist.barrier: lockstep suspension point
+  ParallelOmp, ///< imm = closure idx: run on a fresh team
+  ParallelScf, ///< imm = closure idx: SIMT/serial execution
+  ScopePush,   ///< arena mark (allocas inside loops are scoped)
+  ScopePop,
+};
+
+struct Instr {
+  BC op;
+  TypeKind t = TypeKind::None;
+  int32_t a = 0, b = 0, c = 0, d = 0;
+  int64_t imm = 0;
+  double fimm = 0;
+};
+
+/// Static memref shape template referenced by Alloca/AllocHeap.
+struct ShapeInfo {
+  TypeKind elem;
+  std::vector<int64_t> dims; ///< Type::kDynamic entries consume extent regs
+};
+
+/// A parallel region body compiled as a separate function. Frame layout of
+/// the closure function: [captures..., ivs..., locals...].
+struct Closure {
+  uint32_t fnIndex = 0;
+  std::vector<int32_t> captureRegs; ///< registers in the enclosing frame
+  uint8_t numIvs = 0;               ///< 0 for omp.parallel
+  std::vector<int32_t> lbs, ubs, steps; ///< enclosing-frame registers
+  bool gpuBlock = false;
+  bool gpuGrid = false;
+};
+
+struct BCFunction {
+  std::string name;
+  uint32_t numRegs = 0;
+  uint32_t numArgs = 0;
+  uint32_t numResults = 0;
+  std::vector<Instr> instrs;
+  std::vector<int32_t> extras;
+  std::vector<ShapeInfo> shapes;
+  std::vector<Closure> closures;
+};
+
+struct BCModule {
+  std::vector<BCFunction> fns;
+  std::unordered_map<std::string, uint32_t> byName;
+
+  const BCFunction *lookup(const std::string &name) const {
+    auto it = byName.find(name);
+    return it == byName.end() ? nullptr : &fns[it->second];
+  }
+};
+
+} // namespace paralift::vm

@@ -1,0 +1,12 @@
+// IR -> bytecode compilation.
+#pragma once
+
+#include "ir/ophelpers.h"
+#include "vm/bytecode.h"
+
+namespace paralift::vm {
+
+/// Compiles every function in `module` (must verify) into a BCModule.
+BCModule compileModule(ir::ModuleOp module);
+
+} // namespace paralift::vm

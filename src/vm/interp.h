@@ -1,0 +1,100 @@
+// The ParaLift VM: executes bytecode on the thread-pool runtime.
+//
+// Three execution regimes:
+//  - plain serial interpretation (host code, serialized loops);
+//  - team execution for omp.parallel/omp.wsloop/omp.barrier;
+//  - lockstep SIMT execution for gpu.block scf.parallel loops: every
+//    thread of a block gets its own context, contexts run until they hit
+//    a SimtBarrier, and resume together — giving ground-truth CUDA
+//    __syncthreads semantics for validating the transpilation pipelines.
+#pragma once
+
+#include "runtime/thread_pool.h"
+#include "vm/bytecode.h"
+
+#include <deque>
+#include <memory>
+
+namespace paralift::vm {
+
+/// Per-execution memory arena with scope marks (allocas inside loops are
+/// released at the end of each iteration).
+class Arena {
+public:
+  MemRef *newDesc() {
+    descs_.push_back(std::make_unique<MemRef>());
+    return descs_.back().get();
+  }
+  char *allocate(size_t bytes) {
+    bufs_.push_back(std::make_unique<char[]>(bytes));
+    return bufs_.back().get();
+  }
+  struct Mark {
+    size_t descs, bufs;
+  };
+  Mark mark() const { return {descs_.size(), bufs_.size()}; }
+  void release(Mark m) {
+    descs_.resize(m.descs);
+    bufs_.resize(m.bufs);
+  }
+
+private:
+  std::vector<std::unique_ptr<MemRef>> descs_;
+  std::vector<std::unique_ptr<char[]>> bufs_;
+};
+
+struct ExecOptions {
+  bool boundsCheck = true;
+};
+
+class Interp {
+public:
+  Interp(const BCModule &mod, runtime::ThreadPool &pool,
+         ExecOptions opts = {})
+      : mod_(mod), pool_(pool), opts_(opts) {}
+
+  /// Calls a named function; args are pre-populated registers (scalars or
+  /// MemRef* created via makeMemRef). Returns the function results.
+  std::vector<Slot> call(const std::string &name, std::vector<Slot> args);
+
+  /// Wraps an external buffer in a descriptor owned by this Interp (alive
+  /// until destruction).
+  Slot makeMemRef(TypeKind elem, void *data,
+                  const std::vector<int64_t> &sizes);
+
+private:
+  struct Ctx {
+    runtime::Team *team = nullptr;
+    unsigned tid = 0;
+    Arena *arena = nullptr;
+  };
+
+  enum class StepResult { Continue, Returned, Barrier };
+
+  /// Executes the instruction at `pc`, advancing it. The workhorse shared
+  /// by the serial interpreter and the lockstep engine.
+  StepResult step(const BCFunction &fn, Slot *regs, Ctx &ctx,
+                  std::vector<Arena::Mark> &scopes, size_t &pc,
+                  std::vector<Slot> *results);
+
+  void exec(const BCFunction &fn, Slot *regs, Ctx &ctx,
+            std::vector<Slot> *results);
+  void execParallelOmp(const BCFunction &fn, const Closure &c, Slot *regs,
+                       Ctx &ctx);
+  void execParallelScf(const BCFunction &fn, const Closure &c, Slot *regs,
+                       Ctx &ctx);
+  void execLockstep(const BCFunction &body, const std::vector<Slot> &base,
+                    const std::vector<int64_t> &lbs,
+                    const std::vector<int64_t> &ubs,
+                    const std::vector<int64_t> &steps, unsigned numCaptures);
+
+  MemRef *doAlloca(const BCFunction &fn, const Instr &in, Slot *regs,
+                   Arena &arena);
+
+  const BCModule &mod_;
+  runtime::ThreadPool &pool_;
+  ExecOptions opts_;
+  Arena external_; ///< descriptors for user-supplied buffers
+};
+
+} // namespace paralift::vm

@@ -1,0 +1,482 @@
+// Unit tests for the analysis layer: memory effects and base-object
+// aliasing (analysis/memory.h), linear decomposition / thread-privacy /
+// uniformity (analysis/affine.h), and barrier effect sets with the
+// thread-private hole (analysis/barrier.h) — the semantic core of §III-A.
+#include "analysis/affine.h"
+#include "analysis/barrier.h"
+#include "analysis/memory.h"
+
+#include "ir/builder.h"
+#include "ir/ophelpers.h"
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace paralift;
+using namespace paralift::ir;
+using namespace paralift::analysis;
+
+namespace {
+
+/// A module with one function `test(memref<?xf32> a, memref<?xf32> b)`
+/// and a builder positioned in its body.
+struct TestFunc {
+  OwnedModule module;
+  FuncOp func;
+  Builder b;
+
+  TestFunc()
+      : func(FuncOp::create(module.get(), "test",
+                            {Type::memref(TypeKind::F32, {Type::kDynamic}),
+                             Type::memref(TypeKind::F32, {Type::kDynamic})},
+                            {})),
+        b(&func.body()) {}
+
+  Value argA() const { return func.arg(0); }
+  Value argB() const { return func.arg(1); }
+
+  /// Opens a 1-D thread-parallel (gpu.block) region [0, 16) and positions
+  /// the builder inside. Returns the parallel op.
+  ParallelOp openThreadParallel(unsigned dims = 1) {
+    std::vector<Value> lbs, ubs, steps;
+    for (unsigned i = 0; i < dims; ++i) {
+      lbs.push_back(b.constIndex(0));
+      ubs.push_back(b.constIndex(16));
+      steps.push_back(b.constIndex(1));
+    }
+    ParallelOp par = ParallelOp::create(b, OpKind::ScfParallel, lbs, ubs,
+                                        steps);
+    par.op->attrs().set("gpu.block", true);
+    b.setInsertionPointToEnd(&par.body());
+    return par;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Memory effects
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryEffectTest, LoadReadsBase) {
+  TestFunc f;
+  Value i = f.b.constIndex(0);
+  Value v = f.b.load(f.argA(), {i});
+  std::vector<MemoryEffect> effects;
+  getOpEffects(v.definingOp(), effects);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, EffectKind::Read);
+  EXPECT_EQ(effects[0].base, f.argA());
+}
+
+TEST(MemoryEffectTest, StoreWritesBase) {
+  TestFunc f;
+  Value i = f.b.constIndex(0);
+  Value v = f.b.constF32(1.0);
+  f.b.store(v, f.argA(), {i});
+  std::vector<MemoryEffect> effects;
+  getOpEffects(f.func.body().back(), effects);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, EffectKind::Write);
+  EXPECT_EQ(effects[0].base, f.argA());
+}
+
+TEST(MemoryEffectTest, PureOpsAreEffectFree) {
+  TestFunc f;
+  Value a = f.b.constF32(1.0);
+  Value s = f.b.addf(a, a);
+  EXPECT_TRUE(isEffectFree(a.definingOp()));
+  EXPECT_TRUE(isEffectFree(s.definingOp()));
+  EXPECT_TRUE(isReadOnly(s.definingOp()));
+  EXPECT_FALSE(mayWrite(s.definingOp()));
+}
+
+TEST(MemoryEffectTest, CallHasUnknownEffects) {
+  TestFunc f;
+  CallOp call = CallOp::create(f.b, "extern_fn", {}, {});
+  EXPECT_TRUE(mayWrite(call.op));
+  EXPECT_FALSE(isReadOnly(call.op));
+  std::vector<MemoryEffect> effects;
+  getOpEffects(call.op, effects);
+  bool hasUnknownWrite = false;
+  for (auto &e : effects)
+    if (e.kind == EffectKind::Write && !e.base)
+      hasUnknownWrite = true;
+  EXPECT_TRUE(hasUnknownWrite);
+}
+
+TEST(MemoryEffectTest, RecursiveEffectsSeeNestedStores) {
+  TestFunc f;
+  Value lb = f.b.constIndex(0), ub = f.b.constIndex(4),
+        step = f.b.constIndex(1);
+  ForOp loop = ForOp::create(f.b, lb, ub, step);
+  Builder inner(&loop.body());
+  Value c = inner.constF32(0.0);
+  inner.store(c, f.argA(), {loop.iv()});
+  inner.yield();
+  EXPECT_TRUE(mayWrite(loop.op));
+  std::vector<MemoryEffect> effects;
+  getEffectsRecursive(loop.op, effects);
+  bool writesA = false;
+  for (auto &e : effects)
+    if (e.kind == EffectKind::Write && e.base == f.argA())
+      writesA = true;
+  EXPECT_TRUE(writesA);
+}
+
+TEST(MemoryEffectTest, AllocaIsAllocEffect) {
+  TestFunc f;
+  Value m = f.b.allocaMem(Type::memref(TypeKind::F32, {8}));
+  std::vector<MemoryEffect> effects;
+  getOpEffects(m.definingOp(), effects);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].kind, EffectKind::Alloc);
+}
+
+//===----------------------------------------------------------------------===//
+// Base objects and aliasing
+//===----------------------------------------------------------------------===//
+
+TEST(AliasTest, SubViewChainsStripToBase) {
+  TestFunc f;
+  Value m = f.b.allocaMem(Type::memref(TypeKind::F32, {4, 4}));
+  Value i = f.b.constIndex(1);
+  Value row = f.b.subview(m, {i});
+  EXPECT_EQ(getBase(row), m);
+  EXPECT_EQ(getBase(m), m);
+}
+
+TEST(AliasTest, DistinctAllocationsDoNotAlias) {
+  TestFunc f;
+  Value m1 = f.b.allocaMem(Type::memref(TypeKind::F32, {8}));
+  Value m2 = f.b.allocaMem(Type::memref(TypeKind::F32, {8}));
+  EXPECT_FALSE(mayAlias(m1, m2));
+  EXPECT_TRUE(mayAlias(m1, m1));
+}
+
+TEST(AliasTest, AllocationNeverAliasesArgument) {
+  TestFunc f;
+  Value m = f.b.allocaMem(Type::memref(TypeKind::F32, {8}));
+  EXPECT_FALSE(mayAlias(m, f.argA()));
+}
+
+TEST(AliasTest, DistinctArgumentsAreNoAlias) {
+  // Kernel pointer args are treated as restrict (see memory.h docs).
+  TestFunc f;
+  EXPECT_FALSE(mayAlias(f.argA(), f.argB()));
+  EXPECT_TRUE(mayAlias(f.argA(), f.argA()));
+}
+
+TEST(AliasTest, SubViewsOfSameBaseMayAlias) {
+  TestFunc f;
+  Value m = f.b.allocaMem(Type::memref(TypeKind::F32, {4, 4}));
+  Value i = f.b.constIndex(0), j = f.b.constIndex(1);
+  Value r0 = f.b.subview(m, {i});
+  Value r1 = f.b.subview(m, {j});
+  EXPECT_TRUE(mayAlias(r0, r1));
+}
+
+TEST(AliasTest, NonEscapingAlloc) {
+  TestFunc f;
+  Value m = f.b.allocaMem(Type::memref(TypeKind::F32, {8}));
+  Value i = f.b.constIndex(0);
+  Value v = f.b.load(m, {i});
+  f.b.store(v, m, {i});
+  EXPECT_TRUE(isNonEscapingAlloc(m));
+
+  Value esc = f.b.allocaMem(Type::memref(TypeKind::F32, {8}));
+  CallOp::create(f.b, "sink", {esc}, {});
+  EXPECT_FALSE(isNonEscapingAlloc(esc));
+}
+
+//===----------------------------------------------------------------------===//
+// Linear decomposition
+//===----------------------------------------------------------------------===//
+
+TEST(LinearTest, ConstantOnly) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  Value c = b.constIndex(7);
+  LinearExpr e = decomposeLinear(c, {par.iv(0)});
+  EXPECT_FALSE(e.unknown);
+  EXPECT_EQ(e.constant, 7);
+  EXPECT_TRUE(e.coeffs.empty());
+  EXPECT_FALSE(e.dependsOnIvs());
+}
+
+TEST(LinearTest, BareIv) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  LinearExpr e = decomposeLinear(par.iv(0), {par.iv(0)});
+  EXPECT_FALSE(e.unknown);
+  ASSERT_EQ(e.coeffs.size(), 1u);
+  EXPECT_EQ(e.coeffs.at(0), 1);
+  EXPECT_TRUE(e.dependsOnIvs());
+}
+
+TEST(LinearTest, ScaledIvPlusConstant) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  Value scaled = b.muli(par.iv(0), b.constIndex(3));
+  Value idx = b.addi(scaled, b.constIndex(5));
+  LinearExpr e = decomposeLinear(idx, {par.iv(0)});
+  EXPECT_FALSE(e.unknown);
+  EXPECT_EQ(e.constant, 5);
+  EXPECT_EQ(e.coeffs.at(0), 3);
+}
+
+TEST(LinearTest, TwoIvs) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel(2);
+  Builder &b = f.b;
+  Value idx = b.addi(par.iv(0), b.muli(par.iv(1), b.constIndex(16)));
+  LinearExpr e = decomposeLinear(idx, {par.iv(0), par.iv(1)});
+  EXPECT_FALSE(e.unknown);
+  EXPECT_EQ(e.coeffs.at(0), 1);
+  EXPECT_EQ(e.coeffs.at(1), 16);
+}
+
+TEST(LinearTest, IvTimesIvIsUnknown) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Value sq = f.b.muli(par.iv(0), par.iv(0));
+  LinearExpr e = decomposeLinear(sq, {par.iv(0)});
+  EXPECT_TRUE(e.unknown);
+}
+
+TEST(LinearTest, SubtractionNegatesCoefficient) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  Value idx = b.subi(b.constIndex(15), par.iv(0));
+  LinearExpr e = decomposeLinear(idx, {par.iv(0)});
+  EXPECT_FALSE(e.unknown);
+  EXPECT_EQ(e.constant, 15);
+  EXPECT_EQ(e.coeffs.at(0), -1);
+}
+
+TEST(LinearTest, DependsOnIvsTransitively) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  Value x = b.addi(par.iv(0), b.constIndex(1));
+  Value y = b.muli(x, b.constIndex(2));
+  EXPECT_TRUE(dependsOnIvs(y, {par.iv(0)}));
+  EXPECT_FALSE(dependsOnIvs(b.constIndex(3), {par.iv(0)}));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread privacy (the §III-A "hole")
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPrivateTest, DirectIvIndexIsPrivate) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Value v = f.b.constF32(1.0);
+  f.b.store(v, f.argA(), {par.iv(0)});
+  Op *store = par.body().back();
+  EXPECT_TRUE(isThreadPrivateAccess(store, {par.iv(0)}));
+}
+
+TEST(ThreadPrivateTest, OffsetIvIndexIsPrivate) {
+  // a[tid + 1] is still injective in tid.
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  Value idx = b.addi(par.iv(0), b.constIndex(1));
+  b.store(b.constF32(1.0), f.argA(), {idx});
+  Op *store = par.body().back();
+  EXPECT_TRUE(isThreadPrivateAccess(store, {par.iv(0)}));
+}
+
+TEST(ThreadPrivateTest, ConstantIndexIsShared) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Value i = f.b.constIndex(0);
+  f.b.store(f.b.constF32(1.0), f.argA(), {i});
+  Op *store = par.body().back();
+  EXPECT_FALSE(isThreadPrivateAccess(store, {par.iv(0)}));
+}
+
+TEST(ThreadPrivateTest, MissingIvDimensionIsShared) {
+  // In a 2-D block, a[iv0] collides across iv1.
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel(2);
+  f.b.store(f.b.constF32(1.0), f.argA(), {par.iv(0)});
+  Op *store = par.body().back();
+  EXPECT_FALSE(isThreadPrivateAccess(store, {par.iv(0), par.iv(1)}));
+}
+
+//===----------------------------------------------------------------------===//
+// Uniformity (required for interchange, §III-B2)
+//===----------------------------------------------------------------------===//
+
+TEST(UniformTest, ConstantsAndArgsAreUniform) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Value c = f.b.constIndex(3);
+  EXPECT_TRUE(isUniform(c, par.op));
+  EXPECT_TRUE(isUniform(f.argA(), par.op));
+}
+
+TEST(UniformTest, IvIsNotUniform) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  EXPECT_FALSE(isUniform(par.iv(0), par.op));
+  Value derived = f.b.addi(par.iv(0), f.b.constIndex(1));
+  EXPECT_FALSE(isUniform(derived, par.op));
+}
+
+TEST(UniformTest, LoadFromMemoryWrittenInParallelIsNotUniform) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  b.store(b.constF32(1.0), f.argA(), {par.iv(0)});
+  Value i = b.constIndex(0);
+  Value v = b.load(f.argA(), {i});
+  EXPECT_FALSE(isUniform(v, par.op));
+}
+
+TEST(UniformTest, LoadFromReadOnlyMemoryIsUniform) {
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  Value i = b.constIndex(0);
+  Value v = b.load(f.argB(), {i});
+  EXPECT_TRUE(isUniform(v, par.op));
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier effect sets (§III-A / §IV-A)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds: thread-parallel { <stores/loads before>; barrier; <after> }.
+/// Returns the barrier op. The caller drives the builder callbacks.
+Op *buildBarrierKernel(TestFunc &f,
+                       const std::function<void(Builder &, Value iv)> &pre,
+                       const std::function<void(Builder &, Value iv)> &post) {
+  ParallelOp par = f.openThreadParallel();
+  pre(f.b, par.iv(0));
+  f.b.barrier();
+  Op *barrier = par.body().back();
+  post(f.b, par.iv(0));
+  f.b.yield();
+  return barrier;
+}
+
+} // namespace
+
+TEST(BarrierEffectTest, NoEffectsMeansRedundant) {
+  TestFunc f;
+  Op *barrier = buildBarrierKernel(
+      f, [](Builder &, Value) {}, [](Builder &, Value) {});
+  Op *par = getEnclosingThreadParallel(barrier);
+  ASSERT_NE(par, nullptr);
+  EXPECT_TRUE(isBarrierRedundant(barrier, par));
+}
+
+TEST(BarrierEffectTest, ReadAfterReadIsRedundant) {
+  TestFunc f;
+  Op *barrier = buildBarrierKernel(
+      f,
+      [&](Builder &b, Value iv) { b.load(f.argA(), {iv}); },
+      [&](Builder &b, Value iv) {
+        Value idx = b.addi(iv, b.constIndex(1));
+        b.load(f.argA(), {idx});
+      });
+  Op *par = getEnclosingThreadParallel(barrier);
+  EXPECT_TRUE(isBarrierRedundant(barrier, par));
+}
+
+TEST(BarrierEffectTest, CrossThreadWriteReadConflicts) {
+  // store a[tid]; barrier; load a[tid+1]: the classic exchange — the
+  // barrier is required.
+  TestFunc f;
+  Op *barrier = buildBarrierKernel(
+      f,
+      [&](Builder &b, Value iv) { b.store(b.constF32(1.0), f.argA(), {iv}); },
+      [&](Builder &b, Value iv) {
+        Value idx = b.addi(iv, b.constIndex(1));
+        b.load(f.argA(), {idx});
+      });
+  Op *par = getEnclosingThreadParallel(barrier);
+  EXPECT_FALSE(isBarrierRedundant(barrier, par));
+}
+
+TEST(BarrierEffectTest, SameIndexPairFallsInHole) {
+  // store a[tid]; barrier; load a[tid]: same-thread forwarding, the hole
+  // of Fig. 5 removes the conflict.
+  TestFunc f;
+  Op *barrier = buildBarrierKernel(
+      f,
+      [&](Builder &b, Value iv) { b.store(b.constF32(1.0), f.argA(), {iv}); },
+      [&](Builder &b, Value iv) { b.load(f.argA(), {iv}); });
+  Op *par = getEnclosingThreadParallel(barrier);
+  EXPECT_TRUE(isBarrierRedundant(barrier, par));
+}
+
+TEST(BarrierEffectTest, DisjointBasesDoNotConflict) {
+  TestFunc f;
+  Op *barrier = buildBarrierKernel(
+      f,
+      [&](Builder &b, Value iv) { b.store(b.constF32(1.0), f.argA(), {iv}); },
+      [&](Builder &b, Value iv) {
+        Value idx = b.constIndex(0);
+        (void)iv;
+        b.load(f.argB(), {idx});
+      });
+  Op *par = getEnclosingThreadParallel(barrier);
+  EXPECT_TRUE(isBarrierRedundant(barrier, par));
+}
+
+TEST(BarrierEffectTest, EffectSetsSeparateBeforeAndAfter) {
+  TestFunc f;
+  Op *barrier = buildBarrierKernel(
+      f,
+      [&](Builder &b, Value iv) {
+        Value i = b.constIndex(0);
+        (void)iv;
+        b.store(b.constF32(1.0), f.argA(), {i});
+      },
+      [&](Builder &b, Value iv) {
+        Value i = b.constIndex(1);
+        (void)iv;
+        b.load(f.argB(), {i});
+      });
+  Op *par = getEnclosingThreadParallel(barrier);
+  EffectSet before = effectsBefore(barrier, par);
+  EffectSet after = effectsAfter(barrier, par);
+  ASSERT_FALSE(before.unknown);
+  ASSERT_FALSE(after.unknown);
+  bool beforeWritesA = false;
+  for (auto &e : before.writes)
+    if (e.base == f.argA())
+      beforeWritesA = true;
+  EXPECT_TRUE(beforeWritesA);
+  bool afterReadsB = false;
+  for (auto &e : after.reads)
+    if (e.base == f.argB())
+      afterReadsB = true;
+  EXPECT_TRUE(afterReadsB);
+  EXPECT_FALSE(conflicts(before, after));
+}
+
+TEST(BarrierEffectTest, AdjacentBarriersSubsume) {
+  // Two barriers in a row: the second covers no new effects and must be
+  // recognized as redundant.
+  TestFunc f;
+  ParallelOp par = f.openThreadParallel();
+  Builder &b = f.b;
+  b.store(b.constF32(1.0), f.argA(), {par.iv(0)});
+  b.barrier();
+  b.barrier();
+  Op *second = par.body().back();
+  Value idx = b.addi(par.iv(0), b.constIndex(1));
+  b.load(f.argA(), {idx});
+  b.yield();
+  EXPECT_TRUE(isBarrierRedundant(second, par.op));
+}

@@ -1,0 +1,332 @@
+// End-to-end tests: CUDA-subset source -> all pipeline variants -> VM,
+// validated against the lockstep SIMT emulator and C++ oracles.
+#include "driver/compiler.h"
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+using namespace paralift;
+using namespace paralift::driver;
+using transforms::PipelineOptions;
+
+namespace {
+
+/// Compiles + runs `source`'s host function `fn` with the given pipeline.
+void runPipelineVariant(const std::string &source,
+                        const PipelineOptions &opts, const std::string &fn,
+                        const std::vector<Executor::Arg> &args,
+                        unsigned threads = 2) {
+  DiagnosticEngine diag;
+  CompileResult cc = compile(source, opts, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  Executor exec(cc.module.get(), threads);
+  exec.run(fn, args);
+}
+
+void runSimt(const std::string &source, const std::string &fn,
+             const std::vector<Executor::Arg> &args) {
+  DiagnosticEngine diag;
+  CompileResult cc = compileForSimt(source, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  Executor exec(cc.module.get(), 1);
+  exec.run(fn, args);
+}
+
+const char *kSaxpySrc = R"(
+__global__ void saxpy(float* y, float* x, float a, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    y[i] = a * x[i] + y[i];
+  }
+}
+void run(float* y, float* x, float a, int n) {
+  saxpy<<<(n + 31) / 32, 32>>>(y, x, a, n);
+}
+)";
+
+} // namespace
+
+TEST(E2ETest, SaxpySimtEmulator) {
+  int n = 100;
+  std::vector<float> y(n, 2.0f), x(n);
+  std::iota(x.begin(), x.end(), 0.0f);
+  runSimt(kSaxpySrc, "run",
+          {Executor::bufferF32(y.data(), {n}),
+           Executor::bufferF32(x.data(), {n}), 3.0, int64_t(n)});
+  for (int i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(y[i], 3.0f * i + 2.0f) << i;
+}
+
+TEST(E2ETest, SaxpyFullPipeline) {
+  int n = 100;
+  std::vector<float> y(n, 2.0f), x(n);
+  std::iota(x.begin(), x.end(), 0.0f);
+  runPipelineVariant(kSaxpySrc, PipelineOptions{}, "run",
+                     {Executor::bufferF32(y.data(), {n}),
+                      Executor::bufferF32(x.data(), {n}), 3.0, int64_t(n)});
+  for (int i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(y[i], 3.0f * i + 2.0f) << i;
+}
+
+TEST(E2ETest, SaxpyMcudaMode) {
+  int n = 64;
+  std::vector<float> y(n, 1.0f), x(n, 2.0f);
+  runPipelineVariant(kSaxpySrc, PipelineOptions::mcuda(), "run",
+                     {Executor::bufferF32(y.data(), {n}),
+                      Executor::bufferF32(x.data(), {n}), 0.5, int64_t(n)});
+  for (int i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(y[i], 2.0f);
+}
+
+// The paper's Fig. 1 normalize example: the per-thread O(N) sum must be
+// hoisted out of the kernel by parallel LICM, and every pipeline variant
+// must agree with the SIMT emulator.
+const char *kNormalizeSrc = R"(
+__device__ float sum(float* data, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; i++) {
+    total += data[i];
+  }
+  return total;
+}
+__global__ void normalize(float* out, float* in, int n) {
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  float val = sum(in, n);
+  if (tid < n) {
+    out[tid] = in[tid] / val;
+  }
+}
+void launch(float* d_out, float* d_in, int n) {
+  normalize<<<(n + 31) / 32, 32>>>(d_out, d_in, n);
+}
+)";
+
+TEST(E2ETest, NormalizeAllVariantsAgree) {
+  int n = 77;
+  std::vector<float> in(n), outSimt(n), outOpt(n), outDisabled(n);
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<float> dist(0.1f, 1.0f);
+  for (auto &v : in)
+    v = dist(rng);
+
+  runSimt(kNormalizeSrc, "launch",
+          {Executor::bufferF32(outSimt.data(), {n}),
+           Executor::bufferF32(in.data(), {n}), int64_t(n)});
+  runPipelineVariant(kNormalizeSrc, PipelineOptions{}, "launch",
+                     {Executor::bufferF32(outOpt.data(), {n}),
+                      Executor::bufferF32(in.data(), {n}), int64_t(n)});
+  runPipelineVariant(kNormalizeSrc, PipelineOptions::optDisabled(),
+                     "launch",
+                     {Executor::bufferF32(outDisabled.data(), {n}),
+                      Executor::bufferF32(in.data(), {n}), int64_t(n)});
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(outOpt[i], outSimt[i], 1e-5) << i;
+    EXPECT_NEAR(outDisabled[i], outSimt[i], 1e-5) << i;
+  }
+}
+
+TEST(E2ETest, NormalizeSumIsHoisted) {
+  // After the full pipeline, the O(N) reduction loop must sit outside
+  // every parallel construct: the scf.for appears before any omp op.
+  DiagnosticEngine diag;
+  CompileResult cc = compile(kNormalizeSrc, PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  std::string text = ir::printOp(cc.module.op());
+  size_t forPos = text.find("scf.for");
+  size_t ompPos = text.find("omp.parallel");
+  ASSERT_NE(forPos, std::string::npos);
+  ASSERT_NE(ompPos, std::string::npos);
+  EXPECT_LT(forPos, ompPos)
+      << "sum loop was not hoisted out of the parallel region:\n"
+      << text;
+}
+
+// Shared-memory tree reduction with __syncthreads in a loop (Fig. 7
+// pattern): exercises barrier lowering through loop interchange (or
+// unrolling when affine opts are on).
+const char *kReduceSrc = R"(
+__global__ void reduceBlock(float* out, float* in, int n) {
+  __shared__ float buf[64];
+  int tid = threadIdx.x;
+  int gid = blockIdx.x * 64 + threadIdx.x;
+  if (gid < n) {
+    buf[tid] = in[gid];
+  } else {
+    buf[tid] = 0.0f;
+  }
+  __syncthreads();
+  for (int s = 32; s > 0; s = s / 2) {
+    if (tid < s) {
+      buf[tid] = buf[tid] + buf[tid + s];
+    }
+    __syncthreads();
+  }
+  if (tid == 0) {
+    out[blockIdx.x] = buf[0];
+  }
+}
+void run(float* out, float* in, int n) {
+  reduceBlock<<<(n + 63) / 64, 64>>>(out, in, n);
+}
+)";
+
+class ReducePipelineTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool, bool>> {};
+
+TEST_P(ReducePipelineTest, MatchesSimt) {
+  auto [mincut, openmp, affine, innerser] = GetParam();
+  PipelineOptions opts;
+  opts.minCut = mincut;
+  opts.openmpOpt = openmp;
+  opts.affineOpts = affine;
+  opts.innerSerialize = innerser;
+
+  int n = 200;
+  int blocks = (n + 63) / 64;
+  std::vector<float> in(n);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto &v : in)
+    v = dist(rng);
+  std::vector<float> outRef(blocks, 0.0f), outGot(blocks, 0.0f);
+
+  runSimt(kReduceSrc, "run",
+          {Executor::bufferF32(outRef.data(), {blocks}),
+           Executor::bufferF32(in.data(), {n}), int64_t(n)});
+  runPipelineVariant(kReduceSrc, opts, "run",
+                     {Executor::bufferF32(outGot.data(), {blocks}),
+                      Executor::bufferF32(in.data(), {n}), int64_t(n)});
+  for (int b = 0; b < blocks; ++b)
+    EXPECT_NEAR(outGot[b], outRef[b], 1e-4) << "block " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptCombos, ReducePipelineTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool(), ::testing::Bool()));
+
+// While-loop barrier (Fig. 8 pattern): the block iterates until a shared
+// counter converges; requires the helper-variable interchange. Note the
+// leading __syncthreads: it separates the previous round's condition read
+// from this round's counter increment (without it the kernel is racy —
+// which the lockstep emulator correctly exposes).
+const char *kWhileBarrierSrc = R"(
+__global__ void relax(float* data, int rounds) {
+  __shared__ int iter;
+  int tid = threadIdx.x;
+  if (tid == 0) {
+    iter = 0;
+  }
+  __syncthreads();
+  do {
+    data[tid] = data[tid] * 0.5f + 1.0f;
+    __syncthreads();
+    if (tid == 0) {
+      iter = iter + 1;
+    }
+    __syncthreads();
+  } while (iter < rounds);
+}
+void run(float* data, int rounds) {
+  relax<<<1, 32>>>(data, rounds);
+}
+)";
+
+TEST(E2ETest, WhileBarrierMatchesSimt) {
+  std::vector<float> a(32), b(32);
+  for (int i = 0; i < 32; ++i)
+    a[i] = b[i] = static_cast<float>(i);
+  runSimt(kWhileBarrierSrc, "run",
+          {Executor::bufferF32(a.data(), {32}), int64_t(5)});
+  runPipelineVariant(kWhileBarrierSrc, PipelineOptions{}, "run",
+                     {Executor::bufferF32(b.data(), {32}), int64_t(5)});
+  for (int i = 0; i < 32; ++i)
+    EXPECT_NEAR(a[i], b[i], 1e-5) << i;
+}
+
+// OpenMP-dialect reference source (pragma-based) runs through the same
+// pipeline tail.
+const char *kOmpSrc = R"(
+void scale(float* y, float* x, int n) {
+  #pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    y[i] = 2.0f * x[i];
+  }
+}
+)";
+
+TEST(E2ETest, OmpPragmaSource) {
+  int n = 50;
+  std::vector<float> y(n, 0.0f), x(n);
+  std::iota(x.begin(), x.end(), 1.0f);
+  runPipelineVariant(kOmpSrc, PipelineOptions{}, "scale",
+                     {Executor::bufferF32(y.data(), {n}),
+                      Executor::bufferF32(x.data(), {n}), int64_t(n)});
+  for (int i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(y[i], 2.0f * (i + 1));
+}
+
+// 2D launch with dim3 and 2D shared tile.
+const char *kTransposeSrc = R"(
+__global__ void transposeTile(float* out, float* in, int n) {
+  __shared__ float tile[8][8];
+  int x = blockIdx.x * 8 + threadIdx.x;
+  int y = blockIdx.y * 8 + threadIdx.y;
+  if (x < n && y < n) {
+    tile[threadIdx.y][threadIdx.x] = in[y * n + x];
+  }
+  __syncthreads();
+  int ox = blockIdx.y * 8 + threadIdx.x;
+  int oy = blockIdx.x * 8 + threadIdx.y;
+  if (ox < n && oy < n) {
+    out[oy * n + ox] = tile[threadIdx.x][threadIdx.y];
+  }
+}
+void run(float* out, float* in, int n) {
+  int g = (n + 7) / 8;
+  transposeTile<<<dim3(g, g), dim3(8, 8)>>>(out, in, n);
+}
+)";
+
+TEST(E2ETest, TransposeDim3MatchesOracle) {
+  int n = 20;
+  std::vector<float> in(n * n), outSimt(n * n, -1.0f), outOpt(n * n, -1.0f);
+  for (int i = 0; i < n * n; ++i)
+    in[i] = static_cast<float>(i);
+  runSimt(kTransposeSrc, "run",
+          {Executor::bufferF32(outSimt.data(), {n * n}),
+           Executor::bufferF32(in.data(), {n * n}), int64_t(n)});
+  runPipelineVariant(kTransposeSrc, PipelineOptions{}, "run",
+                     {Executor::bufferF32(outOpt.data(), {n * n}),
+                      Executor::bufferF32(in.data(), {n * n}), int64_t(n)});
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      EXPECT_FLOAT_EQ(outSimt[y * n + x], in[x * n + y]);
+      EXPECT_FLOAT_EQ(outOpt[y * n + x], in[x * n + y]);
+    }
+}
+
+// Scalar function results flow back through the VM.
+const char *kScalarSrc = R"(
+int triangle(int n) {
+  int total = 0;
+  for (int i = 1; i <= n; i++) {
+    total += i;
+  }
+  return total;
+}
+)";
+
+TEST(E2ETest, ScalarFunctionResult) {
+  DiagnosticEngine diag;
+  CompileResult cc = compile(kScalarSrc, PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  Executor exec(cc.module.get(), 1);
+  auto res = exec.run("triangle", {int64_t(10)});
+  ASSERT_EQ(res.size(), 1u);
+  EXPECT_EQ(res[0].i, 55);
+}

@@ -1,0 +1,265 @@
+// Differential fuzzing: a seeded generator emits random CUDA-subset
+// kernels that are race-free by construction (phase-structured shared-
+// memory traffic separated by __syncthreads), then every pipeline
+// configuration must produce outputs identical to the lockstep SIMT
+// oracle. Any divergence is a miscompilation in barrier lowering,
+// fission/min-cut, interchange, or the OpenMP lowering.
+#include "driver/compiler.h"
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace paralift;
+
+namespace {
+
+constexpr int kBlockSize = 16;
+constexpr int kGridSize = 4;
+constexpr int kN = kBlockSize * kGridSize;
+
+/// Generates a random race-free kernel. The program alternates "write
+/// phases" (each thread writes only s[tx] / out[gid]) and "read phases"
+/// (reads of other threads' s slots), with a __syncthreads between any
+/// write->read or read->write transition on s. Expressions use +,-,* and
+/// constants only, so all configurations are bitwise comparable.
+class KernelGen {
+public:
+  explicit KernelGen(uint32_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    std::ostringstream os;
+    os << "__global__ void k(float* a, float* b, float* out, int u) {\n"
+       << "  int tx = threadIdx.x;\n"
+       << "  int gid = blockIdx.x * blockDim.x + threadIdx.x;\n"
+       << "  __shared__ float s[" << kBlockSize << "];\n"
+       << "  float r0 = a[gid];\n"
+       << "  float r1 = b[gid];\n";
+    // Phase 1 always initializes s unconditionally so later cross-thread
+    // reads never observe uninitialized memory.
+    os << "  s[tx] = " << valueExpr() << ";\n";
+    os << "  __syncthreads();\n";
+
+    int phases = 1 + static_cast<int>(rng_() % 3);
+    for (int p = 0; p < phases; ++p)
+      emitPhase(os, p);
+
+    os << "  out[gid] = r0 + r1 * 0.25f;\n"
+       << "}\n"
+       << "void run(float* a, float* b, float* out, int u) {\n"
+       << "  k<<<" << kGridSize << ", " << kBlockSize
+       << ">>>(a, b, out, u);\n"
+       << "}\n";
+    return os.str();
+  }
+
+private:
+  /// A float expression over the registers, global inputs, and constants.
+  std::string valueExpr() {
+    static const char *atoms[] = {"r0", "r1", "a[gid]", "b[gid]",
+                                  "1.5f", "0.5f", "2.0f", "-1.0f"};
+    std::string e = atoms[rng_() % std::size(atoms)];
+    int terms = static_cast<int>(rng_() % 3);
+    for (int i = 0; i < terms; ++i) {
+      static const char *ops[] = {" + ", " - ", " * "};
+      e += ops[rng_() % std::size(ops)];
+      e += atoms[rng_() % std::size(atoms)];
+    }
+    return e;
+  }
+
+  /// A read of another thread's shared slot (any rotation is race-free
+  /// because reads are barrier-separated from writes).
+  std::string sharedRead() {
+    int rot = static_cast<int>(rng_() % kBlockSize);
+    std::ostringstream os;
+    os << "s[(tx + " << rot << ") % " << kBlockSize << "]";
+    return os.str();
+  }
+
+  void emitPhase(std::ostringstream &os, int phase) {
+    switch (rng_() % 5) {
+    case 0: {
+      // Read phase into a register, optionally guarded (reads are always
+      // safe to guard).
+      bool guard = rng_() % 2 == 0;
+      int bound = 1 + static_cast<int>(rng_() % kBlockSize);
+      if (guard)
+        os << "  if (tx < " << bound << ") {\n  ";
+      os << "  r" << rng_() % 2 << " = " << sharedRead() << " + "
+         << valueExpr() << ";\n";
+      if (guard)
+        os << "  }\n";
+      break;
+    }
+    case 1:
+      // Write phase: s[tx] gets a new value everywhere, then a barrier
+      // republishes it.
+      os << "  r" << rng_() % 2 << " = " << sharedRead() << ";\n";
+      os << "  __syncthreads();\n";
+      os << "  s[tx] = " << valueExpr() << ";\n";
+      os << "  __syncthreads();\n";
+      break;
+    case 2: {
+      // Serial loop with a barrier inside (exercises interchange): each
+      // iteration reads neighbours, syncs, writes own slot, syncs.
+      int trip = 2 + static_cast<int>(rng_() % 3);
+      os << "  for (int i" << phase << " = 0; i" << phase << " < " << trip
+         << "; i" << phase << "++) {\n";
+      os << "    r0 = " << sharedRead() << " * 0.5f + r1;\n";
+      os << "    __syncthreads();\n";
+      os << "    s[tx] = r0 + " << valueExpr() << ";\n";
+      os << "    __syncthreads();\n";
+      os << "  }\n";
+      break;
+    }
+    case 3: {
+      // Barrier under a uniform condition (the kernel argument u is the
+      // same for every thread), exercising if-interchange in cpuify.
+      int bound = static_cast<int>(rng_() % 3);
+      os << "  if (u > " << bound << ") {\n";
+      os << "    r0 = " << sharedRead() << ";\n";
+      os << "    __syncthreads();\n";
+      os << "    s[tx] = r0 * 0.5f + " << valueExpr() << ";\n";
+      os << "    __syncthreads();\n";
+      os << "  }\n";
+      break;
+    }
+    default:
+      // Global write phase: out is strictly thread-private, no barrier
+      // needed; also mutates a register to keep values flowing.
+      os << "  out[gid] = r0 * r1 + " << valueExpr() << ";\n";
+      os << "  r1 = r1 + out[gid];\n";
+      break;
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+/// The pipeline configurations under test.
+struct FuzzConfig {
+  const char *name;
+  transforms::PipelineOptions opts;
+};
+
+std::vector<FuzzConfig> fuzzConfigs() {
+  transforms::PipelineOptions innerPar;
+  innerPar.innerSerialize = false;
+  transforms::PipelineOptions noMinCut;
+  noMinCut.minCut = false;
+  return {
+      {"default", transforms::PipelineOptions{}},
+      {"optDisabled", transforms::PipelineOptions::optDisabled()},
+      {"mcuda", transforms::PipelineOptions::mcuda()},
+      {"innerPar", innerPar},
+      {"noMinCut", noMinCut},
+  };
+}
+
+struct FuzzCase {
+  uint32_t seed;
+  FuzzConfig config;
+};
+
+void PrintTo(const FuzzCase &c, std::ostream *os) {
+  *os << "seed" << c.seed << "_" << c.config.name;
+}
+
+class FuzzDifferentialTest : public ::testing::TestWithParam<FuzzCase> {};
+
+std::vector<float> runProgram(driver::CompileResult &cc,
+                              const std::vector<float> &a,
+                              const std::vector<float> &b, unsigned threads) {
+  std::vector<float> av = a, bv = b, out(kN, 0.0f);
+  driver::Executor exec(cc.module.get(), threads);
+  exec.run("run", {driver::Executor::bufferF32(av.data(), {kN}),
+                   driver::Executor::bufferF32(bv.data(), {kN}),
+                   driver::Executor::bufferF32(out.data(), {kN}),
+                   int64_t(2)});
+  return out;
+}
+
+} // namespace
+
+TEST_P(FuzzDifferentialTest, MatchesSimtOracle) {
+  const FuzzCase &fc = GetParam();
+  std::string src = KernelGen(fc.seed).generate();
+
+  std::vector<float> a(kN), b(kN);
+  std::mt19937 rng(fc.seed ^ 0x9e3779b9u);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (int i = 0; i < kN; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+  }
+
+  DiagnosticEngine diag;
+  auto oracle = driver::compileForSimt(src, diag);
+  ASSERT_TRUE(oracle.ok) << diag.str() << "\nsource:\n" << src;
+  std::vector<float> expected = runProgram(oracle, a, b, 2);
+
+  auto cc = driver::compile(src, fc.config.opts, diag);
+  ASSERT_TRUE(cc.ok) << diag.str() << "\nsource:\n" << src;
+  std::vector<float> got = runProgram(cc, a, b, 2);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (int i = 0; i < kN; ++i)
+    ASSERT_EQ(got[i], expected[i])
+        << "mismatch at " << i << " (config " << fc.config.name << ")\n"
+        << "source:\n"
+        << src << "\ntranspiled IR:\n"
+        << ir::printOp(cc.module.op());
+}
+
+namespace {
+
+std::vector<FuzzCase> allFuzzCases() {
+  std::vector<FuzzCase> cases;
+  for (uint32_t seed = 0; seed < 20; ++seed)
+    for (const FuzzConfig &cfg : fuzzConfigs())
+      cases.push_back({seed, cfg});
+  return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzDifferentialTest, ::testing::ValuesIn(allFuzzCases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             info.param.config.name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Thread-count invariance: the transpiled program must be deterministic
+// across team sizes (work distribution must not change results).
+//===----------------------------------------------------------------------===//
+
+class FuzzThreadsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FuzzThreadsTest, ResultIndependentOfTeamSize) {
+  uint32_t seed = GetParam();
+  std::string src = KernelGen(seed).generate();
+  std::vector<float> a(kN), b(kN);
+  std::mt19937 rng(seed * 7919u + 1);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int i = 0; i < kN; ++i) {
+    a[i] = dist(rng);
+    b[i] = dist(rng);
+  }
+  DiagnosticEngine diag;
+  auto cc = driver::compile(src, transforms::PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  std::vector<float> t1 = runProgram(cc, a, b, 1);
+  std::vector<float> t2 = runProgram(cc, a, b, 2);
+  std::vector<float> t4 = runProgram(cc, a, b, 4);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzThreadsTest, ::testing::Range(0u, 10u));

@@ -1,0 +1,321 @@
+// Tests for the MocCUDA layer: CUDART emulation, DNN numerics (GEMM /
+// convolution backends against each other and small oracles), the
+// transpiled PyTorch kernels against native implementations, and the
+// mini-ResNet training loop across all four backends.
+#include "moccuda/resnet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+using namespace paralift;
+using namespace paralift::moccuda;
+
+namespace {
+runtime::ThreadPool &testPool() {
+  static runtime::ThreadPool pool(2);
+  return pool;
+}
+Tensor randomTensor(int n, int c, int h, int w, uint32_t seed) {
+  Tensor t(n, c, h, w);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto &v : t.data)
+    v = dist(rng);
+  return t;
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CUDART emulation
+//===----------------------------------------------------------------------===//
+
+TEST(McudaTest, DevicePropertiesMatchDumpedGpu) {
+  McudaDeviceProp prop;
+  ASSERT_EQ(mcudaGetDeviceProperties(&prop, 0), McudaError::Success);
+  EXPECT_NE(prop.name.find("2080 Ti"), std::string::npos);
+  EXPECT_EQ(prop.warpSize, 32);
+  EXPECT_EQ(prop.maxThreadsPerBlock, 1024);
+  EXPECT_EQ(prop.major, 7);
+  EXPECT_EQ(mcudaGetDeviceCount(), 1);
+  EXPECT_EQ(mcudaGetDeviceProperties(nullptr, 0), McudaError::InvalidValue);
+  EXPECT_EQ(mcudaGetDeviceProperties(&prop, 3), McudaError::InvalidValue);
+}
+
+TEST(McudaTest, MallocFreeTracksBytes) {
+  size_t before = mcudaAllocatedBytes();
+  void *p = nullptr;
+  ASSERT_EQ(mcudaMalloc(&p, 1024), McudaError::Success);
+  EXPECT_EQ(mcudaAllocatedBytes(), before + 1024);
+  std::vector<char> host(1024, 7);
+  EXPECT_EQ(mcudaMemcpy(p, host.data(), 1024,
+                        McudaMemcpyKind::HostToDevice),
+            McudaError::Success);
+  std::vector<char> back(1024, 0);
+  EXPECT_EQ(mcudaMemcpy(back.data(), p, 1024,
+                        McudaMemcpyKind::DeviceToHost),
+            McudaError::Success);
+  EXPECT_EQ(back[1023], 7);
+  EXPECT_EQ(mcudaFree(p), McudaError::Success);
+  EXPECT_EQ(mcudaAllocatedBytes(), before);
+  EXPECT_EQ(mcudaFree(reinterpret_cast<void *>(0x1234)),
+            McudaError::InvalidValue);
+}
+
+TEST(McudaTest, StreamsExecuteInFifoOrder) {
+  McudaStream *s = nullptr;
+  ASSERT_EQ(mcudaStreamCreate(&s), McudaError::Success);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i)
+    s->launch([&order, i] { order.push_back(i); });
+  ASSERT_EQ(mcudaStreamSynchronize(s), McudaError::Success);
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(order[i], i);
+  EXPECT_EQ(mcudaDeviceSynchronize(), McudaError::Success);
+  EXPECT_EQ(mcudaStreamDestroy(s), McudaError::Success);
+}
+
+//===----------------------------------------------------------------------===//
+// GEMM and convolution numerics
+//===----------------------------------------------------------------------===//
+
+TEST(DnnTest, SgemmMatchesOracle) {
+  int M = 7, N = 5, K = 9;
+  std::vector<float> A(M * K), B(K * N), C(M * N), ref(M * N, 0.0f);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (auto &v : A) v = dist(rng);
+  for (auto &v : B) v = dist(rng);
+  for (int i = 0; i < M; ++i)
+    for (int k = 0; k < K; ++k)
+      for (int j = 0; j < N; ++j)
+        ref[i * N + j] += A[i * K + k] * B[k * N + j];
+  sgemm(testPool(), M, N, K, A.data(), B.data(), C.data());
+  for (int i = 0; i < M * N; ++i)
+    EXPECT_NEAR(C[i], ref[i], 1e-4) << i;
+}
+
+TEST(DnnTest, SgemmTransposedVariants) {
+  int M = 4, N = 6, K = 3;
+  std::vector<float> A(M * K), At(K * M), B(K * N), Bt(N * K);
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int i = 0; i < M; ++i)
+    for (int k = 0; k < K; ++k) {
+      A[i * K + k] = dist(rng);
+      At[k * M + i] = A[i * K + k];
+    }
+  for (int k = 0; k < K; ++k)
+    for (int j = 0; j < N; ++j) {
+      B[k * N + j] = dist(rng);
+      Bt[j * K + k] = B[k * N + j];
+    }
+  std::vector<float> c0(M * N), c1(M * N), c2(M * N);
+  sgemm(testPool(), M, N, K, A.data(), B.data(), c0.data());
+  sgemmTA(testPool(), M, N, K, At.data(), B.data(), c1.data());
+  sgemmTB(testPool(), M, N, K, A.data(), Bt.data(), c2.data());
+  for (int i = 0; i < M * N; ++i) {
+    EXPECT_NEAR(c0[i], c1[i], 1e-4);
+    EXPECT_NEAR(c0[i], c2[i], 1e-4);
+  }
+}
+
+TEST(DnnTest, ConvBackendsAgree) {
+  Tensor x = randomTensor(2, 3, 8, 8, 5);
+  Tensor w = randomTensor(4, 3, 3, 3, 6);
+  ConvParams p;
+  Tensor yNaive, yDirect, yGemm;
+  convNaiveForward(testPool(), x, w, yNaive, p);
+  convDirectForward(testPool(), x, w, yDirect, p);
+  convIm2colForward(testPool(), x, w, yGemm, p);
+  ASSERT_EQ(yNaive.size(), yDirect.size());
+  ASSERT_EQ(yNaive.size(), yGemm.size());
+  for (size_t i = 0; i < yNaive.size(); ++i) {
+    EXPECT_NEAR(yNaive.data[i], yDirect.data[i], 1e-4);
+    EXPECT_NEAR(yNaive.data[i], yGemm.data[i], 1e-4);
+  }
+}
+
+TEST(DnnTest, ConvBackwardGradientCheck) {
+  // Finite-difference check of dW on a tiny problem.
+  Tensor x = randomTensor(1, 2, 4, 4, 7);
+  Tensor w = randomTensor(2, 2, 3, 3, 8);
+  ConvParams p;
+  Tensor y;
+  convIm2colForward(testPool(), x, w, y, p);
+  Tensor dy(y.n, y.c, y.h, y.w);
+  for (auto &v : dy.data)
+    v = 1.0f; // dLoss/dy = 1 => loss = sum(y)
+  Tensor dx, dw;
+  convIm2colBackward(testPool(), x, w, dy, dx, dw, p);
+
+  auto lossOf = [&](const Tensor &wt) {
+    Tensor out;
+    convIm2colForward(testPool(), x, wt, out, p);
+    double s = 0;
+    for (float v : out.data)
+      s += v;
+    return s;
+  };
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < w.data.size(); i += 7) {
+    Tensor wp = w, wm = w;
+    wp.data[i] += eps;
+    wm.data[i] -= eps;
+    double grad = (lossOf(wp) - lossOf(wm)) / (2 * eps);
+    EXPECT_NEAR(dw.data[i], grad, 5e-2) << i;
+  }
+  // dX check on a few entries.
+  auto lossOfX = [&](const Tensor &xt) {
+    Tensor out;
+    convIm2colForward(testPool(), xt, w, out, p);
+    double s = 0;
+    for (float v : out.data)
+      s += v;
+    return s;
+  };
+  for (size_t i = 0; i < x.data.size(); i += 11) {
+    Tensor xp = x, xm = x;
+    xp.data[i] += eps;
+    xm.data[i] -= eps;
+    double grad = (lossOfX(xp) - lossOfX(xm)) / (2 * eps);
+    EXPECT_NEAR(dx.data[i], grad, 5e-2) << i;
+  }
+}
+
+TEST(DnnTest, BatchNormNormalizes) {
+  Tensor x = randomTensor(4, 3, 6, 6, 9);
+  BatchNormState bn;
+  batchNormForward(testPool(), x, bn);
+  // Per-channel mean ~0, variance ~1.
+  for (int c = 0; c < x.c; ++c) {
+    double sum = 0, sq = 0;
+    int count = x.n * x.h * x.w;
+    for (int n = 0; n < x.n; ++n)
+      for (int i = 0; i < x.h; ++i)
+        for (int j = 0; j < x.w; ++j) {
+          sum += x.at(n, c, i, j);
+          sq += x.at(n, c, i, j) * x.at(n, c, i, j);
+        }
+    EXPECT_NEAR(sum / count, 0.0, 1e-3);
+    EXPECT_NEAR(sq / count, 1.0, 1e-2);
+  }
+}
+
+TEST(DnnTest, AvgPoolRoundTrip) {
+  Tensor x = randomTensor(1, 2, 4, 4, 10);
+  Tensor y;
+  avgPoolForward(testPool(), x, y);
+  EXPECT_EQ(y.h, 2);
+  EXPECT_EQ(y.w, 2);
+  EXPECT_NEAR(y.at(0, 0, 0, 0),
+              0.25f * (x.at(0, 0, 0, 0) + x.at(0, 0, 1, 0) +
+                       x.at(0, 0, 0, 1) + x.at(0, 0, 1, 1)),
+              1e-5);
+  Tensor dx;
+  avgPoolBackward(testPool(), y, dx);
+  EXPECT_EQ(dx.h, 4);
+  EXPECT_NEAR(dx.at(0, 0, 0, 0), 0.25f * y.at(0, 0, 0, 0), 1e-5);
+}
+
+//===----------------------------------------------------------------------===//
+// Transpiled PyTorch kernels vs native implementations
+//===----------------------------------------------------------------------===//
+
+TEST(PolygeistKernelsTest, NllLossMatchesNative) {
+  int batch = 6, classes = 10;
+  Tensor logits = randomTensor(batch, classes, 1, 1, 11);
+  std::vector<int32_t> labels = {0, 3, 9, 2, 7, 5};
+  std::vector<int> ints(labels.begin(), labels.end());
+
+  Tensor dNative;
+  float lossNative =
+      softmaxNllForwardBackward(testPool(), logits, ints, dNative);
+
+  PolygeistKernels kernels(2);
+  Tensor dVm(batch, classes, 1, 1);
+  float lossVm = kernels.nllLoss(logits.data.data(), labels.data(),
+                                 dVm.data.data(), batch, classes);
+  EXPECT_NEAR(lossVm, lossNative, 1e-4);
+  for (size_t i = 0; i < dNative.size(); ++i)
+    EXPECT_NEAR(dVm.data[i], dNative.data[i], 1e-5) << i;
+}
+
+TEST(PolygeistKernelsTest, ElementwiseMatchNative) {
+  PolygeistKernels kernels(2);
+  std::vector<float> a(100), b(100);
+  std::iota(a.begin(), a.end(), -50.0f);
+  std::iota(b.begin(), b.end(), 0.0f);
+  std::vector<float> aRef = a;
+  kernels.add(a.data(), b.data(), 100);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FLOAT_EQ(a[i], aRef[i] + b[i]);
+  kernels.relu(a.data(), 100);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_GE(a[i], 0.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end training
+//===----------------------------------------------------------------------===//
+
+class ResnetBackendTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ResnetBackendTest, LossDecreasesOverSteps) {
+  Backend backend = GetParam();
+  MiniResNet model(backend, testPool());
+  Tensor images = randomTensor(4, 3, 8, 8, 21);
+  std::vector<int32_t> labels = {1, 4, 7, 2};
+  float first = model.trainStep(images, labels);
+  float loss = first;
+  for (int step = 0; step < 5; ++step)
+    loss = model.trainStep(images, labels);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_LT(loss, first) << backendName(backend)
+                         << ": training did not reduce the loss";
+}
+
+TEST_P(ResnetBackendTest, ForwardShapes) {
+  Backend backend = GetParam();
+  MiniResNet model(backend, testPool());
+  Tensor images = randomTensor(2, 3, 8, 8, 22);
+  Tensor logits = model.forward(images);
+  EXPECT_EQ(logits.n, 2);
+  EXPECT_EQ(logits.c, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ResnetBackendTest,
+                         ::testing::Values(Backend::Native,
+                                           Backend::OneDnnLike,
+                                           Backend::MocCudaExpert,
+                                           Backend::MocCudaPolygeist),
+                         [](const ::testing::TestParamInfo<Backend> &info) {
+                           std::string name = backendName(info.param);
+                           for (char &c : name)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(ResnetConsistencyTest, BackendsComputeSameForward) {
+  // All four backends share weights (same seed): forward results must
+  // agree to numerical tolerance.
+  Tensor images = randomTensor(2, 3, 8, 8, 23);
+  runtime::ThreadPool &pool = testPool();
+  MiniResNet native(Backend::Native, pool);
+  MiniResNet onednn(Backend::OneDnnLike, pool);
+  MiniResNet expert(Backend::MocCudaExpert, pool);
+  MiniResNet polygeist(Backend::MocCudaPolygeist, pool);
+  Tensor l0 = native.forward(images);
+  Tensor l1 = onednn.forward(images);
+  Tensor l2 = expert.forward(images);
+  Tensor l3 = polygeist.forward(images);
+  for (size_t i = 0; i < l0.size(); ++i) {
+    EXPECT_NEAR(l0.data[i], l1.data[i], 1e-3) << i;
+    EXPECT_NEAR(l0.data[i], l2.data[i], 1e-3) << i;
+    EXPECT_NEAR(l0.data[i], l3.data[i], 1e-3) << i;
+  }
+}

@@ -1,0 +1,623 @@
+// Unit tests for individual passes and analyses, including the paper's
+// worked examples: Fig. 9 barrier elimination and store forwarding,
+// Fig. 6 min-cut cache choice, §IV-C parallel LICM legality, OpenMP
+// region fusion/hoisting (Figs. 10/11), and frontend diagnostics.
+#include "analysis/barrier.h"
+#include "driver/compiler.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "transforms/mincut.h"
+#include "transforms/passes.h"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+
+using namespace paralift;
+using namespace paralift::ir;
+using namespace paralift::transforms;
+
+namespace {
+
+/// Compiles source through the frontend + inliner only.
+OwnedModule frontendIR(const std::string &src) {
+  DiagnosticEngine diag;
+  auto cc = driver::compileForSimt(src, diag);
+  EXPECT_TRUE(cc.ok) << diag.str();
+  return std::move(cc.module);
+}
+
+int countOps(Op *root, OpKind kind) {
+  int n = 0;
+  root->walk([&](Op *op) {
+    if (op->kind() == kind)
+      ++n;
+  });
+  return n;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Barrier elimination: the Fig. 9 backprop cases
+//===----------------------------------------------------------------------===//
+
+TEST(BarrierElimTest, Fig9UnnecessaryBarriersRemoved) {
+  // Distilled Fig. 9: barrier #1 separates a write to `node` from a write
+  // to `weights` (different non-aliasing buffers) -> removable. The
+  // barrier between the weights store and the node read is required.
+  const char *src = R"(
+__global__ void k(float* input, float* hidden, float* node, float* weights) {
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  if (tx == 0) {
+    node[ty] = input[ty];
+  }
+  __syncthreads();
+  weights[ty * 16 + tx] = hidden[ty * 16 + tx];
+  __syncthreads();
+  weights[ty * 16 + tx] = weights[ty * 16 + tx] * node[ty];
+}
+void run(float* input, float* hidden, float* node, float* weights) {
+  k<<<1, dim3(16, 16)>>>(input, hidden, node, weights);
+}
+)";
+  OwnedModule m = frontendIR(src);
+  ASSERT_EQ(countOps(m.op(), OpKind::Barrier), 2);
+  runMem2Reg(m.get());
+  runBarrierElim(m.get());
+  // Barrier #1 is removable (write node / write weights don't conflict;
+  // the weights read/write pair around barrier #2 is same-index
+  // thread-private). Barrier #2 protects node (written by thread tx==0,
+  // read by every thread in the row) -> must stay.
+  EXPECT_EQ(countOps(m.op(), OpKind::Barrier), 1);
+}
+
+TEST(BarrierElimTest, RequiredBarrierIsKept) {
+  // Write A[tx], read A[tx+1]: classic neighbour exchange; the barrier is
+  // semantically required and must survive.
+  const char *src = R"(
+__global__ void k(float* a, float* b) {
+  int tx = threadIdx.x;
+  a[tx] = 1.0f * tx;
+  __syncthreads();
+  if (tx < 31) {
+    b[tx] = a[tx + 1];
+  }
+}
+void run(float* a, float* b) { k<<<1, 32>>>(a, b); }
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runBarrierElim(m.get());
+  EXPECT_EQ(countOps(m.op(), OpKind::Barrier), 1);
+}
+
+TEST(BarrierElimTest, EffectFreeBarrierRemoved) {
+  const char *src = R"(
+__global__ void k(float* a) {
+  int tx = threadIdx.x;
+  __syncthreads();
+  a[tx] = 1.0f;
+}
+void run(float* a) { k<<<1, 32>>>(a); }
+)";
+  OwnedModule m = frontendIR(src);
+  runBarrierElim(m.get());
+  EXPECT_EQ(countOps(m.op(), OpKind::Barrier), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Store-to-load forwarding across barriers (§IV-B)
+//===----------------------------------------------------------------------===//
+
+TEST(StoreForwardTest, ForwardsThreadPrivateAcrossBarrier) {
+  // Fig. 9 "Unnecessary Store #1 / Load #1": store weights[ty][tx],
+  // barrier, load weights[ty][tx] -> forwarded thanks to the hole; the
+  // first store then dies once overwritten.
+  const char *src = R"(
+__global__ void k(float* hidden, float* out) {
+  __shared__ float weights[16][16];
+  int tx = threadIdx.x;
+  int ty = threadIdx.y;
+  weights[ty][tx] = hidden[ty * 16 + tx];
+  __syncthreads();
+  weights[ty][tx] = weights[ty][tx] * 2.0f;
+  out[ty * 16 + tx] = weights[ty][tx];
+}
+void run(float* hidden, float* out) {
+  k<<<1, dim3(16, 16)>>>(hidden, out);
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCSE(m.get()); // unify per-use index cast chains
+  int loadsBefore = countOps(m.op(), OpKind::Load);
+  runStoreForward(m.get());
+  int loadsAfter = countOps(m.op(), OpKind::Load);
+  // The weights reload after the barrier and the final reload both
+  // forward: at least two loads disappear.
+  EXPECT_LE(loadsAfter, loadsBefore - 2);
+  EXPECT_TRUE(verifyOk(m.op()));
+}
+
+TEST(StoreForwardTest, DoesNotForwardAcrossConflictingStore) {
+  const char *src = R"(
+void f(float* a, float* b, int i, int j) {
+  a[i] = 1.0f;
+  a[j] = 2.0f;
+  b[0] = a[i];
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  int loadsBefore = countOps(m.op(), OpKind::Load);
+  runStoreForward(m.get());
+  // a[j] may alias a[i]: the load must stay.
+  EXPECT_EQ(countOps(m.op(), OpKind::Load), loadsBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Min-cut live-value planning (Fig. 6)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Builds the Fig. 6 situation: two loads x,y feeding three pure values
+/// a,b,c that are live across the split.
+struct Fig6 {
+  OwnedModule module;
+  Value a, b, c;
+  Fig6() {
+    ModuleOp m = module.get();
+    FuncOp fn = FuncOp::create(
+        m, "f", {Type::memref(TypeKind::F32, {Type::kDynamic})}, {});
+    Builder bld(&fn.body());
+    Value lb = bld.constIndex(0), ub = bld.constIndex(10),
+          one = bld.constIndex(1);
+    ParallelOp par =
+        ParallelOp::create(bld, OpKind::ScfParallel, {lb}, {ub}, {one});
+    par.op->attrs().set("gpu.block", true);
+    Builder body(&par.body());
+    Value x = body.load(fn.arg(0), {par.iv(0)});
+    Value y = body.load(fn.arg(0), {par.iv(0)});
+    a = body.mulf(x, x);
+    b = body.mulf(y, y);
+    c = body.subf(x, y);
+    body.yield({});
+    bld.ret({});
+  }
+};
+} // namespace
+
+TEST(MinCutTest, Fig6PrefersTwoLoadsOverThreeValues) {
+  Fig6 f;
+  SplitPlan plan = planSplit({f.a, f.b, f.c}, /*useMinCut=*/true);
+  // Min cut: cache {x, y} (2 floats) and recompute a, b, c.
+  EXPECT_EQ(plan.cached.size(), 2u);
+  EXPECT_EQ(plan.recompute.size(), 3u);
+}
+
+TEST(MinCutTest, NaiveCachesAllLiveValues) {
+  Fig6 f;
+  SplitPlan plan = planSplit({f.a, f.b, f.c}, /*useMinCut=*/false);
+  EXPECT_EQ(plan.cached.size(), 3u);
+  EXPECT_TRUE(plan.recompute.empty());
+}
+
+TEST(MinCutTest, MinCutNeverWorseThanNaive) {
+  Fig6 f;
+  SplitPlan mincut = planSplit({f.a, f.b, f.c}, true);
+  SplitPlan naive = planSplit({f.a, f.b, f.c}, false);
+  EXPECT_LE(mincut.cached.size(), naive.cached.size());
+}
+
+TEST(MinCutTest, EmptyLiveOut) {
+  SplitPlan plan = planSplit({}, true);
+  EXPECT_TRUE(plan.cached.empty());
+  EXPECT_TRUE(plan.recompute.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel LICM (§IV-C): only *prior* conflicts matter
+//===----------------------------------------------------------------------===//
+
+TEST(LicmTest, HoistsReadDespiteLaterWrite) {
+  // The read of in[0] conflicts with the *later* store to in — legal to
+  // hoist under the lock-step rule (the paper's key insight); a serial
+  // loop could not do this.
+  const char *src = R"(
+__global__ void k(float* in, float* out, int n) {
+  int tid = blockIdx.x * 32 + threadIdx.x;
+  float first = in[0];
+  if (tid < n) {
+    in[tid] = first + 1.0f;
+  }
+}
+void run(float* in, float* out, int n) {
+  k<<<1, 32>>>(in, out, n);
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  runLICM(m.get());
+  // The load of in[0] must now sit outside every scf.parallel.
+  bool loadInsideParallel = false;
+  m.op()->walk([&](Op *op) {
+    if (op->kind() == OpKind::Load &&
+        getEnclosing(op, OpKind::ScfParallel))
+      loadInsideParallel = true;
+  });
+  EXPECT_FALSE(loadInsideParallel)
+      << ir::printOp(m.op());
+}
+
+TEST(LicmTest, DoesNotHoistReadAfterPriorWrite) {
+  const char *src = R"(
+__global__ void k(float* in, int n) {
+  int tid = blockIdx.x * 32 + threadIdx.x;
+  if (tid < n) {
+    in[tid] = 2.0f;
+  }
+  float first = in[0];
+  if (tid < n) {
+    in[tid] = first + in[tid];
+  }
+}
+void run(float* in, int n) { k<<<1, 32>>>(in, n); }
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  runLICM(m.get());
+  // in[0] is written by a *prior* op in the body: not hoistable.
+  int loadsInside = 0;
+  m.op()->walk([&](Op *op) {
+    if (op->kind() == OpKind::Load && getEnclosing(op, OpKind::ScfParallel))
+      ++loadsInside;
+  });
+  EXPECT_GT(loadsInside, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalize / CSE / unroll
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalizeTest, FoldsConstantArithAndControlFlow) {
+  const char *src = R"(
+int f() {
+  int x = 3 * 4 + 2;
+  if (x > 10) {
+    x = x - 1;
+  }
+  return x;
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  // Everything folds to `return 13`.
+  EXPECT_EQ(countOps(m.op(), OpKind::ScfIf), 0);
+  EXPECT_EQ(countOps(m.op(), OpKind::AddI), 0);
+  DiagnosticEngine diag;
+  driver::Executor exec(m.get(), 1);
+  auto r = exec.run("f", {});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].i, 13);
+}
+
+TEST(UnrollTest, FullyUnrollsConstantTripLoop) {
+  const char *src = R"(
+void f(float* a) {
+  for (int i = 0; i < 4; i++) {
+    a[i] = 1.0f * i;
+  }
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  runUnroll(m.get(), 8);
+  EXPECT_EQ(countOps(m.op(), OpKind::ScfFor), 0);
+  EXPECT_EQ(countOps(m.op(), OpKind::Store), 4);
+  EXPECT_TRUE(verifyOk(m.op()));
+}
+
+TEST(UnrollTest, LeavesLargeLoopsAlone) {
+  const char *src = R"(
+void f(float* a) {
+  for (int i = 0; i < 1000; i++) {
+    a[i] = 0.0f;
+  }
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  runUnroll(m.get(), 8);
+  EXPECT_EQ(countOps(m.op(), OpKind::ScfFor), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// OpenMP lowering (§IV-D): fusion, hoisting, collapse
+//===----------------------------------------------------------------------===//
+
+TEST(OmpLowerTest, FusesAdjacentRegionsWithBarrier) {
+  // Two consecutive kernel launches produce adjacent parallel regions;
+  // fusion merges them into one omp.parallel with an omp.barrier between
+  // the worksharing loops (Fig. 10), paying thread startup once.
+  const char *src = R"(
+__global__ void k1(float* a, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) {
+    a[i] = 1.0f;
+  }
+}
+__global__ void k2(float* a, float* b, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) {
+    b[i] = a[n - 1 - i];
+  }
+}
+void run(float* a, float* b, int n) {
+  k1<<<2, 64>>>(a, n);
+  k2<<<2, 64>>>(a, b, n);
+}
+)";
+  DiagnosticEngine diag;
+  auto cc = driver::compile(src, PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  EXPECT_EQ(countOps(cc.module.op(), OpKind::OmpParallel), 1)
+      << "the two launches should share one parallel region:\n"
+      << ir::printOp(cc.module.op());
+  EXPECT_GE(countOps(cc.module.op(), OpKind::OmpBarrier), 1);
+  EXPECT_EQ(countOps(cc.module.op(), OpKind::OmpWsLoop), 2);
+  // Correctness of the fused form.
+  int n = 100;
+  std::vector<float> a(128, 0.0f), b(128, 0.0f);
+  driver::Executor exec(cc.module.get(), 2);
+  exec.run("run", {driver::Executor::bufferF32(a.data(), {128}),
+                   driver::Executor::bufferF32(b.data(), {128}),
+                   int64_t(n)});
+  for (int i = 0; i < n; ++i)
+    EXPECT_FLOAT_EQ(b[i], 1.0f) << i;
+}
+
+TEST(OmpLowerTest, CollapsesGridAndBlockWithoutSharedMem) {
+  const char *src = R"(
+__global__ void k(float* a, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) {
+    a[i] = 2.0f;
+  }
+}
+void run(float* a, int n) { k<<<4, 64>>>(a, n); }
+)";
+  DiagnosticEngine diag;
+  auto cc = driver::compile(src, PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  // Grid and block loops collapse into a single 2-D worksharing loop.
+  EXPECT_EQ(countOps(cc.module.op(), OpKind::OmpWsLoop), 1);
+  EXPECT_EQ(countOps(cc.module.op(), OpKind::ScfFor), 0);
+}
+
+TEST(OmpLowerTest, HoistsRegionOutOfSerialLoop) {
+  // A kernel launched inside a host loop: region hoisting moves the
+  // thread team outside the loop (Fig. 11).
+  const char *src = R"(
+__global__ void k(float* a, int n) {
+  int i = blockIdx.x * 64 + threadIdx.x;
+  if (i < n) {
+    a[i] = a[i] + 1.0f;
+  }
+}
+void run(float* a, int n, int iters) {
+  for (int t = 0; t < iters; t++) {
+    k<<<2, 64>>>(a, n);
+  }
+}
+)";
+  DiagnosticEngine diag;
+  auto cc = driver::compile(src, PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  // The omp.parallel must contain the scf.for, not vice versa.
+  bool parallelInsideFor = false;
+  cc.module.op()->walk([&](Op *op) {
+    if (op->kind() == OpKind::OmpParallel &&
+        getEnclosing(op, OpKind::ScfFor))
+      parallelInsideFor = true;
+  });
+  EXPECT_FALSE(parallelInsideFor) << ir::printOp(cc.module.op());
+  // Correctness: iterations stay ordered via the trailing omp.barrier.
+  std::vector<float> a(128, 0.0f);
+  driver::Executor exec(cc.module.get(), 2);
+  exec.run("run", {driver::Executor::bufferF32(a.data(), {128}),
+                   int64_t(128), int64_t(5)});
+  for (int i = 0; i < 128; ++i)
+    EXPECT_FLOAT_EQ(a[i], 5.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// mem2reg
+//===----------------------------------------------------------------------===//
+
+TEST(Mem2RegTest, PromotesScalarsThroughIfAndFor) {
+  const char *src = R"(
+int f(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) {
+    if (i % 2 == 0) {
+      acc += i;
+    }
+  }
+  return acc;
+}
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  EXPECT_EQ(countOps(m.op(), OpKind::Alloca), 0)
+      << ir::printOp(m.op());
+  driver::Executor exec(m.get(), 1);
+  auto r = exec.run("f", {int64_t(10)});
+  EXPECT_EQ(r[0].i, 0 + 2 + 4 + 6 + 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(FrontendDiagTest, RejectsUnknownIdentifier) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile("void f() { x = 1; }", PipelineOptions{}, diag);
+  EXPECT_FALSE(cc.ok);
+  EXPECT_NE(diag.str().find("x"), std::string::npos);
+  DiagnosticEngine diag2;
+  auto cc2 =
+      driver::compile("int f() { return y + 1; }", PipelineOptions{}, diag2);
+  EXPECT_FALSE(cc2.ok);
+  EXPECT_NE(diag2.str().find("undeclared"), std::string::npos);
+}
+
+TEST(FrontendDiagTest, RejectsMisplacedReturn) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile(
+      "int f(int n) { for (int i = 0; i < n; i++) { return i; } return 0; }",
+      PipelineOptions{}, diag);
+  EXPECT_FALSE(cc.ok);
+}
+
+TEST(FrontendDiagTest, RejectsKernelCalledAsFunction) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile(
+      "__global__ void k(float* a) { a[0] = 1.0f; }\n"
+      "void f(float* a) { k(a); }",
+      PipelineOptions{}, diag);
+  EXPECT_FALSE(cc.ok);
+  EXPECT_NE(diag.str().find("launched"), std::string::npos);
+}
+
+TEST(FrontendDiagTest, RejectsLaunchOfUnknownKernel) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile("void f(float* a) { nosuch<<<1, 32>>>(a); }",
+                            PipelineOptions{}, diag);
+  EXPECT_FALSE(cc.ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Barrier motion (§IV-A fictitious-barrier criterion)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Returns the single barrier's zero-based position in its block, or -1.
+int barrierIndex(Op *root) {
+  Op *barrier = nullptr;
+  root->walk([&](Op *op) {
+    if (op->kind() == OpKind::Barrier)
+      barrier = op;
+  });
+  if (!barrier)
+    return -1;
+  int idx = 0;
+  for (Op *op = barrier->parent()->front(); op != barrier; op = op->next())
+    ++idx;
+  return idx;
+}
+
+} // namespace
+
+TEST(BarrierMotionTest, HoistsAboveNonConflictingDefs) {
+  // The load from c feeds only post-barrier code; the barrier exists to
+  // order the write to a against the cross-thread read of a. Hoisting it
+  // above the c-load removes the crossing value entirely.
+  const char *src = R"(
+__global__ void k(float* a, float* b, float* c) {
+  int tx = threadIdx.x;
+  a[tx] = b[tx];
+  float t1 = c[tx];
+  __syncthreads();
+  b[tx] = a[15 - tx] + t1;
+}
+void run(float* a, float* b, float* c) { k<<<1, 16>>>(a, b, c); }
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  int before = barrierIndex(m.op());
+  ASSERT_GT(before, 0);
+  runBarrierMotion(m.get());
+  int after = barrierIndex(m.op());
+  EXPECT_LT(after, before) << printOp(m.op());
+  EXPECT_TRUE(verifyOk(m.op()));
+  // The barrier must not have been hoisted above the store to a.
+  Op *barrier = nullptr;
+  m.op()->walk([&](Op *op) {
+    if (op->kind() == OpKind::Barrier)
+      barrier = op;
+  });
+  ASSERT_NE(barrier, nullptr);
+  bool storeBefore = false;
+  for (Op *op = barrier->parent()->front(); op != barrier; op = op->next())
+    if (op->kind() == OpKind::Store)
+      storeBefore = true;
+  EXPECT_TRUE(storeBefore) << printOp(m.op());
+}
+
+TEST(BarrierMotionTest, DoesNotMoveAcrossConflictingStore) {
+  // Classic exchange: the store to a conflicts with the cross-thread
+  // read after the barrier, so the barrier must stay put.
+  const char *src = R"(
+__global__ void k(float* a, float* b) {
+  int tx = threadIdx.x;
+  a[tx] = b[tx];
+  __syncthreads();
+  b[tx] = a[15 - tx];
+}
+void run(float* a, float* b) { k<<<1, 16>>>(a, b); }
+)";
+  OwnedModule m = frontendIR(src);
+  runMem2Reg(m.get());
+  runCanonicalize(m.get());
+  int before = barrierIndex(m.op());
+  runBarrierMotion(m.get());
+  EXPECT_EQ(barrierIndex(m.op()), before) << printOp(m.op());
+}
+
+TEST(BarrierMotionTest, PipelineWithMotionPreservesSemantics) {
+  // End-to-end: motion runs inside the default pipeline; the transpiled
+  // result must agree with the SIMT oracle.
+  const char *src = R"(
+__global__ void k(float* a, float* b, float* c) {
+  int tx = threadIdx.x;
+  a[tx] = b[tx] * 2.0f;
+  float t1 = c[tx];
+  __syncthreads();
+  b[tx] = a[15 - tx] + t1;
+}
+void run(float* a, float* b, float* c) { k<<<1, 16>>>(a, b, c); }
+)";
+  std::vector<float> a(16), b(16), c(16), a2(16), b2(16), c2(16);
+  for (int i = 0; i < 16; ++i) {
+    a[i] = a2[i] = 0;
+    b[i] = b2[i] = 1.0f + i;
+    c[i] = c2[i] = 0.5f * i;
+  }
+  DiagnosticEngine diag;
+  auto oracle = driver::compileForSimt(src, diag);
+  ASSERT_TRUE(oracle.ok) << diag.str();
+  driver::Executor simt(oracle.module.get(), 2);
+  simt.run("run", {driver::Executor::bufferF32(a.data(), {16}),
+                   driver::Executor::bufferF32(b.data(), {16}),
+                   driver::Executor::bufferF32(c.data(), {16})});
+
+  auto cc = driver::compile(src, PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  driver::Executor exec(cc.module.get(), 2);
+  exec.run("run", {driver::Executor::bufferF32(a2.data(), {16}),
+                   driver::Executor::bufferF32(b2.data(), {16}),
+                   driver::Executor::bufferF32(c2.data(), {16})});
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(b, b2);
+  EXPECT_EQ(c, c2);
+}
