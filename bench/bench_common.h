@@ -5,6 +5,7 @@
 #pragma once
 
 #include "rodinia/rodinia.h"
+#include "transforms/pass_manager.h"
 
 #include <algorithm>
 #include <cmath>
@@ -12,6 +13,7 @@
 #include <thread>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace paralift::bench {
@@ -47,6 +49,56 @@ double medianKernelTime(Setup &&setup, Run &&run, int reps = 3) {
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
+}
+
+/// Accumulates per-pass timing records across many compilations,
+/// aggregated by canonical pass spec in first-seen (pipeline) order.
+class PassTimeAggregator {
+public:
+  void add(const transforms::PassTimingReport &report) {
+    for (const auto &r : report.records) {
+      auto it = std::find_if(agg_.begin(), agg_.end(), [&](const auto &p) {
+        return p.first == r.spec;
+      });
+      if (it == agg_.end())
+        agg_.emplace_back(r.spec, r.seconds);
+      else
+        it->second += r.seconds;
+    }
+  }
+
+  /// Prints one row per pass with its share of the total, then the total.
+  void print() const {
+    double total = 0;
+    for (const auto &[spec, secs] : agg_)
+      total += secs;
+    for (const auto &[spec, secs] : agg_)
+      std::fputs(transforms::formatTimingRow(secs, total, spec).c_str(),
+                 stdout);
+    std::printf("  %10.6f s total\n", total);
+  }
+
+private:
+  std::vector<std::pair<std::string, double>> agg_;
+};
+
+/// Compiles every suite benchmark with per-pass timing enabled and
+/// accumulates the records into one aggregator.
+inline PassTimeAggregator
+timeSuiteCompiles(const transforms::PipelineOptions &opts) {
+  PassTimeAggregator agg;
+  for (const auto &b : rodinia::suite()) {
+    DiagnosticEngine diag;
+    transforms::PassRunConfig config;
+    transforms::PassTimingReport report;
+    config.timing = &report;
+    auto cc = driver::compile(b.cudaSource, opts, diag, config);
+    if (!cc.ok)
+      std::fprintf(stderr, "compile failed for %s:\n%s\n", b.id.c_str(),
+                   diag.str().c_str());
+    agg.add(report);
+  }
+  return agg;
 }
 
 inline double geomean(const std::vector<double> &xs) {

@@ -33,6 +33,33 @@ void printTable() {
   }
 }
 
+/// Per-pass compile-time breakdown across the suite for the full
+/// pipeline, plus the effect of parallel per-kernel pass scheduling.
+void printPassBreakdown() {
+  std::printf("\n=== Per-pass compile time, full pipeline (seconds, summed "
+              "over suite) ===\n\n");
+  timeSuiteCompiles(transforms::PipelineOptions{}).print();
+
+  std::printf("\n=== Compile throughput vs --pm-threads (whole suite, "
+              "seconds) ===\n\n");
+  for (unsigned threads : {1u, 2u, 4u}) {
+    double t = medianTime(
+        [&] {
+          for (const auto &b : rodinia::suite()) {
+            DiagnosticEngine diag;
+            transforms::PassRunConfig config;
+            config.threads = threads;
+            auto cc = driver::compile(b.cudaSource,
+                                      transforms::PipelineOptions{}, diag,
+                                      config);
+            benchmark::DoNotOptimize(cc.ok);
+          }
+        },
+        3);
+    std::printf("  pm-threads=%u  %10.4f s\n", threads, t);
+  }
+}
+
 void BM_CompileBackprop(benchmark::State &state) {
   const auto *b = rodinia::find("backprop_layerforward");
   transforms::PipelineOptions opts;
@@ -50,5 +77,6 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printTable();
+  printPassBreakdown();
   return 0;
 }

@@ -78,6 +78,18 @@ void printTable() {
   }
 }
 
+/// Per-pass compile-time breakdown of each ablation stage, aggregated
+/// across the Rodinia suite. Shows where each enabled axis spends its
+/// compile time (the PassManager timing instrumentation).
+void printPassTimingBreakdown() {
+  std::printf("\n=== Per-pass compile time per ablation stage (seconds, "
+              "summed over suite) ===\n\n");
+  for (const Stage &s : stages()) {
+    std::printf("--- stage %s\n", s.name);
+    timeSuiteCompiles(s.opts).print();
+  }
+}
+
 void BM_AblationOne(benchmark::State &state) {
   const auto &b = rodinia::suite()[static_cast<size_t>(state.range(0))];
   transforms::PipelineOptions opts;
@@ -93,5 +105,6 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printTable();
+  printPassTimingBreakdown();
   return 0;
 }

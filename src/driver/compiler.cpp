@@ -7,7 +7,8 @@ namespace paralift::driver {
 
 CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
-                      DiagnosticEngine &diag) {
+                      DiagnosticEngine &diag,
+                      const transforms::PassRunConfig &config) {
   CompileResult out;
   out.module = frontend::compileToIR(source, diag);
   if (diag.hasErrors())
@@ -18,8 +19,14 @@ CompileResult compile(const std::string &source,
       diag.error(SourceLoc(), "frontend produced invalid IR: " + e);
     return out;
   }
-  out.ok = transforms::runPipeline(out.module.get(), opts, diag);
+  out.ok = transforms::runPipeline(out.module.get(), opts, diag, config);
   return out;
+}
+
+CompileResult compile(const std::string &source,
+                      const transforms::PipelineOptions &opts,
+                      DiagnosticEngine &diag) {
+  return compile(source, opts, diag, transforms::PassRunConfig{});
 }
 
 CompileResult compileForSimt(const std::string &source,

@@ -31,6 +31,14 @@ CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
                       DiagnosticEngine &diag);
 
+/// As above with pass-manager instrumentation/scheduling knobs: per-pass
+/// wall-clock timing (config.timing), verify-after-each-pass, and
+/// parallel per-kernel scheduling of function passes (config.threads).
+CompileResult compile(const std::string &source,
+                      const transforms::PipelineOptions &opts,
+                      DiagnosticEngine &diag,
+                      const transforms::PassRunConfig &config);
+
 /// Reference pipeline: frontend + device-function inlining only. Barriers
 /// are preserved; kernels execute on the lockstep SIMT emulator giving
 /// ground-truth CUDA semantics.

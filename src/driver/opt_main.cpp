@@ -1,17 +1,23 @@
 // paralift-opt: the mlir-opt analogue for ParaLift IR. Reads textual IR
-// (or a CUDA-subset file with --cuda), runs a named pass pipeline, and
-// prints the resulting IR. The verifier runs after every pass.
+// (or a CUDA-subset file with --cuda), runs a pass pipeline through the
+// PassManager, and prints the resulting IR.
 //
 // Usage:
-//   paralift-opt [file] [--cuda] [--passes=p1,p2,...] [--list-passes]
+//   paralift-opt [file] [--cuda] [--passes=PIPELINE] [--list-passes]
+//                [--timing] [--stats] [--verify-each] [--pm-threads=N]
+//                [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]
 //
-// With no file, reads stdin. With no --passes, just parse/verify/print
-// (round-trip mode). Examples:
+// PIPELINE is a comma-separated list of registered pass names, each with
+// optional {key=value,...} parameters. With no file, reads stdin. With no
+// --passes, just parse/verify/print (round-trip mode). Examples:
 //   paralift-opt kernel.ir --passes=canonicalize,cse,barrier-elim
-//   paralift-opt kernel.cu --cuda --passes=cpuify,omp-lower
+//   paralift-opt kernel.cu --cuda --passes='cpuify{mincut=false},omp-lower'
+//   paralift-opt kernel.ir --timing --verify-each
+//     --passes='unroll{max-trip=16},canonicalize'
 #include "driver/compiler.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
+#include "ir/verifier.h"
 #include "transforms/registry.h"
 
 #include <cstdio>
@@ -28,6 +34,17 @@ int listPasses() {
   std::printf("Available passes:\n");
   for (const auto &p : transforms::passRegistry())
     std::printf("  %-22s %s\n", p.name.c_str(), p.description.c_str());
+  return 0;
+}
+
+int usage(const char *argv0) {
+  std::printf(
+      "usage: %s [file] [--cuda] [--passes=PIPELINE] [--list-passes]\n"
+      "       [--timing] [--stats] [--verify-each] [--pm-threads=N]\n"
+      "       [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]\n"
+      "\n"
+      "PIPELINE example: 'inline,unroll{max-trip=16},cpuify{mincut=false}'\n",
+      argv0);
   return 0;
 }
 
@@ -52,6 +69,12 @@ int main(int argc, char **argv) {
   std::string path;
   std::string passes;
   bool cuda = false;
+  bool timing = false;
+  bool stats = false;
+  bool verifyEach = false;
+  bool printBefore = false, printAfter = false;
+  std::string printBeforeFilter, printAfterFilter;
+  unsigned pmThreads = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-passes")
@@ -60,13 +83,51 @@ int main(int argc, char **argv) {
       cuda = true;
     } else if (arg.rfind("--passes=", 0) == 0) {
       passes = arg.substr(9);
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--verify-each") {
+      verifyEach = true;
+    } else if (arg == "--print-ir-before") {
+      printBefore = true;
+    } else if (arg.rfind("--print-ir-before=", 0) == 0) {
+      printBefore = true;
+      printBeforeFilter = arg.substr(18);
+    } else if (arg == "--print-ir-after") {
+      printAfter = true;
+    } else if (arg.rfind("--print-ir-after=", 0) == 0) {
+      printAfter = true;
+      printAfterFilter = arg.substr(17);
+    } else if (arg.rfind("--pm-threads=", 0) == 0) {
+      // stoul accepts negatives and trailing junk; validate strictly.
+      std::string value = arg.substr(13);
+      long long n = -1;
+      try {
+        size_t consumed = 0;
+        n = std::stoll(value, &consumed);
+        if (consumed != value.size())
+          n = -1;
+      } catch (const std::exception &) {
+      }
+      if (n < 1 || n > 1024) {
+        std::fprintf(stderr,
+                     "error: invalid --pm-threads value '%s' (expected "
+                     "1..1024)\n",
+                     value.c_str());
+        return 2;
+      }
+      pmThreads = static_cast<unsigned>(n);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [file] [--cuda] [--passes=p1,p2,...] "
-                  "[--list-passes]\n",
-                  argv[0]);
-      return 0;
+      return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else if (!path.empty()) {
+      std::fprintf(stderr,
+                   "error: multiple input files ('%s' and '%s'); "
+                   "paralift-opt takes at most one\n",
+                   path.c_str(), arg.c_str());
       return 2;
     } else {
       path = arg;
@@ -94,8 +155,41 @@ int main(int argc, char **argv) {
     module = std::move(*parsed);
   }
 
-  if (!passes.empty() &&
-      !transforms::runPassPipeline(module.get(), passes, diag)) {
+  transforms::PassManager pm;
+  if (!transforms::buildPipelineFromSpec(pm, passes, diag)) {
+    std::fprintf(stderr, "%s", diag.str().c_str());
+    return 1;
+  }
+  // Separate instrumentations: the before/after filters are independent.
+  // Timing goes last (innermost) so IR printing and verification stay
+  // out of the per-pass measurement window.
+  if (printBefore)
+    pm.enableIRPrinting(/*before=*/true, /*after=*/false, printBeforeFilter);
+  if (printAfter)
+    pm.enableIRPrinting(/*before=*/false, /*after=*/true, printAfterFilter);
+  if (verifyEach)
+    pm.enableVerifyEach();
+  transforms::PassTimingReport timingReport;
+  if (timing)
+    pm.enableTiming(&timingReport);
+  if (stats)
+    pm.enableStatistics();
+  pm.setThreadCount(pmThreads);
+
+  bool ok = pm.run(module.get(), diag);
+  if (timing)
+    std::fprintf(stderr, "%s", timingReport.str().c_str());
+  if (stats)
+    std::fprintf(stderr, "%s", pm.statisticsStr().c_str());
+  // Never print invalid IR. An empty pipeline never fires the
+  // verify-each instrumentation, so it still needs the final check.
+  if (ok && (!verifyEach || pm.passes().empty())) {
+    for (const std::string &msg : ir::verify(module.op())) {
+      diag.error({}, "final module is invalid: " + msg);
+      ok = false;
+    }
+  }
+  if (!ok) {
     std::fprintf(stderr, "%s", diag.str().c_str());
     return 1;
   }

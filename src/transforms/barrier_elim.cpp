@@ -10,12 +10,15 @@ using namespace paralift::ir;
 
 namespace paralift::transforms {
 
-void runBarrierElim(ModuleOp module) {
+namespace {
+
+unsigned barrierElimRoot(Op *root) {
+  unsigned erased = 0;
   bool changed = true;
   while (changed) {
     changed = false;
     std::vector<Op *> barriers;
-    module.op->walk([&](Op *op) {
+    root->walk([&](Op *op) {
       if (op->kind() == OpKind::Barrier)
         barriers.push_back(op);
     });
@@ -25,10 +28,35 @@ void runBarrierElim(ModuleOp module) {
         continue;
       if (analysis::isBarrierRedundant(barrier, threadPar)) {
         barrier->erase();
+        ++erased;
         changed = true;
       }
     }
   }
+  return erased;
+}
+
+class BarrierElimPass : public FunctionPass {
+public:
+  BarrierElimPass()
+      : FunctionPass("barrier-elim", "erase redundant barriers (§IV-A)"),
+        erased_(&statistic("barriers-erased")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    *erased_ += barrierElimRoot(func);
+    return true;
+  }
+
+private:
+  Statistic *erased_;
+};
+
+} // namespace
+
+void runBarrierElim(ModuleOp module) { barrierElimRoot(module.op); }
+
+std::unique_ptr<Pass> createBarrierElimPass() {
+  return std::make_unique<BarrierElimPass>();
 }
 
 } // namespace paralift::transforms

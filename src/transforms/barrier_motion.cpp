@@ -92,11 +92,10 @@ bool hoistBarrier(Op *barrier, Op *threadPar) {
   return moved;
 }
 
-} // namespace
-
-void runBarrierMotion(ModuleOp module) {
+unsigned barrierMotionRoot(Op *root) {
+  unsigned moved = 0;
   std::vector<Op *> barriers;
-  module.op->walk([&](Op *op) {
+  root->walk([&](Op *op) {
     if (op->kind() == OpKind::Barrier)
       barriers.push_back(op);
   });
@@ -109,8 +108,34 @@ void runBarrierMotion(ModuleOp module) {
     // interchange.
     if (barrier->parent() != &ir::ParallelOp(threadPar).body())
       continue;
-    hoistBarrier(barrier, threadPar);
+    if (hoistBarrier(barrier, threadPar))
+      ++moved;
   }
+  return moved;
+}
+
+class BarrierMotionPass : public FunctionPass {
+public:
+  BarrierMotionPass()
+      : FunctionPass("barrier-motion",
+                     "hoist barriers to shrink fission caches (§IV-A)"),
+        moved_(&statistic("barriers-moved")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    *moved_ += barrierMotionRoot(func);
+    return true;
+  }
+
+private:
+  Statistic *moved_;
+};
+
+} // namespace
+
+void runBarrierMotion(ModuleOp module) { barrierMotionRoot(module.op); }
+
+std::unique_ptr<Pass> createBarrierMotionPass() {
+  return std::make_unique<BarrierMotionPass>();
 }
 
 } // namespace paralift::transforms

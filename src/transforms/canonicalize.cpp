@@ -406,20 +406,50 @@ bool canonicalizeOp(Op *op) {
   }
 }
 
-} // namespace
-
-void runCanonicalize(ModuleOp module) {
+void canonicalizeRoot(Op *root) {
   bool changed = true;
   while (changed) {
     changed = false;
     // Post-order so producers are folded before consumers retry, and so
     // erasing an op whose operands become dead is picked up next round.
-    module.op->walkPostOrder([&](Op *op) {
+    root->walkPostOrder([&](Op *op) {
       if (op->kind() == OpKind::Module || op->kind() == OpKind::Func)
         return;
       changed |= canonicalizeOp(op);
     });
   }
+}
+
+class CanonicalizePass : public FunctionPass {
+public:
+  CanonicalizePass()
+      : FunctionPass("canonicalize",
+                     "fold constants, simplify control flow, DCE"),
+        removed_(&statistic("ops-removed")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    if (!statisticsEnabled()) {
+      canonicalizeRoot(func);
+      return true;
+    }
+    size_t before = countNestedOps(func);
+    canonicalizeRoot(func);
+    size_t after = countNestedOps(func);
+    if (after < before)
+      *removed_ += before - after;
+    return true;
+  }
+
+private:
+  Statistic *removed_;
+};
+
+} // namespace
+
+void runCanonicalize(ModuleOp module) { canonicalizeRoot(module.op); }
+
+std::unique_ptr<Pass> createCanonicalizePass() {
+  return std::make_unique<CanonicalizePass>();
 }
 
 } // namespace paralift::transforms

@@ -63,8 +63,8 @@ Op *topLevelAncestor(Op *op, Block *block) {
 
 class Cpuify {
 public:
-  Cpuify(ModuleOp module, bool useMinCut, DiagnosticEngine &diag)
-      : module_(module), useMinCut_(useMinCut), diag_(diag) {}
+  Cpuify(Op *root, bool useMinCut, DiagnosticEngine &diag)
+      : root_(root), useMinCut_(useMinCut), diag_(diag) {}
 
   bool run() {
     const bool debug = std::getenv("PARALIFT_DEBUG_CPUIFY") != nullptr;
@@ -91,7 +91,7 @@ public:
 private:
   Op *findAnyBarrier() {
     Op *found = nullptr;
-    module_.op->walk([&](Op *op) {
+    root_->walk([&](Op *op) {
       if (!found && op->kind() == OpKind::Barrier)
         found = op;
     });
@@ -587,16 +587,50 @@ private:
     op->erase();
   }
 
-  ModuleOp module_;
+  Op *root_;
   bool useMinCut_;
   DiagnosticEngine &diag_;
+};
+
+class CpuifyPass : public FunctionPass {
+public:
+  CpuifyPass()
+      : FunctionPass("cpuify",
+                     "lower barriers by fission (min-cut) + interchange"),
+        lowered_(&statistic("barriers-lowered")) {
+    declareBoolOption("mincut", &useMinCut_, true);
+  }
+
+  bool runOnFunction(Op *func, DiagnosticEngine &diag) override {
+    size_t before =
+        statisticsEnabled() ? countNestedOps(func, OpKind::Barrier) : 0;
+    Cpuify c(func, useMinCut_, diag);
+    bool ok = c.run();
+    if (statisticsEnabled()) {
+      // Count only barriers actually lowered (on failure some remain).
+      size_t after = countNestedOps(func, OpKind::Barrier);
+      if (before > after)
+        *lowered_ += before - after;
+    }
+    return ok;
+  }
+
+private:
+  bool useMinCut_ = true;
+  Statistic *lowered_;
 };
 
 } // namespace
 
 void runCpuify(ModuleOp module, bool useMinCut, DiagnosticEngine &diag) {
-  Cpuify c(module, useMinCut, diag);
+  Cpuify c(module.op, useMinCut, diag);
   c.run();
+}
+
+std::unique_ptr<Pass> createCpuifyPass(bool useMinCut) {
+  auto pass = std::make_unique<CpuifyPass>();
+  pass->setOption("mincut", useMinCut ? "true" : "false");
+  return pass;
 }
 
 } // namespace paralift::transforms

@@ -72,6 +72,28 @@ void cseBlock(Block &block, std::vector<ScopeMap> &scopes) {
   scopes.pop_back();
 }
 
+class CSEPass : public FunctionPass {
+public:
+  CSEPass()
+      : FunctionPass("cse", "common subexpression elimination"),
+        removed_(&statistic("ops-removed")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    size_t before = statisticsEnabled() ? countNestedOps(func) : 0;
+    std::vector<ScopeMap> scopes;
+    cseBlock(FuncOp(func).body(), scopes);
+    if (statisticsEnabled()) {
+      size_t after = countNestedOps(func);
+      if (after < before)
+        *removed_ += before - after;
+    }
+    return true;
+  }
+
+private:
+  Statistic *removed_;
+};
+
 } // namespace
 
 void runCSE(ModuleOp module) {
@@ -82,5 +104,7 @@ void runCSE(ModuleOp module) {
     cseBlock(FuncOp(fn).body(), scopes);
   }
 }
+
+std::unique_ptr<Pass> createCSEPass() { return std::make_unique<CSEPass>(); }
 
 } // namespace paralift::transforms

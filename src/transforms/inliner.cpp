@@ -88,4 +88,39 @@ void runInliner(ModuleOp module, bool onlyInKernels) {
   }
 }
 
+namespace {
+
+/// Module-scope pass: inlining looks across functions (callee lookup), so
+/// it cannot be scheduled per-function.
+class InlinerPass : public Pass {
+public:
+  InlinerPass() : Pass("inline", "inline module-local calls") {
+    declareBoolOption("kernels-only", &kernelsOnly_, false);
+  }
+
+  bool run(ModuleOp module, DiagnosticEngine &) override {
+    if (!statisticsEnabled()) {
+      runInliner(module, kernelsOnly_);
+      return true;
+    }
+    size_t before = countNestedOps(module.op, OpKind::Call);
+    runInliner(module, kernelsOnly_);
+    size_t after = countNestedOps(module.op, OpKind::Call);
+    if (after < before)
+      statistic("calls-inlined") += before - after;
+    return true;
+  }
+
+private:
+  bool kernelsOnly_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<Pass> createInlinerPass(bool onlyInKernels) {
+  auto pass = std::make_unique<InlinerPass>();
+  pass->setOption("kernels-only", onlyInKernels ? "true" : "false");
+  return pass;
+}
+
 } // namespace paralift::transforms

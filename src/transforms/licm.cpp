@@ -131,21 +131,47 @@ bool hoistFromLoop(Op *loop) {
   return changed;
 }
 
-} // namespace
-
-void runLICM(ModuleOp module) {
+unsigned licmRoot(Op *root) {
+  unsigned rounds = 0;
   bool changed = true;
   while (changed) {
     changed = false;
     std::vector<Op *> loops;
-    module.op->walk([&](Op *op) {
+    root->walk([&](Op *op) {
       if (op->kind() == OpKind::ScfFor || op->kind() == OpKind::ScfParallel)
         loops.push_back(op);
     });
     // Innermost first so ops bubble outward across several levels.
     for (auto it = loops.rbegin(); it != loops.rend(); ++it)
       changed |= hoistFromLoop(*it);
+    if (changed)
+      ++rounds;
   }
+  return rounds;
+}
+
+class LICMPass : public FunctionPass {
+public:
+  LICMPass()
+      : FunctionPass("licm",
+                     "loop-invariant code motion (parallel rule §IV-C)"),
+        hoistRounds_(&statistic("hoist-rounds")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    *hoistRounds_ += licmRoot(func);
+    return true;
+  }
+
+private:
+  Statistic *hoistRounds_;
+};
+
+} // namespace
+
+void runLICM(ModuleOp module) { licmRoot(module.op); }
+
+std::unique_ptr<Pass> createLICMPass() {
+  return std::make_unique<LICMPass>();
 }
 
 } // namespace paralift::transforms

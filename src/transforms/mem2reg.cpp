@@ -194,15 +194,13 @@ private:
   Type elemType_;
 };
 
-} // namespace
-
-void runMem2Reg(ModuleOp module) {
+void mem2regRoot(Op *root, Pass::Statistic *promoted) {
   // Collect candidates first: promotion mutates the region structure.
   bool changed = true;
   while (changed) {
     changed = false;
     std::vector<Op *> candidates;
-    module.op->walk([&](Op *op) {
+    root->walk([&](Op *op) {
       if (op->kind() == OpKind::Alloca &&
           op->result().type().rank() == 0)
         candidates.push_back(op);
@@ -211,11 +209,39 @@ void runMem2Reg(ModuleOp module) {
       Promoter p(a);
       if (p.canPromote()) {
         p.promote();
+        if (promoted)
+          *promoted += 1;
         changed = true;
         break; // region structure changed; re-collect
       }
     }
   }
+}
+
+class Mem2RegPass : public FunctionPass {
+public:
+  Mem2RegPass()
+      : FunctionPass("mem2reg",
+                     "promote scalar allocas to SSA (barrier-aware)"),
+        promoted_(&statistic("allocas-promoted")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    mem2regRoot(func, promoted_);
+    return true;
+  }
+
+private:
+  Statistic *promoted_;
+};
+
+} // namespace
+
+void runMem2Reg(ModuleOp module) {
+  mem2regRoot(module.op, /*promoted=*/nullptr);
+}
+
+std::unique_ptr<Pass> createMem2RegPass() {
+  return std::make_unique<Mem2RegPass>();
 }
 
 } // namespace paralift::transforms

@@ -220,14 +220,16 @@ bool hoistOne(Op *forOp) {
 
 } // namespace
 
-void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
+namespace {
+
+void ompLowerRoot(Op *root, const OmpLowerOptions &opts) {
   // 1. Collapse grid x block where possible.
   if (opts.collapse) {
     bool changed = true;
     while (changed) {
       changed = false;
       std::vector<Op *> grids;
-      module.op->walk([&](Op *op) {
+      root->walk([&](Op *op) {
         if (op->kind() == OpKind::ScfParallel &&
             op->attrs().getBool("gpu.grid"))
           grids.push_back(op);
@@ -246,7 +248,7 @@ void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
     while (changed) {
       changed = false;
       std::vector<Op *> outers;
-      module.op->walk([&](Op *op) {
+      root->walk([&](Op *op) {
         if (op->kind() == OpKind::ScfParallel &&
             !getEnclosing(op, OpKind::ScfParallel) &&
             !getEnclosing(op, OpKind::OmpParallel))
@@ -266,7 +268,7 @@ void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
     while (changed) {
       changed = false;
       std::vector<Op *> inners;
-      module.op->walk([&](Op *op) {
+      root->walk([&](Op *op) {
         if (op->kind() == OpKind::ScfParallel)
           inners.push_back(op);
       });
@@ -287,7 +289,7 @@ void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
     while (changed) {
       changed = false;
       std::vector<Block *> blocks;
-      module.op->walk([&](Op *op) {
+      root->walk([&](Op *op) {
         for (unsigned r = 0; r < op->numRegions(); ++r)
           for (auto &b : op->region(r).blocks())
             blocks.push_back(b.get());
@@ -304,7 +306,7 @@ void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
     while (changed) {
       changed = false;
       std::vector<Op *> fors;
-      module.op->walk([&](Op *op) {
+      root->walk([&](Op *op) {
         if (op->kind() == OpKind::ScfFor &&
             !getEnclosing(op, OpKind::OmpParallel))
           fors.push_back(op);
@@ -316,6 +318,56 @@ void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
         }
     }
   }
+}
+
+class OmpLowerPass : public FunctionPass {
+public:
+  OmpLowerPass()
+      : FunctionPass("omp-lower",
+                     "lower scf.parallel to omp with fusion/hoist/collapse"),
+        regions_(&statistic("omp-regions")) {
+    declareBoolOption("collapse", &opts_.collapse, true);
+    declareBoolOption("fuse", &opts_.fuseRegions, true);
+    declareBoolOption("hoist", &opts_.hoistRegions, true);
+    declareBoolOption("inner-serialize", &opts_.innerSerialize, true);
+    declareBoolOption("outer-only", &opts_.outerOnly, false);
+  }
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    size_t before =
+        statisticsEnabled() ? countNestedOps(func, OpKind::OmpParallel) : 0;
+    ompLowerRoot(func, opts_);
+    if (statisticsEnabled()) {
+      // Delta, not total: a re-run must not re-count existing regions.
+      size_t after = countNestedOps(func, OpKind::OmpParallel);
+      if (after > before)
+        *regions_ += after - before;
+    }
+    return true;
+  }
+
+private:
+  OmpLowerOptions opts_;
+  Statistic *regions_;
+};
+
+} // namespace
+
+void runOmpLower(ModuleOp module, const OmpLowerOptions &opts) {
+  ompLowerRoot(module.op, opts);
+}
+
+std::unique_ptr<Pass> createOmpLowerPass(const OmpLowerOptions &opts) {
+  auto pass = std::make_unique<OmpLowerPass>();
+  auto setBool = [&pass](const char *key, bool v) {
+    pass->setOption(key, v ? "true" : "false");
+  };
+  setBool("collapse", opts.collapse);
+  setBool("fuse", opts.fuseRegions);
+  setBool("hoist", opts.hoistRegions);
+  setBool("inner-serialize", opts.innerSerialize);
+  setBool("outer-only", opts.outerOnly);
+  return pass;
 }
 
 } // namespace paralift::transforms

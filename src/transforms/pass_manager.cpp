@@ -1,0 +1,352 @@
+#include "transforms/pass_manager.h"
+
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+namespace paralift::transforms {
+
+//===----------------------------------------------------------------------===//
+// Pass options
+//===----------------------------------------------------------------------===//
+
+void Pass::declareBoolOption(const std::string &key, bool *storage,
+                             bool dflt) {
+  *storage = dflt;
+  options_.push_back({key, /*isBool=*/true, storage, nullptr, dflt ? 1 : 0});
+}
+
+void Pass::declareIntOption(const std::string &key, int64_t *storage,
+                            int64_t dflt, int64_t min, int64_t max) {
+  *storage = dflt;
+  options_.push_back(
+      {key, /*isBool=*/false, nullptr, storage, dflt, min, max});
+}
+
+bool Pass::setOption(const std::string &key, const std::string &value,
+                     std::string *err) {
+  for (Option &o : options_) {
+    if (o.key != key)
+      continue;
+    if (o.isBool) {
+      if (value == "true" || value == "1") {
+        *o.boolStorage = true;
+      } else if (value == "false" || value == "0") {
+        *o.boolStorage = false;
+      } else {
+        if (err)
+          *err = "invalid value '" + value + "' for boolean option '" + key +
+                 "' of pass '" + name_ + "'";
+        return false;
+      }
+      return true;
+    }
+    try {
+      size_t consumed = 0;
+      int64_t v = std::stoll(value, &consumed);
+      if (consumed != value.size())
+        throw std::invalid_argument(value);
+      if (v < o.min || v > o.max) {
+        if (err)
+          *err = "value " + value + " out of range [" +
+                 std::to_string(o.min) + ", " + std::to_string(o.max) +
+                 "] for option '" + key + "' of pass '" + name_ + "'";
+        return false;
+      }
+      *o.intStorage = v;
+    } catch (const std::exception &) {
+      if (err)
+        *err = "invalid value '" + value + "' for integer option '" + key +
+               "' of pass '" + name_ + "'";
+      return false;
+    }
+    return true;
+  }
+  if (err) {
+    std::string known;
+    for (const Option &o : options_)
+      known += (known.empty() ? "" : ", ") + o.key;
+    *err = "unknown option '" + key + "' for pass '" + name_ + "'" +
+           (known.empty() ? " (pass takes no options)"
+                          : " (known options: " + known + ")");
+  }
+  return false;
+}
+
+std::string Pass::spec() const {
+  std::string opts;
+  for (const Option &o : options_) {
+    int64_t cur = o.isBool ? (*o.boolStorage ? 1 : 0) : *o.intStorage;
+    if (cur == o.dflt)
+      continue;
+    if (!opts.empty())
+      opts += ",";
+    opts += o.key + "=";
+    if (o.isBool)
+      opts += *o.boolStorage ? "true" : "false";
+    else
+      opts += std::to_string(*o.intStorage);
+  }
+  return opts.empty() ? name_ : name_ + "{" + opts + "}";
+}
+
+Pass::Statistic &Pass::statistic(const std::string &name) {
+  for (auto &s : stats_)
+    if (s->name == name)
+      return *s;
+  stats_.push_back(std::make_unique<Statistic>(name));
+  return *stats_.back();
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionPass
+//===----------------------------------------------------------------------===//
+
+bool FunctionPass::run(ModuleOp module, DiagnosticEngine &diag) {
+  bool ok = true;
+  for (ir::Op *op : module.body())
+    if (op->kind() == ir::OpKind::Func)
+      ok = runOnFunction(op, diag) && ok;
+  return ok;
+}
+
+size_t countNestedOps(ir::Op *root) {
+  size_t n = 0;
+  root->walk([&](ir::Op *) { ++n; });
+  return n;
+}
+
+size_t countNestedOps(ir::Op *root, ir::OpKind kind) {
+  size_t n = 0;
+  root->walk([&](ir::Op *op) {
+    if (op->kind() == kind)
+      ++n;
+  });
+  return n;
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation
+//===----------------------------------------------------------------------===//
+
+double PassTimingReport::totalSeconds() const {
+  double t = 0;
+  for (const Record &r : records)
+    t += r.seconds;
+  return t;
+}
+
+std::string formatTimingRow(double seconds, double total,
+                            const std::string &label) {
+  char buf[160];
+  double pct = total > 0 ? 100.0 * seconds / total : 0.0;
+  std::snprintf(buf, sizeof(buf), "  %10.6f s (%5.1f%%)  %s\n", seconds,
+                pct, label.c_str());
+  return buf;
+}
+
+std::string PassTimingReport::str() const {
+  double total = totalSeconds();
+  std::ostringstream os;
+  os << "===-------------------------------------------------------------===\n";
+  os << "                      Pass execution timing\n";
+  os << "===-------------------------------------------------------------===\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  Total: %.6f s\n", total);
+  os << buf;
+  for (const Record &r : records)
+    os << formatTimingRow(r.seconds, total, r.spec);
+  return os.str();
+}
+
+namespace {
+
+/// Installed by PassManager::enableTiming; appends one record per pass.
+class TimingInstrumentation : public Instrumentation {
+public:
+  explicit TimingInstrumentation(PassTimingReport *report)
+      : report_(report) {}
+
+  void beforePass(const Pass &, ModuleOp) override {
+    start_ = std::chrono::steady_clock::now();
+  }
+  bool afterPass(const Pass &pass, ModuleOp, DiagnosticEngine &) override {
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    report_->records.push_back({pass.spec(), secs});
+    return true;
+  }
+
+private:
+  PassTimingReport *report_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
+bool VerifyInstrumentation::afterPass(const Pass &pass, ModuleOp module,
+                                      DiagnosticEngine &diag) {
+  std::vector<std::string> errors = ir::verify(module.op);
+  for (const std::string &e : errors)
+    diag.error(SourceLoc(),
+               "pass '" + pass.name() + "' broke invariant: " + e);
+  return errors.empty();
+}
+
+void IRPrintInstrumentation::beforePass(const Pass &pass, ModuleOp module) {
+  if (!before_ || !matches(pass))
+    return;
+  std::fprintf(out_, "// ===== IR before pass '%s' =====\n%s\n",
+               pass.spec().c_str(), ir::printOp(module.op).c_str());
+}
+
+bool IRPrintInstrumentation::afterPass(const Pass &pass, ModuleOp module,
+                                       DiagnosticEngine &) {
+  if (after_ && matches(pass))
+    std::fprintf(out_, "// ===== IR after pass '%s' =====\n%s\n",
+                 pass.spec().c_str(), ir::printOp(module.op).c_str());
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
+
+PassManager::~PassManager() = default;
+
+void PassManager::addPass(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+}
+
+void PassManager::addInstrumentation(std::unique_ptr<Instrumentation> ins) {
+  instrumentations_.push_back(std::move(ins));
+}
+
+void PassManager::enableTiming(PassTimingReport *report) {
+  addInstrumentation(std::make_unique<TimingInstrumentation>(report));
+}
+
+void PassManager::enableVerifyEach() {
+  addInstrumentation(std::make_unique<VerifyInstrumentation>());
+}
+
+void PassManager::enableIRPrinting(bool before, bool after,
+                                   std::string filter, std::FILE *out) {
+  addInstrumentation(std::make_unique<IRPrintInstrumentation>(
+      before, after, std::move(filter), out));
+}
+
+bool PassManager::runFunctionPassParallel(FunctionPass &pass, ModuleOp module,
+                                          DiagnosticEngine &diag,
+                                          runtime::ThreadPool &pool) {
+  std::vector<ir::Op *> funcs;
+  for (ir::Op *op : module.body())
+    if (op->kind() == ir::OpKind::Func)
+      funcs.push_back(op);
+  if (funcs.size() < 2)
+    return pass.run(module, diag);
+
+  // Each function is a disjoint IR subtree, so workers never touch shared
+  // IR state. DiagnosticEngine is not thread-safe: every function gets a
+  // private engine, merged in function order afterwards so diagnostics
+  // stay deterministic regardless of scheduling.
+  std::vector<DiagnosticEngine> localDiags(funcs.size());
+  std::vector<char> localOk(funcs.size(), 1);
+  std::atomic<size_t> next{0};
+  pool.parallel([&](unsigned, runtime::Team &) {
+    for (size_t i = next.fetch_add(1); i < funcs.size();
+         i = next.fetch_add(1))
+      localOk[i] = pass.runOnFunction(funcs[i], localDiags[i]) ? 1 : 0;
+  });
+
+  bool ok = true;
+  for (size_t i = 0; i < funcs.size(); ++i) {
+    for (const Diagnostic &d : localDiags[i].diagnostics()) {
+      switch (d.severity) {
+      case Severity::Error:
+        diag.error(d.loc, d.message);
+        break;
+      case Severity::Warning:
+        diag.warning(d.loc, d.message);
+        break;
+      case Severity::Note:
+        diag.note(d.loc, d.message);
+        break;
+      }
+    }
+    ok = ok && localOk[i];
+  }
+  return ok;
+}
+
+bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
+  std::unique_ptr<runtime::ThreadPool> pool;
+  if (threads_ > 1 && !runtime::ThreadPool::insideParallel()) {
+    bool anyFunctionPass =
+        std::any_of(passes_.begin(), passes_.end(),
+                    [](const auto &p) { return p->isFunctionPass(); });
+    if (anyFunctionPass)
+      pool = std::make_unique<runtime::ThreadPool>(threads_);
+  }
+
+  size_t errorsAtStart = diag.numErrors();
+  for (auto &pass : passes_)
+    pass->setStatisticsEnabled(collectStats_);
+  for (auto &pass : passes_) {
+    for (auto &ins : instrumentations_)
+      ins->beforePass(*pass, module);
+    bool ok;
+    if (pool && pass->isFunctionPass())
+      ok = runFunctionPassParallel(static_cast<FunctionPass &>(*pass),
+                                   module, diag, *pool);
+    else
+      ok = pass->run(module, diag);
+    // Reverse order so instrumentations nest (first installed =
+    // outermost); e.g. timing installed last excludes the cost of
+    // earlier-installed IR printing / verification from its window.
+    for (auto it = instrumentations_.rbegin();
+         it != instrumentations_.rend(); ++it)
+      ok = (*it)->afterPass(*pass, module, diag) && ok;
+    if (!ok || diag.numErrors() > errorsAtStart)
+      return false;
+  }
+  return true;
+}
+
+std::string PassManager::pipelineSpec() const {
+  std::string out;
+  for (const auto &p : passes_) {
+    if (!out.empty())
+      out += ",";
+    out += p->spec();
+  }
+  return out;
+}
+
+std::string PassManager::statisticsStr() const {
+  std::ostringstream os;
+  os << "===-------------------------------------------------------------===\n";
+  os << "                         Pass statistics\n";
+  os << "===-------------------------------------------------------------===\n";
+  char buf[160];
+  for (const auto &p : passes_) {
+    for (const auto &s : p->statistics()) {
+      uint64_t v = s->value.load(std::memory_order_relaxed);
+      if (v == 0)
+        continue;
+      std::snprintf(buf, sizeof(buf), "  %8llu  %-16s %s\n",
+                    static_cast<unsigned long long>(v), p->name().c_str(),
+                    s->name.c_str());
+      os << buf;
+    }
+  }
+  return os.str();
+}
+
+} // namespace paralift::transforms

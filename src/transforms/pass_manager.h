@@ -1,0 +1,278 @@
+// The ParaLift pass-manager layer (in the spirit of mlir::PassManager):
+//
+//  - Pass: a named, parameterized, restartable unit of IR transformation
+//    with declared options (for textual pipelines) and statistics counters.
+//  - FunctionPass: a pass that runs independently on each func, making it
+//    schedulable across kernels in parallel on the runtime thread pool.
+//  - Instrumentation: hooks around every pass execution. Built-ins cover
+//    per-pass wall-clock timing, --print-ir-before/after, and
+//    verify-after-each-pass with a "pass X broke invariant Y" diagnostic.
+//  - PassManager: owns an ordered pipeline of passes plus instrumentations
+//    and schedules them over a module.
+//
+// Textual pipelines ("unroll{max-trip=16},cpuify{mincut=false}") are
+// parsed/printed by transforms/registry.{h,cpp}; PassManager::pipelineSpec
+// round-trips the canonical form.
+#pragma once
+
+#include "ir/ophelpers.h"
+#include "support/diagnostics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paralift::runtime {
+class ThreadPool;
+}
+
+namespace paralift::transforms {
+
+using ir::ModuleOp;
+
+//===----------------------------------------------------------------------===//
+// Pass
+//===----------------------------------------------------------------------===//
+
+class Pass {
+public:
+  Pass(std::string name, std::string description)
+      : name_(std::move(name)), description_(std::move(description)) {}
+  virtual ~Pass() = default;
+  Pass(const Pass &) = delete;
+  Pass &operator=(const Pass &) = delete;
+
+  /// The pipeline-spec name ("canonicalize", "cpuify", ...).
+  const std::string &name() const { return name_; }
+  const std::string &description() const { return description_; }
+
+  /// True for FunctionPass subclasses: the pass runs per-func and may be
+  /// scheduled across functions in parallel.
+  virtual bool isFunctionPass() const { return false; }
+
+  /// Module-scope entry point. Returns false on a hard error (which must
+  /// also be reported through `diag`).
+  virtual bool run(ModuleOp module, DiagnosticEngine &diag) = 0;
+
+  // Options -------------------------------------------------------------------
+  // Subclasses declare options in their constructor; the registry's
+  // pipeline parser applies `name{key=value,...}` through setOption.
+
+  /// Sets a declared option from its textual value. Returns false (and
+  /// fills `err`) for unknown keys or unparseable values.
+  bool setOption(const std::string &key, const std::string &value,
+                 std::string *err = nullptr);
+
+  /// Canonical spec of this pass: name plus any non-default options, e.g.
+  /// "unroll{max-trip=16}". parse(spec()) reconstructs the pass exactly.
+  std::string spec() const;
+
+  // Statistics ----------------------------------------------------------------
+
+  struct Statistic {
+    std::string name;
+    std::atomic<uint64_t> value{0};
+    Statistic(std::string n) : name(std::move(n)) {}
+    void operator+=(uint64_t d) { value.fetch_add(d, std::memory_order_relaxed); }
+  };
+
+  /// Finds or creates the named counter. Counter bumps are thread-safe,
+  /// but creation is not: passes that bump statistics from runOnFunction
+  /// (which may run on parallel workers) must create them up front in
+  /// their constructor.
+  Statistic &statistic(const std::string &name);
+  const std::vector<std::unique_ptr<Statistic>> &statistics() const {
+    return stats_;
+  }
+
+  /// Statistics whose collection needs extra IR walks (before/after op
+  /// counts) are only gathered when enabled; counters that fall out of
+  /// the transform itself are always collected. PassManager toggles this
+  /// per run (see PassManager::enableStatistics).
+  void setStatisticsEnabled(bool on) { statsEnabled_ = on; }
+  bool statisticsEnabled() const { return statsEnabled_; }
+
+protected:
+  void declareBoolOption(const std::string &key, bool *storage, bool dflt);
+  /// Values outside [min, max] are rejected by setOption.
+  void declareIntOption(const std::string &key, int64_t *storage,
+                        int64_t dflt, int64_t min = INT64_MIN,
+                        int64_t max = INT64_MAX);
+
+private:
+  struct Option {
+    std::string key;
+    bool isBool;
+    bool *boolStorage = nullptr;
+    int64_t *intStorage = nullptr;
+    int64_t dflt; // bool options store 0/1
+    int64_t min = INT64_MIN;
+    int64_t max = INT64_MAX;
+  };
+
+  std::string name_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<std::unique_ptr<Statistic>> stats_;
+  bool statsEnabled_ = false;
+};
+
+/// A pass that transforms one function at a time and never looks outside
+/// it. The default module-scope run() applies runOnFunction to every func
+/// serially; the PassManager may instead fan functions out across the
+/// runtime thread pool (each function is a disjoint IR subtree, so
+/// concurrent runs on distinct functions are safe).
+class FunctionPass : public Pass {
+public:
+  using Pass::Pass;
+  bool isFunctionPass() const final { return true; }
+  bool run(ModuleOp module, DiagnosticEngine &diag) final;
+  virtual bool runOnFunction(ir::Op *func, DiagnosticEngine &diag) = 0;
+};
+
+/// Number of ops nested under `root` (inclusive); the cheap size metric
+/// used by pass statistics.
+size_t countNestedOps(ir::Op *root);
+/// Number of nested ops of one kind.
+size_t countNestedOps(ir::Op *root, ir::OpKind kind);
+
+//===----------------------------------------------------------------------===//
+// Instrumentation
+//===----------------------------------------------------------------------===//
+
+/// Instrumentations nest around each pass execution: beforePass hooks
+/// fire in installation order and afterPass hooks in reverse, so the
+/// first-installed instrumentation is outermost. Install timing last to
+/// keep other instrumentations' work out of its measurement window.
+class Instrumentation {
+public:
+  virtual ~Instrumentation() = default;
+  virtual void beforePass(const Pass &pass, ModuleOp module) {
+    (void)pass;
+    (void)module;
+  }
+  /// Runs after the pass completes (even when it failed). Returning false
+  /// aborts the pipeline; abort reasons must be reported through `diag`.
+  virtual bool afterPass(const Pass &pass, ModuleOp module,
+                         DiagnosticEngine &diag) {
+    (void)pass;
+    (void)module;
+    (void)diag;
+    return true;
+  }
+};
+
+/// Per-pass wall-clock timing, one record per pass execution in pipeline
+/// order. Filled by the timing instrumentation PassManager::enableTiming
+/// installs.
+struct PassTimingReport {
+  struct Record {
+    std::string spec; ///< canonical pass spec at execution time
+    double seconds = 0;
+  };
+  std::vector<Record> records;
+  double totalSeconds() const;
+  /// Renders the report as a table ("===- Pass execution timing -===").
+  std::string str() const;
+};
+
+/// Verifies the module after every pass; on violation reports
+///   pass 'X' broke invariant: Y
+/// and aborts the pipeline. This replaces the old end-of-pipeline-only
+/// verifier check, which could not attribute breakage to a pass.
+class VerifyInstrumentation : public Instrumentation {
+public:
+  bool afterPass(const Pass &pass, ModuleOp module,
+                 DiagnosticEngine &diag) override;
+};
+
+/// Prints the IR before/after passes to `out` (default stderr). An empty
+/// filter matches every pass; otherwise only passes whose name equals the
+/// filter are printed.
+class IRPrintInstrumentation : public Instrumentation {
+public:
+  IRPrintInstrumentation(bool before, bool after, std::string filter,
+                         std::FILE *out = stderr)
+      : before_(before), after_(after), filter_(std::move(filter)),
+        out_(out) {}
+  void beforePass(const Pass &pass, ModuleOp module) override;
+  bool afterPass(const Pass &pass, ModuleOp module,
+                 DiagnosticEngine &diag) override;
+
+private:
+  bool matches(const Pass &pass) const {
+    return filter_.empty() || pass.name() == filter_;
+  }
+  bool before_, after_;
+  std::string filter_;
+  std::FILE *out_;
+};
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
+
+class PassManager {
+public:
+  PassManager() = default;
+  ~PassManager();
+  PassManager(const PassManager &) = delete;
+  PassManager &operator=(const PassManager &) = delete;
+
+  void addPass(std::unique_ptr<Pass> pass);
+  const std::vector<std::unique_ptr<Pass>> &passes() const { return passes_; }
+
+  void addInstrumentation(std::unique_ptr<Instrumentation> ins);
+
+  /// Installs timing instrumentation; per-pass records land in `report`
+  /// (owned by the caller, written during run()).
+  void enableTiming(PassTimingReport *report);
+  /// Installs verify-after-each-pass.
+  void enableVerifyEach();
+  /// Installs IR printing around passes (see IRPrintInstrumentation).
+  void enableIRPrinting(bool before, bool after, std::string filter = "",
+                        std::FILE *out = stderr);
+
+  /// Also collect the statistics that need extra IR walks (off by
+  /// default so compile hot paths pay nothing for unread counters).
+  void enableStatistics() { collectStats_ = true; }
+
+  /// Number of threads used to fan function passes out across functions.
+  /// 1 (the default) disables parallel scheduling.
+  void setThreadCount(unsigned n) { threads_ = n == 0 ? 1 : n; }
+  unsigned threadCount() const { return threads_; }
+
+  /// Runs every pass in order. Stops at the first failure (a pass
+  /// returning false, a new diagnostic error, or an instrumentation
+  /// abort) and returns false.
+  bool run(ModuleOp module, DiagnosticEngine &diag);
+
+  /// The canonical textual pipeline, e.g. "inline,canonicalize,
+  /// unroll{max-trip=16}". Feeding it back through the registry's
+  /// pipeline parser reconstructs this pipeline exactly (round-trip).
+  std::string pipelineSpec() const;
+
+  /// Renders non-zero statistics of all passes as a table.
+  std::string statisticsStr() const;
+
+private:
+  bool runFunctionPassParallel(FunctionPass &pass, ModuleOp module,
+                               DiagnosticEngine &diag,
+                               runtime::ThreadPool &pool);
+
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<std::unique_ptr<Instrumentation>> instrumentations_;
+  unsigned threads_ = 1;
+  bool collectStats_ = false;
+};
+
+/// Renders one "  <secs> s (<pct>%)  <label>" timing row; shared by
+/// PassTimingReport::str and the benchmark aggregators so the two table
+/// formats cannot drift.
+std::string formatTimingRow(double seconds, double total,
+                            const std::string &label);
+
+} // namespace paralift::transforms

@@ -1,19 +1,34 @@
 // Entry points for all ParaLift transformations and the pipeline driver.
 //
-// Pipeline (mirrors the paper):
+// Pipeline (mirrors the paper; each stage is a Pass scheduled by the
+// PassManager in transforms/pass_manager.h — see buildPipeline below):
+//
 //   frontend IR
-//     -> inline (device functions into kernels)
-//     -> canonicalize / CSE / mem2reg / store-forward / LICM (incl. parallel
-//        LICM, §IV-C) / barrier elimination (§IV-A)      [core opts]
-//     -> loop unroll of constant-trip barrier loops       ["affine" opts]
-//     -> cpuify: barrier lowering by parallel-loop fission with min-cut
-//        (§III-B1) and interchange (§III-B2)
-//     -> omp lowering: collapse / fusion / hoisting / inner serialization
-//        (§IV-D)
+//     -> inline                 (device functions into kernels; module pass)
+//     -> core opts              [function passes, parallelizable per kernel]
+//          canonicalize / cse / mem2reg / store-forward / licm (incl.
+//          parallel LICM, §IV-C) / barrier-elim (§IV-A) / barrier-motion
+//     -> affine opts            [function passes]
+//          unroll{max-trip=N} of constant-trip barrier loops + cleanup
+//     -> cpuify{mincut=BOOL}    barrier lowering by parallel-loop fission
+//          with min-cut (§III-B1) and interchange (§III-B2)
+//     -> omp-lower{collapse,fuse,hoist,inner-serialize,outer-only}
+//          collapse / fusion / hoisting / inner serialization (§IV-D)
+//
+// Every stage is exposed three ways:
+//   1. a legacy free function (runCanonicalize(...)), kept for tests and
+//      embedders that drive single transforms;
+//   2. a Pass factory (createCanonicalizePass()), the unit the
+//      PassManager schedules, times, and verifies;
+//   3. a registry name usable in textual pipelines, with parameters:
+//      "unroll{max-trip=16},cpuify{mincut=false}" (transforms/registry.h).
 #pragma once
 
 #include "ir/ophelpers.h"
 #include "support/diagnostics.h"
+#include "transforms/pass_manager.h"
+
+#include <memory>
 
 namespace paralift::transforms {
 
@@ -116,9 +131,45 @@ struct OmpLowerOptions {
 /// optimizations.
 void runOmpLower(ModuleOp module, const OmpLowerOptions &opts);
 
+// Pass factories -------------------------------------------------------------
+// One factory per stage; arguments preset the pass's declared options
+// (still overridable via Pass::setOption / textual pipeline parameters).
+
+std::unique_ptr<Pass> createCanonicalizePass();
+std::unique_ptr<Pass> createCSEPass();
+std::unique_ptr<Pass> createInlinerPass(bool onlyInKernels = false);
+std::unique_ptr<Pass> createMem2RegPass();
+std::unique_ptr<Pass> createStoreForwardPass();
+std::unique_ptr<Pass> createLICMPass();
+std::unique_ptr<Pass> createBarrierElimPass();
+std::unique_ptr<Pass> createBarrierMotionPass();
+std::unique_ptr<Pass> createUnrollPass(int64_t maxTrip = 8);
+std::unique_ptr<Pass> createCpuifyPass(bool useMinCut = true);
+std::unique_ptr<Pass> createOmpLowerPass(const OmpLowerOptions &opts = {});
+
+// Pipeline -------------------------------------------------------------------
+
+/// Execution knobs for one pipeline run, orthogonal to *what* runs
+/// (PipelineOptions) — instrumentation and scheduling only.
+struct PassRunConfig {
+  /// Per-pass wall-clock records land here when non-null.
+  PassTimingReport *timing = nullptr;
+  /// Verify after every pass, attributing breakage to the pass.
+  bool verifyEach = false;
+  /// Threads used to fan function passes out across kernels (1 = serial).
+  unsigned threads = 1;
+};
+
+/// Appends the full compilation pipeline per `opts` to `pm`, declaratively.
+void buildPipeline(PassManager &pm, const PipelineOptions &opts);
+
 /// Full pipeline per PipelineOptions. Returns false if a hard error was
 /// reported (e.g. non-uniform barrier condition).
 bool runPipeline(ModuleOp module, const PipelineOptions &opts,
                  DiagnosticEngine &diag);
+
+/// As above with instrumentation/scheduling knobs.
+bool runPipeline(ModuleOp module, const PipelineOptions &opts,
+                 DiagnosticEngine &diag, const PassRunConfig &config);
 
 } // namespace paralift::transforms

@@ -1,53 +1,53 @@
-// The full compilation pipeline, assembling the individual passes per
-// the ablation/pipeline options (see passes.h for the stage diagram).
+// The full compilation pipeline, assembled declaratively from
+// PipelineOptions into a PassManager (see passes.h for the stage
+// diagram). The pass sequence reproduces the paper's pipeline exactly;
+// PassRunConfig adds orthogonal instrumentation (per-pass timing,
+// verify-after-each-pass) and parallel per-kernel scheduling.
 #include "ir/verifier.h"
 #include "transforms/passes.h"
 
 namespace paralift::transforms {
 
-bool runPipeline(ModuleOp module, const PipelineOptions &opts,
-                 DiagnosticEngine &diag) {
+void buildPipeline(PassManager &pm, const PipelineOptions &opts) {
   // Device-function inlining is required for barrier lowering and the
   // SIMT executor, so it runs even in MCUDA mode.
-  runInliner(module, /*onlyInKernels=*/!opts.coreOpts);
+  pm.addPass(createInlinerPass(/*onlyInKernels=*/!opts.coreOpts));
 
   if (opts.coreOpts) {
-    runCanonicalize(module);
-    runCSE(module);
-    runMem2Reg(module);
+    pm.addPass(createCanonicalizePass());
+    pm.addPass(createCSEPass());
+    pm.addPass(createMem2RegPass());
     // CSE again: promotion turns per-use load+cast chains into identical
     // pure chains, which store-forwarding matches syntactically.
-    runCSE(module);
-    runStoreForward(module);
-    runCanonicalize(module);
-    runLICM(module);
-    runCSE(module);
-    runBarrierElim(module);
+    pm.addPass(createCSEPass());
+    pm.addPass(createStoreForwardPass());
+    pm.addPass(createCanonicalizePass());
+    pm.addPass(createLICMPass());
+    pm.addPass(createCSEPass());
+    pm.addPass(createBarrierElimPass());
     if (opts.barrierMotion)
-      runBarrierMotion(module);
+      pm.addPass(createBarrierMotionPass());
   }
 
   if (opts.affineOpts) {
-    runUnroll(module);
-    runCanonicalize(module);
+    pm.addPass(createUnrollPass());
+    pm.addPass(createCanonicalizePass());
     if (opts.coreOpts) {
-      runCSE(module);
-      runStoreForward(module);
-      runBarrierElim(module);
+      pm.addPass(createCSEPass());
+      pm.addPass(createStoreForwardPass());
+      pm.addPass(createBarrierElimPass());
       if (opts.barrierMotion)
-        runBarrierMotion(module);
+        pm.addPass(createBarrierMotionPass());
     }
   }
 
-  runCpuify(module, opts.minCut && !opts.mcudaMode, diag);
-  if (diag.hasErrors())
-    return false;
+  pm.addPass(createCpuifyPass(opts.minCut && !opts.mcudaMode));
 
   if (opts.coreOpts) {
-    runCanonicalize(module);
-    runCSE(module);
-    runMem2Reg(module);
-    runLICM(module);
+    pm.addPass(createCanonicalizePass());
+    pm.addPass(createCSEPass());
+    pm.addPass(createMem2RegPass());
+    pm.addPass(createLICMPass());
   }
 
   OmpLowerOptions ompOpts;
@@ -56,13 +56,34 @@ bool runPipeline(ModuleOp module, const PipelineOptions &opts,
   ompOpts.hoistRegions = opts.openmpOpt;
   ompOpts.innerSerialize = opts.innerSerialize;
   ompOpts.outerOnly = opts.mcudaMode;
-  runOmpLower(module, ompOpts);
+  pm.addPass(createOmpLowerPass(ompOpts));
 
   if (opts.coreOpts) {
-    runCanonicalize(module);
-    runCSE(module);
+    pm.addPass(createCanonicalizePass());
+    pm.addPass(createCSEPass());
   }
-  return ir::verifyOk(module.op);
+}
+
+bool runPipeline(ModuleOp module, const PipelineOptions &opts,
+                 DiagnosticEngine &diag, const PassRunConfig &config) {
+  PassManager pm;
+  buildPipeline(pm, opts);
+  // Timing last = innermost: verification cost stays out of the window.
+  if (config.verifyEach)
+    pm.enableVerifyEach();
+  if (config.timing)
+    pm.enableTiming(config.timing);
+  pm.setThreadCount(config.threads);
+  if (!pm.run(module, diag))
+    return false;
+  // With verify-each on, every intermediate module (including the final
+  // one) has already been verified.
+  return config.verifyEach || ir::verifyOk(module.op);
+}
+
+bool runPipeline(ModuleOp module, const PipelineOptions &opts,
+                 DiagnosticEngine &diag) {
+  return runPipeline(module, opts, diag, PassRunConfig{});
 }
 
 } // namespace paralift::transforms

@@ -1,79 +1,79 @@
 #include "transforms/registry.h"
 
-#include "ir/verifier.h"
+#include <cctype>
 
 namespace paralift::transforms {
 
 namespace {
 
-/// Adapts a diag-free pass to the registry signature.
-PassInfo simple(std::string name, std::string description,
-                void (*fn)(ModuleOp)) {
-  return {std::move(name), std::move(description),
-          [fn](ModuleOp m, DiagnosticEngine &) { fn(m); }};
-}
-
 std::vector<PassInfo> buildRegistry() {
   std::vector<PassInfo> passes;
-  passes.push_back(simple("canonicalize",
-                          "fold constants, simplify control flow, DCE",
-                          runCanonicalize));
-  passes.push_back(simple("cse", "common subexpression elimination", runCSE));
+  passes.push_back({"canonicalize",
+                    "fold constants, simplify control flow, DCE",
+                    [] { return createCanonicalizePass(); }});
+  passes.push_back({"cse", "common subexpression elimination",
+                    [] { return createCSEPass(); }});
   passes.push_back({"inline", "inline module-local calls",
-                    [](ModuleOp m, DiagnosticEngine &) { runInliner(m); }});
+                    [] { return createInlinerPass(); }});
   passes.push_back({"inline-kernels",
                     "inline device functions into parallel nests",
-                    [](ModuleOp m, DiagnosticEngine &) {
-                      runInliner(m, /*onlyInKernels=*/true);
-                    }});
-  passes.push_back(simple("mem2reg",
-                          "promote scalar allocas to SSA (barrier-aware)",
-                          runMem2Reg));
-  passes.push_back(simple("store-forward",
-                          "store-to-load forwarding across barriers (§IV-B)",
-                          runStoreForward));
-  passes.push_back(simple("licm",
-                          "loop-invariant code motion (parallel rule §IV-C)",
-                          runLICM));
-  passes.push_back(simple("barrier-elim",
-                          "erase redundant barriers (§IV-A)",
-                          runBarrierElim));
-  passes.push_back(simple("barrier-motion",
-                          "hoist barriers to shrink fission caches (§IV-A)",
-                          runBarrierMotion));
-  passes.push_back({"unroll", "fully unroll constant-trip scf.for loops",
-                    [](ModuleOp m, DiagnosticEngine &) { runUnroll(m); }});
+                    [] { return createInlinerPass(/*onlyInKernels=*/true); }});
+  passes.push_back({"mem2reg",
+                    "promote scalar allocas to SSA (barrier-aware)",
+                    [] { return createMem2RegPass(); }});
+  passes.push_back({"store-forward",
+                    "store-to-load forwarding across barriers (§IV-B)",
+                    [] { return createStoreForwardPass(); }});
+  passes.push_back({"licm",
+                    "loop-invariant code motion (parallel rule §IV-C)",
+                    [] { return createLICMPass(); }});
+  passes.push_back({"barrier-elim", "erase redundant barriers (§IV-A)",
+                    [] { return createBarrierElimPass(); }});
+  passes.push_back({"barrier-motion",
+                    "hoist barriers to shrink fission caches (§IV-A)",
+                    [] { return createBarrierMotionPass(); }});
+  passes.push_back({"unroll",
+                    "fully unroll constant-trip scf.for loops "
+                    "(options: max-trip)",
+                    [] { return createUnrollPass(); }});
   passes.push_back({"cpuify",
-                    "lower barriers by fission (min-cut) + interchange",
-                    [](ModuleOp m, DiagnosticEngine &diag) {
-                      runCpuify(m, /*useMinCut=*/true, diag);
-                    }});
+                    "lower barriers by fission + interchange "
+                    "(options: mincut)",
+                    [] { return createCpuifyPass(); }});
   passes.push_back({"cpuify-nomincut",
                     "lower barriers caching all live values (MCUDA-style)",
-                    [](ModuleOp m, DiagnosticEngine &diag) {
-                      runCpuify(m, /*useMinCut=*/false, diag);
-                    }});
+                    [] { return createCpuifyPass(/*useMinCut=*/false); }});
   passes.push_back({"omp-lower",
-                    "lower scf.parallel to omp with fusion/hoist/collapse",
-                    [](ModuleOp m, DiagnosticEngine &) {
-                      runOmpLower(m, OmpLowerOptions{});
-                    }});
+                    "lower scf.parallel to omp with fusion/hoist/collapse "
+                    "(options: collapse, fuse, hoist, inner-serialize, "
+                    "outer-only)",
+                    [] { return createOmpLowerPass(); }});
   passes.push_back({"omp-lower-innerpar",
                     "omp lowering keeping nested (block-level) parallelism",
-                    [](ModuleOp m, DiagnosticEngine &) {
+                    [] {
                       OmpLowerOptions o;
                       o.innerSerialize = false;
-                      runOmpLower(m, o);
+                      return createOmpLowerPass(o);
                     }});
   passes.push_back({"omp-lower-outer-only",
                     "omp lowering parallelizing only the outermost loop",
-                    [](ModuleOp m, DiagnosticEngine &) {
+                    [] {
                       OmpLowerOptions o;
                       o.collapse = o.fuseRegions = o.hoistRegions = false;
                       o.outerOnly = true;
-                      runOmpLower(m, o);
+                      return createOmpLowerPass(o);
                     }});
   return passes;
+}
+
+bool isSpecIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+size_t skipSpaces(const std::string &s, size_t pos) {
+  while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+    ++pos;
+  return pos;
 }
 
 } // namespace
@@ -90,33 +90,120 @@ const PassInfo *lookupPass(const std::string &name) {
   return nullptr;
 }
 
-bool runPassPipeline(ModuleOp module, const std::string &pipeline,
-                     DiagnosticEngine &diag) {
+std::optional<std::vector<PassSpec>>
+parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag) {
+  std::vector<PassSpec> out;
   size_t pos = 0;
-  while (pos <= pipeline.size()) {
-    size_t comma = pipeline.find(',', pos);
-    std::string name = comma == std::string::npos
-                           ? pipeline.substr(pos)
-                           : pipeline.substr(pos, comma - pos);
-    if (!name.empty()) {
-      const PassInfo *pass = lookupPass(name);
-      if (!pass) {
-        diag.error({}, "unknown pass '" + name + "'");
-        return false;
+  while (true) {
+    pos = skipSpaces(spec, pos);
+    if (pos >= spec.size())
+      break;
+    if (spec[pos] == ',') { // empty element ("a,,b" or leading comma)
+      ++pos;
+      continue;
+    }
+    size_t nameStart = pos;
+    while (pos < spec.size() && isSpecIdentChar(spec[pos]))
+      ++pos;
+    if (pos == nameStart) {
+      diag.error({}, "pipeline spec: unexpected character '" +
+                         std::string(1, spec[pos]) + "' at position " +
+                         std::to_string(pos));
+      return std::nullopt;
+    }
+    PassSpec ps;
+    ps.name = spec.substr(nameStart, pos - nameStart);
+    pos = skipSpaces(spec, pos);
+    if (pos < spec.size() && spec[pos] == '{') {
+      ++pos;
+      while (true) {
+        pos = skipSpaces(spec, pos);
+        if (pos < spec.size() && spec[pos] == '}')
+          break;
+        size_t keyStart = pos;
+        while (pos < spec.size() && isSpecIdentChar(spec[pos]))
+          ++pos;
+        if (pos == keyStart) {
+          diag.error({}, "pipeline spec: expected option key in '" +
+                             ps.name + "{...}'");
+          return std::nullopt;
+        }
+        std::string key = spec.substr(keyStart, pos - keyStart);
+        pos = skipSpaces(spec, pos);
+        if (pos >= spec.size() || spec[pos] != '=') {
+          diag.error({}, "pipeline spec: expected '=' after option '" + key +
+                             "' of pass '" + ps.name + "'");
+          return std::nullopt;
+        }
+        pos = skipSpaces(spec, pos + 1);
+        size_t valStart = pos;
+        while (pos < spec.size() && spec[pos] != ',' && spec[pos] != '}')
+          ++pos;
+        std::string value = spec.substr(valStart, pos - valStart);
+        while (!value.empty() &&
+               std::isspace(static_cast<unsigned char>(value.back())))
+          value.pop_back();
+        ps.options.emplace_back(key, value);
+        pos = skipSpaces(spec, pos);
+        if (pos < spec.size() && spec[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        break;
       }
-      pass->run(module, diag);
-      if (diag.hasErrors())
-        return false;
-      for (const std::string &msg : ir::verify(module.op)) {
-        diag.error({}, "after pass '" + name + "': " + msg);
+      if (pos >= spec.size() || spec[pos] != '}') {
+        diag.error({}, "pipeline spec: missing '}' closing options of pass '" +
+                           ps.name + "'");
+        return std::nullopt;
+      }
+      ++pos;
+    }
+    out.push_back(std::move(ps));
+    pos = skipSpaces(spec, pos);
+    if (pos >= spec.size())
+      break;
+    if (spec[pos] != ',') {
+      diag.error({}, "pipeline spec: expected ',' before '" +
+                         spec.substr(pos, 1) + "' at position " +
+                         std::to_string(pos));
+      return std::nullopt;
+    }
+    ++pos;
+  }
+  return out;
+}
+
+bool buildPipelineFromSpec(PassManager &pm, const std::string &spec,
+                           DiagnosticEngine &diag) {
+  auto parsed = parsePipelineSpec(spec, diag);
+  if (!parsed)
+    return false;
+  for (const PassSpec &ps : *parsed) {
+    const PassInfo *info = lookupPass(ps.name);
+    if (!info) {
+      diag.error({}, "unknown pass '" + ps.name + "'");
+      return false;
+    }
+    std::unique_ptr<Pass> pass = info->create();
+    for (const auto &[key, value] : ps.options) {
+      std::string err;
+      if (!pass->setOption(key, value, &err)) {
+        diag.error({}, "pipeline spec: " + err);
         return false;
       }
     }
-    if (comma == std::string::npos)
-      break;
-    pos = comma + 1;
+    pm.addPass(std::move(pass));
   }
   return true;
+}
+
+bool runPassPipeline(ModuleOp module, const std::string &pipeline,
+                     DiagnosticEngine &diag) {
+  PassManager pm;
+  if (!buildPipelineFromSpec(pm, pipeline, diag))
+    return false;
+  pm.enableVerifyEach();
+  return pm.run(module, diag);
 }
 
 } // namespace paralift::transforms

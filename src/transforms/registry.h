@@ -1,13 +1,20 @@
-// Name-based pass registry: maps textual pass names (as used by
-// tools/paralift-opt pipelines and by tests) onto the pass entry points
-// in passes.h. Parameterized passes are registered as named variants
-// (e.g. "cpuify" vs "cpuify-nomincut").
+// Name-based pass registry: maps textual pass names onto Pass factories,
+// and parses parameterized textual pipelines in the mlir-opt style:
+//
+//   "inline,unroll{max-trip=16},cpuify{mincut=false},omp-lower"
+//
+// Specs round-trip: building a PassManager from a spec and printing
+// PassManager::pipelineSpec() yields a canonical form that parses back to
+// the identical pipeline (variant names like "cpuify-nomincut" normalize
+// to their parameterized form, e.g. "cpuify{mincut=false}").
 #pragma once
 
 #include "transforms/passes.h"
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace paralift::transforms {
@@ -15,7 +22,8 @@ namespace paralift::transforms {
 struct PassInfo {
   std::string name;
   std::string description;
-  std::function<void(ModuleOp, DiagnosticEngine &)> run;
+  /// Creates a fresh pass instance preset to this entry's configuration.
+  std::function<std::unique_ptr<Pass>()> create;
 };
 
 /// All registered passes, in a stable order suitable for --help listings.
@@ -24,9 +32,28 @@ const std::vector<PassInfo> &passRegistry();
 /// Finds a pass by name; nullptr if unknown.
 const PassInfo *lookupPass(const std::string &name);
 
-/// Runs a comma-separated pipeline ("canonicalize,cse,cpuify"). Reports
-/// unknown pass names and verifier failures through `diag`; returns false
-/// on any error.
+/// One element of a parsed pipeline spec: a pass name plus textual
+/// `key=value` options (in source order).
+struct PassSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+/// Parses a textual pipeline spec ("a,b{k=v,k2=v2},c") without
+/// instantiating passes. Reports syntax errors through `diag`; name and
+/// option validity is checked later by buildPipelineFromSpec.
+std::optional<std::vector<PassSpec>>
+parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag);
+
+/// Parses `spec` and appends the instantiated passes to `pm`. Reports
+/// unknown pass names, unknown options, and bad option values through
+/// `diag`; returns false on any error (passes appended so far remain).
+bool buildPipelineFromSpec(PassManager &pm, const std::string &spec,
+                           DiagnosticEngine &diag);
+
+/// Runs a textual pipeline with verify-after-each-pass. Reports unknown
+/// pass names and verifier failures through `diag`; returns false on any
+/// error.
 bool runPassPipeline(ModuleOp module, const std::string &pipeline,
                      DiagnosticEngine &diag);
 

@@ -130,14 +130,12 @@ bool deadStoreInBlock(Block &block) {
   return changed;
 }
 
-} // namespace
-
-void runStoreForward(ModuleOp module) {
+void storeForwardRoot(Op *root) {
   bool changed = true;
   while (changed) {
     changed = false;
     std::vector<Block *> blocks;
-    module.op->walk([&](Op *op) {
+    root->walk([&](Op *op) {
       for (unsigned r = 0; r < op->numRegions(); ++r)
         for (auto &b : op->region(r).blocks())
           blocks.push_back(b.get());
@@ -147,6 +145,38 @@ void runStoreForward(ModuleOp module) {
     for (Block *b : blocks)
       changed |= deadStoreInBlock(*b);
   }
+}
+
+class StoreForwardPass : public FunctionPass {
+public:
+  StoreForwardPass()
+      : FunctionPass("store-forward",
+                     "store-to-load forwarding across barriers (§IV-B)"),
+        removed_(&statistic("ops-removed")) {}
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    if (!statisticsEnabled()) {
+      storeForwardRoot(func);
+      return true;
+    }
+    size_t before = countNestedOps(func);
+    storeForwardRoot(func);
+    size_t after = countNestedOps(func);
+    if (after < before)
+      *removed_ += before - after;
+    return true;
+  }
+
+private:
+  Statistic *removed_;
+};
+
+} // namespace
+
+void runStoreForward(ModuleOp module) { storeForwardRoot(module.op); }
+
+std::unique_ptr<Pass> createStoreForwardPass() {
+  return std::make_unique<StoreForwardPass>();
 }
 
 } // namespace paralift::transforms

@@ -62,14 +62,13 @@ void unrollFor(Op *op, int64_t lb, int64_t step, int64_t trips) {
   op->erase();
 }
 
-} // namespace
-
-void runUnroll(ModuleOp module, int64_t maxTrip) {
+unsigned unrollRoot(Op *root, int64_t maxTrip) {
+  unsigned unrolled = 0;
   bool changed = true;
   while (changed) {
     changed = false;
     std::vector<Op *> loops;
-    module.op->walk([&](Op *op) {
+    root->walk([&](Op *op) {
       if (op->kind() == OpKind::ScfFor)
         loops.push_back(op);
     });
@@ -90,10 +89,43 @@ void runUnroll(ModuleOp module, int64_t maxTrip) {
       if (trips > budget)
         continue;
       unrollFor(op, *lb, *step, trips);
+      ++unrolled;
       changed = true;
       break; // re-collect: nested loops may have been cloned
     }
   }
+  return unrolled;
+}
+
+class UnrollPass : public FunctionPass {
+public:
+  UnrollPass()
+      : FunctionPass("unroll", "fully unroll constant-trip scf.for loops"),
+        unrolled_(&statistic("loops-unrolled")) {
+    declareIntOption("max-trip", &maxTrip_, 8, /*min=*/0,
+                     /*max=*/1 << 20);
+  }
+
+  bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    *unrolled_ += unrollRoot(func, maxTrip_);
+    return true;
+  }
+
+private:
+  int64_t maxTrip_ = 8;
+  Statistic *unrolled_;
+};
+
+} // namespace
+
+void runUnroll(ModuleOp module, int64_t maxTrip) {
+  unrollRoot(module.op, maxTrip);
+}
+
+std::unique_ptr<Pass> createUnrollPass(int64_t maxTrip) {
+  auto pass = std::make_unique<UnrollPass>();
+  pass->setOption("max-trip", std::to_string(maxTrip));
+  return pass;
 }
 
 } // namespace paralift::transforms
