@@ -4,7 +4,10 @@
 // comparisons are the reproduction target.
 #pragma once
 
+#include "ir/ophelpers.h"
+#include "ir/verifier.h"
 #include "rodinia/rodinia.h"
+#include "transforms/pass_cache.h"
 #include "transforms/pass_manager.h"
 
 #include <algorithm>
@@ -51,54 +54,117 @@ double medianKernelTime(Setup &&setup, Run &&run, int reps = 3) {
   return times[times.size() / 2];
 }
 
-/// Accumulates per-pass timing records across many compilations,
-/// aggregated by canonical pass spec in first-seen (pipeline) order.
+/// Accumulates per-pass timing and peak-RSS records across many
+/// compilations, aggregated by canonical pass spec in first-seen
+/// (pipeline) order.
 class PassTimeAggregator {
 public:
   void add(const transforms::PassTimingReport &report) {
     for (const auto &r : report.records) {
       auto it = std::find_if(agg_.begin(), agg_.end(), [&](const auto &p) {
-        return p.first == r.spec;
+        return p.spec == r.spec;
       });
       if (it == agg_.end())
-        agg_.emplace_back(r.spec, r.seconds);
-      else
-        it->second += r.seconds;
+        agg_.push_back({r.spec, r.seconds, r.rssDeltaBytes});
+      else {
+        it->seconds += r.seconds;
+        it->rssDeltaBytes += r.rssDeltaBytes;
+      }
     }
   }
 
-  /// Prints one row per pass with its share of the total, then the total.
-  void print() const {
+  double totalSeconds() const {
     double total = 0;
-    for (const auto &[spec, secs] : agg_)
-      total += secs;
-    for (const auto &[spec, secs] : agg_)
-      std::fputs(transforms::formatTimingRow(secs, total, spec).c_str(),
+    for (const auto &row : agg_)
+      total += row.seconds;
+    return total;
+  }
+
+  /// Prints one row per pass with its share of the total and its summed
+  /// peak-RSS growth, then the total.
+  void print() const {
+    double total = totalSeconds();
+    uint64_t totalRss = 0;
+    for (const auto &row : agg_)
+      totalRss += row.rssDeltaBytes;
+    for (const auto &row : agg_)
+      std::fputs(transforms::formatTimingRow(row.seconds, total,
+                                             row.rssDeltaBytes, row.spec)
+                     .c_str(),
                  stdout);
-    std::printf("  %10.6f s total\n", total);
+    std::printf("  %10.6f s total, peak-RSS +%.2f MB\n", total,
+                totalRss / (1024.0 * 1024.0));
   }
 
 private:
-  std::vector<std::pair<std::string, double>> agg_;
+  struct Row {
+    std::string spec;
+    double seconds = 0;
+    uint64_t rssDeltaBytes = 0;
+  };
+  std::vector<Row> agg_;
 };
 
-/// Compiles every suite benchmark with per-pass timing enabled and
-/// accumulates the records into one aggregator.
-inline PassTimeAggregator
-timeSuiteCompiles(const transforms::PipelineOptions &opts) {
-  PassTimeAggregator agg;
+/// The suite's frontend output, parsed once and cloned per pipeline run
+/// (re-running lexer/parser/irgen per stage wastes most of an ablation
+/// sweep's compile time). Benchmarks whose frontend failed are marked
+/// invalid and skipped by the consumers (never fed into the pipeline or
+/// the executor).
+struct SuiteModules {
+  std::vector<ir::OwnedModule> modules; ///< rodinia::suite() order
+  std::vector<char> valid;              ///< parallel to modules
+
+  bool isValid(size_t i) const { return i < valid.size() && valid[i]; }
+};
+
+inline SuiteModules parseSuiteModules() {
+  SuiteModules out;
   for (const auto &b : rodinia::suite()) {
+    DiagnosticEngine diag;
+    out.modules.push_back(frontend::compileToIR(b.cudaSource, diag));
+    // Same gate driver::compile applies: diagnostics clean AND the
+    // produced IR structurally valid.
+    bool ok = !diag.hasErrors() && ir::verifyOk(out.modules.back().op());
+    out.valid.push_back(ok ? 1 : 0);
+    if (!ok)
+      std::fprintf(stderr, "frontend failed for %s:\n%s\n", b.id.c_str(),
+                   diag.str().c_str());
+  }
+  return out;
+}
+
+/// Runs the optimization pipeline over clones of the pre-parsed suite
+/// with per-pass timing enabled; `cache` (optional) is the shared
+/// pass-result cache exercised across stages.
+inline PassTimeAggregator
+timeSuiteCompiles(const transforms::PipelineOptions &opts,
+                  const SuiteModules &suite,
+                  transforms::PassResultCache *cache = nullptr) {
+  PassTimeAggregator agg;
+  size_t idx = 0;
+  for (const auto &b : rodinia::suite()) {
+    size_t i = idx++;
+    if (!suite.isValid(i))
+      continue;
     DiagnosticEngine diag;
     transforms::PassRunConfig config;
     transforms::PassTimingReport report;
     config.timing = &report;
-    auto cc = driver::compile(b.cudaSource, opts, diag, config);
-    if (!cc.ok)
+    config.cache = cache;
+    ir::OwnedModule m = ir::cloneModule(suite.modules[i].get());
+    if (!transforms::runPipeline(m.get(), opts, diag, config))
       std::fprintf(stderr, "compile failed for %s:\n%s\n", b.id.c_str(),
                    diag.str().c_str());
     agg.add(report);
   }
   return agg;
+}
+
+/// Legacy entry point: parses the suite on every call.
+inline PassTimeAggregator
+timeSuiteCompiles(const transforms::PipelineOptions &opts) {
+  SuiteModules suite = parseSuiteModules();
+  return timeSuiteCompiles(opts, suite);
 }
 
 inline double geomean(const std::vector<double> &xs) {
@@ -108,6 +174,30 @@ inline double geomean(const std::vector<double> &xs) {
   for (double x : xs)
     logSum += std::log(x);
   return std::exp(logSum / xs.size());
+}
+
+/// As timeCuda below, but starting from a pre-parsed module (cloned, so
+/// the original stays reusable across stages).
+inline double timeCudaModule(const rodinia::Benchmark &b,
+                             ir::ModuleOp parsed,
+                             const transforms::PipelineOptions &opts,
+                             int scale, unsigned threads, int reps = 3) {
+  DiagnosticEngine diag;
+  ir::OwnedModule m = ir::cloneModule(parsed);
+  if (!transforms::runPipeline(m.get(), opts, diag)) {
+    std::fprintf(stderr, "compile failed for %s:\n%s\n", b.id.c_str(),
+                 diag.str().c_str());
+    return -1;
+  }
+  driver::Executor exec(m.get(), std::max(threads, 8u),
+                        /*boundsCheck=*/false);
+  exec.setNumThreads(threads);
+  exec.setNestedPolicy(opts.innerSerialize
+                           ? runtime::NestedPolicy::Serialize
+                           : runtime::NestedPolicy::Spawn);
+  return medianKernelTime(
+      [&] { return b.makeWorkload(scale); },
+      [&](rodinia::Workload &w) { exec.run("run", w.args()); }, reps);
 }
 
 /// Compiles a Rodinia benchmark's CUDA source with the given options and

@@ -1,9 +1,37 @@
 #include "driver/compiler.h"
 
 #include "ir/verifier.h"
+#include "transforms/pass_cache.h"
 #include "transforms/passes.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace paralift::driver {
+
+namespace {
+
+/// Process-wide pass-result cache, activated by PARALIFT_CACHE_DIR so
+/// embedders (and the ctest suites in CI) get persistent caching without
+/// code changes. With PARALIFT_CACHE_STATS=1 the stats line is printed to
+/// stderr at exit — CI asserts on it across back-to-back suite runs.
+transforms::PassResultCache *envCache() {
+  static transforms::PassResultCache *cache = [] {
+    const char *dir = std::getenv("PARALIFT_CACHE_DIR");
+    if (!dir || !*dir)
+      return static_cast<transforms::PassResultCache *>(nullptr);
+    static transforms::PassResultCache instance{std::string(dir)};
+    const char *stats = std::getenv("PARALIFT_CACHE_STATS");
+    if (stats && *stats && std::string(stats) != "0")
+      std::atexit([] {
+        std::fprintf(stderr, "%s\n", instance.statsStr().c_str());
+      });
+    return &instance;
+  }();
+  return cache;
+}
+
+} // namespace
 
 CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
@@ -19,7 +47,10 @@ CompileResult compile(const std::string &source,
       diag.error(SourceLoc(), "frontend produced invalid IR: " + e);
     return out;
   }
-  out.ok = transforms::runPipeline(out.module.get(), opts, diag, config);
+  transforms::PassRunConfig effective = config;
+  if (!effective.cache)
+    effective.cache = envCache();
+  out.ok = transforms::runPipeline(out.module.get(), opts, diag, effective);
   return out;
 }
 

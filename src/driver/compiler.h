@@ -32,8 +32,15 @@ CompileResult compile(const std::string &source,
                       DiagnosticEngine &diag);
 
 /// As above with pass-manager instrumentation/scheduling knobs: per-pass
-/// wall-clock timing (config.timing), verify-after-each-pass, and
-/// parallel per-kernel scheduling of function passes (config.threads).
+/// wall-clock timing + peak RSS (config.timing), verify-after-each-pass,
+/// preserved-analyses cross-checking (config.verifyAnalyses), parallel
+/// per-kernel scheduling of function passes (config.threads), and a
+/// pass-result cache (config.cache).
+///
+/// When config.cache is null and PARALIFT_CACHE_DIR is set in the
+/// environment, a process-wide persistent cache rooted there is used;
+/// with PARALIFT_CACHE_STATS=1 its stats line is printed to stderr at
+/// process exit.
 CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
                       DiagnosticEngine &diag,

@@ -4,16 +4,26 @@
 //
 // Usage:
 //   paralift-opt [file] [--cuda] [--passes=PIPELINE] [--list-passes]
-//                [--timing] [--stats] [--verify-each] [--pm-threads=N]
+//                [--timing] [--stats] [--verify-each] [--verify-analyses]
+//                [--pm-threads=N] [--cache-dir=DIR] [--no-pass-cache]
+//                [--cache-stats]
 //                [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]
 //
 // PIPELINE is a comma-separated list of registered pass names, each with
-// optional {key=value,...} parameters. With no file, reads stdin. With no
-// --passes, just parse/verify/print (round-trip mode). Examples:
+// optional {key=value,...} parameters and (for repeat) a parenthesized
+// child list. With no file, reads stdin. With no --passes, just
+// parse/verify/print (round-trip mode). Examples:
 //   paralift-opt kernel.ir --passes=canonicalize,cse,barrier-elim
 //   paralift-opt kernel.cu --cuda --passes='cpuify{mincut=false},omp-lower'
 //   paralift-opt kernel.ir --timing --verify-each
-//     --passes='unroll{max-trip=16},canonicalize'
+//     --passes='repeat{n=3}(canonicalize,cse),unroll{max-trip=16}'
+//
+// Pass results are cached persistently under --cache-dir (or
+// $PARALIFT_CACHE_DIR when set): re-running an unchanged file through an
+// unchanged pipeline replays cached IR instead of executing passes.
+// --no-pass-cache forces caching off; --cache-stats prints the
+// hit/miss/replay counters to stderr. --verify-analyses cross-checks
+// every pass's PreservedAnalyses declaration by recomputation.
 #include "driver/compiler.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -21,7 +31,9 @@
 #include "transforms/registry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -40,10 +52,13 @@ int listPasses() {
 int usage(const char *argv0) {
   std::printf(
       "usage: %s [file] [--cuda] [--passes=PIPELINE] [--list-passes]\n"
-      "       [--timing] [--stats] [--verify-each] [--pm-threads=N]\n"
+      "       [--timing] [--stats] [--verify-each] [--verify-analyses]\n"
+      "       [--pm-threads=N] [--cache-dir=DIR] [--no-pass-cache]\n"
+      "       [--cache-stats]\n"
       "       [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]\n"
       "\n"
-      "PIPELINE example: 'inline,unroll{max-trip=16},cpuify{mincut=false}'\n",
+      "PIPELINE example: 'inline,repeat{n=2}(canonicalize,cse),\n"
+      "                   unroll{max-trip=16},cpuify{mincut=false}'\n",
       argv0);
   return 0;
 }
@@ -72,6 +87,10 @@ int main(int argc, char **argv) {
   bool timing = false;
   bool stats = false;
   bool verifyEach = false;
+  bool verifyAnalyses = false;
+  bool noPassCache = false;
+  bool cacheStats = false;
+  std::string cacheDir;
   bool printBefore = false, printAfter = false;
   std::string printBeforeFilter, printAfterFilter;
   unsigned pmThreads = 1;
@@ -89,6 +108,18 @@ int main(int argc, char **argv) {
       stats = true;
     } else if (arg == "--verify-each") {
       verifyEach = true;
+    } else if (arg == "--verify-analyses") {
+      verifyAnalyses = true;
+    } else if (arg == "--no-pass-cache") {
+      noPassCache = true;
+    } else if (arg == "--cache-stats") {
+      cacheStats = true;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cacheDir = arg.substr(12);
+      if (cacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir requires a path\n");
+        return 2;
+      }
     } else if (arg == "--print-ir-before") {
       printBefore = true;
     } else if (arg.rfind("--print-ir-before=", 0) == 0) {
@@ -167,6 +198,8 @@ int main(int argc, char **argv) {
     pm.enableIRPrinting(/*before=*/true, /*after=*/false, printBeforeFilter);
   if (printAfter)
     pm.enableIRPrinting(/*before=*/false, /*after=*/true, printAfterFilter);
+  if (verifyAnalyses)
+    pm.enableAnalysisVerify();
   if (verifyEach)
     pm.enableVerifyEach();
   transforms::PassTimingReport timingReport;
@@ -176,11 +209,28 @@ int main(int argc, char **argv) {
     pm.enableStatistics();
   pm.setThreadCount(pmThreads);
 
+  // --cache-dir (or $PARALIFT_CACHE_DIR) enables the persistent
+  // pass-result cache; --no-pass-cache wins over both.
+  if (cacheDir.empty())
+    if (const char *env = std::getenv("PARALIFT_CACHE_DIR"))
+      cacheDir = env;
+  std::unique_ptr<transforms::PassResultCache> cache;
+  if (!cacheDir.empty() && !noPassCache) {
+    cache = std::make_unique<transforms::PassResultCache>(cacheDir);
+    pm.setResultCache(cache.get());
+  }
+
   bool ok = pm.run(module.get(), diag);
   if (timing)
     std::fprintf(stderr, "%s", timingReport.str().c_str());
   if (stats)
     std::fprintf(stderr, "%s", pm.statisticsStr().c_str());
+  if (cacheStats) {
+    if (cache)
+      std::fprintf(stderr, "%s\n", cache->statsStr().c_str());
+    else
+      std::fprintf(stderr, "pass-cache: disabled\n");
+  }
   // Never print invalid IR. An empty pipeline never fires the
   // verify-each instrumentation, so it still needs the final check.
   if (ok && (!verifyEach || pm.passes().empty())) {

@@ -157,6 +157,11 @@ static Value mapValue(Value v, std::unordered_map<ValueImpl *, Value> &map) {
   return it == map.end() ? v : it->second;
 }
 
+OwnedModule cloneModule(ModuleOp module) {
+  std::unordered_map<ValueImpl *, Value> map;
+  return OwnedModule::adopt(cloneOp(module.op, map));
+}
+
 Op *cloneOp(Op *src, std::unordered_map<ValueImpl *, Value> &map) {
   std::vector<Type> resultTypes;
   for (unsigned i = 0; i < src->numResults(); ++i)

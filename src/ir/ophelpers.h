@@ -29,6 +29,11 @@ struct ModuleOp {
 class OwnedModule {
 public:
   OwnedModule() : module_(ModuleOp::create()) {}
+
+  /// Takes ownership of an existing detached module op (e.g. a clone).
+  static OwnedModule adopt(Op *moduleOp) {
+    return OwnedModule(ModuleOp(moduleOp));
+  }
   ~OwnedModule() {
     if (module_.op)
       module_.destroy();
@@ -52,8 +57,14 @@ public:
   Op *op() const { return module_.op; }
 
 private:
+  explicit OwnedModule(ModuleOp m) : module_(m) {}
   ModuleOp module_;
 };
+
+/// Deep-copies a module (all funcs, regions, values). The clone is
+/// independent: benchmarks parse/irgen a source once and clone per
+/// pipeline run instead of re-running the frontend.
+OwnedModule cloneModule(ModuleOp module);
 
 struct FuncOp {
   Op *op;

@@ -1,0 +1,328 @@
+#include "transforms/analysis_manager.h"
+
+#include "analysis/affine.h"
+#include "analysis/barrier.h"
+#include "analysis/memory.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace paralift::ir;
+
+namespace paralift::transforms {
+
+const char *analysisKindName(AnalysisKind k) {
+  switch (k) {
+  case AnalysisKind::Barrier:
+    return "barrier";
+  case AnalysisKind::Memory:
+    return "memory";
+  case AnalysisKind::Affine:
+    return "affine";
+  }
+  return "?";
+}
+
+std::string PreservedAnalyses::str() const {
+  if (isAll())
+    return "all";
+  if (isNone())
+    return "none";
+  std::string out;
+  for (unsigned i = 0; i < kNumAnalysisKinds; ++i)
+    if (isPreserved(static_cast<AnalysisKind>(i)))
+      out += (out.empty() ? "" : "+") +
+             std::string(analysisKindName(static_cast<AnalysisKind>(i)));
+  return out;
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis results
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Small order-sensitive mixer for fingerprints (content only, never
+/// pointers: recomputation on identical IR must reproduce it exactly).
+struct Fingerprint {
+  uint64_t h = 0xcbf29ce484222325ull;
+  void add(uint64_t v) { h = (h ^ v) * 0x100000001b3ull + (v >> 32); }
+  void add(bool b) { add(static_cast<uint64_t>(b ? 1 : 2)); }
+};
+
+} // namespace
+
+bool BarrierAnalysis::noneRedundant() const {
+  for (const BarrierInfo &b : barriers)
+    if (b.redundant)
+      return false;
+  return true;
+}
+
+BarrierAnalysis BarrierAnalysis::compute(ir::Op *func) {
+  BarrierAnalysis out;
+  std::vector<Op *> barrierOps;
+  func->walk([&](Op *op) {
+    if (op->kind() == OpKind::Barrier)
+      barrierOps.push_back(op);
+  });
+  for (Op *barrier : barrierOps) {
+    BarrierInfo info;
+    if (Op *threadPar = getEnclosingThreadParallel(barrier)) {
+      info.inThreadParallel = true;
+      analysis::EffectSet before = analysis::effectsBefore(barrier, threadPar);
+      analysis::EffectSet after = analysis::effectsAfter(barrier, threadPar);
+      info.beforeReads = static_cast<uint32_t>(before.reads.size());
+      info.beforeWrites = static_cast<uint32_t>(before.writes.size());
+      info.afterReads = static_cast<uint32_t>(after.reads.size());
+      info.afterWrites = static_cast<uint32_t>(after.writes.size());
+      info.beforeUnknown = before.unknown;
+      info.afterUnknown = after.unknown;
+      // Same criterion as analysis::isBarrierRedundant, reusing the
+      // effect sets just computed.
+      info.redundant = before.empty() || after.empty() ||
+                       !analysis::conflicts(before, after, threadPar);
+    }
+    out.barriers.push_back(info);
+  }
+  return out;
+}
+
+uint64_t BarrierAnalysis::fingerprint() const {
+  Fingerprint fp;
+  fp.add(static_cast<uint64_t>(barriers.size()));
+  for (const BarrierInfo &b : barriers) {
+    fp.add(b.inThreadParallel);
+    fp.add(b.redundant);
+    fp.add((static_cast<uint64_t>(b.beforeReads) << 32) | b.beforeWrites);
+    fp.add((static_cast<uint64_t>(b.afterReads) << 32) | b.afterWrites);
+    fp.add(b.beforeUnknown);
+    fp.add(b.afterUnknown);
+  }
+  return fp.h;
+}
+
+MemoryAnalysis MemoryAnalysis::compute(ir::Op *func) {
+  MemoryAnalysis out;
+  func->walk([&](Op *op) {
+    std::vector<analysis::MemoryEffect> effects;
+    analysis::getOpEffects(op, effects);
+    for (const analysis::MemoryEffect &e : effects) {
+      switch (e.kind) {
+      case analysis::EffectKind::Read:
+        ++out.reads;
+        break;
+      case analysis::EffectKind::Write:
+        ++out.writes;
+        break;
+      case analysis::EffectKind::Alloc:
+        ++out.allocs;
+        break;
+      case analysis::EffectKind::Free:
+        ++out.frees;
+        break;
+      }
+      if (!e.base)
+        ++out.unknown;
+    }
+  });
+  return out;
+}
+
+uint64_t MemoryAnalysis::fingerprint() const {
+  Fingerprint fp;
+  fp.add(reads);
+  fp.add(writes);
+  fp.add(allocs);
+  fp.add(frees);
+  fp.add(unknown);
+  return fp.h;
+}
+
+AffineAnalysis AffineAnalysis::compute(ir::Op *func) {
+  AffineAnalysis out;
+  func->walk([&](Op *op) {
+    if (op->kind() != OpKind::ScfParallel ||
+        !op->attrs().getBool("gpu.block"))
+      return;
+    ParallelOp par(op);
+    std::vector<Value> ivs;
+    for (unsigned i = 0; i < par.numDims(); ++i)
+      ivs.push_back(par.iv(i));
+    ParallelInfo info;
+    op->walk([&](Op *inner) {
+      if (inner->kind() != OpKind::Load && inner->kind() != OpKind::Store)
+        return;
+      ++info.accesses;
+      if (analysis::isThreadPrivateAccess(inner, ivs))
+        ++info.threadPrivate;
+    });
+    out.threadParallels.push_back(info);
+  });
+  return out;
+}
+
+uint64_t AffineAnalysis::fingerprint() const {
+  Fingerprint fp;
+  fp.add(static_cast<uint64_t>(threadParallels.size()));
+  for (const ParallelInfo &p : threadParallels)
+    fp.add((static_cast<uint64_t>(p.accesses) << 32) | p.threadPrivate);
+  return fp.h;
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager
+//===----------------------------------------------------------------------===//
+
+AnalysisManager::FuncEntry &AnalysisManager::entryFor(ir::Op *func) {
+  auto it = entries_.find(func);
+  if (it == entries_.end())
+    it = entries_.emplace(func, std::make_unique<FuncEntry>()).first;
+  return *it->second;
+}
+
+const BarrierAnalysis &AnalysisManager::getBarrier(ir::Op *func) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FuncEntry &e = entryFor(func);
+  constexpr unsigned k = static_cast<unsigned>(AnalysisKind::Barrier);
+  if (e.barrier) {
+    ++stats_.hits[k];
+  } else {
+    e.barrier = BarrierAnalysis::compute(func);
+    ++stats_.computed[k];
+  }
+  return *e.barrier;
+}
+
+const MemoryAnalysis &AnalysisManager::getMemory(ir::Op *func) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FuncEntry &e = entryFor(func);
+  constexpr unsigned k = static_cast<unsigned>(AnalysisKind::Memory);
+  if (e.memory) {
+    ++stats_.hits[k];
+  } else {
+    e.memory = MemoryAnalysis::compute(func);
+    ++stats_.computed[k];
+  }
+  return *e.memory;
+}
+
+const AffineAnalysis &AnalysisManager::getAffine(ir::Op *func) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FuncEntry &e = entryFor(func);
+  constexpr unsigned k = static_cast<unsigned>(AnalysisKind::Affine);
+  if (e.affine) {
+    ++stats_.hits[k];
+  } else {
+    e.affine = AffineAnalysis::compute(func);
+    ++stats_.computed[k];
+  }
+  return *e.affine;
+}
+
+bool AnalysisManager::isCached(ir::Op *func, AnalysisKind k) const {
+  return cachedFingerprint(func, k).has_value();
+}
+
+std::optional<uint64_t>
+AnalysisManager::cachedFingerprint(ir::Op *func, AnalysisKind k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(func);
+  if (it == entries_.end())
+    return std::nullopt;
+  const FuncEntry &e = *it->second;
+  switch (k) {
+  case AnalysisKind::Barrier:
+    return e.barrier ? std::optional<uint64_t>(e.barrier->fingerprint())
+                     : std::nullopt;
+  case AnalysisKind::Memory:
+    return e.memory ? std::optional<uint64_t>(e.memory->fingerprint())
+                    : std::nullopt;
+  case AnalysisKind::Affine:
+    return e.affine ? std::optional<uint64_t>(e.affine->fingerprint())
+                    : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void AnalysisManager::dropKinds(FuncEntry &e,
+                                const PreservedAnalyses &preserved) {
+  if (!preserved.isPreserved(AnalysisKind::Barrier) && e.barrier) {
+    e.barrier.reset();
+    ++stats_.invalidated;
+  }
+  if (!preserved.isPreserved(AnalysisKind::Memory) && e.memory) {
+    e.memory.reset();
+    ++stats_.invalidated;
+  }
+  if (!preserved.isPreserved(AnalysisKind::Affine) && e.affine) {
+    e.affine.reset();
+    ++stats_.invalidated;
+  }
+}
+
+void AnalysisManager::retainOnly(const std::vector<ir::Op *> &funcs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (std::find(funcs.begin(), funcs.end(), it->first) == funcs.end()) {
+      FuncEntry &e = *it->second;
+      stats_.invalidated += (e.barrier ? 1 : 0) + (e.memory ? 1 : 0) +
+                            (e.affine ? 1 : 0);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AnalysisManager::invalidate(ir::Op *func) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(func);
+  if (it == entries_.end())
+    return;
+  FuncEntry &e = *it->second;
+  stats_.invalidated += (e.barrier ? 1 : 0) + (e.memory ? 1 : 0) +
+                        (e.affine ? 1 : 0);
+  entries_.erase(it);
+}
+
+void AnalysisManager::invalidate(ir::Op *func,
+                                 const PreservedAnalyses &preserved) {
+  if (preserved.isAll())
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(func);
+  if (it != entries_.end())
+    dropKinds(*it->second, preserved);
+}
+
+void AnalysisManager::invalidate(const PreservedAnalyses &preserved) {
+  if (preserved.isAll())
+    return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto &[func, entry] : entries_)
+    dropKinds(*entry, preserved);
+}
+
+void AnalysisManager::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+AnalysisManager::StatsSnapshot AnalysisManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string AnalysisManager::statsStr() const {
+  StatsSnapshot s = stats();
+  std::ostringstream os;
+  os << "analyses:";
+  for (unsigned i = 0; i < kNumAnalysisKinds; ++i)
+    os << " " << analysisKindName(static_cast<AnalysisKind>(i))
+       << "=" << s.computed[i] << "c/" << s.hits[i] << "h";
+  os << " invalidated=" << s.invalidated;
+  return os.str();
+}
+
+} // namespace paralift::transforms

@@ -1,0 +1,204 @@
+// The ParaLift analysis-management layer (in the spirit of
+// mlir::AnalysisManager / llvm's new-PM analysis caching):
+//
+//  - Per-function analysis results wrapping the analysis:: entry points:
+//    BarrierAnalysis (per-barrier redundancy + effect-set sizes, §IV-A),
+//    MemoryAnalysis (function-level memory-effect summary), and
+//    AffineAnalysis (per thread-parallel access/thread-privateness
+//    counts, §III-A). Results hold no Op pointers — only walk-order
+//    indexed summaries — so a *valid* cached result can never dangle.
+//  - PreservedAnalyses: the set of analyses a Pass declares it keeps
+//    valid. Cheap cleanup passes (canonicalize, cse, mem2reg,
+//    store-forward) preserve most analyses, so they stop invalidating
+//    everything; several passes refine their declaration dynamically
+//    (e.g. "I changed nothing this run, everything is preserved").
+//  - AnalysisManager: computes-and-caches results per function. The
+//    PassManager invalidates non-preserved results after every pass;
+//    an entry's presence therefore implies validity.
+//  - Verify mode (PassManager::enableAnalysisVerify): after every pass,
+//    recomputes each analysis the pass declared preserved and
+//    cross-checks the fingerprint against the cached result, attributing
+//    stale-analysis lies to the pass that told them.
+#pragma once
+
+#include "ir/ophelpers.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace paralift::transforms {
+
+//===----------------------------------------------------------------------===//
+// AnalysisKind / PreservedAnalyses
+//===----------------------------------------------------------------------===//
+
+enum class AnalysisKind : unsigned { Barrier = 0, Memory = 1, Affine = 2 };
+inline constexpr unsigned kNumAnalysisKinds = 3;
+
+const char *analysisKindName(AnalysisKind k);
+
+/// A bitset over AnalysisKind. Passes return the set of analyses their
+/// last execution kept valid; everything else is invalidated.
+class PreservedAnalyses {
+public:
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+  static PreservedAnalyses all() {
+    PreservedAnalyses p;
+    p.mask_ = (1u << kNumAnalysisKinds) - 1;
+    return p;
+  }
+
+  PreservedAnalyses &preserve(AnalysisKind k) {
+    mask_ |= 1u << static_cast<unsigned>(k);
+    return *this;
+  }
+  bool isPreserved(AnalysisKind k) const {
+    return mask_ & (1u << static_cast<unsigned>(k));
+  }
+  bool isAll() const { return mask_ == ((1u << kNumAnalysisKinds) - 1); }
+  bool isNone() const { return mask_ == 0; }
+
+  /// Set intersection; a sequence of passes preserves what every member
+  /// preserves (used by repeat{}).
+  PreservedAnalyses intersect(const PreservedAnalyses &o) const {
+    PreservedAnalyses p;
+    p.mask_ = mask_ & o.mask_;
+    return p;
+  }
+
+  /// "all", "none", or a +-joined kind list ("barrier+memory").
+  std::string str() const;
+
+private:
+  unsigned mask_ = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Analysis results
+//===----------------------------------------------------------------------===//
+// Results are pointer-free summaries: per-item data is keyed by the
+// item's index in a deterministic pre-order walk of the function, and the
+// fingerprint hashes only summary content, so recomputing on identical IR
+// always reproduces the fingerprint exactly (the verify-mode contract).
+
+/// Barrier memory semantics per §IV-A: for every polygeist.barrier (in
+/// walk order), whether it is redundant and how large its before/after
+/// effect sets are.
+struct BarrierAnalysis {
+  struct BarrierInfo {
+    bool inThreadParallel = false; ///< has an enclosing gpu.block parallel
+    bool redundant = false;
+    uint32_t beforeReads = 0, beforeWrites = 0;
+    uint32_t afterReads = 0, afterWrites = 0;
+    bool beforeUnknown = false, afterUnknown = false;
+  };
+  std::vector<BarrierInfo> barriers;
+
+  /// True when no barrier is redundant (barrier-elim's fast path).
+  bool noneRedundant() const;
+
+  static BarrierAnalysis compute(ir::Op *func);
+  uint64_t fingerprint() const;
+};
+
+/// Function-level memory-effect summary (direct effects of every nested
+/// op, via analysis::getOpEffects).
+struct MemoryAnalysis {
+  uint64_t reads = 0, writes = 0, allocs = 0, frees = 0;
+  uint64_t unknown = 0; ///< effects with no identifiable base
+  bool readOnly() const {
+    return writes == 0 && allocs == 0 && frees == 0 && unknown == 0;
+  }
+
+  static MemoryAnalysis compute(ir::Op *func);
+  uint64_t fingerprint() const;
+};
+
+/// Per thread-parallel (gpu.block scf.parallel, in walk order): how many
+/// load/store accesses its body contains and how many are provably
+/// thread-private w.r.t. the thread IVs (the §III-A "hole").
+struct AffineAnalysis {
+  struct ParallelInfo {
+    uint32_t accesses = 0;
+    uint32_t threadPrivate = 0;
+  };
+  std::vector<ParallelInfo> threadParallels;
+
+  static AffineAnalysis compute(ir::Op *func);
+  uint64_t fingerprint() const;
+};
+
+//===----------------------------------------------------------------------===//
+// AnalysisManager
+//===----------------------------------------------------------------------===//
+
+/// Computes-and-caches analysis results per function. Thread-safe: the
+/// PassManager's --pm-threads workers query it concurrently for distinct
+/// functions (a coarse mutex serializes map access and computation — the
+/// consumers are passes whose own work dominates).
+///
+/// Returned references stay valid until the entry is invalidated; callers
+/// inside a pass may hold them for the duration of their runOnFunction
+/// (invalidation only happens between passes, or for functions the
+/// current pass does not own).
+class AnalysisManager {
+public:
+  AnalysisManager() = default;
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  const BarrierAnalysis &getBarrier(ir::Op *func);
+  const MemoryAnalysis &getMemory(ir::Op *func);
+  const AffineAnalysis &getAffine(ir::Op *func);
+
+  bool isCached(ir::Op *func, AnalysisKind k) const;
+  /// Fingerprint of the cached result; nullopt when not cached.
+  std::optional<uint64_t> cachedFingerprint(ir::Op *func,
+                                            AnalysisKind k) const;
+
+  /// Drops every entry whose function is not in `funcs`. The PassManager
+  /// calls this with the current module's functions at the start of each
+  /// run, so entries left over from a previously compiled module cannot
+  /// false-hit through a recycled Op address. (Priming entries for the
+  /// module about to be compiled is unaffected.)
+  void retainOnly(const std::vector<ir::Op *> &funcs);
+
+  /// Drops every result for `func` (the function was erased or replaced).
+  void invalidate(ir::Op *func);
+  /// Drops `func`'s results not in `preserved`.
+  void invalidate(ir::Op *func, const PreservedAnalyses &preserved);
+  /// Drops all results not in `preserved`, across every function.
+  void invalidate(const PreservedAnalyses &preserved);
+  void clear();
+
+  struct StatsSnapshot {
+    uint64_t computed[kNumAnalysisKinds] = {0, 0, 0};
+    uint64_t hits[kNumAnalysisKinds] = {0, 0, 0};
+    uint64_t invalidated = 0; ///< entries dropped by invalidation
+  };
+  StatsSnapshot stats() const;
+  /// One line per kind with computed/hit counts.
+  std::string statsStr() const;
+
+private:
+  struct FuncEntry {
+    std::optional<BarrierAnalysis> barrier;
+    std::optional<MemoryAnalysis> memory;
+    std::optional<AffineAnalysis> affine;
+  };
+  FuncEntry &entryFor(ir::Op *func); // caller holds mutex_
+  void dropKinds(FuncEntry &e, const PreservedAnalyses &preserved);
+
+  mutable std::mutex mutex_;
+  // unique_ptr entries: rehashing must not move results out from under
+  // the references handed to concurrently running passes.
+  std::unordered_map<ir::Op *, std::unique_ptr<FuncEntry>> entries_;
+  StatsSnapshot stats_;
+};
+
+} // namespace paralift::transforms

@@ -122,12 +122,31 @@ public:
         moved_(&statistic("barriers-moved")) {}
 
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
-    *moved_ += barrierMotionRoot(func);
+    unsigned moved = barrierMotionRoot(func);
+    *moved_ += moved;
+    if (moved)
+      changed_.store(true, std::memory_order_relaxed);
     return true;
+  }
+
+  void beginRun() override {
+    changed_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Moving a barrier redistributes its before/after effect sets
+  /// (barrier results change) but touches no access or parallel
+  /// structure.
+  PreservedAnalyses preservedAnalyses() const override {
+    if (!changed_.load(std::memory_order_relaxed))
+      return PreservedAnalyses::all();
+    return PreservedAnalyses::none()
+        .preserve(AnalysisKind::Memory)
+        .preserve(AnalysisKind::Affine);
   }
 
 private:
   Statistic *moved_;
+  std::atomic<bool> changed_{false};
 };
 
 } // namespace

@@ -96,7 +96,12 @@ int64_t truncateToType(int64_t v, Type t) {
 }
 
 /// Replaces `op`'s single result with a fresh constant and erases it.
-void replaceWithConstInt(Op *op, int64_t v) {
+/// Structural: folding an operand of a non-affine expression to a
+/// constant can make an access index newly decomposable (e.g.
+/// muli(%tid, addi(2,3)) -> muli(%tid, 5)), flipping thread-privacy and
+/// barrier-redundancy verdicts.
+void replaceWithConstInt(Op *op, int64_t v, bool &structural) {
+  structural = true;
   Builder b;
   b.setInsertionPoint(op);
   Value c = b.constInt(truncateToType(v, op->result().type()),
@@ -105,7 +110,8 @@ void replaceWithConstInt(Op *op, int64_t v) {
   op->erase();
 }
 
-void replaceWithConstFloat(Op *op, double v) {
+void replaceWithConstFloat(Op *op, double v, bool &structural) {
+  structural = true;
   Builder b;
   b.setInsertionPoint(op);
   if (op->result().type() == Type::f32())
@@ -144,8 +150,14 @@ void inlineRegionBefore(Op *op, Region &region) {
 }
 
 /// One canonicalization attempt on `op`. Returns true if IR changed
-/// (including erasure of `op`).
-bool canonicalizeOp(Op *op) {
+/// (including erasure of `op`). Sets `structural` for folds that can
+/// change analysis results: anything that destroys/restructures regions,
+/// erases memory ops, redirects uses to an *existing* value (merging SSA
+/// identities changes syntactic access equality, the §IV-B/§IV-A rules),
+/// or replaces a value with a fresh constant (which can make an index
+/// expression newly affine-decomposable). The only analysis-invariant
+/// rewrite is DCE of pure region-less ops.
+bool canonicalizeOp(Op *op, bool &structural) {
   OpKind k = op->kind();
 
   // DCE: pure op with no uses.
@@ -155,6 +167,7 @@ bool canonicalizeOp(Op *op) {
   }
   // Allocation with no uses.
   if ((k == OpKind::Alloca || k == OpKind::Alloc) && !op->hasAnyUse()) {
+    structural = true;
     op->erase();
     return true;
   }
@@ -176,35 +189,39 @@ bool canonicalizeOp(Op *op) {
     auto c0 = getConstInt(op->operand(0));
     auto c1 = getConstInt(op->operand(1));
     if (c0 && c1) {
-      replaceWithConstInt(op, foldIntBinary(k, *c0, *c1));
+      replaceWithConstInt(op, foldIntBinary(k, *c0, *c1), structural);
       return true;
     }
     // Identities.
     if (c1 && *c1 == 0 && (k == OpKind::AddI || k == OpKind::SubI ||
                            k == OpKind::ShLI || k == OpKind::ShRSI ||
                            k == OpKind::OrI || k == OpKind::XOrI)) {
+      structural = true;
       op->result().replaceAllUsesWith(op->operand(0));
       op->erase();
       return true;
     }
     if (c0 && *c0 == 0 && k == OpKind::AddI) {
+      structural = true;
       op->result().replaceAllUsesWith(op->operand(1));
       op->erase();
       return true;
     }
     if (c1 && *c1 == 1 && (k == OpKind::MulI || k == OpKind::DivSI)) {
+      structural = true;
       op->result().replaceAllUsesWith(op->operand(0));
       op->erase();
       return true;
     }
     if (c0 && *c0 == 1 && k == OpKind::MulI) {
+      structural = true;
       op->result().replaceAllUsesWith(op->operand(1));
       op->erase();
       return true;
     }
     if (((c0 && *c0 == 0) || (c1 && *c1 == 0)) &&
         (k == OpKind::MulI || k == OpKind::AndI)) {
-      replaceWithConstInt(op, 0);
+      replaceWithConstInt(op, 0, structural);
       return true;
     }
     return false;
@@ -220,7 +237,7 @@ bool canonicalizeOp(Op *op) {
     auto c0 = getConstFloat(op->operand(0));
     auto c1 = getConstFloat(op->operand(1));
     if (c0 && c1) {
-      replaceWithConstFloat(op, foldFloatBinary(k, *c0, *c1));
+      replaceWithConstFloat(op, foldFloatBinary(k, *c0, *c1), structural);
       return true;
     }
     return false;
@@ -236,7 +253,7 @@ bool canonicalizeOp(Op *op) {
   case OpKind::Floor:
   case OpKind::Ceil: {
     if (auto c = getConstFloat(op->operand(0))) {
-      replaceWithConstFloat(op, foldFloatUnary(k, *c));
+      replaceWithConstFloat(op, foldFloatUnary(k, *c), structural);
       return true;
     }
     return false;
@@ -246,7 +263,7 @@ bool canonicalizeOp(Op *op) {
     auto c1 = getConstInt(op->operand(1));
     if (c0 && c1) {
       auto pred = static_cast<CmpIPred>(op->attrs().getInt("pred"));
-      replaceWithConstInt(op, foldCmpI(pred, *c0, *c1) ? 1 : 0);
+      replaceWithConstInt(op, foldCmpI(pred, *c0, *c1) ? 1 : 0, structural);
       return true;
     }
     return false;
@@ -256,18 +273,20 @@ bool canonicalizeOp(Op *op) {
     auto c1 = getConstFloat(op->operand(1));
     if (c0 && c1) {
       auto pred = static_cast<CmpFPred>(op->attrs().getInt("pred"));
-      replaceWithConstInt(op, foldCmpF(pred, *c0, *c1) ? 1 : 0);
+      replaceWithConstInt(op, foldCmpF(pred, *c0, *c1) ? 1 : 0, structural);
       return true;
     }
     return false;
   }
   case OpKind::Select: {
     if (auto c = getConstInt(op->operand(0))) {
+      structural = true;
       op->result().replaceAllUsesWith(op->operand(*c ? 1 : 2));
       op->erase();
       return true;
     }
     if (op->operand(1) == op->operand(2)) {
+      structural = true;
       op->result().replaceAllUsesWith(op->operand(1));
       op->erase();
       return true;
@@ -276,14 +295,14 @@ bool canonicalizeOp(Op *op) {
   }
   case OpKind::SIToFP: {
     if (auto c = getConstInt(op->operand(0))) {
-      replaceWithConstFloat(op, static_cast<double>(*c));
+      replaceWithConstFloat(op, static_cast<double>(*c), structural);
       return true;
     }
     return false;
   }
   case OpKind::FPToSI: {
     if (auto c = getConstFloat(op->operand(0))) {
-      replaceWithConstInt(op, static_cast<int64_t>(*c));
+      replaceWithConstInt(op, static_cast<int64_t>(*c), structural);
       return true;
     }
     return false;
@@ -292,13 +311,14 @@ bool canonicalizeOp(Op *op) {
   case OpKind::ExtSI:
   case OpKind::TruncI: {
     if (auto c = getConstInt(op->operand(0))) {
-      replaceWithConstInt(op, *c);
+      replaceWithConstInt(op, *c, structural);
       return true;
     }
     // Fold cast-of-cast to the same type as the original value.
     if (Op *def = op->operand(0).definingOp())
       if ((def->kind() == OpKind::IndexCast || def->kind() == OpKind::ExtSI) &&
           def->operand(0).type() == op->result().type()) {
+        structural = true;
         op->result().replaceAllUsesWith(def->operand(0));
         op->erase();
         return true;
@@ -308,7 +328,7 @@ bool canonicalizeOp(Op *op) {
   case OpKind::FPExt:
   case OpKind::FPTrunc: {
     if (auto c = getConstFloat(op->operand(0))) {
-      replaceWithConstFloat(op, *c);
+      replaceWithConstFloat(op, *c, structural);
       return true;
     }
     return false;
@@ -316,6 +336,7 @@ bool canonicalizeOp(Op *op) {
   case OpKind::ScfIf: {
     // Fold a constant condition by inlining the taken branch.
     if (auto c = getConstInt(op->operand(0))) {
+      structural = true;
       if (*c) {
         inlineRegionBefore(op, op->region(0));
         return true;
@@ -330,6 +351,7 @@ bool canonicalizeOp(Op *op) {
     }
     // DCE: no results and both branches effect-free.
     if (op->numResults() == 0 && analysis::isEffectFree(op)) {
+      structural = true; // the branches may still hold barriers/regions
       op->erase();
       return true;
     }
@@ -341,6 +363,7 @@ bool canonicalizeOp(Op *op) {
     auto step = getConstInt(ForOp(op).step());
     // Zero-trip loop: results are the inits.
     if (lb && ub && *lb >= *ub) {
+      structural = true;
       ForOp f(op);
       for (unsigned i = 0; i < f.numIterArgs(); ++i)
         op->result(i).replaceAllUsesWith(f.init(i));
@@ -349,6 +372,7 @@ bool canonicalizeOp(Op *op) {
     }
     // Single-trip loop: inline the body.
     if (lb && ub && step && *lb + *step >= *ub) {
+      structural = true;
       ForOp f(op);
       Block &body = f.body();
       Builder b;
@@ -378,6 +402,7 @@ bool canonicalizeOp(Op *op) {
     }
     // DCE: unused results, effect-free body.
     if (!op->hasAnyUse() && analysis::isEffectFree(op)) {
+      structural = true; // the body may still hold barriers/parallels
       op->erase();
       return true;
     }
@@ -387,6 +412,7 @@ bool canonicalizeOp(Op *op) {
     // DCE for empty parallel bodies (only the yield remains).
     Block &body = op->region(0).front();
     if (body.front() == body.terminator()) {
+      structural = true;
       op->erase();
       return true;
     }
@@ -395,6 +421,7 @@ bool canonicalizeOp(Op *op) {
   case OpKind::SubView: {
     // subview with zero indices is the identity.
     if (op->numOperands() == 1) {
+      structural = true; // merges memref identities
       op->result().replaceAllUsesWith(op->operand(0));
       op->erase();
       return true;
@@ -406,7 +433,10 @@ bool canonicalizeOp(Op *op) {
   }
 }
 
-void canonicalizeRoot(Op *root) {
+/// Runs canonicalization to fixpoint; returns whether any structural
+/// (analysis-affecting) fold fired.
+bool canonicalizeRoot(Op *root) {
+  bool structural = false;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -415,9 +445,10 @@ void canonicalizeRoot(Op *root) {
     root->walkPostOrder([&](Op *op) {
       if (op->kind() == OpKind::Module || op->kind() == OpKind::Func)
         return;
-      changed |= canonicalizeOp(op);
+      changed |= canonicalizeOp(op, structural);
     });
   }
+  return structural;
 }
 
 class CanonicalizePass : public FunctionPass {
@@ -428,20 +459,38 @@ public:
         removed_(&statistic("ops-removed")) {}
 
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    bool structural;
     if (!statisticsEnabled()) {
-      canonicalizeRoot(func);
-      return true;
+      structural = canonicalizeRoot(func);
+    } else {
+      size_t before = countNestedOps(func);
+      structural = canonicalizeRoot(func);
+      size_t after = countNestedOps(func);
+      if (after < before)
+        *removed_ += before - after;
     }
-    size_t before = countNestedOps(func);
-    canonicalizeRoot(func);
-    size_t after = countNestedOps(func);
-    if (after < before)
-      *removed_ += before - after;
+    if (structural)
+      structural_.store(true, std::memory_order_relaxed);
     return true;
+  }
+
+  void beginRun() override {
+    structural_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Pure DCE is analysis-invariant; any fold (constants, identity
+  /// merges, region folds, memory-op erasure) conservatively invalidates
+  /// everything — in the steady state canonicalize finds nothing to do
+  /// and preserves all.
+  PreservedAnalyses preservedAnalyses() const override {
+    return structural_.load(std::memory_order_relaxed)
+               ? PreservedAnalyses::none()
+               : PreservedAnalyses::all();
   }
 
 private:
   Statistic *removed_;
+  std::atomic<bool> structural_{false};
 };
 
 } // namespace

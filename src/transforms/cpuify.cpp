@@ -601,6 +601,10 @@ public:
     declareBoolOption("mincut", &useMinCut_, true);
   }
 
+  /// Fission/interchange rewrites the whole parallel nest (and erases
+  /// every barrier on success): nothing survives, even "no-op" runs
+  /// restructure loop bodies into the cache form. Inherits none().
+
   bool runOnFunction(Op *func, DiagnosticEngine &diag) override {
     size_t before =
         statisticsEnabled() ? countNestedOps(func, OpKind::Barrier) : 0;

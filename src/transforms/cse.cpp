@@ -45,7 +45,9 @@ std::string opKey(Op *op) {
 
 using ScopeMap = std::map<std::string, Op *>;
 
-void cseBlock(Block &block, std::vector<ScopeMap> &scopes) {
+/// Returns the number of ops eliminated.
+size_t cseBlock(Block &block, std::vector<ScopeMap> &scopes) {
+  size_t erased = 0;
   scopes.emplace_back();
   for (Op *op = block.front(), *next = nullptr; op; op = next) {
     next = op->next();
@@ -61,15 +63,17 @@ void cseBlock(Block &block, std::vector<ScopeMap> &scopes) {
       if (existing) {
         op->result().replaceAllUsesWith(existing->result());
         op->erase();
+        ++erased;
         continue;
       }
       scopes.back()[key] = op;
     }
     for (unsigned r = 0; r < op->numRegions(); ++r)
       for (auto &inner : op->region(r).blocks())
-        cseBlock(*inner, scopes);
+        erased += cseBlock(*inner, scopes);
   }
   scopes.pop_back();
+  return erased;
 }
 
 class CSEPass : public FunctionPass {
@@ -81,7 +85,8 @@ public:
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     size_t before = statisticsEnabled() ? countNestedOps(func) : 0;
     std::vector<ScopeMap> scopes;
-    cseBlock(FuncOp(func).body(), scopes);
+    if (cseBlock(FuncOp(func).body(), scopes))
+      changed_.store(true, std::memory_order_relaxed);
     if (statisticsEnabled()) {
       size_t after = countNestedOps(func);
       if (after < before)
@@ -90,8 +95,25 @@ public:
     return true;
   }
 
+  void beginRun() override {
+    changed_.store(false, std::memory_order_relaxed);
+  }
+
+  /// CSE erases duplicate pure ops only: memory-effect counts and the
+  /// per-parallel access/thread-privateness counts are untouched, but
+  /// merging SSA identities can change syntactic access equality (the
+  /// §IV-A same-index rule), so barrier results are dropped on change.
+  PreservedAnalyses preservedAnalyses() const override {
+    if (!changed_.load(std::memory_order_relaxed))
+      return PreservedAnalyses::all();
+    return PreservedAnalyses::none()
+        .preserve(AnalysisKind::Memory)
+        .preserve(AnalysisKind::Affine);
+  }
+
 private:
   Statistic *removed_;
+  std::atomic<bool> changed_{false};
 };
 
 } // namespace

@@ -68,7 +68,8 @@ bool isInKernelNest(Op *op) {
 
 } // namespace
 
-void runInliner(ModuleOp module, bool onlyInKernels) {
+bool runInliner(ModuleOp module, bool onlyInKernels) {
+  bool any = false;
   // Iterate: inlining may expose further call sites. Guard against
   // recursion with an iteration cap proportional to module size.
   for (int iter = 0; iter < 64; ++iter) {
@@ -79,13 +80,15 @@ void runInliner(ModuleOp module, bool onlyInKernels) {
         sites.push_back(op);
     });
     if (sites.empty())
-      return;
+      return any;
     bool changed = false;
     for (Op *call : sites)
       changed |= inlineCall(module, call);
     if (!changed)
-      return;
+      return any;
+    any = true;
   }
+  return any;
 }
 
 namespace {
@@ -99,20 +102,33 @@ public:
   }
 
   bool run(ModuleOp module, DiagnosticEngine &) override {
+    // Change detection comes from the transform itself: a call-count
+    // delta would miss the case where an inlined callee body carries a
+    // non-inlinable call of its own (count unchanged, IR changed).
     if (!statisticsEnabled()) {
-      runInliner(module, kernelsOnly_);
+      changed_ = runInliner(module, kernelsOnly_);
       return true;
     }
     size_t before = countNestedOps(module.op, OpKind::Call);
-    runInliner(module, kernelsOnly_);
+    changed_ = runInliner(module, kernelsOnly_);
     size_t after = countNestedOps(module.op, OpKind::Call);
     if (after < before)
       statistic("calls-inlined") += before - after;
     return true;
   }
 
+  void beginRun() override { changed_ = false; }
+
+  /// Inlining splices callee bodies into kernels — everything shifts; a
+  /// run that found no inlinable calls (every rerun after the first)
+  /// preserves everything.
+  PreservedAnalyses preservedAnalyses() const override {
+    return changed_ ? PreservedAnalyses::none() : PreservedAnalyses::all();
+  }
+
 private:
   bool kernelsOnly_ = false;
+  bool changed_ = false; // module passes run single-threaded
 };
 
 } // namespace

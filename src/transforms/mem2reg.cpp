@@ -194,7 +194,8 @@ private:
   Type elemType_;
 };
 
-void mem2regRoot(Op *root, Pass::Statistic *promoted) {
+size_t mem2regRoot(Op *root, Pass::Statistic *promoted) {
+  size_t count = 0;
   // Collect candidates first: promotion mutates the region structure.
   bool changed = true;
   while (changed) {
@@ -209,6 +210,7 @@ void mem2regRoot(Op *root, Pass::Statistic *promoted) {
       Promoter p(a);
       if (p.canPromote()) {
         p.promote();
+        ++count;
         if (promoted)
           *promoted += 1;
         changed = true;
@@ -216,6 +218,7 @@ void mem2regRoot(Op *root, Pass::Statistic *promoted) {
       }
     }
   }
+  return count;
 }
 
 class Mem2RegPass : public FunctionPass {
@@ -226,12 +229,29 @@ public:
         promoted_(&statistic("allocas-promoted")) {}
 
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
-    mem2regRoot(func, promoted_);
+    if (mem2regRoot(func, promoted_))
+      changed_.store(true, std::memory_order_relaxed);
     return true;
+  }
+
+  void beginRun() override {
+    changed_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Promotion erases scalar-alloca accesses and rewrites control flow
+  /// into iter-args: every summary can shift (verify-mode showed even
+  /// barrier effect sets change on Rodinia, via scalars that live
+  /// outside the barrier-containing region but feed accesses inside
+  /// it), so a changing run keeps nothing.
+  PreservedAnalyses preservedAnalyses() const override {
+    return changed_.load(std::memory_order_relaxed)
+               ? PreservedAnalyses::none()
+               : PreservedAnalyses::all();
   }
 
 private:
   Statistic *promoted_;
+  std::atomic<bool> changed_{false};
 };
 
 } // namespace

@@ -333,6 +333,10 @@ public:
     declareBoolOption("outer-only", &opts_.outerOnly, false);
   }
 
+  /// Lowering replaces scf.parallel with omp regions wholesale (the
+  /// gpu.block parallels the affine analysis tracks disappear).
+  /// Inherits none().
+
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     size_t before =
         statisticsEnabled() ? countNestedOps(func, OpKind::OmpParallel) : 0;

@@ -1,0 +1,289 @@
+#include "transforms/pass_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace paralift::transforms {
+
+//===----------------------------------------------------------------------===//
+// Hash128
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr uint64_t kFnvOffsetLo = 0xcbf29ce484222325ull;
+// A second stream with a different offset basis; the per-byte tweak keeps
+// the two streams from being related by a constant factor.
+constexpr uint64_t kFnvOffsetHi = 0x6c62272e07bb0142ull;
+
+} // namespace
+
+Hash128 hashBytes(const std::string &bytes) {
+  uint64_t lo = kFnvOffsetLo, hi = kFnvOffsetHi;
+  for (unsigned char c : bytes) {
+    lo = (lo ^ c) * kFnvPrime;
+    hi = (hi ^ (c + 0x9eu)) * kFnvPrime;
+  }
+  return {lo, hi};
+}
+
+Hash128 combineHash(const Hash128 &acc, const Hash128 &next) {
+  Hash128 out;
+  out.lo = (acc.lo ^ next.lo) * kFnvPrime + next.hi;
+  out.hi = (acc.hi ^ next.hi) * kFnvPrime + next.lo;
+  return out;
+}
+
+std::string Hash128::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::optional<Hash128> Hash128::fromHex(const std::string &s) {
+  if (s.size() != 32)
+    return std::nullopt;
+  uint64_t parts[2] = {0, 0};
+  for (int p = 0; p < 2; ++p) {
+    for (int i = 0; i < 16; ++i) {
+      char c = s[p * 16 + i];
+      uint64_t d;
+      if (c >= '0' && c <= '9')
+        d = c - '0';
+      else if (c >= 'a' && c <= 'f')
+        d = 10 + (c - 'a');
+      else
+        return std::nullopt;
+      parts[p] = (parts[p] << 4) | d;
+    }
+  }
+  return Hash128{parts[1], parts[0]};
+}
+
+//===----------------------------------------------------------------------===//
+// PassResultCache
+//===----------------------------------------------------------------------===//
+
+PassResultCache::PassResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty())
+    return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    dir_.clear(); // unwritable directory: degrade to memory-only
+}
+
+namespace {
+
+/// Build fingerprint mixed into every key: entries written by a build
+/// with different pass semantics must read as misses, never replay.
+/// PARALIFT_BUILD_STAMP is injected by CMake at configure time; the
+/// translation-unit timestamp covers direct rebuilds of this file. (An
+/// incremental rebuild that recompiles only a pass .cpp keeps the salt —
+/// clear the cache dir when iterating on pass semantics without
+/// reconfiguring.)
+const std::string &buildSalt() {
+  static const std::string salt =
+#ifdef PARALIFT_BUILD_STAMP
+      std::string(PARALIFT_BUILD_STAMP);
+#else
+      std::string(__DATE__ " " __TIME__);
+#endif
+  return salt;
+}
+
+} // namespace
+
+Hash128 PassResultCache::keyHash(const Hash128 &input,
+                                 const std::string &spec) {
+  return combineHash(input, hashBytes(spec + "\n" + buildSalt()));
+}
+
+std::string PassResultCache::keyFile(const Hash128 &key) const {
+  return dir_ + "/" + key.hex() + ".pir";
+}
+
+std::optional<PassResultCache::Entry>
+PassResultCache::lookup(const Hash128 &input, const std::string &spec) {
+  Hash128 key = keyHash(input, spec);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Disk I/O happens outside the lock so --pm-threads workers hitting
+  // memory entries never queue behind a file read.
+  if (!dir_.empty()) {
+    if (auto fromDisk = loadFromDisk(key, input, spec)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      ++stats_.diskHits;
+      entries_.emplace(key, *fromDisk);
+      return fromDisk;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void PassResultCache::store(const Hash128 &input, const std::string &spec,
+                            Entry entry) {
+  Hash128 key = keyHash(input, spec);
+  // Write the file outside the lock (the temp+rename protocol already
+  // tolerates concurrent writers of one key; same key implies same
+  // value for deterministic passes).
+  if (!dir_.empty())
+    writeToDisk(key, input, spec, entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  entries_[key] = std::move(entry);
+}
+
+// On-disk entry format (header lines, a separator, then the IR verbatim):
+//   paralift-pass-cache v1
+//   input <32 hex>
+//   spec <canonical pass spec>
+//   output <32 hex>
+//   funcs <32 hex>,<32 hex>,...       (module entries only)
+//   ---
+//   <ir text>
+// The header repeats the full key so a (vanishingly unlikely) filename
+// hash collision, or a stale file from an incompatible version, reads as
+// a miss instead of replaying wrong IR.
+std::optional<PassResultCache::Entry>
+PassResultCache::loadFromDisk(const Hash128 &key, const Hash128 &input,
+                              const std::string &spec) {
+  std::ifstream in(keyFile(key), std::ios::binary);
+  if (!in)
+    return std::nullopt;
+  std::string magic, inputLine, specLine, outputLine, line;
+  if (!std::getline(in, magic) || magic != "paralift-pass-cache v1")
+    return std::nullopt;
+  if (!std::getline(in, inputLine) || inputLine.rfind("input ", 0) != 0)
+    return std::nullopt;
+  if (!std::getline(in, specLine) || specLine.rfind("spec ", 0) != 0)
+    return std::nullopt;
+  if (!std::getline(in, outputLine) || outputLine.rfind("output ", 0) != 0)
+    return std::nullopt;
+  if (!std::getline(in, line))
+    return std::nullopt;
+  Entry entry;
+  if (line.rfind("funcs ", 0) == 0) {
+    std::string list = line.substr(6);
+    for (size_t pos = 0; pos < list.size();) {
+      size_t comma = list.find(',', pos);
+      std::string hex = list.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      auto h = Hash128::fromHex(hex);
+      if (!h)
+        return std::nullopt;
+      entry.funcHashes.push_back(*h);
+      if (comma == std::string::npos)
+        break;
+      pos = comma + 1;
+    }
+    if (!std::getline(in, line))
+      return std::nullopt;
+  }
+  if (line != "---")
+    return std::nullopt;
+  auto storedInput = Hash128::fromHex(inputLine.substr(6));
+  auto storedOutput = Hash128::fromHex(outputLine.substr(7));
+  if (!storedInput || !storedOutput || *storedInput != input ||
+      specLine.substr(5) != spec)
+    return std::nullopt;
+  std::ostringstream ir;
+  ir << in.rdbuf();
+  entry.ir = ir.str();
+  entry.outputHash = *storedOutput;
+  if (hashBytes(entry.ir) != entry.outputHash)
+    return std::nullopt; // truncated or corrupted payload
+  return entry;
+}
+
+void PassResultCache::writeToDisk(const Hash128 &key, const Hash128 &input,
+                                  const std::string &spec,
+                                  const Entry &entry) {
+  std::string path = keyFile(key);
+  // Unique temp name per process+thread+key (thread ids alone are not
+  // unique across processes sharing one cache dir); rename is atomic on
+  // POSIX, so concurrent writers of the same key both land a complete
+  // file.
+  std::ostringstream tmp;
+  tmp << path << ".tmp." << ::getpid() << "." << std::this_thread::get_id();
+  {
+    std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
+    if (!out)
+      return;
+    out << "paralift-pass-cache v1\n"
+        << "input " << input.hex() << "\n"
+        << "spec " << spec << "\n"
+        << "output " << entry.outputHash.hex() << "\n";
+    if (!entry.funcHashes.empty()) {
+      out << "funcs ";
+      for (size_t i = 0; i < entry.funcHashes.size(); ++i)
+        out << (i ? "," : "") << entry.funcHashes[i].hex();
+      out << "\n";
+    }
+    out << "---\n" << entry.ir;
+    if (!out) {
+      // Failed write (e.g. disk full): do not litter the shared dir.
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp.str(), ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp.str(), path, ec);
+  if (ec)
+    std::filesystem::remove(tmp.str(), ec);
+}
+
+PassResultCache::StatsSnapshot PassResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::string PassResultCache::statsStr() const {
+  StatsSnapshot s = stats();
+  std::ostringstream os;
+  os << "pass-cache: hits=" << s.hits << " misses=" << s.misses
+     << " stores=" << s.stores << " disk-hits=" << s.diskHits
+     << " passes-executed=" << s.passesExecuted
+     << " passes-replayed=" << s.passesReplayed;
+  return os.str();
+}
+
+void PassResultCache::resetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = StatsSnapshot{};
+}
+
+void PassResultCache::notePassExecuted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.passesExecuted;
+}
+
+void PassResultCache::notePassReplayed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.passesReplayed;
+}
+
+} // namespace paralift::transforms

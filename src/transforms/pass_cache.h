@@ -1,0 +1,140 @@
+// Persistent pass-result cache: maps (canonical pass spec, hash of the
+// input IR) to the printed IR the pass produced, so re-compiling an
+// unchanged function through an unchanged pipeline prefix replays cached
+// IR instead of re-running passes.
+//
+// Keys chain naturally: the stored entry carries the hash of its output
+// text, which becomes the next pass's input hash. Two pipelines sharing a
+// prefix therefore share every prefix entry, and an ablation sweep whose
+// stages diverge only at pass k re-runs from pass k onwards — the
+// O(changed work) property bench_fig13_ablation exploits.
+//
+// Granularity: function passes cache one entry per function (editing one
+// function only misses its own entries); module passes (inline, and any
+// repeat wrapping one) cache whole-module entries under a "module:"
+// spec prefix so the two key spaces cannot collide.
+//
+// With a directory the cache is persistent: each entry is one file named
+// by the key hash, written atomically (temp + rename) so concurrent
+// compilers sharing a --cache-dir never observe torn entries. Entries
+// embed their full key and are re-verified on load; mismatches and
+// corrupt files degrade to a miss. All operations are thread-safe (the
+// PassManager queries the cache from --pm-threads workers).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace paralift::transforms {
+
+//===----------------------------------------------------------------------===//
+// Hash128
+//===----------------------------------------------------------------------===//
+
+/// 128-bit content hash (two independent 64-bit FNV-1a streams). Not
+/// cryptographic; sized so accidental collisions are out of reach for any
+/// realistic cache population, and cheap enough to run per pass.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Hash128 &o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const Hash128 &o) const { return !(*this == o); }
+
+  /// 32 lowercase hex chars (hi then lo); doubles as the on-disk filename.
+  std::string hex() const;
+  static std::optional<Hash128> fromHex(const std::string &s);
+};
+
+/// Hashes a byte string (typically printed IR).
+Hash128 hashBytes(const std::string &bytes);
+
+/// Folds `next` into an accumulating hash; used to derive a module-level
+/// hash from the per-function hashes in body order.
+Hash128 combineHash(const Hash128 &acc, const Hash128 &next);
+
+//===----------------------------------------------------------------------===//
+// PassResultCache
+//===----------------------------------------------------------------------===//
+
+class PassResultCache {
+public:
+  /// In-memory cache (one process; useful for ablation sweeps).
+  PassResultCache() = default;
+  /// Persistent cache rooted at `dir` (created if absent). An empty dir
+  /// string degrades to memory-only.
+  explicit PassResultCache(std::string dir);
+
+  PassResultCache(const PassResultCache &) = delete;
+  PassResultCache &operator=(const PassResultCache &) = delete;
+
+  struct Entry {
+    std::string ir;     ///< printed IR produced by the pass
+    Hash128 outputHash; ///< hashBytes(ir); the next pass's input hash
+    /// For module-granularity entries: the per-function hashes of the
+    /// result, in body order, so replay re-keys the hash chain without
+    /// printing each function again. Empty for function entries.
+    std::vector<Hash128> funcHashes;
+  };
+
+  /// Finds the result of running `spec` on IR whose print hashes to
+  /// `input`. Checks memory first, then disk; disk hits are promoted into
+  /// memory. Returns nullopt on miss (and counts it).
+  std::optional<Entry> lookup(const Hash128 &input, const std::string &spec);
+
+  /// Records a pass result. Overwrites any existing entry for the key
+  /// (same key implies same value for deterministic passes).
+  void store(const Hash128 &input, const std::string &spec, Entry entry);
+  void store(const Hash128 &input, const std::string &spec, std::string ir,
+             const Hash128 &outputHash) {
+    store(input, spec, Entry{std::move(ir), outputHash, {}});
+  }
+
+  const std::string &directory() const { return dir_; }
+
+  // Statistics ---------------------------------------------------------------
+
+  struct StatsSnapshot {
+    uint64_t hits = 0;      ///< per-entry lookups served (memory or disk)
+    uint64_t misses = 0;    ///< per-entry lookups that found nothing
+    uint64_t stores = 0;    ///< entries recorded
+    uint64_t diskHits = 0;  ///< subset of hits served from disk
+    uint64_t passesExecuted = 0; ///< pass runs that executed transform code
+    uint64_t passesReplayed = 0; ///< pass runs fully satisfied from cache
+  };
+  StatsSnapshot stats() const;
+  /// One line, e.g. "pass-cache: hits=12 misses=3 stores=3 disk-hits=0
+  /// passes-executed=3 passes-replayed=12".
+  std::string statsStr() const;
+  void resetStats();
+
+  /// Bumped by the PassManager: a pass run that transformed IR vs one
+  /// replayed entirely from cache.
+  void notePassExecuted();
+  void notePassReplayed();
+
+private:
+  std::string keyFile(const Hash128 &key) const;
+  static Hash128 keyHash(const Hash128 &input, const std::string &spec);
+  std::optional<Entry> loadFromDisk(const Hash128 &key, const Hash128 &input,
+                                    const std::string &spec);
+  void writeToDisk(const Hash128 &key, const Hash128 &input,
+                   const std::string &spec, const Entry &entry);
+
+  struct Hash128Hasher {
+    size_t operator()(const Hash128 &h) const {
+      return static_cast<size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+
+  std::string dir_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Hash128, Entry, Hash128Hasher> entries_;
+  StatsSnapshot stats_;
+};
+
+} // namespace paralift::transforms

@@ -1,11 +1,13 @@
 #include "transforms/pass_manager.h"
 
+#include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "runtime/thread_pool.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -115,6 +117,62 @@ bool FunctionPass::run(ModuleOp module, DiagnosticEngine &diag) {
   return ok;
 }
 
+//===----------------------------------------------------------------------===//
+// RepeatPass
+//===----------------------------------------------------------------------===//
+
+RepeatPass::RepeatPass()
+    : FunctionPass("repeat", "run the child passes n times in sequence") {
+  declareIntOption("n", &n_, 2, /*min=*/1, /*max=*/1024);
+}
+
+void RepeatPass::addChild(std::unique_ptr<Pass> child) {
+  assert(child->isFunctionPass() &&
+         "repeat children must be function passes");
+  children_.push_back(std::move(child));
+}
+
+std::string RepeatPass::spec() const {
+  std::string out = Pass::spec() + "(";
+  for (size_t i = 0; i < children_.size(); ++i)
+    out += (i ? "," : "") + children_[i]->spec();
+  return out + ")";
+}
+
+void RepeatPass::beginRun() {
+  for (auto &c : children_) {
+    c->setStatisticsEnabled(statisticsEnabled());
+    c->setAnalysisManager(getAnalysisManager());
+    c->beginRun();
+  }
+}
+
+PreservedAnalyses RepeatPass::preservedAnalyses() const {
+  PreservedAnalyses p = PreservedAnalyses::all();
+  for (const auto &c : children_)
+    p = p.intersect(c->preservedAnalyses());
+  return p;
+}
+
+bool RepeatPass::runOnFunction(ir::Op *func, DiagnosticEngine &diag) {
+  size_t errorsAtStart = diag.numErrors();
+  AnalysisManager *am = getAnalysisManager();
+  for (int64_t i = 0; i < n_; ++i)
+    for (auto &c : children_) {
+      if (!static_cast<FunctionPass &>(*c).runOnFunction(func, diag) ||
+          diag.numErrors() > errorsAtStart)
+        return false;
+      // The PassManager only invalidates between top-level passes; an
+      // analysis-consuming child must not see results a mutating sibling
+      // (or a previous round) left stale. The child's dynamic
+      // declaration is an OR across every function it has touched this
+      // run, which is conservative here.
+      if (am)
+        am->invalidate(func, c->preservedAnalyses());
+    }
+  return true;
+}
+
 size_t countNestedOps(ir::Op *root) {
   size_t n = 0;
   root->walk([&](ir::Op *) { ++n; });
@@ -130,6 +188,26 @@ size_t countNestedOps(ir::Op *root, ir::OpKind kind) {
   return n;
 }
 
+uint64_t readPeakRssBytes() {
+#ifdef __linux__
+  std::FILE *f = std::fopen("/proc/self/status", "r");
+  if (!f)
+    return 0;
+  unsigned long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%llu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<uint64_t>(kb) * 1024;
+#else
+  return 0;
+#endif
+}
+
 //===----------------------------------------------------------------------===//
 // Instrumentation
 //===----------------------------------------------------------------------===//
@@ -141,12 +219,21 @@ double PassTimingReport::totalSeconds() const {
   return t;
 }
 
+uint64_t PassTimingReport::totalRssDeltaBytes() const {
+  uint64_t t = 0;
+  for (const Record &r : records)
+    t += r.rssDeltaBytes;
+  return t;
+}
+
 std::string formatTimingRow(double seconds, double total,
+                            uint64_t rssDeltaBytes,
                             const std::string &label) {
-  char buf[160];
+  char buf[192];
   double pct = total > 0 ? 100.0 * seconds / total : 0.0;
-  std::snprintf(buf, sizeof(buf), "  %10.6f s (%5.1f%%)  %s\n", seconds,
-                pct, label.c_str());
+  std::snprintf(buf, sizeof(buf), "  %10.6f s (%5.1f%%)  %+9.2f MB  %s\n",
+                seconds, pct, rssDeltaBytes / (1024.0 * 1024.0),
+                label.c_str());
   return buf;
 }
 
@@ -156,11 +243,12 @@ std::string PassTimingReport::str() const {
   os << "===-------------------------------------------------------------===\n";
   os << "                      Pass execution timing\n";
   os << "===-------------------------------------------------------------===\n";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "  Total: %.6f s\n", total);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "  Total: %.6f s, peak-RSS +%.2f MB\n",
+                total, totalRssDeltaBytes() / (1024.0 * 1024.0));
   os << buf;
   for (const Record &r : records)
-    os << formatTimingRow(r.seconds, total, r.spec);
+    os << formatTimingRow(r.seconds, total, r.rssDeltaBytes, r.spec);
   return os.str();
 }
 
@@ -173,22 +261,77 @@ public:
       : report_(report) {}
 
   void beforePass(const Pass &, ModuleOp) override {
+    rssStart_ = readPeakRssBytes();
     start_ = std::chrono::steady_clock::now();
   }
   bool afterPass(const Pass &pass, ModuleOp, DiagnosticEngine &) override {
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count();
-    report_->records.push_back({pass.spec(), secs});
+    uint64_t rssEnd = readPeakRssBytes();
+    uint64_t delta = rssEnd > rssStart_ ? rssEnd - rssStart_ : 0;
+    report_->records.push_back({pass.spec(), secs, delta});
     return true;
   }
+
+  /// Timing reads clocks and counters only, so cached replays may stay
+  /// lazy (unspliced) across timed passes.
+  bool inspectsIR() const override { return false; }
 
 private:
   PassTimingReport *report_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t rssStart_ = 0;
 };
 
 } // namespace
+
+void AnalysisVerifyInstrumentation::beforePass(const Pass &, ModuleOp module) {
+  // Prime every analysis for every function so the after-pass check
+  // always has a pre-pass result to compare against.
+  for (ir::Op *op : module.body()) {
+    if (op->kind() != ir::OpKind::Func)
+      continue;
+    am_.getBarrier(op);
+    am_.getMemory(op);
+    am_.getAffine(op);
+  }
+}
+
+bool AnalysisVerifyInstrumentation::afterPass(const Pass &pass,
+                                              ModuleOp module,
+                                              DiagnosticEngine &diag) {
+  PreservedAnalyses preserved = pass.preservedAnalyses();
+  bool ok = true;
+  for (ir::Op *op : module.body()) {
+    if (op->kind() != ir::OpKind::Func)
+      continue;
+    auto check = [&](AnalysisKind k, uint64_t fresh) {
+      // No cached entry: the function is new (created or spliced in by
+      // the result cache during this pass) — nothing to compare.
+      std::optional<uint64_t> cached = am_.cachedFingerprint(op, k);
+      if (!cached || *cached == fresh)
+        return;
+      diag.error(SourceLoc(),
+                 "pass '" + pass.name() + "' declared analysis '" +
+                     analysisKindName(k) +
+                     "' preserved but it changed for function '" +
+                     ir::FuncOp(op).name() + "'");
+      ok = false;
+    };
+    if (preserved.isPreserved(AnalysisKind::Barrier))
+      check(AnalysisKind::Barrier, BarrierAnalysis::compute(op).fingerprint());
+    if (preserved.isPreserved(AnalysisKind::Memory))
+      check(AnalysisKind::Memory, MemoryAnalysis::compute(op).fingerprint());
+    if (preserved.isPreserved(AnalysisKind::Affine))
+      check(AnalysisKind::Affine, AffineAnalysis::compute(op).fingerprint());
+  }
+  // Drop everything; the next beforePass re-primes from the current IR,
+  // so each cross-check attributes exactly one pass. (Fingerprint
+  // equality is transitive, so per-pass checks imply chain validity.)
+  am_.clear();
+  return ok;
+}
 
 bool VerifyInstrumentation::afterPass(const Pass &pass, ModuleOp module,
                                       DiagnosticEngine &diag) {
@@ -242,15 +385,33 @@ void PassManager::enableIRPrinting(bool before, bool after,
       before, after, std::move(filter), out));
 }
 
-bool PassManager::runFunctionPassParallel(FunctionPass &pass, ModuleOp module,
-                                          DiagnosticEngine &diag,
-                                          runtime::ThreadPool &pool) {
+void PassManager::enableAnalysisVerify() {
+  addInstrumentation(
+      std::make_unique<AnalysisVerifyInstrumentation>(analysisManager_));
+}
+
+namespace {
+
+std::vector<ir::Op *> collectFuncs(ModuleOp module) {
   std::vector<ir::Op *> funcs;
   for (ir::Op *op : module.body())
     if (op->kind() == ir::OpKind::Func)
       funcs.push_back(op);
-  if (funcs.size() < 2)
-    return pass.run(module, diag);
+  return funcs;
+}
+
+} // namespace
+
+bool PassManager::runOnFunctions(FunctionPass &pass,
+                                 const std::vector<ir::Op *> &funcs,
+                                 DiagnosticEngine &diag,
+                                 runtime::ThreadPool *pool) {
+  if (!pool || funcs.size() < 2) {
+    bool ok = true;
+    for (ir::Op *func : funcs)
+      ok = pass.runOnFunction(func, diag) && ok;
+    return ok;
+  }
 
   // Each function is a disjoint IR subtree, so workers never touch shared
   // IR state. DiagnosticEngine is not thread-safe: every function gets a
@@ -259,7 +420,7 @@ bool PassManager::runFunctionPassParallel(FunctionPass &pass, ModuleOp module,
   std::vector<DiagnosticEngine> localDiags(funcs.size());
   std::vector<char> localOk(funcs.size(), 1);
   std::atomic<size_t> next{0};
-  pool.parallel([&](unsigned, runtime::Team &) {
+  pool->parallel([&](unsigned, runtime::Team &) {
     for (size_t i = next.fetch_add(1); i < funcs.size();
          i = next.fetch_add(1))
       localOk[i] = pass.runOnFunction(funcs[i], localDiags[i]) ? 1 : 0;
@@ -285,6 +446,187 @@ bool PassManager::runFunctionPassParallel(FunctionPass &pass, ModuleOp module,
   return ok;
 }
 
+const Hash128 &PassManager::hashOf(ir::Op *func, CacheState &st) {
+  auto it = st.irHash.find(func);
+  if (it == st.irHash.end())
+    it = st.irHash.emplace(func, hashBytes(ir::printOp(func))).first;
+  return it->second;
+}
+
+ir::Op *PassManager::spliceFunction(ModuleOp module, ir::Op *oldFunc,
+                                    const std::string &text) {
+  // Cached entries hold a standalone printed func; wrap it into module
+  // syntax for the parser.
+  DiagnosticEngine localDiag;
+  auto parsed = ir::parseModule("module {\n" + text + "\n}\n", localDiag);
+  if (!parsed || localDiag.hasErrors())
+    return nullptr;
+  ir::Op *newFunc = nullptr;
+  for (ir::Op *op : parsed->get().body())
+    if (op->kind() == ir::OpKind::Func) {
+      newFunc = op;
+      break;
+    }
+  if (!newFunc)
+    return nullptr;
+  newFunc->removeFromParent();
+  module.body().insertBefore(oldFunc, newFunc);
+  oldFunc->erase();
+  return newFunc;
+}
+
+ir::Op *PassManager::materialize(ModuleOp module, ir::Op *func,
+                                 CacheState &st) {
+  auto pendingIt = st.pending.find(func);
+  if (pendingIt == st.pending.end())
+    return func;
+  std::string text = std::move(pendingIt->second);
+  st.pending.erase(pendingIt);
+  ir::Op *replacement = spliceFunction(module, func, text);
+  if (!replacement)
+    return nullptr;
+  // The old op (and its cached analyses) are gone; the hash chain
+  // continues under the replacement's identity.
+  analysisManager_.invalidate(func);
+  auto hashIt = st.irHash.find(func);
+  if (hashIt != st.irHash.end()) {
+    Hash128 h = hashIt->second;
+    st.irHash.erase(hashIt);
+    st.irHash[replacement] = h;
+  }
+  return replacement;
+}
+
+bool PassManager::materializeAll(ModuleOp module, CacheState &st) {
+  while (!st.pending.empty())
+    if (!materialize(module, st.pending.begin()->first, st))
+      return false;
+  return true;
+}
+
+bool PassManager::spliceModule(ModuleOp module,
+                               const PassResultCache::Entry &entry,
+                               CacheState &st) {
+  DiagnosticEngine localDiag;
+  auto parsed = ir::parseModule(entry.ir, localDiag);
+  if (!parsed || localDiag.hasErrors())
+    return false;
+  for (ir::Op *op : collectFuncs(module))
+    op->erase();
+  st.irHash.clear();
+  st.pending.clear();
+  std::vector<ir::Op *> newOps;
+  for (ir::Op *op : parsed->get().body())
+    newOps.push_back(op);
+  size_t funcIdx = 0;
+  for (ir::Op *op : newOps) {
+    op->removeFromParent();
+    module.body().push_back(op);
+    if (op->kind() != ir::OpKind::Func)
+      continue;
+    // The entry records the per-function result hashes; fall back to
+    // printing only when the metadata is absent (older cache files).
+    if (funcIdx < entry.funcHashes.size())
+      st.irHash[op] = entry.funcHashes[funcIdx];
+    else
+      st.irHash[op] = hashBytes(ir::printOp(op));
+    ++funcIdx;
+  }
+  return true;
+}
+
+bool PassManager::runPassCached(Pass &pass, ModuleOp module,
+                                DiagnosticEngine &diag,
+                                runtime::ThreadPool *pool, bool lazy,
+                                CacheState &st, RunScope &scope) {
+  if (!pass.isFunctionPass()) {
+    // Module granularity: key on the fold of the per-function hashes (the
+    // module body holds only funcs). The "module:" spec prefix keeps the
+    // key space disjoint from per-function entries.
+    const std::string spec = "module:" + pass.spec();
+    Hash128 input;
+    for (ir::Op *func : collectFuncs(module))
+      input = combineHash(input, hashOf(func, st));
+    if (auto hit = cache_->lookup(input, spec)) {
+      if (spliceModule(module, *hit, st)) {
+        analysisManager_.clear();
+        cache_->notePassReplayed();
+        return true;
+      }
+    }
+    if (!materializeAll(module, st)) {
+      diag.error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                              "(print/parse round-trip bug)");
+      return false;
+    }
+    cache_->notePassExecuted();
+    scope.wholeModule = true;
+    size_t errorsAtStart = diag.numErrors();
+    if (!pass.run(module, diag) || diag.numErrors() > errorsAtStart)
+      return false;
+    st.irHash.clear();
+    PassResultCache::Entry entry;
+    for (ir::Op *func : collectFuncs(module)) {
+      Hash128 h = hashBytes(ir::printOp(func));
+      st.irHash[func] = h;
+      entry.funcHashes.push_back(h);
+    }
+    entry.ir = ir::printOp(module.op);
+    entry.outputHash = hashBytes(entry.ir);
+    cache_->store(input, spec, std::move(entry));
+    return true;
+  }
+
+  auto &fnPass = static_cast<FunctionPass &>(pass);
+  const std::string spec = pass.spec();
+  std::vector<ir::Op *> missed;
+  for (ir::Op *func : collectFuncs(module)) {
+    Hash128 input = hashOf(func, st);
+    if (auto hit = cache_->lookup(input, spec)) {
+      if (lazy) {
+        // Accept the hit without splicing: the hash chain advances and
+        // the latest cached text supersedes any earlier pending text.
+        st.irHash[func] = hit->outputHash;
+        st.pending[func] = std::move(hit->ir);
+        continue;
+      }
+      if (ir::Op *replacement = spliceFunction(module, func, hit->ir)) {
+        analysisManager_.invalidate(func);
+        st.irHash.erase(func);
+        st.irHash[replacement] = hit->outputHash;
+        continue;
+      }
+      // Unparseable entry: treat as a miss and recompute.
+    }
+    // The pass must run on this function's real IR.
+    ir::Op *live = materialize(module, func, st);
+    if (!live) {
+      diag.error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                              "(print/parse round-trip bug)");
+      return false;
+    }
+    missed.push_back(live);
+  }
+  if (missed.empty()) {
+    cache_->notePassReplayed();
+    return true;
+  }
+  cache_->notePassExecuted();
+  scope.executed = missed;
+  size_t errorsAtStart = diag.numErrors();
+  if (!runOnFunctions(fnPass, missed, diag, pool) ||
+      diag.numErrors() > errorsAtStart)
+    return false;
+  for (ir::Op *func : missed) {
+    std::string text = ir::printOp(func);
+    Hash128 outputHash = hashBytes(text);
+    Hash128 input = st.irHash[func];
+    cache_->store(input, spec, std::move(text), outputHash);
+    st.irHash[func] = outputHash;
+  }
+  return true;
+}
+
 bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
   std::unique_ptr<runtime::ThreadPool> pool;
   if (threads_ > 1 && !runtime::ThreadPool::insideParallel()) {
@@ -296,25 +638,74 @@ bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
   }
 
   size_t errorsAtStart = diag.numErrors();
-  for (auto &pass : passes_)
-    pass->setStatisticsEnabled(collectStats_);
   for (auto &pass : passes_) {
+    pass->setStatisticsEnabled(collectStats_);
+    pass->setAnalysisManager(&analysisManager_);
+  }
+  // Entries from a previously compiled module must not survive into this
+  // run (a fresh func allocated at a recycled Op address would false-hit
+  // them); entries primed for *this* module's functions are kept.
+  analysisManager_.retainOnly(collectFuncs(module));
+
+  // Chained per-function IR hashes for the result cache: each executed
+  // pass prints its output once (becoming the next pass's input hash),
+  // and replayed passes reuse the stored output hash — so a fully cached
+  // pipeline never prints IR beyond the initial hashing. When no
+  // installed instrumentation inspects the IR, replays are additionally
+  // lazy: hits park their cached text and only the final state (or the
+  // input of an actually-executing pass) is ever parsed back in.
+  CacheState st;
+  bool lazy = true;
+  for (const auto &ins : instrumentations_)
+    lazy = lazy && !ins->inspectsIR();
+  if (cache_)
+    for (ir::Op *op : module.body())
+      if (op->kind() == ir::OpKind::Func)
+        st.irHash[op] = hashBytes(ir::printOp(op));
+
+  for (auto &pass : passes_) {
+    pass->beginRun();
     for (auto &ins : instrumentations_)
       ins->beforePass(*pass, module);
     bool ok;
-    if (pool && pass->isFunctionPass())
-      ok = runFunctionPassParallel(static_cast<FunctionPass &>(*pass),
-                                   module, diag, *pool);
-    else
-      ok = pass->run(module, diag);
+    RunScope scope;
+    if (cache_) {
+      ok = runPassCached(*pass, module, diag, pool.get(), lazy, st, scope);
+    } else {
+      scope.wholeModule = true;
+      if (pass->isFunctionPass())
+        ok = runOnFunctions(static_cast<FunctionPass &>(*pass),
+                            collectFuncs(module), diag, pool.get());
+      else
+        ok = pass->run(module, diag);
+    }
     // Reverse order so instrumentations nest (first installed =
     // outermost); e.g. timing installed last excludes the cost of
     // earlier-installed IR printing / verification from its window.
     for (auto it = instrumentations_.rbegin();
          it != instrumentations_.rend(); ++it)
       ok = (*it)->afterPass(*pass, module, diag) && ok;
-    if (!ok || diag.numErrors() > errorsAtStart)
+    if (!ok || diag.numErrors() > errorsAtStart) {
+      // Leave the module in a consistent (materialized) state even on
+      // abort; failures here are secondary to the abort being reported.
+      materializeAll(module, st);
       return false;
+    }
+    // Drop analyses the pass did not preserve — only where it actually
+    // ran. Functions replayed from the cache are fresh Op instances (or
+    // park pending text) with no cached analyses, so replays need no
+    // invalidation at all.
+    PreservedAnalyses preserved = pass->preservedAnalyses();
+    if (scope.wholeModule)
+      analysisManager_.invalidate(preserved);
+    else
+      for (ir::Op *func : scope.executed)
+        analysisManager_.invalidate(func, preserved);
+  }
+  if (!materializeAll(module, st)) {
+    diag.error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                            "(print/parse round-trip bug)");
+    return false;
   }
   return true;
 }
@@ -335,17 +726,23 @@ std::string PassManager::statisticsStr() const {
   os << "                         Pass statistics\n";
   os << "===-------------------------------------------------------------===\n";
   char buf[160];
-  for (const auto &p : passes_) {
-    for (const auto &s : p->statistics()) {
+  // One level of recursion covers composite (repeat) passes.
+  auto emit = [&](const Pass &p, auto &emitRef) -> void {
+    for (const auto &s : p.statistics()) {
       uint64_t v = s->value.load(std::memory_order_relaxed);
       if (v == 0)
         continue;
       std::snprintf(buf, sizeof(buf), "  %8llu  %-16s %s\n",
-                    static_cast<unsigned long long>(v), p->name().c_str(),
+                    static_cast<unsigned long long>(v), p.name().c_str(),
                     s->name.c_str());
       os << buf;
     }
-  }
+    if (const auto *children = p.childPasses())
+      for (const auto &c : *children)
+        emitRef(*c, emitRef);
+  };
+  for (const auto &p : passes_)
+    emit(*p, emit);
   return os.str();
 }
 

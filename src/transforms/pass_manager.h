@@ -5,24 +5,33 @@
 //  - FunctionPass: a pass that runs independently on each func, making it
 //    schedulable across kernels in parallel on the runtime thread pool.
 //  - Instrumentation: hooks around every pass execution. Built-ins cover
-//    per-pass wall-clock timing, --print-ir-before/after, and
-//    verify-after-each-pass with a "pass X broke invariant Y" diagnostic.
+//    per-pass wall-clock timing + peak-RSS growth, --print-ir-before/
+//    after, verify-after-each-pass with a "pass X broke invariant Y"
+//    diagnostic, and the preserved-analyses cross-checker.
 //  - PassManager: owns an ordered pipeline of passes plus instrumentations
-//    and schedules them over a module.
+//    and schedules them over a module. It threads an AnalysisManager
+//    (transforms/analysis_manager.h) through the pipeline — invalidating
+//    per each pass's PreservedAnalyses — and optionally a PassResultCache
+//    (transforms/pass_cache.h) that replays cached IR for unchanged
+//    (function, pass) pairs instead of re-running passes.
 //
-// Textual pipelines ("unroll{max-trip=16},cpuify{mincut=false}") are
-// parsed/printed by transforms/registry.{h,cpp}; PassManager::pipelineSpec
-// round-trips the canonical form.
+// Textual pipelines ("unroll{max-trip=16},cpuify{mincut=false}",
+// "repeat{n=2}(canonicalize,cse)") are parsed/printed by
+// transforms/registry.{h,cpp}; PassManager::pipelineSpec round-trips the
+// canonical form.
 #pragma once
 
 #include "ir/ophelpers.h"
 #include "support/diagnostics.h"
+#include "transforms/analysis_manager.h"
+#include "transforms/pass_cache.h"
 
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace paralift::runtime {
@@ -57,6 +66,27 @@ public:
   /// also be reported through `diag`).
   virtual bool run(ModuleOp module, DiagnosticEngine &diag) = 0;
 
+  // Preserved analyses --------------------------------------------------------
+
+  /// Called by the PassManager immediately before each execution; passes
+  /// with dynamic preservation reset their per-run state here.
+  virtual void beginRun() {}
+
+  /// The analyses this pass's *last* execution kept valid; everything
+  /// else is invalidated by the PassManager afterwards. The default is
+  /// maximally conservative. Passes may refine the answer dynamically
+  /// (e.g. return all() when the run changed nothing) — the declaration
+  /// is cross-checked by recomputation under --verify-analyses.
+  virtual PreservedAnalyses preservedAnalyses() const {
+    return PreservedAnalyses::none();
+  }
+
+  /// The AnalysisManager of the owning PassManager, set for the duration
+  /// of a pipeline run; null when the pass runs standalone. Cached
+  /// results obtained from it are valid by construction (stale results
+  /// were invalidated after the pass that broke them).
+  void setAnalysisManager(AnalysisManager *am) { analysisManager_ = am; }
+
   // Options -------------------------------------------------------------------
   // Subclasses declare options in their constructor; the registry's
   // pipeline parser applies `name{key=value,...}` through setOption.
@@ -68,7 +98,14 @@ public:
 
   /// Canonical spec of this pass: name plus any non-default options, e.g.
   /// "unroll{max-trip=16}". parse(spec()) reconstructs the pass exactly.
-  std::string spec() const;
+  /// Virtual so composite passes (repeat) can append their child list.
+  virtual std::string spec() const;
+
+  /// Child passes of a composite pass (repeat), or nullptr. Used by
+  /// statistics rendering and the registry.
+  virtual const std::vector<std::unique_ptr<Pass>> *childPasses() const {
+    return nullptr;
+  }
 
   // Statistics ----------------------------------------------------------------
 
@@ -102,6 +139,8 @@ protected:
                         int64_t dflt, int64_t min = INT64_MIN,
                         int64_t max = INT64_MAX);
 
+  AnalysisManager *getAnalysisManager() const { return analysisManager_; }
+
 private:
   struct Option {
     std::string key;
@@ -118,6 +157,7 @@ private:
   std::vector<Option> options_;
   std::vector<std::unique_ptr<Statistic>> stats_;
   bool statsEnabled_ = false;
+  AnalysisManager *analysisManager_ = nullptr;
 };
 
 /// A pass that transforms one function at a time and never looks outside
@@ -133,11 +173,42 @@ public:
   virtual bool runOnFunction(ir::Op *func, DiagnosticEngine &diag) = 0;
 };
 
+/// repeat{n=K}(a,b,...): a composite pass running its children K times in
+/// sequence — the declarative form of the canonicalize/cse fixpoint pairs
+/// in the standard pipeline. Children must be function passes (the repeat
+/// is then itself schedulable per function, and cacheable as one unit
+/// whose spec covers the whole body); the registry rejects module passes
+/// inside repeat. Preserves the intersection of what every child
+/// preserved.
+class RepeatPass : public FunctionPass {
+public:
+  RepeatPass();
+  /// `child` must be a FunctionPass.
+  void addChild(std::unique_ptr<Pass> child);
+
+  std::string spec() const override;
+  const std::vector<std::unique_ptr<Pass>> *childPasses() const override {
+    return &children_;
+  }
+  void beginRun() override;
+  PreservedAnalyses preservedAnalyses() const override;
+  bool runOnFunction(ir::Op *func, DiagnosticEngine &diag) override;
+
+private:
+  int64_t n_ = 2;
+  std::vector<std::unique_ptr<Pass>> children_;
+};
+
 /// Number of ops nested under `root` (inclusive); the cheap size metric
 /// used by pass statistics.
 size_t countNestedOps(ir::Op *root);
 /// Number of nested ops of one kind.
 size_t countNestedOps(ir::Op *root, ir::OpKind kind);
+
+/// Current peak RSS of the process (Linux VmHWM) in bytes; 0 where the
+/// platform offers no cheap reading. Peak RSS is monotonic, so the
+/// per-pass delta attributes memory growth to the pass that caused it.
+uint64_t readPeakRssBytes();
 
 //===----------------------------------------------------------------------===//
 // Instrumentation
@@ -163,18 +234,28 @@ public:
     (void)diag;
     return true;
   }
+  /// Whether the hooks read the module IR. When every installed
+  /// instrumentation answers false (e.g. timing only), the result cache
+  /// may defer splicing replayed IR until a pass actually executes —
+  /// consecutive cache hits then cost hash-chain lookups instead of
+  /// print/parse round-trips.
+  virtual bool inspectsIR() const { return true; }
 };
 
-/// Per-pass wall-clock timing, one record per pass execution in pipeline
-/// order. Filled by the timing instrumentation PassManager::enableTiming
-/// installs.
+/// Per-pass wall-clock timing and peak-RSS growth, one record per pass
+/// execution in pipeline order. Filled by the timing instrumentation
+/// PassManager::enableTiming installs.
 struct PassTimingReport {
   struct Record {
     std::string spec; ///< canonical pass spec at execution time
     double seconds = 0;
+    /// Peak-RSS growth (bytes) during the pass; 0 when the pass stayed
+    /// within the high-water mark or the platform has no reading.
+    uint64_t rssDeltaBytes = 0;
   };
   std::vector<Record> records;
   double totalSeconds() const;
+  uint64_t totalRssDeltaBytes() const;
   /// Renders the report as a table ("===- Pass execution timing -===").
   std::string str() const;
 };
@@ -187,6 +268,26 @@ class VerifyInstrumentation : public Instrumentation {
 public:
   bool afterPass(const Pass &pass, ModuleOp module,
                  DiagnosticEngine &diag) override;
+};
+
+/// Cross-checks PreservedAnalyses declarations by recomputation: before
+/// every pass, primes every analysis for every function; after the pass,
+/// recomputes each analysis the pass declared preserved and compares
+/// fingerprints against the cached (pre-pass) result. A mismatch reports
+///   pass 'X' declared analysis 'Y' preserved but it changed for
+///   function 'f'
+/// and aborts the pipeline. Entries are re-primed from the current IR
+/// each pass, so every lie is attributed to exactly the pass that told
+/// it. Expensive by design; enable for validation runs.
+class AnalysisVerifyInstrumentation : public Instrumentation {
+public:
+  explicit AnalysisVerifyInstrumentation(AnalysisManager &am) : am_(am) {}
+  void beforePass(const Pass &pass, ModuleOp module) override;
+  bool afterPass(const Pass &pass, ModuleOp module,
+                 DiagnosticEngine &diag) override;
+
+private:
+  AnalysisManager &am_;
 };
 
 /// Prints the IR before/after passes to `out` (default stderr). An empty
@@ -236,9 +337,25 @@ public:
   void enableIRPrinting(bool before, bool after, std::string filter = "",
                         std::FILE *out = stderr);
 
+  /// Installs the preserved-analyses cross-checker (see
+  /// AnalysisVerifyInstrumentation).
+  void enableAnalysisVerify();
+
   /// Also collect the statistics that need extra IR walks (off by
   /// default so compile hot paths pay nothing for unread counters).
   void enableStatistics() { collectStats_ = true; }
+
+  /// The per-function analysis cache threaded through every pass of this
+  /// manager. Invalidation follows each pass's preservedAnalyses().
+  AnalysisManager &analysisManager() { return analysisManager_; }
+
+  /// Attaches a pass-result cache (owned by the caller; shareable across
+  /// PassManagers and threads). When set, each pass execution is keyed on
+  /// (canonical pass spec, hash of the printed input IR) per function —
+  /// per module for module passes — and cache hits splice the stored IR
+  /// in instead of running the pass.
+  void setResultCache(PassResultCache *cache) { cache_ = cache; }
+  PassResultCache *resultCache() const { return cache_; }
 
   /// Number of threads used to fan function passes out across functions.
   /// 1 (the default) disables parallel scheduling.
@@ -259,20 +376,58 @@ public:
   std::string statisticsStr() const;
 
 private:
-  bool runFunctionPassParallel(FunctionPass &pass, ModuleOp module,
-                               DiagnosticEngine &diag,
-                               runtime::ThreadPool &pool);
+  /// Runs a function pass over `funcs` (serially, or fanned out on
+  /// `pool` when given and profitable), merging worker diagnostics in
+  /// function order.
+  bool runOnFunctions(FunctionPass &pass, const std::vector<ir::Op *> &funcs,
+                      DiagnosticEngine &diag, runtime::ThreadPool *pool);
+
+  /// What one pass execution touched, for analysis invalidation.
+  struct RunScope {
+    bool wholeModule = false;        ///< module pass (or cache disabled)
+    std::vector<ir::Op *> executed;  ///< functions the pass actually ran on
+  };
+  /// Per-run cache bookkeeping: the chained per-function IR hashes plus —
+  /// in lazy mode — cached result text accepted but not yet spliced into
+  /// the module (consecutive hits only advance the hash chain; IR is
+  /// materialized when a pass actually has to execute, or at end of run).
+  struct CacheState {
+    std::unordered_map<ir::Op *, Hash128> irHash;
+    std::unordered_map<ir::Op *, std::string> pending;
+  };
+  bool runPassCached(Pass &pass, ModuleOp module, DiagnosticEngine &diag,
+                     runtime::ThreadPool *pool, bool lazy, CacheState &st,
+                     RunScope &scope);
+  /// Hash of `func`'s logical IR, printing it on first use.
+  const Hash128 &hashOf(ir::Op *func, CacheState &st);
+  /// Splices `func`'s pending cached text into the module (no-op without
+  /// pending text). Returns the replacement op, or nullptr on a
+  /// print/parse round-trip failure (reported by the caller).
+  ir::Op *materialize(ModuleOp module, ir::Op *func, CacheState &st);
+  /// Materializes every pending function; false on round-trip failure.
+  bool materializeAll(ModuleOp module, CacheState &st);
+  /// Replaces `oldFunc` with the function parsed from cached `text`;
+  /// returns the new func, or nullptr if the entry fails to parse.
+  ir::Op *spliceFunction(ModuleOp module, ir::Op *oldFunc,
+                         const std::string &text);
+  /// Replaces the whole module body from a cached module entry,
+  /// re-keying the hash chain (via the entry's funcHashes when present).
+  bool spliceModule(ModuleOp module, const PassResultCache::Entry &entry,
+                    CacheState &st);
 
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<std::unique_ptr<Instrumentation>> instrumentations_;
   unsigned threads_ = 1;
   bool collectStats_ = false;
+  AnalysisManager analysisManager_;
+  PassResultCache *cache_ = nullptr;
 };
 
-/// Renders one "  <secs> s (<pct>%)  <label>" timing row; shared by
-/// PassTimingReport::str and the benchmark aggregators so the two table
-/// formats cannot drift.
+/// Renders one "  <secs> s (<pct>%)  <+MB>  <label>" timing row (the MB
+/// column is the peak-RSS growth); shared by PassTimingReport::str and
+/// the benchmark aggregators so the two table formats cannot drift.
 std::string formatTimingRow(double seconds, double total,
+                            uint64_t rssDeltaBytes,
                             const std::string &label);
 
 } // namespace paralift::transforms

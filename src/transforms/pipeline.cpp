@@ -8,14 +8,29 @@
 
 namespace paralift::transforms {
 
+namespace {
+
+/// The canonicalize/cse cleanup pair, expressed declaratively as
+/// repeat{n=2}(canonicalize,cse): one round folds and deduplicates, the
+/// second mops up what the first exposed (a cheap fixpoint surrogate —
+/// both passes are internally idempotent, so round two is usually a
+/// no-op that preserves all analyses).
+std::unique_ptr<Pass> createCleanupPair() {
+  auto pair = std::make_unique<RepeatPass>();
+  pair->addChild(createCanonicalizePass());
+  pair->addChild(createCSEPass());
+  return pair;
+}
+
+} // namespace
+
 void buildPipeline(PassManager &pm, const PipelineOptions &opts) {
   // Device-function inlining is required for barrier lowering and the
   // SIMT executor, so it runs even in MCUDA mode.
   pm.addPass(createInlinerPass(/*onlyInKernels=*/!opts.coreOpts));
 
   if (opts.coreOpts) {
-    pm.addPass(createCanonicalizePass());
-    pm.addPass(createCSEPass());
+    pm.addPass(createCleanupPair());
     pm.addPass(createMem2RegPass());
     // CSE again: promotion turns per-use load+cast chains into identical
     // pure chains, which store-forwarding matches syntactically.
@@ -58,10 +73,8 @@ void buildPipeline(PassManager &pm, const PipelineOptions &opts) {
   ompOpts.outerOnly = opts.mcudaMode;
   pm.addPass(createOmpLowerPass(ompOpts));
 
-  if (opts.coreOpts) {
-    pm.addPass(createCanonicalizePass());
-    pm.addPass(createCSEPass());
-  }
+  if (opts.coreOpts)
+    pm.addPass(createCleanupPair());
 }
 
 bool runPipeline(ModuleOp module, const PipelineOptions &opts,
@@ -69,11 +82,14 @@ bool runPipeline(ModuleOp module, const PipelineOptions &opts,
   PassManager pm;
   buildPipeline(pm, opts);
   // Timing last = innermost: verification cost stays out of the window.
+  if (config.verifyAnalyses)
+    pm.enableAnalysisVerify();
   if (config.verifyEach)
     pm.enableVerifyEach();
   if (config.timing)
     pm.enableTiming(config.timing);
   pm.setThreadCount(config.threads);
+  pm.setResultCache(config.cache);
   if (!pm.run(module, diag))
     return false;
   // With verify-each on, every intermediate module (including the final

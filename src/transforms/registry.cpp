@@ -63,6 +63,10 @@ std::vector<PassInfo> buildRegistry() {
                       o.outerOnly = true;
                       return createOmpLowerPass(o);
                     }});
+  passes.push_back({"repeat",
+                    "repeat{n=K}(p1,p2,...): run the nested function "
+                    "passes K times (options: n)",
+                    [] { return std::unique_ptr<Pass>(new RepeatPass()); }});
   return passes;
 }
 
@@ -90,14 +94,17 @@ const PassInfo *lookupPass(const std::string &name) {
   return nullptr;
 }
 
-std::optional<std::vector<PassSpec>>
-parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag) {
-  std::vector<PassSpec> out;
-  size_t pos = 0;
+namespace {
+
+/// Parses pass elements into `out` until end of string (`term` == 0) or
+/// the closing `term` character (left unconsumed). Recurses for the
+/// parenthesized child list of composite passes.
+bool parsePassList(const std::string &spec, size_t &pos, char term,
+                   std::vector<PassSpec> &out, DiagnosticEngine &diag) {
   while (true) {
     pos = skipSpaces(spec, pos);
-    if (pos >= spec.size())
-      break;
+    if (pos >= spec.size() || (term && spec[pos] == term))
+      return true;
     if (spec[pos] == ',') { // empty element ("a,,b" or leading comma)
       ++pos;
       continue;
@@ -109,7 +116,7 @@ parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag) {
       diag.error({}, "pipeline spec: unexpected character '" +
                          std::string(1, spec[pos]) + "' at position " +
                          std::to_string(pos));
-      return std::nullopt;
+      return false;
     }
     PassSpec ps;
     ps.name = spec.substr(nameStart, pos - nameStart);
@@ -126,14 +133,14 @@ parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag) {
         if (pos == keyStart) {
           diag.error({}, "pipeline spec: expected option key in '" +
                              ps.name + "{...}'");
-          return std::nullopt;
+          return false;
         }
         std::string key = spec.substr(keyStart, pos - keyStart);
         pos = skipSpaces(spec, pos);
         if (pos >= spec.size() || spec[pos] != '=') {
           diag.error({}, "pipeline spec: expected '=' after option '" + key +
                              "' of pass '" + ps.name + "'");
-          return std::nullopt;
+          return false;
         }
         pos = skipSpaces(spec, pos + 1);
         size_t valStart = pos;
@@ -154,23 +161,91 @@ parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag) {
       if (pos >= spec.size() || spec[pos] != '}') {
         diag.error({}, "pipeline spec: missing '}' closing options of pass '" +
                            ps.name + "'");
-        return std::nullopt;
+        return false;
+      }
+      ++pos;
+      pos = skipSpaces(spec, pos);
+    }
+    if (pos < spec.size() && spec[pos] == '(') {
+      ++pos;
+      if (!parsePassList(spec, pos, ')', ps.nested, diag))
+        return false;
+      if (pos >= spec.size() || spec[pos] != ')') {
+        diag.error({}, "pipeline spec: missing ')' closing the pass list "
+                       "of '" + ps.name + "'");
+        return false;
       }
       ++pos;
     }
     out.push_back(std::move(ps));
     pos = skipSpaces(spec, pos);
-    if (pos >= spec.size())
-      break;
+    if (pos >= spec.size() || (term && spec[pos] == term))
+      return true;
     if (spec[pos] != ',') {
       diag.error({}, "pipeline spec: expected ',' before '" +
                          spec.substr(pos, 1) + "' at position " +
                          std::to_string(pos));
-      return std::nullopt;
+      return false;
     }
     ++pos;
   }
+}
+
+} // namespace
+
+std::optional<std::vector<PassSpec>>
+parsePipelineSpec(const std::string &spec, DiagnosticEngine &diag) {
+  std::vector<PassSpec> out;
+  size_t pos = 0;
+  if (!parsePassList(spec, pos, /*term=*/0, out, diag))
+    return std::nullopt;
   return out;
+}
+
+std::unique_ptr<Pass> instantiatePassSpec(const PassSpec &ps,
+                                          DiagnosticEngine &diag) {
+  std::unique_ptr<Pass> pass;
+  if (ps.name == "repeat") {
+    if (ps.nested.empty()) {
+      diag.error({}, "pipeline spec: repeat requires a parenthesized pass "
+                     "list, e.g. repeat{n=2}(canonicalize,cse)");
+      return nullptr;
+    }
+    auto repeat = std::make_unique<RepeatPass>();
+    for (const PassSpec &childSpec : ps.nested) {
+      std::unique_ptr<Pass> child = instantiatePassSpec(childSpec, diag);
+      if (!child)
+        return nullptr;
+      if (!child->isFunctionPass()) {
+        diag.error({}, "pipeline spec: '" + childSpec.name +
+                           "' is a module pass; repeat supports function "
+                           "passes only");
+        return nullptr;
+      }
+      repeat->addChild(std::move(child));
+    }
+    pass = std::move(repeat);
+  } else {
+    const PassInfo *info = lookupPass(ps.name);
+    if (!info) {
+      diag.error({}, "unknown pass '" + ps.name + "'");
+      return nullptr;
+    }
+    if (!ps.nested.empty()) {
+      diag.error({}, "pipeline spec: pass '" + ps.name +
+                         "' does not take a pass list");
+      return nullptr;
+    }
+    pass = info->create();
+  }
+  for (const auto &[key, value] : ps.options) {
+    std::string err;
+    if (!pass->setOption(key, value, &err)) {
+      diag.error({}, "pipeline spec: " + err);
+      return nullptr;
+    }
+  }
+  return pass;
 }
 
 bool buildPipelineFromSpec(PassManager &pm, const std::string &spec,
@@ -179,19 +254,9 @@ bool buildPipelineFromSpec(PassManager &pm, const std::string &spec,
   if (!parsed)
     return false;
   for (const PassSpec &ps : *parsed) {
-    const PassInfo *info = lookupPass(ps.name);
-    if (!info) {
-      diag.error({}, "unknown pass '" + ps.name + "'");
+    std::unique_ptr<Pass> pass = instantiatePassSpec(ps, diag);
+    if (!pass)
       return false;
-    }
-    std::unique_ptr<Pass> pass = info->create();
-    for (const auto &[key, value] : ps.options) {
-      std::string err;
-      if (!pass->setOption(key, value, &err)) {
-        diag.error({}, "pipeline spec: " + err);
-        return false;
-      }
-    }
     pm.addPass(std::move(pass));
   }
   return true;

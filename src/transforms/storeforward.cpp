@@ -130,7 +130,9 @@ bool deadStoreInBlock(Block &block) {
   return changed;
 }
 
-void storeForwardRoot(Op *root) {
+/// Returns whether anything was forwarded or eliminated.
+bool storeForwardRoot(Op *root) {
+  bool any = false;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -144,7 +146,9 @@ void storeForwardRoot(Op *root) {
       changed |= forwardInBlock(*b);
     for (Block *b : blocks)
       changed |= deadStoreInBlock(*b);
+    any |= changed;
   }
+  return any;
 }
 
 class StoreForwardPass : public FunctionPass {
@@ -155,20 +159,37 @@ public:
         removed_(&statistic("ops-removed")) {}
 
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
+    bool any;
     if (!statisticsEnabled()) {
-      storeForwardRoot(func);
-      return true;
+      any = storeForwardRoot(func);
+    } else {
+      size_t before = countNestedOps(func);
+      any = storeForwardRoot(func);
+      size_t after = countNestedOps(func);
+      if (after < before)
+        *removed_ += before - after;
     }
-    size_t before = countNestedOps(func);
-    storeForwardRoot(func);
-    size_t after = countNestedOps(func);
-    if (after < before)
-      *removed_ += before - after;
+    if (any)
+      changed_.store(true, std::memory_order_relaxed);
     return true;
+  }
+
+  void beginRun() override {
+    changed_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Forwarding rewires load users and deletes loads/stores (including
+  /// thread-private ones that *do* appear in barrier effect sets), so a
+  /// changing run keeps nothing; the frequent no-op runs keep everything.
+  PreservedAnalyses preservedAnalyses() const override {
+    return changed_.load(std::memory_order_relaxed)
+               ? PreservedAnalyses::none()
+               : PreservedAnalyses::all();
   }
 
 private:
   Statistic *removed_;
+  std::atomic<bool> changed_{false};
 };
 
 } // namespace

