@@ -133,30 +133,56 @@ inline SuiteModules parseSuiteModules() {
   return out;
 }
 
+/// SessionOptions preconfigured for suite compiles: no env cache (bench
+/// numbers must not depend on the caller's environment), the given
+/// shared cache and worker-pool size. Every bench session derives from
+/// this so the no-env-cache invariant lives in one place.
+inline driver::SessionOptions
+suiteSessionOptions(unsigned threads = 1,
+                    transforms::PassResultCache *cache = nullptr,
+                    bool collectTiming = false) {
+  driver::SessionOptions so;
+  so.threads = threads;
+  so.cache = cache;
+  so.useEnvCache = false;
+  so.collectTiming = collectTiming;
+  return so;
+}
+
+inline driver::CompilerSession
+makeSuiteSession(unsigned threads = 1,
+                 transforms::PassResultCache *cache = nullptr,
+                 bool collectTiming = false) {
+  return driver::CompilerSession(
+      suiteSessionOptions(threads, cache, collectTiming));
+}
+
 /// Runs the optimization pipeline over clones of the pre-parsed suite
-/// with per-pass timing enabled; `cache` (optional) is the shared
-/// pass-result cache exercised across stages.
+/// through one batch session with per-pass timing enabled; `cache`
+/// (optional) is the shared pass-result cache exercised across stages,
+/// `threads` the session's worker pool.
 inline PassTimeAggregator
 timeSuiteCompiles(const transforms::PipelineOptions &opts,
                   const SuiteModules &suite,
-                  transforms::PassResultCache *cache = nullptr) {
-  PassTimeAggregator agg;
+                  transforms::PassResultCache *cache = nullptr,
+                  unsigned threads = 1) {
+  driver::CompilerSession session =
+      makeSuiteSession(threads, cache, /*collectTiming=*/true);
   size_t idx = 0;
   for (const auto &b : rodinia::suite()) {
     size_t i = idx++;
     if (!suite.isValid(i))
       continue;
-    DiagnosticEngine diag;
-    transforms::PassRunConfig config;
-    transforms::PassTimingReport report;
-    config.timing = &report;
-    config.cache = cache;
-    ir::OwnedModule m = ir::cloneModule(suite.modules[i].get());
-    if (!transforms::runPipeline(m.get(), opts, diag, config))
-      std::fprintf(stderr, "compile failed for %s:\n%s\n", b.id.c_str(),
-                   diag.str().c_str());
-    agg.add(report);
+    session.addModule(b.id, ir::cloneModule(suite.modules[i].get()), opts);
   }
+  session.compileAll();
+  for (size_t i = 0; i < session.jobCount(); ++i)
+    if (!session.job(i).ok())
+      std::fprintf(stderr, "compile failed for %s:\n%s\n",
+                   session.job(i).name().c_str(),
+                   session.job(i).diagnostics().str().c_str());
+  PassTimeAggregator agg;
+  agg.add(session.timingReport());
   return agg;
 }
 
@@ -165,6 +191,33 @@ inline PassTimeAggregator
 timeSuiteCompiles(const transforms::PipelineOptions &opts) {
   SuiteModules suite = parseSuiteModules();
   return timeSuiteCompiles(opts, suite);
+}
+
+/// Compiles every suite benchmark's CUDA source through one batch
+/// session. jobs[] is parallel to rodinia::suite(); entries are null for
+/// benchmarks whose compile failed (already reported to stderr).
+struct SuiteSession {
+  std::unique_ptr<driver::CompilerSession> session;
+  std::vector<driver::CompileJob *> jobs;
+};
+
+inline SuiteSession
+compileSuiteSession(const transforms::PipelineOptions &opts,
+                    unsigned threads = 1,
+                    transforms::PassResultCache *cache = nullptr) {
+  SuiteSession out;
+  out.session = std::make_unique<driver::CompilerSession>(
+      suiteSessionOptions(threads, cache));
+  for (const auto &b : rodinia::suite())
+    out.jobs.push_back(&out.session->addSource(b.id, b.cudaSource, opts));
+  out.session->compileAll();
+  for (auto *&job : out.jobs)
+    if (!job->ok()) {
+      std::fprintf(stderr, "compile failed for %s:\n%s\n",
+                   job->name().c_str(), job->diagnostics().str().c_str());
+      job = nullptr;
+    }
+  return out;
 }
 
 inline double geomean(const std::vector<double> &xs) {
@@ -176,28 +229,37 @@ inline double geomean(const std::vector<double> &xs) {
   return std::exp(logSum / xs.size());
 }
 
+/// Median workload time of an already-compiled benchmark module.
+inline double timeCompiled(const rodinia::Benchmark &b, ir::ModuleOp module,
+                           bool innerSerialize, int scale, unsigned threads,
+                           int reps = 3) {
+  driver::Executor exec(module, std::max(threads, 8u),
+                        /*boundsCheck=*/false);
+  exec.setNumThreads(threads);
+  exec.setNestedPolicy(innerSerialize ? runtime::NestedPolicy::Serialize
+                                      : runtime::NestedPolicy::Spawn);
+  return medianKernelTime(
+      [&] { return b.makeWorkload(scale); },
+      [&](rodinia::Workload &w) { exec.run("run", w.args()); }, reps);
+}
+
 /// As timeCuda below, but starting from a pre-parsed module (cloned, so
-/// the original stays reusable across stages).
+/// the original stays reusable across stages), compiled through a
+/// single-job session.
 inline double timeCudaModule(const rodinia::Benchmark &b,
                              ir::ModuleOp parsed,
                              const transforms::PipelineOptions &opts,
                              int scale, unsigned threads, int reps = 3) {
-  DiagnosticEngine diag;
-  ir::OwnedModule m = ir::cloneModule(parsed);
-  if (!transforms::runPipeline(m.get(), opts, diag)) {
+  driver::CompilerSession session = makeSuiteSession();
+  driver::CompileJob &job =
+      session.addModule(b.id, ir::cloneModule(parsed), opts);
+  if (!session.compileAll()) {
     std::fprintf(stderr, "compile failed for %s:\n%s\n", b.id.c_str(),
-                 diag.str().c_str());
+                 job.diagnostics().str().c_str());
     return -1;
   }
-  driver::Executor exec(m.get(), std::max(threads, 8u),
-                        /*boundsCheck=*/false);
-  exec.setNumThreads(threads);
-  exec.setNestedPolicy(opts.innerSerialize
-                           ? runtime::NestedPolicy::Serialize
-                           : runtime::NestedPolicy::Spawn);
-  return medianKernelTime(
-      [&] { return b.makeWorkload(scale); },
-      [&](rodinia::Workload &w) { exec.run("run", w.args()); }, reps);
+  return timeCompiled(b, job.result().module.get(), opts.innerSerialize,
+                      scale, threads, reps);
 }
 
 /// Compiles a Rodinia benchmark's CUDA source with the given options and
@@ -212,15 +274,8 @@ inline double timeCuda(const rodinia::Benchmark &b,
                  diag.str().c_str());
     return -1;
   }
-  driver::Executor exec(cc.module.get(), std::max(threads, 8u),
-                        /*boundsCheck=*/false);
-  exec.setNumThreads(threads);
-  exec.setNestedPolicy(opts.innerSerialize
-                           ? runtime::NestedPolicy::Serialize
-                           : runtime::NestedPolicy::Spawn);
-  return medianKernelTime(
-      [&] { return b.makeWorkload(scale); },
-      [&](rodinia::Workload &w) { exec.run("run", w.args()); }, reps);
+  return timeCompiled(b, cc.module.get(), opts.innerSerialize, scale,
+                      threads, reps);
 }
 
 inline double timeOpenmp(const rodinia::Benchmark &b, int scale,

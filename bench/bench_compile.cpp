@@ -40,8 +40,8 @@ void printPassBreakdown() {
               "over suite) ===\n\n");
   timeSuiteCompiles(transforms::PipelineOptions{}).print();
 
-  std::printf("\n=== Compile throughput vs --pm-threads (whole suite, "
-              "seconds) ===\n\n");
+  std::printf("\n=== Compile throughput vs --pm-threads, serial per-module "
+              "(whole suite, seconds) ===\n\n");
   for (unsigned threads : {1u, 2u, 4u}) {
     double t = medianTime(
         [&] {
@@ -57,6 +57,49 @@ void printPassBreakdown() {
         },
         3);
     std::printf("  pm-threads=%u  %10.4f s\n", threads, t);
+  }
+}
+
+/// Suite-session mode: the whole Rodinia suite queued on one
+/// CompilerSession, so every module's function passes schedule across
+/// one shared pool (and one pool startup) instead of 1-2 kernels per
+/// compile starving the workers. The speedup over the serial per-module
+/// facade is the batch win the per-module sweep above cannot show.
+void printSuiteSessionMode() {
+  std::printf("\n=== Suite-session batch compile vs serial per-module "
+              "(whole suite, seconds) ===\n");
+  std::printf("(hardware: %u cores; batch scheduling needs >1 to win — "
+              "see EXPERIMENTS.md)\n\n",
+              std::thread::hardware_concurrency());
+  // The serial baseline goes through one-shot sessions rather than
+  // driver::compile so both sides ignore $PARALIFT_CACHE_DIR — the
+  // comparison must measure scheduling, not an env cache warming one
+  // side.
+  double serial = medianTime(
+      [&] {
+        for (const auto &b : rodinia::suite()) {
+          driver::CompilerSession session = makeSuiteSession();
+          auto &job = session.addSource(b.id, b.cudaSource,
+                                        transforms::PipelineOptions{});
+          session.compileAll();
+          benchmark::DoNotOptimize(job.ok());
+        }
+      },
+      3);
+  std::printf("  serial per-module (one-shot sessions)  %10.4f s\n", serial);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    double t = medianTime(
+        [&] {
+          driver::CompilerSession session = makeSuiteSession(threads);
+          for (const auto &b : rodinia::suite())
+            session.addSource(b.id, b.cudaSource,
+                              transforms::PipelineOptions{});
+          benchmark::DoNotOptimize(session.compileAll());
+        },
+        3);
+    std::printf("  session batch pm-threads=%u           %10.4f s  "
+                "(%.2fx vs serial)\n",
+                threads, t, t > 0 ? serial / t : 0.0);
   }
 }
 
@@ -78,5 +121,6 @@ int main(int argc, char **argv) {
   benchmark::RunSpecifiedBenchmarks();
   printTable();
   printPassBreakdown();
+  printSuiteSessionMode();
   return 0;
 }

@@ -58,14 +58,9 @@ std::vector<Variant> variants() {
   };
 }
 
-double timeMatmul(const Variant &v, int n, unsigned threads) {
-  DiagnosticEngine diag;
-  auto cc = driver::compile(kMatmulSrc, v.opts, diag);
-  if (!cc.ok) {
-    std::fprintf(stderr, "%s failed: %s\n", v.name, diag.str().c_str());
-    return -1;
-  }
-  driver::Executor exec(cc.module.get(), 8, /*boundsCheck=*/false);
+double timeMatmul(ir::ModuleOp module, const Variant &v, int n,
+                  unsigned threads) {
+  driver::Executor exec(module, 8, /*boundsCheck=*/false);
   exec.setNumThreads(threads);
   exec.setNestedPolicy(v.nested);
   std::vector<float> A(static_cast<size_t>(n) * n, 1.0f),
@@ -78,7 +73,30 @@ double timeMatmul(const Variant &v, int n, unsigned threads) {
   });
 }
 
+/// All three pipeline variants compiled as one session batch (three
+/// jobs, three pipeline groups) instead of recompiling per table cell.
+std::vector<driver::CompileJob *>
+compileVariants(driver::CompilerSession &session) {
+  std::vector<driver::CompileJob *> jobs;
+  for (const Variant &v : variants())
+    jobs.push_back(&session.addSource(v.name, kMatmulSrc, v.opts));
+  session.compileAll();
+  for (driver::CompileJob *job : jobs)
+    if (!job->ok())
+      std::fprintf(stderr, "%s failed:\n%s\n", job->name().c_str(),
+                   job->diagnostics().str().c_str());
+  return jobs;
+}
+
 void printTables() {
+  driver::CompilerSession session = makeSuiteSession(/*threads=*/2);
+  std::vector<driver::CompileJob *> compiled = compileVariants(session);
+  for (driver::CompileJob *job : compiled)
+    if (!job->ok())
+      return; // failures already reported by compileVariants
+  auto moduleOf = [&](size_t vi) {
+    return compiled[vi]->result().module.get();
+  };
   std::printf("\n=== Fig. 12: matmul, MCUDA vs PolygeistInnerPar vs "
               "PolygeistInnerSer ===\n");
   std::printf("(interpreter-scale runtimes; hardware: %u cores)\n\n",
@@ -91,11 +109,12 @@ void printTables() {
     std::printf("%10u", t);
   std::printf("\n");
   std::vector<std::vector<double>> byVariant;
-  for (const Variant &v : variants()) {
-    std::printf("%-20s", v.name);
+  std::vector<Variant> vs = variants();
+  for (size_t vi = 0; vi < vs.size(); ++vi) {
+    std::printf("%-20s", vs[vi].name);
     std::vector<double> row;
     for (unsigned t : threadCounts) {
-      double s = timeMatmul(v, fixedSize, t);
+      double s = timeMatmul(moduleOf(vi), vs[vi], fixedSize, t);
       row.push_back(s);
       std::printf("%10.4f", s);
     }
@@ -109,10 +128,10 @@ void printTables() {
     std::printf("%10d", n);
   std::printf("\n");
   std::vector<double> serSpeedups, parSpeedups;
-  for (const Variant &v : variants()) {
-    std::printf("%-20s", v.name);
+  for (size_t vi = 0; vi < vs.size(); ++vi) {
+    std::printf("%-20s", vs[vi].name);
     for (int n : sizes)
-      std::printf("%10.4f", timeMatmul(v, n, 2));
+      std::printf("%10.4f", timeMatmul(moduleOf(vi), vs[vi], n, 2));
     std::printf("\n");
   }
   // Summary lines mirroring §VI-A.
@@ -130,8 +149,14 @@ void printTables() {
 
 void BM_MatmulInnerSer(benchmark::State &state) {
   Variant v = variants()[2];
+  DiagnosticEngine diag;
+  auto cc = driver::compile(kMatmulSrc, v.opts, diag);
+  if (!cc.ok) {
+    state.SkipWithError(("compile failed: " + diag.str()).c_str());
+    return;
+  }
   for (auto _ : state)
-    benchmark::DoNotOptimize(timeMatmul(v, 32, 2));
+    benchmark::DoNotOptimize(timeMatmul(cc.module.get(), v, 32, 2));
 }
 BENCHMARK(BM_MatmulInnerSer)->Iterations(1)->Unit(benchmark::kMillisecond);
 

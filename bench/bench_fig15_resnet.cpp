@@ -1,5 +1,9 @@
 // Fig. 15 reproduction: residual-network training throughput (images/s)
 // with the MocCUDA backends vs the native and oneDNN-style baselines.
+// The Polygeist backend's PyTorch kernels are transpiled once per
+// process through a shared CompilerSession (moccuda/resnet.cpp), so the
+// dozens of MiniResNet constructions this sweep performs reuse one
+// compiled module instead of re-running the pipeline per cell.
 // Left: heatmap of MocCUDA+Polygeist / OneDNN relative throughput across
 // batch size x threads. Right: geomean throughput per backend across
 // batch sizes. The paper reports MocCUDA beating Fujitsu-tuned oneDNN by

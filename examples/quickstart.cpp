@@ -4,6 +4,16 @@
 // code motion hoists the O(N) sum out of the kernel, turning O(N^2) total
 // work into O(N) (§IV-C).
 //
+// The embedding API is driver::CompilerSession: queue sources with
+// addSource (each returns a CompileJob future), compile them all —
+// batched across one worker pool, optionally asynchronously — and read
+// per-job results/diagnostics. This example runs one session in SIMT
+// mode (the §III frontend view) and one optimizing session started with
+// compileAllAsync(), preparing the input data while the compiler works.
+// For exactly one module the legacy one-shot wrapper
+// driver::compile(source, opts, diag) does the same thing with less
+// ceremony.
+//
 // Build & run:  ./build/examples/quickstart
 #include "driver/compiler.h"
 #include "ir/printer.h"
@@ -35,34 +45,42 @@ void launch(float* d_out, float* d_in, int n) {
 )";
 
 int main() {
-  DiagnosticEngine diag;
-
-  // 1. Frontend only: the §III representation (grid/block scf.parallel).
-  auto frontendOnly = driver::compileForSimt(kSource, diag);
-  if (!frontendOnly.ok) {
-    std::printf("frontend failed:\n%s\n", diag.str().c_str());
+  // 1. Frontend only: a SIMT-mode session gives the §III representation
+  // (grid/block scf.parallel, device functions inlined).
+  driver::SessionOptions simtOpts;
+  simtOpts.mode = driver::SessionMode::Simt;
+  driver::CompilerSession simt(std::move(simtOpts));
+  auto &frontendJob = simt.addSource("quickstart.cu", kSource);
+  if (!simt.compileAll()) {
+    std::printf("frontend failed:\n%s\n",
+                frontendJob.diagnostics().str().c_str());
     return 1;
   }
   std::printf("==== IR after frontend (kernel inlined at launch; grid/block "
               "parallel nest) ====\n%s\n",
-              ir::printOp(frontendOnly.module.op()).c_str());
+              ir::printOp(frontendJob.result().module.op()).c_str());
 
-  // 2. Full pipeline: optimized + lowered to OpenMP-style constructs.
-  auto optimized = driver::compile(kSource, transforms::PipelineOptions{},
-                                   diag);
-  if (!optimized.ok) {
-    std::printf("pipeline failed:\n%s\n", diag.str().c_str());
+  // 2. Full pipeline, asynchronously: the session compiles in the
+  // background while this thread prepares the input data.
+  driver::CompilerSession session{driver::SessionOptions{}};
+  auto &job = session.addSource("quickstart.cu", kSource,
+                                transforms::PipelineOptions{});
+  session.compileAllAsync();
+
+  int n = 10;
+  std::vector<float> in(n), out(n, 0.0f);
+  std::iota(in.begin(), in.end(), 1.0f); // 1..10, sum = 55
+
+  // 3. Await the future and execute.
+  if (!job.ok()) { // wait()s, then reports
+    std::printf("pipeline failed:\n%s\n", job.diagnostics().str().c_str());
     return 1;
   }
   std::printf("==== IR after full pipeline (note: the sum loop now runs "
               "ONCE, before omp.parallel) ====\n%s\n",
-              ir::printOp(optimized.module.op()).c_str());
+              ir::printOp(job.result().module.op()).c_str());
 
-  // 3. Execute.
-  int n = 10;
-  std::vector<float> in(n), out(n, 0.0f);
-  std::iota(in.begin(), in.end(), 1.0f); // 1..10, sum = 55
-  driver::Executor exec(optimized.module.get(), /*maxThreads=*/2);
+  driver::Executor exec(job.result().module.get(), /*maxThreads=*/2);
   exec.run("launch", {driver::Executor::bufferF32(out.data(), {n}),
                       driver::Executor::bufferF32(in.data(), {n}),
                       int64_t(n)});

@@ -64,23 +64,30 @@ int main() {
   Config configs[] = {{"unroll+fission (affine)", affine},
                       {"loop interchange", interchange}};
 
-  for (const Config &cfg : configs) {
-    DiagnosticEngine diag;
-    auto cc = driver::compile(kSource, cfg.opts, diag);
-    if (!cc.ok) {
-      std::printf("%s failed:\n%s\n", cfg.name, diag.str().c_str());
+  // Both pipeline configurations compile as one session batch.
+  driver::CompilerSession session{driver::SessionOptions{}};
+  std::vector<driver::CompileJob *> jobs;
+  for (const Config &cfg : configs)
+    jobs.push_back(&session.addSource(cfg.name, kSource, cfg.opts));
+  session.compileAll();
+
+  for (size_t c = 0; c < jobs.size(); ++c) {
+    driver::CompileJob &job = *jobs[c];
+    if (!job.ok()) {
+      std::printf("%s failed:\n%s\n", configs[c].name,
+                  job.diagnostics().str().c_str());
       return 1;
     }
     std::vector<float> out(blocks, 0.0f);
-    driver::Executor exec(cc.module.get(), 2);
+    driver::Executor exec(job.result().module.get(), 2);
     exec.run("run", {driver::Executor::bufferF32(out.data(), {blocks}),
                      driver::Executor::bufferF32(in.data(), {n}),
                      int64_t(n)});
     double total = 0;
     for (float v : out)
       total += v;
-    std::printf("%-26s block sums -> total %.4f (expect %.4f)\n", cfg.name,
-                total, expect);
+    std::printf("%-26s block sums -> total %.4f (expect %.4f)\n",
+                configs[c].name, total, expect);
   }
   return 0;
 }

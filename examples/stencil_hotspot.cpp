@@ -30,7 +30,7 @@ int main() {
 
   DiagnosticEngine diag;
 
-  // Ground truth through the SIMT emulator.
+  // Ground truth through the SIMT emulator (one-shot wrapper).
   auto simt = driver::compileForSimt(hotspot->cudaSource, diag);
   Workload wSimt = hotspot->makeWorkload(2);
   {
@@ -38,25 +38,35 @@ int main() {
     exec.run("run", wSimt.args());
   }
 
-  // Transpiled CUDA -> CPU.
-  auto cuda = driver::compile(hotspot->cudaSource,
-                              transforms::PipelineOptions{}, diag);
+  // The transpiled CUDA and the hand-written OpenMP reference compile as
+  // one session batch.
+  driver::CompilerSession session{driver::SessionOptions{}};
+  auto &cudaJob = session.addSource("hotspot.cu", hotspot->cudaSource,
+                                    transforms::PipelineOptions{});
+  auto &ompJob = session.addSource("hotspot-omp.c", hotspot->openmpSource,
+                                   transforms::PipelineOptions{});
+  if (!session.compileAll()) {
+    std::printf("compile failed:\n%s%s",
+                cudaJob.diagnostics().str().c_str(),
+                ompJob.diagnostics().str().c_str());
+    return 1;
+  }
+
   Workload wCuda = hotspot->makeWorkload(2);
   double tCuda;
   {
-    driver::Executor exec(cuda.module.get(), 2, /*boundsCheck=*/false);
+    driver::Executor exec(cudaJob.result().module.get(), 2,
+                          /*boundsCheck=*/false);
     double t0 = now();
     exec.run("run", wCuda.args());
     tCuda = now() - t0;
   }
 
-  // Hand-written OpenMP reference.
-  auto omp = driver::compile(hotspot->openmpSource,
-                             transforms::PipelineOptions{}, diag);
   Workload wOmp = hotspot->makeWorkload(2);
   double tOmp;
   {
-    driver::Executor exec(omp.module.get(), 2, /*boundsCheck=*/false);
+    driver::Executor exec(ompJob.result().module.get(), 2,
+                          /*boundsCheck=*/false);
     double t0 = now();
     exec.run("run", wOmp.args());
     tOmp = now() - t0;

@@ -1,57 +1,31 @@
 #include "driver/compiler.h"
 
-#include "ir/verifier.h"
-#include "transforms/pass_cache.h"
-#include "transforms/passes.h"
-
-#include <cstdio>
-#include <cstdlib>
-
 namespace paralift::driver {
 
-namespace {
-
-/// Process-wide pass-result cache, activated by PARALIFT_CACHE_DIR so
-/// embedders (and the ctest suites in CI) get persistent caching without
-/// code changes. With PARALIFT_CACHE_STATS=1 the stats line is printed to
-/// stderr at exit — CI asserts on it across back-to-back suite runs.
-transforms::PassResultCache *envCache() {
-  static transforms::PassResultCache *cache = [] {
-    const char *dir = std::getenv("PARALIFT_CACHE_DIR");
-    if (!dir || !*dir)
-      return static_cast<transforms::PassResultCache *>(nullptr);
-    static transforms::PassResultCache instance{std::string(dir)};
-    const char *stats = std::getenv("PARALIFT_CACHE_STATS");
-    if (stats && *stats && std::string(stats) != "0")
-      std::atexit([] {
-        std::fprintf(stderr, "%s\n", instance.statsStr().c_str());
-      });
-    return &instance;
-  }();
-  return cache;
-}
-
-} // namespace
+// The legacy free functions are one-shot wrappers over a temporary
+// single-job CompilerSession (driver/session.{h,cpp}); behavior —
+// diagnostics, verification gates, $PARALIFT_CACHE_DIR handling — is the
+// session's single-module path, which matches the pre-session facade
+// exactly.
 
 CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
                       DiagnosticEngine &diag,
                       const transforms::PassRunConfig &config) {
-  CompileResult out;
-  out.module = frontend::compileToIR(source, diag);
-  if (diag.hasErrors())
-    return out;
-  auto errors = ir::verify(out.module.op());
-  if (!errors.empty()) {
-    for (auto &e : errors)
-      diag.error(SourceLoc(), "frontend produced invalid IR: " + e);
-    return out;
-  }
-  transforms::PassRunConfig effective = config;
-  if (!effective.cache)
-    effective.cache = envCache();
-  out.ok = transforms::runPipeline(out.module.get(), opts, diag, effective);
-  return out;
+  SessionOptions so;
+  so.threads = config.threads;
+  so.verifyEach = config.verifyEach;
+  so.verifyAnalyses = config.verifyAnalyses;
+  so.collectTiming = config.timing != nullptr;
+  so.cache = config.cache; // null: session falls back to the env cache
+  CompilerSession session(std::move(so));
+  CompileJob &job = session.addSource("", source, opts);
+  session.compileAll();
+  diag.mergeFrom(job.diagnostics());
+  if (config.timing)
+    for (const auto &r : session.timingReport().records)
+      config.timing->records.push_back(r);
+  return job.take();
 }
 
 CompileResult compile(const std::string &source,
@@ -62,13 +36,13 @@ CompileResult compile(const std::string &source,
 
 CompileResult compileForSimt(const std::string &source,
                              DiagnosticEngine &diag) {
-  CompileResult out;
-  out.module = frontend::compileToIR(source, diag);
-  if (diag.hasErrors())
-    return out;
-  transforms::runInliner(out.module.get(), /*onlyInKernels=*/true);
-  out.ok = ir::verifyOk(out.module.op());
-  return out;
+  SessionOptions so;
+  so.mode = SessionMode::Simt;
+  CompilerSession session(std::move(so));
+  CompileJob &job = session.addSource("", source);
+  session.compileAll();
+  diag.mergeFrom(job.diagnostics());
+  return job.take();
 }
 
 Executor::Executor(ir::ModuleOp module, unsigned maxThreads,

@@ -1,18 +1,38 @@
-// The ParaLift compiler facade: CUDA-subset source -> optimized CPU
-// module -> executable bytecode, exposed as the public embedding API used
-// by the examples, tests, benchmarks, and MocCUDA.
+// The ParaLift embedding API: CUDA-subset source -> optimized CPU module
+// -> executable bytecode.
 //
-// Typical use:
-//   DiagnosticEngine diag;
-//   auto cc = driver::compile(source, PipelineOptions{}, diag);
-//   driver::Executor exec(cc.module.get(), /*maxThreads=*/8);
+// The primary interface is driver::CompilerSession (driver/session.h): a
+// long-lived object owning the shared thread pool, pass-result cache,
+// and run configuration, compiling any number of modules — batched, so
+// every queued module's function passes schedule across one pool, and
+// asynchronously, with CompileJob futures. Suites, benchmarks, and
+// embedders compiling more than one module should hold a session:
+//
+//   driver::SessionOptions so;
+//   so.threads = 4;                 // one pool for the whole suite
+//   driver::CompilerSession session(so);
+//   auto &job = session.addSource("vecnorm.cu", source);
+//   session.compileAll();           // or compileAllAsync() + job.wait()
+//   driver::Executor exec(job.result().module.get(), /*maxThreads=*/8);
 //   exec.run("launch", {Executor::buffer(out), Executor::buffer(in),
 //                       int64_t(n)});
+//
+// The free functions below are the legacy one-shot facade, kept as thin
+// wrappers over a temporary single-job session. They remain the
+// convenient spelling for compiling exactly one module:
+//
+//   DiagnosticEngine diag;
+//   auto cc = driver::compile(source, PipelineOptions{}, diag);
+//
+// Migration from the pre-session facade: compile(src, opts, diag[, cfg])
+// and compileForSimt(src, diag) behave exactly as before (including the
+// $PARALIFT_CACHE_DIR process-wide cache); every former call site that
+// compiled several modules in a loop can instead queue them on one
+// session and share its pool and cache.
 #pragma once
 
-#include "frontend/irgen.h"
+#include "driver/session.h"
 #include "runtime/thread_pool.h"
-#include "transforms/passes.h"
 #include "vm/compile.h"
 #include "vm/interp.h"
 
@@ -21,12 +41,8 @@
 
 namespace paralift::driver {
 
-struct CompileResult {
-  ir::OwnedModule module;
-  bool ok = false;
-};
-
-/// Full pipeline: frontend -> optimization/cpuify/omp-lowering.
+/// One-shot wrapper: full pipeline (frontend -> optimization/cpuify/
+/// omp-lowering) through a temporary session.
 CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
                       DiagnosticEngine &diag);
@@ -38,17 +54,18 @@ CompileResult compile(const std::string &source,
 /// pass-result cache (config.cache).
 ///
 /// When config.cache is null and PARALIFT_CACHE_DIR is set in the
-/// environment, a process-wide persistent cache rooted there is used;
-/// with PARALIFT_CACHE_STATS=1 its stats line is printed to stderr at
+/// environment, a process-wide persistent cache rooted there is used
+/// (bounded by PARALIFT_CACHE_LIMIT MB when set); with
+/// PARALIFT_CACHE_STATS=1 its stats line is printed to stderr at
 /// process exit.
 CompileResult compile(const std::string &source,
                       const transforms::PipelineOptions &opts,
                       DiagnosticEngine &diag,
                       const transforms::PassRunConfig &config);
 
-/// Reference pipeline: frontend + device-function inlining only. Barriers
-/// are preserved; kernels execute on the lockstep SIMT emulator giving
-/// ground-truth CUDA semantics.
+/// One-shot wrapper for SessionMode::Simt: frontend + device-function
+/// inlining only. Barriers are preserved; kernels execute on the
+/// lockstep SIMT emulator giving ground-truth CUDA semantics.
 CompileResult compileForSimt(const std::string &source,
                              DiagnosticEngine &diag);
 

@@ -1,29 +1,35 @@
 // paralift-opt: the mlir-opt analogue for ParaLift IR. Reads textual IR
-// (or a CUDA-subset file with --cuda), runs a pass pipeline through the
-// PassManager, and prints the resulting IR.
+// files (or CUDA-subset files with --cuda), runs a pass pipeline through
+// one CompilerSession, and prints the resulting IR of every module.
 //
 // Usage:
-//   paralift-opt [file] [--cuda] [--passes=PIPELINE] [--list-passes]
+//   paralift-opt [file...] [--cuda] [--passes=PIPELINE] [--list-passes]
 //                [--timing] [--stats] [--verify-each] [--verify-analyses]
-//                [--pm-threads=N] [--cache-dir=DIR] [--no-pass-cache]
-//                [--cache-stats]
+//                [--pm-threads=N] [--cache-dir=DIR] [--cache-limit=MB]
+//                [--no-pass-cache] [--cache-stats]
 //                [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]
 //
 // PIPELINE is a comma-separated list of registered pass names, each with
 // optional {key=value,...} parameters and (for repeat) a parenthesized
 // child list. With no file, reads stdin. With no --passes, just
-// parse/verify/print (round-trip mode). Examples:
+// parse/verify/print (round-trip mode). Multiple positional files compile
+// as one batch session: --pm-threads=N schedules every file's function
+// passes across one worker pool, and all files share one pass-result
+// cache — identical kernels across files replay instead of re-running.
+// Examples:
 //   paralift-opt kernel.ir --passes=canonicalize,cse,barrier-elim
 //   paralift-opt kernel.cu --cuda --passes='cpuify{mincut=false},omp-lower'
-//   paralift-opt kernel.ir --timing --verify-each
-//     --passes='repeat{n=3}(canonicalize,cse),unroll{max-trip=16}'
+//   paralift-opt a.cu b.cu c.cu --cuda --pm-threads=4
+//     --passes='repeat{until=fixpoint}(canonicalize,cse),cpuify,omp-lower'
 //
 // Pass results are cached persistently under --cache-dir (or
 // $PARALIFT_CACHE_DIR when set): re-running an unchanged file through an
 // unchanged pipeline replays cached IR instead of executing passes.
-// --no-pass-cache forces caching off; --cache-stats prints the
-// hit/miss/replay counters to stderr. --verify-analyses cross-checks
-// every pass's PreservedAnalyses declaration by recomputation.
+// --cache-limit=<MB> (or $PARALIFT_CACHE_LIMIT) bounds the on-disk store,
+// sweeping oldest entries at exit. --no-pass-cache forces caching off;
+// --cache-stats prints the hit/miss/replay counters to stderr.
+// --verify-analyses cross-checks every pass's PreservedAnalyses
+// declaration by recomputation.
 #include "driver/compiler.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -37,6 +43,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace paralift;
 
@@ -51,14 +58,17 @@ int listPasses() {
 
 int usage(const char *argv0) {
   std::printf(
-      "usage: %s [file] [--cuda] [--passes=PIPELINE] [--list-passes]\n"
+      "usage: %s [file...] [--cuda] [--passes=PIPELINE] [--list-passes]\n"
       "       [--timing] [--stats] [--verify-each] [--verify-analyses]\n"
-      "       [--pm-threads=N] [--cache-dir=DIR] [--no-pass-cache]\n"
-      "       [--cache-stats]\n"
+      "       [--pm-threads=N] [--cache-dir=DIR] [--cache-limit=MB]\n"
+      "       [--no-pass-cache] [--cache-stats]\n"
       "       [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]\n"
       "\n"
       "PIPELINE example: 'inline,repeat{n=2}(canonicalize,cse),\n"
-      "                   unroll{max-trip=16},cpuify{mincut=false}'\n",
+      "                   unroll{max-trip=16},cpuify{mincut=false}'\n"
+      "\n"
+      "Multiple files compile as one batch session sharing the\n"
+      "--pm-threads worker pool and the pass-result cache.\n",
       argv0);
   return 0;
 }
@@ -78,10 +88,21 @@ std::string readInput(const std::string &path) {
   return buf.str();
 }
 
+/// Parses a strictly positive integer; -1 on junk.
+long long parsePositive(const std::string &value) {
+  try {
+    size_t consumed = 0;
+    long long n = std::stoll(value, &consumed);
+    return consumed == value.size() ? n : -1;
+  } catch (const std::exception &) {
+    return -1;
+  }
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string path;
+  std::vector<std::string> paths;
   std::string passes;
   bool cuda = false;
   bool timing = false;
@@ -91,6 +112,7 @@ int main(int argc, char **argv) {
   bool noPassCache = false;
   bool cacheStats = false;
   std::string cacheDir;
+  long long cacheLimitMB = 0;
   bool printBefore = false, printAfter = false;
   std::string printBeforeFilter, printAfterFilter;
   unsigned pmThreads = 1;
@@ -120,6 +142,15 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "error: --cache-dir requires a path\n");
         return 2;
       }
+    } else if (arg.rfind("--cache-limit=", 0) == 0) {
+      cacheLimitMB = parsePositive(arg.substr(14));
+      if (cacheLimitMB < 1) {
+        std::fprintf(stderr,
+                     "error: invalid --cache-limit value '%s' (expected a "
+                     "positive MB count)\n",
+                     arg.substr(14).c_str());
+        return 2;
+      }
     } else if (arg == "--print-ir-before") {
       printBefore = true;
     } else if (arg.rfind("--print-ir-before=", 0) == 0) {
@@ -131,21 +162,13 @@ int main(int argc, char **argv) {
       printAfter = true;
       printAfterFilter = arg.substr(17);
     } else if (arg.rfind("--pm-threads=", 0) == 0) {
-      // stoul accepts negatives and trailing junk; validate strictly.
-      std::string value = arg.substr(13);
-      long long n = -1;
-      try {
-        size_t consumed = 0;
-        n = std::stoll(value, &consumed);
-        if (consumed != value.size())
-          n = -1;
-      } catch (const std::exception &) {
-      }
+      // stoll accepts negatives and trailing junk; validate strictly.
+      long long n = parsePositive(arg.substr(13));
       if (n < 1 || n > 1024) {
         std::fprintf(stderr,
                      "error: invalid --pm-threads value '%s' (expected "
                      "1..1024)\n",
-                     value.c_str());
+                     arg.substr(13).c_str());
         return 2;
       }
       pmThreads = static_cast<unsigned>(n);
@@ -154,97 +177,126 @@ int main(int argc, char **argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return 2;
-    } else if (!path.empty()) {
-      std::fprintf(stderr,
-                   "error: multiple input files ('%s' and '%s'); "
-                   "paralift-opt takes at most one\n",
-                   path.c_str(), arg.c_str());
-      return 2;
     } else {
-      path = arg;
+      paths.push_back(arg);
     }
   }
 
-  std::string input = readInput(path);
-  DiagnosticEngine diag;
-
-  ir::OwnedModule module;
-  if (cuda) {
-    // Frontend only; passes are then applied explicitly.
-    driver::CompileResult cc = driver::compileForSimt(input, diag);
-    if (!cc.ok) {
-      std::fprintf(stderr, "%s", diag.str().c_str());
+  // Validate the pipeline spec up front so a typo is one clean error, not
+  // one per input file.
+  {
+    DiagnosticEngine specDiag;
+    transforms::PassManager specCheck;
+    if (!transforms::buildPipelineFromSpec(specCheck, passes, specDiag)) {
+      std::fprintf(stderr, "%s", specDiag.str().c_str());
       return 1;
     }
-    module = std::move(cc.module);
-  } else {
-    auto parsed = ir::parseModule(input, diag);
-    if (!parsed) {
-      std::fprintf(stderr, "%s", diag.str().c_str());
-      return 1;
-    }
-    module = std::move(*parsed);
   }
 
-  transforms::PassManager pm;
-  if (!transforms::buildPipelineFromSpec(pm, passes, diag)) {
-    std::fprintf(stderr, "%s", diag.str().c_str());
-    return 1;
-  }
-  // Separate instrumentations: the before/after filters are independent.
-  // Timing goes last (innermost) so IR printing and verification stay
-  // out of the per-pass measurement window.
-  if (printBefore)
-    pm.enableIRPrinting(/*before=*/true, /*after=*/false, printBeforeFilter);
-  if (printAfter)
-    pm.enableIRPrinting(/*before=*/false, /*after=*/true, printAfterFilter);
-  if (verifyAnalyses)
-    pm.enableAnalysisVerify();
-  if (verifyEach)
-    pm.enableVerifyEach();
-  transforms::PassTimingReport timingReport;
-  if (timing)
-    pm.enableTiming(&timingReport);
-  if (stats)
-    pm.enableStatistics();
-  pm.setThreadCount(pmThreads);
-
+  driver::SessionOptions so;
+  so.threads = pmThreads;
+  so.verifyEach = verifyEach;
+  so.verifyAnalyses = verifyAnalyses;
+  so.collectTiming = timing;
+  so.collectStatistics = stats;
+  // --cuda inputs run the frontend, then device-function inlining (the
+  // compileForSimt lowering), then the explicit pipeline.
+  so.pipelineSpec = cuda ? (passes.empty() ? std::string("inline-kernels")
+                                           : "inline-kernels," + passes)
+                         : passes;
   // --cache-dir (or $PARALIFT_CACHE_DIR) enables the persistent
-  // pass-result cache; --no-pass-cache wins over both.
-  if (cacheDir.empty())
-    if (const char *env = std::getenv("PARALIFT_CACHE_DIR"))
-      cacheDir = env;
-  std::unique_ptr<transforms::PassResultCache> cache;
-  if (!cacheDir.empty() && !noPassCache) {
-    cache = std::make_unique<transforms::PassResultCache>(cacheDir);
-    pm.setResultCache(cache.get());
+  // pass-result cache; --no-pass-cache wins over both. The env dir is
+  // resolved here — not via the session's process-wide fallback — so
+  // --cache-limit applies to it too.
+  if (noPassCache) {
+    so.useEnvCache = false;
+    if (cacheLimitMB)
+      std::fprintf(stderr, "warning: --cache-limit has no effect with "
+                           "--no-pass-cache\n");
+  } else {
+    if (cacheDir.empty())
+      if (const char *env = std::getenv("PARALIFT_CACHE_DIR"))
+        cacheDir = env;
+    so.cacheDir = cacheDir;
+    so.cacheLimitMB = static_cast<uint64_t>(cacheLimitMB);
+    if (cacheLimitMB && cacheDir.empty())
+      std::fprintf(stderr,
+                   "warning: --cache-limit has no effect without "
+                   "--cache-dir (or $PARALIFT_CACHE_DIR)\n");
+  }
+  // IR printing hooks per-pass executions, which only exists on the
+  // per-module path; the session falls back to it automatically.
+  if (printBefore || printAfter)
+    so.configurePassManager = [&](transforms::PassManager &pm) {
+      // Separate instrumentations: the before/after filters are
+      // independent. Installed first = outermost, so timing (installed
+      // last by the session) excludes printing cost.
+      if (printBefore)
+        pm.enableIRPrinting(/*before=*/true, /*after=*/false,
+                            printBeforeFilter);
+      if (printAfter)
+        pm.enableIRPrinting(/*before=*/false, /*after=*/true,
+                            printAfterFilter);
+    };
+
+  driver::CompilerSession session(std::move(so));
+
+  // Queue every input. With no file, stdin is the single input.
+  if (paths.empty())
+    paths.push_back("");
+  std::vector<driver::CompileJob *> jobs;
+  for (const std::string &path : paths) {
+    std::string input = readInput(path);
+    // Single-file output keeps the historic unprefixed diagnostic format
+    // (scripts match on it); batches need the per-module attribution.
+    std::string name = paths.size() > 1
+                           ? (path.empty() ? std::string("<stdin>") : path)
+                           : std::string();
+    if (cuda) {
+      jobs.push_back(&session.addSource(name, std::move(input)));
+    } else {
+      DiagnosticEngine parseDiag;
+      parseDiag.setModuleName(name);
+      auto parsed = ir::parseModule(input, parseDiag);
+      if (!parsed) {
+        std::fprintf(stderr, "%s", parseDiag.str().c_str());
+        return 1;
+      }
+      jobs.push_back(&session.addModule(name, std::move(*parsed)));
+    }
   }
 
-  bool ok = pm.run(module.get(), diag);
+  session.compileAll();
+
   if (timing)
-    std::fprintf(stderr, "%s", timingReport.str().c_str());
+    std::fprintf(stderr, "%s", session.timingReport().str().c_str());
   if (stats)
-    std::fprintf(stderr, "%s", pm.statisticsStr().c_str());
+    std::fprintf(stderr, "%s", session.statisticsStr().c_str());
   if (cacheStats) {
-    if (cache)
-      std::fprintf(stderr, "%s\n", cache->statsStr().c_str());
+    if (session.cache())
+      std::fprintf(stderr, "%s\n", session.cache()->statsStr().c_str());
     else
       std::fprintf(stderr, "pass-cache: disabled\n");
   }
-  // Never print invalid IR. An empty pipeline never fires the
-  // verify-each instrumentation, so it still needs the final check.
-  if (ok && (!verifyEach || pm.passes().empty())) {
-    for (const std::string &msg : ir::verify(module.op())) {
-      diag.error({}, "final module is invalid: " + msg);
-      ok = false;
-    }
-  }
-  if (!ok) {
-    std::fprintf(stderr, "%s", diag.str().c_str());
-    return 1;
-  }
 
-  std::fputs(ir::printOp(module.op()).c_str(), stdout);
-  std::fputc('\n', stdout);
-  return 0;
+  int rc = 0;
+  for (driver::CompileJob *job : jobs) {
+    // Never print invalid IR: the session verified the final module
+    // (via --verify-each or the end-of-pipeline check, including for
+    // zero-pass round-trip runs), so a failed job only reports.
+    if (!job->ok()) {
+      std::fprintf(stderr, "%s", job->diagnostics().str().c_str());
+      rc = 1;
+      continue;
+    }
+    // Successful jobs may still carry warnings (e.g. a fixpoint repeat
+    // hitting its round cap); surface them instead of dropping them.
+    if (!job->diagnostics().diagnostics().empty())
+      std::fprintf(stderr, "%s", job->diagnostics().str().c_str());
+    if (jobs.size() > 1)
+      std::printf("// ===== module %s =====\n", job->name().c_str());
+    std::fputs(ir::printOp(job->result().module.op()).c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  return rc;
 }

@@ -1,0 +1,404 @@
+#include "driver/session.h"
+
+#include "ir/verifier.h"
+#include "runtime/thread_pool.h"
+#include "transforms/pass_cache.h"
+#include "transforms/registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace paralift::driver {
+
+//===----------------------------------------------------------------------===//
+// Environment-driven process-wide cache
+//===----------------------------------------------------------------------===//
+
+uint64_t envCacheLimitMB() {
+  const char *v = std::getenv("PARALIFT_CACHE_LIMIT");
+  if (!v || !*v)
+    return 0;
+  char *end = nullptr;
+  unsigned long long mb = std::strtoull(v, &end, 10);
+  if (end == v || *end)
+    return 0;
+  return mb;
+}
+
+transforms::PassResultCache *envPassResultCache() {
+  static transforms::PassResultCache *cache = [] {
+    const char *dir = std::getenv("PARALIFT_CACHE_DIR");
+    if (!dir || !*dir)
+      return static_cast<transforms::PassResultCache *>(nullptr);
+    // Function-local static: destroyed at process exit, which runs the
+    // disk-limit sweep after the (earlier-registered) stats atexit hook.
+    static transforms::PassResultCache instance{std::string(dir)};
+    if (uint64_t mb = envCacheLimitMB())
+      instance.setDiskLimitBytes(mb << 20);
+    const char *stats = std::getenv("PARALIFT_CACHE_STATS");
+    if (stats && *stats && std::string(stats) != "0")
+      std::atexit([] {
+        std::fprintf(stderr, "%s\n", instance.statsStr().c_str());
+      });
+    return &instance;
+  }();
+  return cache;
+}
+
+//===----------------------------------------------------------------------===//
+// CompileJob
+//===----------------------------------------------------------------------===//
+
+bool CompileJob::ready() const {
+  std::lock_guard<std::mutex> lock(session_->mutex_);
+  return state_ == State::Done;
+}
+
+void CompileJob::wait() const {
+  std::unique_lock<std::mutex> lock(session_->mutex_);
+  session_->cv_.wait(lock, [this] { return state_ == State::Done; });
+}
+
+CompileResult &CompileJob::result() {
+  wait();
+  return result_;
+}
+
+CompileResult CompileJob::take() {
+  wait();
+  return std::move(result_);
+}
+
+const DiagnosticEngine &CompileJob::diagnostics() {
+  wait();
+  return diag_;
+}
+
+bool CompileJob::ok() {
+  wait();
+  return result_.ok;
+}
+
+//===----------------------------------------------------------------------===//
+// CompilerSession
+//===----------------------------------------------------------------------===//
+
+CompilerSession::CompilerSession(SessionOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.threads > 1)
+    pool_ = std::make_unique<runtime::ThreadPool>(opts_.threads);
+  if (opts_.cache) {
+    cache_ = opts_.cache;
+  } else if (!opts_.cacheDir.empty()) {
+    ownedCache_ =
+        std::make_unique<transforms::PassResultCache>(opts_.cacheDir);
+    uint64_t mb = opts_.cacheLimitMB ? opts_.cacheLimitMB : envCacheLimitMB();
+    if (mb)
+      ownedCache_->setDiskLimitBytes(mb << 20);
+    cache_ = ownedCache_.get();
+  } else if (opts_.memoryCache) {
+    ownedCache_ = std::make_unique<transforms::PassResultCache>();
+    cache_ = ownedCache_.get();
+  } else if (opts_.useEnvCache) {
+    cache_ = envPassResultCache();
+  }
+}
+
+CompilerSession::~CompilerSession() {
+  if (asyncThread_.joinable())
+    asyncThread_.join();
+  // ownedCache_'s destructor sweeps the disk bound (cacheLimitMB).
+}
+
+CompileJob &CompilerSession::addSource(std::string name, std::string source,
+                                       transforms::PipelineOptions pipeline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.push_back(std::make_unique<CompileJob>());
+  CompileJob &job = *jobs_.back();
+  job.session_ = this;
+  job.name_ = std::move(name);
+  job.source_ = std::move(source);
+  job.pipelineOpts_ = pipeline;
+  job.diag_.setModuleName(job.name_);
+  return job;
+}
+
+CompileJob &CompilerSession::addModule(std::string name,
+                                       ir::OwnedModule module,
+                                       transforms::PipelineOptions pipeline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jobs_.push_back(std::make_unique<CompileJob>());
+  CompileJob &job = *jobs_.back();
+  job.session_ = this;
+  job.name_ = std::move(name);
+  job.preparsed_ = true;
+  job.frontendOk_ = true;
+  job.result_.module = std::move(module);
+  job.pipelineOpts_ = pipeline;
+  job.diag_.setModuleName(job.name_);
+  return job;
+}
+
+std::vector<CompileJob *> CompilerSession::takeQueued() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CompileJob *> out;
+  for (auto &job : jobs_)
+    if (job->state_ == CompileJob::State::Queued) {
+      job->state_ = CompileJob::State::Compiling;
+      out.push_back(job.get());
+    }
+  return out;
+}
+
+void CompilerSession::markDone(CompileJob &job, bool ok) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.result_.ok = ok;
+    job.state_ = CompileJob::State::Done;
+  }
+  cv_.notify_all();
+}
+
+void CompilerSession::runFrontend(const std::vector<CompileJob *> &jobs) {
+  std::vector<CompileJob *> toParse;
+  for (CompileJob *job : jobs)
+    if (!job->preparsed_)
+      toParse.push_back(job);
+  auto parseOne = [this](CompileJob &job) {
+    job.result_.module = frontend::compileToIR(job.source_, job.diag_);
+    if (job.diag_.hasErrors())
+      return;
+    if (opts_.mode == SessionMode::Optimize) {
+      // Same gate the facade always applied: diagnostics clean AND the
+      // produced IR structurally valid.
+      auto errors = ir::verify(job.result_.module.op());
+      if (!errors.empty()) {
+        for (const std::string &e : errors)
+          job.diag_.error(SourceLoc(),
+                          "frontend produced invalid IR: " + e);
+        return;
+      }
+    }
+    job.frontendOk_ = true;
+  };
+  // Each job owns its module and engine, so parsing fans out trivially.
+  if (pool_ && toParse.size() >= 2) {
+    std::atomic<size_t> next{0};
+    pool_->parallel([&](unsigned, runtime::Team &) {
+      for (size_t k = next.fetch_add(1); k < toParse.size();
+           k = next.fetch_add(1))
+        parseOne(*toParse[k]);
+    });
+  } else {
+    for (CompileJob *job : toParse)
+      parseOne(*job);
+  }
+}
+
+void CompilerSession::compileSimt(const std::vector<CompileJob *> &jobs) {
+  auto simtOne = [](CompileJob &job) {
+    if (!job.frontendOk_)
+      return false;
+    transforms::runInliner(job.result_.module.get(), /*onlyInKernels=*/true);
+    return ir::verifyOk(job.result_.module.op());
+  };
+  std::vector<char> oks(jobs.size(), 0);
+  if (pool_ && jobs.size() >= 2) {
+    std::atomic<size_t> next{0};
+    pool_->parallel([&](unsigned, runtime::Team &) {
+      for (size_t k = next.fetch_add(1); k < jobs.size();
+           k = next.fetch_add(1))
+        oks[k] = simtOne(*jobs[k]) ? 1 : 0;
+    });
+  } else {
+    for (size_t k = 0; k < jobs.size(); ++k)
+      oks[k] = simtOne(*jobs[k]) ? 1 : 0;
+  }
+  for (size_t k = 0; k < jobs.size(); ++k)
+    markDone(*jobs[k], oks[k] != 0);
+}
+
+bool CompilerSession::finalVerify(const transforms::PassManager &pm,
+                                  ir::ModuleOp module,
+                                  DiagnosticEngine &diag, bool ok) const {
+  // With verify-each on, every intermediate module (including the final
+  // one) has already been verified — except by a zero-pass pipeline
+  // (round-trip mode), where the instrumentation never fires.
+  if (!ok || (opts_.verifyEach && !pm.passes().empty()))
+    return ok;
+  for (const std::string &e : ir::verify(module.op)) {
+    diag.error(SourceLoc(), "final module is invalid: " + e);
+    ok = false;
+  }
+  return ok;
+}
+
+void CompilerSession::compileGroupPerModule(
+    transforms::PassManager &pm, const std::vector<CompileJob *> &group) {
+  // Instrumentation nesting mirrors the legacy runPipeline: custom hooks
+  // outermost, then analysis verify, verify-each, timing last (innermost)
+  // so verification cost stays out of the measurement window.
+  if (opts_.configurePassManager)
+    opts_.configurePassManager(pm);
+  if (opts_.verifyAnalyses)
+    pm.enableAnalysisVerify();
+  if (opts_.verifyEach)
+    pm.enableVerifyEach();
+  if (opts_.collectTiming)
+    pm.enableTiming(&timing_);
+  for (CompileJob *job : group) {
+    if (!job->frontendOk_) {
+      markDone(*job, false);
+      continue;
+    }
+    bool ok = pm.run(job->result_.module.get(), job->diag_);
+    ok = finalVerify(pm, job->result_.module.get(), job->diag_, ok);
+    markDone(*job, ok);
+  }
+}
+
+void CompilerSession::compileGroupBatch(
+    transforms::PassManager &pm, const std::vector<CompileJob *> &group) {
+  std::vector<ir::ModuleOp> modules;
+  std::vector<DiagnosticEngine *> diags;
+  std::vector<CompileJob *> live;
+  for (CompileJob *job : group) {
+    if (!job->frontendOk_) {
+      markDone(*job, false);
+      continue;
+    }
+    modules.push_back(job->result_.module.get());
+    diags.push_back(&job->diag_);
+    live.push_back(job);
+  }
+  if (live.empty())
+    return;
+  transforms::PassManager::BatchOptions bo;
+  bo.verifyEach = opts_.verifyEach;
+  bo.timing = opts_.collectTiming ? &timing_ : nullptr;
+  std::vector<char> oks = pm.runOnModules(modules, diags, bo);
+  for (size_t i = 0; i < live.size(); ++i) {
+    bool ok = finalVerify(pm, modules[i], *diags[i], oks[i] != 0);
+    markDone(*live[i], ok);
+  }
+}
+
+bool CompilerSession::compileAll() {
+  std::lock_guard<std::mutex> compileLock(compileMutex_);
+  std::vector<CompileJob *> batch = takeQueued();
+  if (!batch.empty()) {
+    runFrontend(batch);
+    if (opts_.mode == SessionMode::Simt) {
+      compileSimt(batch);
+    } else {
+      // Group jobs by pipeline; each group compiles against one
+      // PassManager so the batch scheduler sees the union of kernels.
+      // The key is the built pipeline's canonical spec — not the
+      // PipelineOptions fields — so a future option can never silently
+      // misgroup jobs onto another job's pipeline; the PassManager built
+      // for each group's first job is the one the group then runs.
+      struct Group {
+        std::string key;
+        std::unique_ptr<transforms::PassManager> pm;
+        std::vector<CompileJob *> jobs;
+      };
+      std::vector<Group> groups;
+      if (opts_.pipelineSpec) {
+        auto pm = std::make_unique<transforms::PassManager>();
+        DiagnosticEngine specDiag;
+        if (!transforms::buildPipelineFromSpec(*pm, *opts_.pipelineSpec,
+                                               specDiag)) {
+          for (CompileJob *job : batch) {
+            job->diag_.mergeFrom(specDiag);
+            markDone(*job, false);
+          }
+        } else {
+          groups.push_back({*opts_.pipelineSpec, std::move(pm), batch});
+        }
+      } else {
+        for (CompileJob *job : batch) {
+          auto pm = std::make_unique<transforms::PassManager>();
+          transforms::buildPipeline(*pm, job->pipelineOpts_);
+          std::string key = pm->pipelineSpec();
+          auto it =
+              std::find_if(groups.begin(), groups.end(),
+                           [&](const Group &g) { return g.key == key; });
+          if (it == groups.end()) {
+            groups.push_back({std::move(key), std::move(pm), {}});
+            it = groups.end() - 1;
+          }
+          it->jobs.push_back(job);
+        }
+      }
+      for (Group &group : groups) {
+        transforms::PassManager &pm = *group.pm;
+        pm.setThreadCount(opts_.threads);
+        pm.setThreadPool(pool_.get());
+        pm.setResultCache(cache_);
+        if (opts_.collectStatistics)
+          pm.enableStatistics();
+        // Per-module instrumentation needs force the serial path; it
+        // still shares the session's pool and cache.
+        bool perModule = group.jobs.size() == 1 || opts_.verifyAnalyses ||
+                         opts_.configurePassManager != nullptr;
+        if (perModule)
+          compileGroupPerModule(pm, group.jobs);
+        else
+          compileGroupBatch(pm, group.jobs);
+        // Retained only for statisticsStr(); a long-lived session that
+        // never reads statistics must not accumulate one PassManager
+        // per batch.
+        if (opts_.collectStatistics)
+          pms_.push_back(std::move(group.pm));
+      }
+    }
+  }
+  return ok();
+}
+
+void CompilerSession::compileAllAsync() {
+  if (asyncThread_.joinable())
+    asyncThread_.join();
+  asyncThread_ = std::thread([this] { compileAll(); });
+}
+
+bool CompilerSession::wait() {
+  if (asyncThread_.joinable())
+    asyncThread_.join();
+  return ok();
+}
+
+size_t CompilerSession::jobCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+CompileJob &CompilerSession::job(size_t i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *jobs_.at(i);
+}
+
+bool CompilerSession::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto &job : jobs_)
+    if (job->state_ != CompileJob::State::Done || !job->result_.ok)
+      return false;
+  return true;
+}
+
+const transforms::PassTimingReport &CompilerSession::timingReport() const {
+  std::lock_guard<std::mutex> lock(compileMutex_);
+  return timing_;
+}
+
+std::string CompilerSession::statisticsStr() const {
+  std::lock_guard<std::mutex> lock(compileMutex_);
+  std::string out;
+  for (const auto &pm : pms_)
+    out += pm->statisticsStr();
+  return out;
+}
+
+} // namespace paralift::driver

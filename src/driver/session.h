@@ -1,0 +1,264 @@
+// CompilerSession: the batch, multi-module, asynchronous embedding API of
+// the ParaLift compiler.
+//
+// A session is a long-lived object owning everything that should be
+// shared across compiles instead of rebuilt per call: the runtime
+// ThreadPool that schedules function passes (and whole-batch work), the
+// PassResultCache, and the run configuration (threads, verification,
+// timing, cache bounds). Sources are queued with addSource (each returns
+// a CompileJob handle carrying a per-module DiagnosticEngine stamped with
+// the module's name), then compileAll() compiles every queued module —
+// scheduling *all* modules' function passes across the one pool, so
+// parallel compilation stays busy even when each module holds only one
+// or two kernels (the Rodinia shape). compileAllAsync() runs the same
+// batch on a background thread; CompileJob::wait()/result() are the
+// futures that let callers overlap their own work (workload setup,
+// parsing more sources) with compilation.
+//
+//   driver::CompilerSession session({.threads = 4});
+//   auto &a = session.addSource("a.cu", srcA, PipelineOptions{});
+//   auto &b = session.addSource("b.cu", srcB, PipelineOptions{});
+//   session.compileAll();
+//   driver::Executor exec(a.result().module.get(), 8);
+//
+// One session compiles N modules against one cache concurrently and
+// amortizes worker startup across every compile; the legacy
+// driver::compile free functions survive as one-shot wrappers over a
+// temporary session (driver/compiler.h).
+#pragma once
+
+#include "frontend/irgen.h"
+#include "support/diagnostics.h"
+#include "transforms/passes.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace paralift::runtime {
+class ThreadPool;
+}
+
+namespace paralift::driver {
+
+struct CompileResult {
+  ir::OwnedModule module;
+  bool ok = false;
+};
+
+/// What a session's compiles produce. Optimize runs the full pipeline
+/// (driver::compile); Simt runs frontend + device-function inlining only,
+/// for the lockstep SIMT reference executor (driver::compileForSimt).
+enum class SessionMode { Optimize, Simt };
+
+struct SessionOptions {
+  SessionMode mode = SessionMode::Optimize;
+
+  /// Workers in the session's shared pool; >1 fans function passes
+  /// across the union of every queued module's kernels (and parses
+  /// queued sources in parallel). 1 disables the pool entirely.
+  unsigned threads = 1;
+
+  /// Verify every module after every pass, attributing breakage to the
+  /// pass; a broken module fails alone (job-level isolation).
+  bool verifyEach = false;
+  /// Cross-check every pass's PreservedAnalyses declaration by
+  /// recomputation. Expensive; forces the per-module compile path.
+  bool verifyAnalyses = false;
+  /// Record per-pass wall-clock + peak-RSS into timingReport().
+  bool collectTiming = false;
+  /// Also collect pass statistics needing extra IR walks
+  /// (statisticsStr()).
+  bool collectStatistics = false;
+
+  // Cache resolution, first match wins:
+  //   1. `cache`     — caller-owned, shareable across sessions;
+  //   2. `cacheDir`  — session-owned persistent cache rooted there;
+  //   3. `memoryCache` — session-owned in-memory cache;
+  //   4. $PARALIFT_CACHE_DIR (unless useEnvCache is false) — the
+  //      process-wide cache, shared by every session and one-shot
+  //      wrapper in the process;
+  //   5. none.
+  transforms::PassResultCache *cache = nullptr;
+  std::string cacheDir;
+  bool memoryCache = false;
+  bool useEnvCache = true;
+  /// LRU disk bound (MB) for a session-owned cacheDir cache, swept at
+  /// session shutdown; 0 falls back to $PARALIFT_CACHE_LIMIT, then
+  /// unbounded. (--cache-limit at the CLI.)
+  uint64_t cacheLimitMB = 0;
+
+  /// When set: run this textual pipeline (registry syntax, e.g.
+  /// "inline,repeat(canonicalize,cse),cpuify") instead of the standard
+  /// buildPipeline over each job's PipelineOptions. An *empty* spec is a
+  /// valid zero-pass pipeline (paralift-opt's round-trip mode). Ignored
+  /// in Simt mode.
+  std::optional<std::string> pipelineSpec;
+
+  /// Called on every PassManager the session builds, after standard
+  /// configuration — the hook for bespoke instrumentation (paralift-opt's
+  /// --print-ir-before/after). Setting it forces the per-module compile
+  /// path, since instrumentations observe one module at a time.
+  std::function<void(transforms::PassManager &)> configurePassManager;
+};
+
+class CompilerSession;
+
+/// Handle for one queued module; owned by (and referencing) the session,
+/// valid until the session is destroyed. wait()/result() are futures:
+/// they block until the job has been compiled by compileAll (possibly
+/// running on the session's background thread).
+class CompileJob {
+public:
+  const std::string &name() const { return name_; }
+  const transforms::PipelineOptions &pipelineOptions() const {
+    return pipelineOpts_;
+  }
+
+  /// True once the job has a result (never blocks).
+  bool ready() const;
+  /// Blocks until the job has been compiled. A job that was never passed
+  /// through compileAll() blocks until some later compileAll() covers it.
+  void wait() const;
+
+  /// wait(), then the compiled module. Valid until the session dies or
+  /// take() moves it out.
+  CompileResult &result();
+  /// wait(), then moves the result out of the job.
+  CompileResult take();
+  /// wait(), then this job's diagnostics (each stamped with the module
+  /// name handed to addSource).
+  const DiagnosticEngine &diagnostics();
+  /// wait(), then whether frontend + pipeline + final verification all
+  /// succeeded.
+  bool ok();
+
+private:
+  friend class CompilerSession;
+  enum class State { Queued, Compiling, Done };
+
+  CompilerSession *session_ = nullptr;
+  std::string name_;
+  std::string source_;               ///< empty for addModule jobs
+  bool preparsed_ = false;           ///< addModule: skip the frontend
+  transforms::PipelineOptions pipelineOpts_;
+  DiagnosticEngine diag_;
+  CompileResult result_;
+  bool frontendOk_ = false;
+  State state_ = State::Queued;
+};
+
+class CompilerSession {
+public:
+  explicit CompilerSession(SessionOptions opts = {});
+  /// Joins any background batch, then sweeps the owned cache's disk
+  /// bound (see SessionOptions::cacheLimitMB).
+  ~CompilerSession();
+  CompilerSession(const CompilerSession &) = delete;
+  CompilerSession &operator=(const CompilerSession &) = delete;
+
+  /// Queues a CUDA-subset source for compilation under `name` (the
+  /// attribution stamped onto the job's diagnostics). The returned
+  /// reference stays valid for the session's lifetime.
+  CompileJob &addSource(std::string name, std::string source,
+                        transforms::PipelineOptions pipeline = {});
+  /// Queues an already-parsed module (paralift-opt's textual-IR input,
+  /// benchmark harnesses cloning a pre-parsed suite).
+  CompileJob &addModule(std::string name, ir::OwnedModule module,
+                        transforms::PipelineOptions pipeline = {});
+
+  /// Compiles every job still queued: frontend in parallel across the
+  /// pool, then — for jobs sharing a pipeline — all function passes
+  /// scheduled across the union of their kernels on the same pool (see
+  /// PassManager::runOnModules). Jobs with per-module instrumentation
+  /// needs (verifyAnalyses, configurePassManager) compile one at a time,
+  /// still sharing the pool and cache. Already-compiled jobs are not
+  /// recompiled (a second compileAll is a no-op for them). Returns
+  /// whether every job in the session has compiled successfully.
+  bool compileAll();
+
+  /// Launches compileAll() on a background thread and returns
+  /// immediately; use CompileJob::wait()/result() or wait() to join.
+  void compileAllAsync();
+  /// Joins a pending compileAllAsync (no-op otherwise); returns ok().
+  bool wait();
+
+  size_t jobCount() const;
+  CompileJob &job(size_t i);
+
+  /// Every job compiled and succeeded.
+  bool ok() const;
+
+  /// Per-pass timing accumulated across every compile this session ran
+  /// (SessionOptions::collectTiming). Batch-compiled groups contribute
+  /// one record per pass covering the whole group. Blocks while a batch
+  /// (including a compileAllAsync one) is in flight; the reference is
+  /// stable until the next compileAll starts.
+  const transforms::PassTimingReport &timingReport() const;
+  /// Rendered statistics of every pipeline this session ran
+  /// (SessionOptions::collectStatistics). Blocks while a batch is in
+  /// flight.
+  std::string statisticsStr() const;
+
+  /// The session's pass-result cache (however it was resolved); null
+  /// when caching is off.
+  transforms::PassResultCache *cache() const { return cache_; }
+  /// The shared worker pool; null when threads == 1.
+  runtime::ThreadPool *pool() const { return pool_.get(); }
+  const SessionOptions &options() const { return opts_; }
+
+private:
+  friend class CompileJob;
+
+  /// Jobs to compile in this batch (flips them to Compiling).
+  std::vector<CompileJob *> takeQueued();
+  void markDone(CompileJob &job, bool ok);
+  void runFrontend(const std::vector<CompileJob *> &jobs);
+  void compileSimt(const std::vector<CompileJob *> &jobs);
+  /// End-of-pipeline verification gate shared by both compile paths:
+  /// skipped when verify-each already covered the final module (any
+  /// non-empty pipeline); otherwise reports "final module is invalid"
+  /// into `diag`. Returns the updated ok.
+  bool finalVerify(const transforms::PassManager &pm, ir::ModuleOp module,
+                   DiagnosticEngine &diag, bool ok) const;
+  void compileGroupBatch(transforms::PassManager &pm,
+                         const std::vector<CompileJob *> &group);
+  void compileGroupPerModule(transforms::PassManager &pm,
+                             const std::vector<CompileJob *> &group);
+
+  SessionOptions opts_;
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<transforms::PassResultCache> ownedCache_;
+  transforms::PassResultCache *cache_ = nullptr;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::deque<std::unique_ptr<CompileJob>> jobs_;
+
+  /// Serializes compileAll runs, and gates the timing/statistics
+  /// accessors against a batch mutating those structures mid-run.
+  mutable std::mutex compileMutex_;
+  std::thread asyncThread_;
+
+  transforms::PassTimingReport timing_;
+  /// PassManagers kept alive so statistics stay queryable after runs.
+  std::vector<std::unique_ptr<transforms::PassManager>> pms_;
+};
+
+/// The process-wide cache activated by $PARALIFT_CACHE_DIR (bounded by
+/// $PARALIFT_CACHE_LIMIT MB), shared by every session and one-shot
+/// wrapper in the process; null when the variable is unset. With
+/// $PARALIFT_CACHE_STATS=1 its stats line is printed to stderr at
+/// process exit.
+transforms::PassResultCache *envPassResultCache();
+
+/// $PARALIFT_CACHE_LIMIT in MB; 0 when unset or unparseable.
+uint64_t envCacheLimitMB();
+
+} // namespace paralift::driver

@@ -97,14 +97,32 @@ void run_relu(float* x, int n) {
 )";
 } // namespace
 
+namespace {
+
+/// The transpiled kernel module, compiled once per process. The session
+/// stamps diagnostics with the module name, so a transpile failure in a
+/// larger embedder is attributable.
+const driver::CompileResult &sharedKernelModule() {
+  static driver::CompileResult cc = [] {
+    driver::CompilerSession session{driver::SessionOptions{}};
+    driver::CompileJob &job =
+        session.addSource("moccuda-pytorch-kernels", kPytorchKernels,
+                          transforms::PipelineOptions{}); // full optimization
+    session.compileAll();
+    if (!job.ok())
+      fatalError("failed to transpile PyTorch kernels: " +
+                 job.diagnostics().str());
+    return job.take();
+  }();
+  return cc;
+}
+
+} // namespace
+
 PolygeistKernels::PolygeistKernels(unsigned maxThreads) {
-  DiagnosticEngine diag;
-  transforms::PipelineOptions opts; // full optimization
-  cc_ = driver::compile(kPytorchKernels, opts, diag);
-  if (!cc_.ok)
-    fatalError("failed to transpile PyTorch kernels: " + diag.str());
-  exec_ = std::make_unique<driver::Executor>(cc_.module.get(), maxThreads,
-                                             /*boundsCheck=*/false);
+  exec_ = std::make_unique<driver::Executor>(
+      sharedKernelModule().module.get(), maxThreads,
+      /*boundsCheck=*/false);
 }
 
 void PolygeistKernels::setNumThreads(unsigned n) { exec_->setNumThreads(n); }

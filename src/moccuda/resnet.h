@@ -24,7 +24,10 @@ enum class Backend { Native, OneDnnLike, MocCudaExpert, MocCudaPolygeist };
 
 const char *backendName(Backend b);
 
-/// CUDA kernels transpiled by ParaLift at construction time.
+/// CUDA kernels transpiled by ParaLift. The kernel module is compiled
+/// once per process through a shared CompilerSession (every MiniResNet
+/// instance — the Fig. 15 sweep constructs dozens — reuses the compiled
+/// IR; only the executor is per-instance).
 class PolygeistKernels {
 public:
   explicit PolygeistKernels(unsigned maxThreads);
@@ -38,7 +41,6 @@ public:
   void setNumThreads(unsigned n);
 
 private:
-  driver::CompileResult cc_;
   std::unique_ptr<driver::Executor> exec_;
 };
 

@@ -15,7 +15,8 @@ std::string Diagnostic::str() const {
   const char *sev = severity == Severity::Error     ? "error"
                     : severity == Severity::Warning ? "warning"
                                                     : "note";
-  return loc.str() + ": " + sev + ": " + message;
+  std::string prefix = module.empty() ? "" : module + ":";
+  return prefix + loc.str() + ": " + sev + ": " + message;
 }
 
 std::string DiagnosticEngine::str() const {

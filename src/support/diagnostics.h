@@ -23,11 +23,17 @@ struct SourceLoc {
 
 enum class Severity { Note, Warning, Error };
 
-/// One reported diagnostic.
+/// One reported diagnostic. `module` is the name of the module the
+/// diagnostic belongs to (the name handed to CompilerSession::addSource);
+/// empty for single-module compilations, where line/col alone identify
+/// the site. Batch compiles interleave diagnostics from many modules, so
+/// the attribution travels with each diagnostic rather than the engine
+/// that happened to render it.
 struct Diagnostic {
   Severity severity;
   SourceLoc loc;
   std::string message;
+  std::string module;
 
   std::string str() const;
 };
@@ -37,15 +43,35 @@ struct Diagnostic {
 class DiagnosticEngine {
 public:
   void error(SourceLoc loc, const std::string &msg) {
-    diags_.push_back({Severity::Error, loc, msg});
+    diags_.push_back({Severity::Error, loc, msg, moduleName_});
     ++numErrors_;
   }
   void warning(SourceLoc loc, const std::string &msg) {
-    diags_.push_back({Severity::Warning, loc, msg});
+    diags_.push_back({Severity::Warning, loc, msg, moduleName_});
   }
   void note(SourceLoc loc, const std::string &msg) {
-    diags_.push_back({Severity::Note, loc, msg});
+    diags_.push_back({Severity::Note, loc, msg, moduleName_});
   }
+
+  /// Re-reports a diagnostic from another engine verbatim, keeping its
+  /// severity, location, and module attribution (used when merging
+  /// per-worker or per-job engines into a caller's engine).
+  void report(const Diagnostic &d) {
+    diags_.push_back(d);
+    if (d.severity == Severity::Error)
+      ++numErrors_;
+  }
+  /// Merges every diagnostic of `other` into this engine, in order.
+  void mergeFrom(const DiagnosticEngine &other) {
+    for (const Diagnostic &d : other.diagnostics())
+      report(d);
+  }
+
+  /// Module name stamped onto subsequently reported diagnostics (and
+  /// rendered as a `name:` prefix by Diagnostic::str). Sessions set this
+  /// per job so concurrent batch compiles stay attributable.
+  void setModuleName(std::string name) { moduleName_ = std::move(name); }
+  const std::string &moduleName() const { return moduleName_; }
 
   bool hasErrors() const { return numErrors_ != 0; }
   size_t numErrors() const { return numErrors_; }
@@ -63,6 +89,7 @@ public:
 private:
   std::vector<Diagnostic> diags_;
   size_t numErrors_ = 0;
+  std::string moduleName_;
 };
 
 /// Aborts with a message. Used for internal invariant violations only,

@@ -56,10 +56,14 @@ public:
       cached = &am->getBarrier(func);
     unsigned erased = barrierElimRoot(func, cached);
     *erased_ += erased;
-    if (erased)
+    if (erased) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

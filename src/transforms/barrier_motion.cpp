@@ -124,10 +124,14 @@ public:
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     unsigned moved = barrierMotionRoot(func);
     *moved_ += moved;
-    if (moved)
+    if (moved) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

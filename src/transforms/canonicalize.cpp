@@ -434,9 +434,13 @@ bool canonicalizeOp(Op *op, bool &structural) {
 }
 
 /// Runs canonicalization to fixpoint; returns whether any structural
-/// (analysis-affecting) fold fired.
-bool canonicalizeRoot(Op *root) {
+/// (analysis-affecting) fold fired. `changedAny` (optional) additionally
+/// reports whether *any* fold fired, structural or not — the exact
+/// per-call signal repeat{until=fixpoint} consumes (non-structural folds
+/// like pure DCE still change the IR).
+bool canonicalizeRoot(Op *root, bool *changedAny = nullptr) {
   bool structural = false;
+  bool ever = false;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -447,7 +451,10 @@ bool canonicalizeRoot(Op *root) {
         return;
       changed |= canonicalizeOp(op, structural);
     });
+    ever |= changed;
   }
+  if (changedAny)
+    *changedAny = ever;
   return structural;
 }
 
@@ -460,19 +467,24 @@ public:
 
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     bool structural;
+    bool any = false;
     if (!statisticsEnabled()) {
-      structural = canonicalizeRoot(func);
+      structural = canonicalizeRoot(func, &any);
     } else {
       size_t before = countNestedOps(func);
-      structural = canonicalizeRoot(func);
+      structural = canonicalizeRoot(func, &any);
       size_t after = countNestedOps(func);
       if (after < before)
         *removed_ += before - after;
     }
     if (structural)
       structural_.store(true, std::memory_order_relaxed);
+    if (any)
+      noteIRChanged();
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     structural_.store(false, std::memory_order_relaxed);

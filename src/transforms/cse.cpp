@@ -85,8 +85,10 @@ public:
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     size_t before = statisticsEnabled() ? countNestedOps(func) : 0;
     std::vector<ScopeMap> scopes;
-    if (cseBlock(FuncOp(func).body(), scopes))
+    if (cseBlock(FuncOp(func).body(), scopes)) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     if (statisticsEnabled()) {
       size_t after = countNestedOps(func);
       if (after < before)
@@ -94,6 +96,8 @@ public:
     }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

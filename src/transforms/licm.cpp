@@ -160,10 +160,14 @@ public:
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     unsigned rounds = licmRoot(func);
     *hoistRounds_ += rounds;
-    if (rounds)
+    if (rounds) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

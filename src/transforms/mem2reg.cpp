@@ -229,10 +229,14 @@ public:
         promoted_(&statistic("allocas-promoted")) {}
 
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
-    if (mem2regRoot(func, promoted_))
+    if (mem2regRoot(func, promoted_)) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

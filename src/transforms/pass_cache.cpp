@@ -1,5 +1,6 @@
 #include "transforms/pass_cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -85,6 +86,62 @@ PassResultCache::PassResultCache(std::string dir) : dir_(std::move(dir)) {
     dir_.clear(); // unwritable directory: degrade to memory-only
 }
 
+PassResultCache::~PassResultCache() { evictToDiskLimit(); }
+
+void PassResultCache::setDiskLimitBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  diskLimitBytes_ = bytes;
+}
+
+uint64_t PassResultCache::diskLimitBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return diskLimitBytes_;
+}
+
+PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
+  EvictionStats out;
+  uint64_t limit = diskLimitBytes();
+  if (dir_.empty() || limit == 0)
+    return out;
+  // Snapshot the directory; the filesystem is the source of truth (other
+  // processes may share the dir), entries written after the snapshot
+  // simply survive this sweep.
+  struct File {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    uint64_t size;
+  };
+  std::vector<File> files;
+  uint64_t total = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().extension() != ".pir")
+      continue;
+    std::error_code fec;
+    uint64_t size = it->file_size(fec);
+    auto mtime = std::filesystem::last_write_time(it->path(), fec);
+    if (fec)
+      continue; // raced with a concurrent unlink
+    files.push_back({it->path(), mtime, size});
+    total += size;
+  }
+  std::sort(files.begin(), files.end(),
+            [](const File &a, const File &b) { return a.mtime < b.mtime; });
+  for (const File &f : files) {
+    if (total <= limit)
+      break;
+    std::error_code rec;
+    if (std::filesystem::remove(f.path, rec) && !rec) {
+      total -= f.size;
+      ++out.filesRemoved;
+      out.bytesRemoved += f.size;
+    }
+  }
+  out.bytesRemaining = total;
+  return out;
+}
+
 namespace {
 
 /// Build fingerprint mixed into every key: entries written by a build
@@ -130,6 +187,13 @@ PassResultCache::lookup(const Hash128 &input, const std::string &spec) {
   // memory entries never queue behind a file read.
   if (!dir_.empty()) {
     if (auto fromDisk = loadFromDisk(key, input, spec)) {
+      // Refresh the entry's mtime: the eviction sweep is LRU-by-mtime,
+      // and a disk hit is a use. (Memory hits were either stored or
+      // disk-promoted by this process, so their files are recent
+      // already — recency holds at process granularity.)
+      std::error_code ec;
+      std::filesystem::last_write_time(
+          keyFile(key), std::filesystem::file_time_type::clock::now(), ec);
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.hits;
       ++stats_.diskHits;

@@ -68,6 +68,8 @@ public:
   /// Persistent cache rooted at `dir` (created if absent). An empty dir
   /// string degrades to memory-only.
   explicit PassResultCache(std::string dir);
+  /// Sweeps the disk store down to the configured limit (if any).
+  ~PassResultCache();
 
   PassResultCache(const PassResultCache &) = delete;
   PassResultCache &operator=(const PassResultCache &) = delete;
@@ -95,6 +97,33 @@ public:
   }
 
   const std::string &directory() const { return dir_; }
+
+  // Disk size bounds ---------------------------------------------------------
+  // The on-disk store grows without bound by default (every distinct
+  // (spec, input) pair ever compiled leaves a file). A byte limit turns
+  // it into an LRU-by-mtime cache: evictToDiskLimit removes
+  // oldest-modified entry files until the directory total fits. The
+  // sweep runs automatically at destruction (session shutdown), so a
+  // long-lived CompilerSession — or the process-wide PARALIFT_CACHE_DIR
+  // cache — trims itself when it winds down rather than on the hot path.
+
+  /// 0 (the default) disables the bound. Driven by --cache-limit=<MB> /
+  /// $PARALIFT_CACHE_LIMIT at the CLI/session layer.
+  void setDiskLimitBytes(uint64_t bytes);
+  uint64_t diskLimitBytes() const;
+
+  struct EvictionStats {
+    uint64_t filesRemoved = 0;
+    uint64_t bytesRemoved = 0;
+    uint64_t bytesRemaining = 0;
+  };
+  /// Removes oldest-mtime entry files until the store is within the
+  /// limit. No-op (zeros) for memory-only caches or when no limit is
+  /// set. In-memory entries are untouched — they remain valid for this
+  /// process; a future process simply re-misses. Safe against concurrent
+  /// writers: eviction only unlinks completed entry files, and a reader
+  /// losing the race degrades to a miss.
+  EvictionStats evictToDiskLimit();
 
   // Statistics ---------------------------------------------------------------
 
@@ -135,6 +164,7 @@ private:
   mutable std::mutex mutex_;
   std::unordered_map<Hash128, Entry, Hash128Hasher> entries_;
   StatsSnapshot stats_;
+  uint64_t diskLimitBytes_ = 0;
 };
 
 } // namespace paralift::transforms

@@ -20,14 +20,38 @@ namespace paralift::transforms {
 void Pass::declareBoolOption(const std::string &key, bool *storage,
                              bool dflt) {
   *storage = dflt;
-  options_.push_back({key, /*isBool=*/true, storage, nullptr, dflt ? 1 : 0});
+  Option o;
+  o.key = key;
+  o.kind = Option::Kind::Bool;
+  o.boolStorage = storage;
+  o.dflt = dflt ? 1 : 0;
+  options_.push_back(std::move(o));
 }
 
 void Pass::declareIntOption(const std::string &key, int64_t *storage,
                             int64_t dflt, int64_t min, int64_t max) {
   *storage = dflt;
-  options_.push_back(
-      {key, /*isBool=*/false, nullptr, storage, dflt, min, max});
+  Option o;
+  o.key = key;
+  o.kind = Option::Kind::Int;
+  o.intStorage = storage;
+  o.dflt = dflt;
+  o.min = min;
+  o.max = max;
+  options_.push_back(std::move(o));
+}
+
+void Pass::declareStringOption(const std::string &key, std::string *storage,
+                               std::string dflt,
+                               std::vector<std::string> allowed) {
+  *storage = dflt;
+  Option o;
+  o.key = key;
+  o.kind = Option::Kind::String;
+  o.strStorage = storage;
+  o.strDflt = std::move(dflt);
+  o.allowed = std::move(allowed);
+  options_.push_back(std::move(o));
 }
 
 bool Pass::setOption(const std::string &key, const std::string &value,
@@ -35,7 +59,8 @@ bool Pass::setOption(const std::string &key, const std::string &value,
   for (Option &o : options_) {
     if (o.key != key)
       continue;
-    if (o.isBool) {
+    switch (o.kind) {
+    case Option::Kind::Bool:
       if (value == "true" || value == "1") {
         *o.boolStorage = true;
       } else if (value == "false" || value == "0") {
@@ -47,6 +72,35 @@ bool Pass::setOption(const std::string &key, const std::string &value,
         return false;
       }
       return true;
+    case Option::Kind::String: {
+      // Spec metacharacters in a value would break the documented
+      // parse(spec()) round-trip (and the cache's canonical keys), so
+      // they are rejected regardless of the allowed list.
+      if (value.find_first_of(",{}()") != std::string::npos) {
+        if (err)
+          *err = "invalid value '" + value + "' for option '" + key +
+                 "' of pass '" + name_ +
+                 "' (values must not contain ',', '{', '}', '(' or ')')";
+        return false;
+      }
+      if (!o.allowed.empty() &&
+          std::find(o.allowed.begin(), o.allowed.end(), value) ==
+              o.allowed.end()) {
+        if (err) {
+          std::string choices;
+          for (const std::string &a : o.allowed)
+            choices += (choices.empty() ? "" : ", ") + a;
+          *err = "invalid value '" + value + "' for option '" + key +
+                 "' of pass '" + name_ + "' (expected one of: " + choices +
+                 ")";
+        }
+        return false;
+      }
+      *o.strStorage = value;
+      return true;
+    }
+    case Option::Kind::Int:
+      break;
     }
     try {
       size_t consumed = 0;
@@ -83,19 +137,44 @@ bool Pass::setOption(const std::string &key, const std::string &value,
 std::string Pass::spec() const {
   std::string opts;
   for (const Option &o : options_) {
-    int64_t cur = o.isBool ? (*o.boolStorage ? 1 : 0) : *o.intStorage;
-    if (cur == o.dflt)
-      continue;
+    std::string value;
+    switch (o.kind) {
+    case Option::Kind::Bool:
+      if ((*o.boolStorage ? 1 : 0) == o.dflt)
+        continue;
+      value = *o.boolStorage ? "true" : "false";
+      break;
+    case Option::Kind::Int:
+      if (*o.intStorage == o.dflt)
+        continue;
+      value = std::to_string(*o.intStorage);
+      break;
+    case Option::Kind::String:
+      if (*o.strStorage == o.strDflt)
+        continue;
+      value = *o.strStorage;
+      break;
+    }
     if (!opts.empty())
       opts += ",";
-    opts += o.key + "=";
-    if (o.isBool)
-      opts += *o.boolStorage ? "true" : "false";
-    else
-      opts += std::to_string(*o.intStorage);
+    opts += o.key + "=" + value;
   }
   return opts.empty() ? name_ : name_ + "{" + opts + "}";
 }
+
+//===----------------------------------------------------------------------===//
+// IR-change tracking
+//===----------------------------------------------------------------------===//
+
+namespace {
+// Per-thread so concurrent workers running one pass object on distinct
+// functions observe only their own call's changes.
+thread_local bool tlsIRChanged = false;
+} // namespace
+
+void Pass::noteIRChanged() { tlsIRChanged = true; }
+void Pass::resetThreadIRChanged() { tlsIRChanged = false; }
+bool Pass::threadIRChanged() { return tlsIRChanged; }
 
 Pass::Statistic &Pass::statistic(const std::string &name) {
   for (auto &s : stats_)
@@ -124,6 +203,7 @@ bool FunctionPass::run(ModuleOp module, DiagnosticEngine &diag) {
 RepeatPass::RepeatPass()
     : FunctionPass("repeat", "run the child passes n times in sequence") {
   declareIntOption("n", &n_, 2, /*min=*/1, /*max=*/1024);
+  declareStringOption("until", &until_, "count", {"count", "fixpoint"});
 }
 
 void RepeatPass::addChild(std::unique_ptr<Pass> child) {
@@ -154,14 +234,38 @@ PreservedAnalyses RepeatPass::preservedAnalyses() const {
   return p;
 }
 
+bool RepeatPass::tracksIRChange() const {
+  for (const auto &c : children_)
+    if (!c->tracksIRChange())
+      return false;
+  return true;
+}
+
 bool RepeatPass::runOnFunction(ir::Op *func, DiagnosticEngine &diag) {
   size_t errorsAtStart = diag.numErrors();
   AnalysisManager *am = getAnalysisManager();
-  for (int64_t i = 0; i < n_; ++i)
+  const bool fixpoint = isFixpoint();
+  // Exact per-call change flags drive convergence when every child
+  // reports them; a non-tracking child degrades to comparing the printed
+  // IR round over round (correct for any pass, at a print per round).
+  const bool exact = !fixpoint || tracksIRChange();
+  std::string prevPrint;
+  if (!exact)
+    prevPrint = ir::printOp(func);
+  // In fixpoint mode `n` is ignored (the registry rejects combining the
+  // two); the cap only backstops a pass pair that oscillates instead of
+  // converging, and hitting it is reported below.
+  const int64_t rounds = fixpoint ? 1024 : n_;
+  bool converged = !fixpoint;
+  bool anyChange = false;
+  for (int64_t i = 0; i < rounds; ++i) {
+    bool roundChanged = false;
     for (auto &c : children_) {
+      resetThreadIRChanged();
       if (!static_cast<FunctionPass &>(*c).runOnFunction(func, diag) ||
           diag.numErrors() > errorsAtStart)
         return false;
+      roundChanged |= threadIRChanged();
       // The PassManager only invalidates between top-level passes; an
       // analysis-consuming child must not see results a mutating sibling
       // (or a previous round) left stale. The child's dynamic
@@ -170,6 +274,35 @@ bool RepeatPass::runOnFunction(ir::Op *func, DiagnosticEngine &diag) {
       if (am)
         am->invalidate(func, c->preservedAnalyses());
     }
+    anyChange |= roundChanged;
+    if (!fixpoint)
+      continue;
+    if (exact) {
+      if (!roundChanged) {
+        converged = true;
+        break;
+      }
+    } else {
+      std::string cur = ir::printOp(func);
+      if (cur == prevPrint) {
+        converged = true;
+        break;
+      }
+      prevPrint = std::move(cur);
+    }
+  }
+  if (!converged)
+    diag.warning(SourceLoc(),
+                 "repeat{until=fixpoint} hit the " +
+                     std::to_string(rounds) +
+                     "-round cap without converging on function '" +
+                     ir::FuncOp(func).name() + "'");
+  // Propagate to an enclosing repeat: the per-child resets above wiped
+  // the thread flag, so restate the aggregate.
+  if (anyChange)
+    noteIRChanged();
+  else
+    resetThreadIRChanged();
   return true;
 }
 
@@ -415,9 +548,12 @@ bool PassManager::runOnFunctions(FunctionPass &pass,
 
   // Each function is a disjoint IR subtree, so workers never touch shared
   // IR state. DiagnosticEngine is not thread-safe: every function gets a
-  // private engine, merged in function order afterwards so diagnostics
-  // stay deterministic regardless of scheduling.
+  // private engine (stamped with the caller's module attribution), merged
+  // in function order afterwards so diagnostics stay deterministic
+  // regardless of scheduling.
   std::vector<DiagnosticEngine> localDiags(funcs.size());
+  for (DiagnosticEngine &ld : localDiags)
+    ld.setModuleName(diag.moduleName());
   std::vector<char> localOk(funcs.size(), 1);
   std::atomic<size_t> next{0};
   pool->parallel([&](unsigned, runtime::Team &) {
@@ -428,19 +564,7 @@ bool PassManager::runOnFunctions(FunctionPass &pass,
 
   bool ok = true;
   for (size_t i = 0; i < funcs.size(); ++i) {
-    for (const Diagnostic &d : localDiags[i].diagnostics()) {
-      switch (d.severity) {
-      case Severity::Error:
-        diag.error(d.loc, d.message);
-        break;
-      case Severity::Warning:
-        diag.warning(d.loc, d.message);
-        break;
-      case Severity::Note:
-        diag.note(d.loc, d.message);
-        break;
-      }
-    }
+    diag.mergeFrom(localDiags[i]);
     ok = ok && localOk[i];
   }
   return ok;
@@ -473,6 +597,25 @@ ir::Op *PassManager::spliceFunction(ModuleOp module, ir::Op *oldFunc,
   module.body().insertBefore(oldFunc, newFunc);
   oldFunc->erase();
   return newFunc;
+}
+
+bool PassManager::applyHit(ModuleOp module, ir::Op *func,
+                           PassResultCache::Entry &&hit, bool lazy,
+                           CacheState &st) {
+  if (lazy) {
+    // Accept the hit without splicing: the hash chain advances and the
+    // latest cached text supersedes any earlier pending text.
+    st.irHash[func] = hit.outputHash;
+    st.pending[func] = std::move(hit.ir);
+    return true;
+  }
+  ir::Op *replacement = spliceFunction(module, func, hit.ir);
+  if (!replacement)
+    return false;
+  analysisManager_.invalidate(func);
+  st.irHash.erase(func);
+  st.irHash[replacement] = hit.outputHash;
+  return true;
 }
 
 ir::Op *PassManager::materialize(ModuleOp module, ir::Op *func,
@@ -583,19 +726,8 @@ bool PassManager::runPassCached(Pass &pass, ModuleOp module,
   for (ir::Op *func : collectFuncs(module)) {
     Hash128 input = hashOf(func, st);
     if (auto hit = cache_->lookup(input, spec)) {
-      if (lazy) {
-        // Accept the hit without splicing: the hash chain advances and
-        // the latest cached text supersedes any earlier pending text.
-        st.irHash[func] = hit->outputHash;
-        st.pending[func] = std::move(hit->ir);
+      if (applyHit(module, func, std::move(*hit), lazy, st))
         continue;
-      }
-      if (ir::Op *replacement = spliceFunction(module, func, hit->ir)) {
-        analysisManager_.invalidate(func);
-        st.irHash.erase(func);
-        st.irHash[replacement] = hit->outputHash;
-        continue;
-      }
       // Unparseable entry: treat as a miss and recompute.
     }
     // The pass must run on this function's real IR.
@@ -627,15 +759,22 @@ bool PassManager::runPassCached(Pass &pass, ModuleOp module,
   return true;
 }
 
+runtime::ThreadPool *PassManager::acquirePool(
+    std::unique_ptr<runtime::ThreadPool> &owned, bool wantPool) {
+  if (!wantPool || threads_ <= 1 || runtime::ThreadPool::insideParallel())
+    return nullptr;
+  if (externalPool_)
+    return externalPool_;
+  owned = std::make_unique<runtime::ThreadPool>(threads_);
+  return owned.get();
+}
+
 bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
-  std::unique_ptr<runtime::ThreadPool> pool;
-  if (threads_ > 1 && !runtime::ThreadPool::insideParallel()) {
-    bool anyFunctionPass =
-        std::any_of(passes_.begin(), passes_.end(),
-                    [](const auto &p) { return p->isFunctionPass(); });
-    if (anyFunctionPass)
-      pool = std::make_unique<runtime::ThreadPool>(threads_);
-  }
+  std::unique_ptr<runtime::ThreadPool> owned;
+  bool anyFunctionPass =
+      std::any_of(passes_.begin(), passes_.end(),
+                  [](const auto &p) { return p->isFunctionPass(); });
+  runtime::ThreadPool *pool = acquirePool(owned, anyFunctionPass);
 
   size_t errorsAtStart = diag.numErrors();
   for (auto &pass : passes_) {
@@ -670,12 +809,12 @@ bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
     bool ok;
     RunScope scope;
     if (cache_) {
-      ok = runPassCached(*pass, module, diag, pool.get(), lazy, st, scope);
+      ok = runPassCached(*pass, module, diag, pool, lazy, st, scope);
     } else {
       scope.wholeModule = true;
       if (pass->isFunctionPass())
         ok = runOnFunctions(static_cast<FunctionPass &>(*pass),
-                            collectFuncs(module), diag, pool.get());
+                            collectFuncs(module), diag, pool);
       else
         ok = pass->run(module, diag);
     }
@@ -708,6 +847,254 @@ bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
     return false;
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-module batch scheduling
+//===----------------------------------------------------------------------===//
+
+void PassManager::runFunctionPassBatch(
+    FunctionPass &pass, const std::vector<ModuleOp> &modules,
+    const std::vector<DiagnosticEngine *> &diags, std::vector<char> &ok,
+    runtime::ThreadPool *pool, bool lazy, std::vector<CacheState> &st) {
+  // (module, function) work items: the union across every live module is
+  // what keeps the pool busy when individual modules hold 1-2 kernels.
+  struct Item {
+    size_t mod;
+    ir::Op *func;
+  };
+  std::vector<Item> missed;
+  const std::string spec = pass.spec();
+  for (size_t i = 0; i < modules.size(); ++i) {
+    if (!ok[i])
+      continue;
+    bool roundTripBug = false;
+    for (ir::Op *func : collectFuncs(modules[i])) {
+      if (!cache_) {
+        missed.push_back({i, func});
+        continue;
+      }
+      Hash128 input = hashOf(func, st[i]);
+      if (auto hit = cache_->lookup(input, spec)) {
+        if (applyHit(modules[i], func, std::move(*hit), lazy, st[i]))
+          continue;
+        // Unparseable entry: treat as a miss and recompute.
+      }
+      ir::Op *live = materialize(modules[i], func, st[i]);
+      if (!live) {
+        roundTripBug = true;
+        break;
+      }
+      missed.push_back({i, live});
+    }
+    if (roundTripBug) {
+      diags[i]->error(SourceLoc(), "pass-cache: cached IR failed to "
+                                   "re-parse (print/parse round-trip bug)");
+      ok[i] = 0;
+      materializeAll(modules[i], st[i]);
+      missed.erase(std::remove_if(missed.begin(), missed.end(),
+                                  [&](const Item &it) { return it.mod == i; }),
+                   missed.end());
+    }
+  }
+  if (cache_) {
+    if (missed.empty()) {
+      cache_->notePassReplayed();
+      return;
+    }
+    cache_->notePassExecuted();
+  }
+  if (missed.empty())
+    return;
+
+  // Dedup identical functions across the batch: the same kernel text in
+  // several modules (suite harnesses, copied benchmarks) executes once;
+  // the duplicates replay the representative's stored result below.
+  std::vector<Item> dups;
+  if (cache_) {
+    std::vector<Item> uniq;
+    std::unordered_map<std::string, char> seen;
+    for (const Item &it : missed) {
+      if (seen.emplace(st[it.mod].irHash[it.func].hex(), 1).second)
+        uniq.push_back(it);
+      else
+        dups.push_back(it);
+    }
+    missed = std::move(uniq);
+  }
+
+  // Run the union; per-item diagnostics merge back in item (module,
+  // body) order so the output is deterministic regardless of scheduling.
+  const size_t n = missed.size();
+  std::vector<DiagnosticEngine> localDiags(n);
+  for (size_t k = 0; k < n; ++k)
+    localDiags[k].setModuleName(diags[missed[k].mod]->moduleName());
+  std::vector<char> localOk(n, 1);
+  if (!pool || n < 2) {
+    for (size_t k = 0; k < n; ++k)
+      localOk[k] = pass.runOnFunction(missed[k].func, localDiags[k]) ? 1 : 0;
+  } else {
+    std::atomic<size_t> next{0};
+    pool->parallel([&](unsigned, runtime::Team &) {
+      for (size_t k = next.fetch_add(1); k < n; k = next.fetch_add(1))
+        localOk[k] =
+            pass.runOnFunction(missed[k].func, localDiags[k]) ? 1 : 0;
+    });
+  }
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = missed[k].mod;
+    diags[i]->mergeFrom(localDiags[k]);
+    if (!localOk[k] || localDiags[k].hasErrors())
+      ok[i] = 0;
+  }
+  // Failed modules keep their (partially transformed) IR materialized and
+  // stop advancing; healthy modules record results and move the hash
+  // chain forward.
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = missed[k].mod;
+    if (!ok[i])
+      continue;
+    if (cache_) {
+      std::string text = ir::printOp(missed[k].func);
+      Hash128 outputHash = hashBytes(text);
+      Hash128 input = st[i].irHash[missed[k].func];
+      cache_->store(input, spec, std::move(text), outputHash);
+      st[i].irHash[missed[k].func] = outputHash;
+    }
+  }
+  // Duplicates replay the representative's freshly stored entry; if the
+  // representative's module failed (nothing stored), run them directly.
+  for (const Item &it : dups) {
+    size_t i = it.mod;
+    if (!ok[i])
+      continue;
+    Hash128 input = st[i].irHash[it.func];
+    if (auto hit = cache_->lookup(input, spec)) {
+      if (applyHit(modules[i], it.func, std::move(*hit), lazy, st[i]))
+        continue;
+      // Unparseable entry: fall through and run the duplicate directly.
+    }
+    size_t errorsBefore = diags[i]->numErrors();
+    DiagnosticEngine local;
+    local.setModuleName(diags[i]->moduleName());
+    bool itemOk = pass.runOnFunction(it.func, local);
+    diags[i]->mergeFrom(local);
+    if (!itemOk || diags[i]->numErrors() > errorsBefore) {
+      ok[i] = 0;
+      continue;
+    }
+    std::string text = ir::printOp(it.func);
+    Hash128 outputHash = hashBytes(text);
+    cache_->store(input, spec, std::move(text), outputHash);
+    st[i].irHash[it.func] = outputHash;
+  }
+  for (size_t i = 0; i < modules.size(); ++i)
+    if (!ok[i])
+      materializeAll(modules[i], st[i]);
+}
+
+std::vector<char>
+PassManager::runOnModules(const std::vector<ModuleOp> &modules,
+                          const std::vector<DiagnosticEngine *> &diags,
+                          const BatchOptions &opts) {
+  assert(modules.size() == diags.size());
+  std::vector<char> ok(modules.size(), 1);
+  std::unique_ptr<runtime::ThreadPool> owned;
+  runtime::ThreadPool *pool = acquirePool(
+      owned, std::any_of(passes_.begin(), passes_.end(),
+                         [](const auto &p) { return p->isFunctionPass(); }));
+
+  for (auto &pass : passes_) {
+    pass->setStatisticsEnabled(collectStats_);
+    pass->setAnalysisManager(&analysisManager_);
+  }
+  std::vector<ir::Op *> allFuncs;
+  for (ModuleOp module : modules)
+    for (ir::Op *func : collectFuncs(module))
+      allFuncs.push_back(func);
+  analysisManager_.retainOnly(allFuncs);
+
+  // Per-module hash chains (see run()); functions hash identically across
+  // modules, so two modules containing the same kernel share every cache
+  // entry within this one batch.
+  std::vector<CacheState> st(modules.size());
+  const bool lazy = !opts.verifyEach;
+  if (cache_)
+    for (size_t i = 0; i < modules.size(); ++i)
+      for (ir::Op *func : collectFuncs(modules[i]))
+        st[i].irHash[func] = hashBytes(ir::printOp(func));
+
+  for (auto &pass : passes_) {
+    pass->beginRun();
+    uint64_t rssStart = 0;
+    std::chrono::steady_clock::time_point t0;
+    if (opts.timing) {
+      rssStart = readPeakRssBytes();
+      t0 = std::chrono::steady_clock::now();
+    }
+
+    if (pass->isFunctionPass()) {
+      runFunctionPassBatch(static_cast<FunctionPass &>(*pass), modules,
+                           diags, ok, pool, lazy, st);
+    } else {
+      // Module passes run per module; a failure stays that module's.
+      for (size_t i = 0; i < modules.size(); ++i) {
+        if (!ok[i])
+          continue;
+        size_t errorsBefore = diags[i]->numErrors();
+        bool passOk;
+        if (cache_) {
+          RunScope scope;
+          passOk = runPassCached(*pass, modules[i], *diags[i], nullptr,
+                                 lazy, st[i], scope);
+        } else {
+          passOk = pass->run(modules[i], *diags[i]);
+        }
+        if (!passOk || diags[i]->numErrors() > errorsBefore) {
+          ok[i] = 0;
+          materializeAll(modules[i], st[i]);
+        }
+      }
+    }
+
+    if (opts.timing) {
+      double secs = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      uint64_t rssEnd = readPeakRssBytes();
+      opts.timing->records.push_back(
+          {pass->spec(), secs, rssEnd > rssStart ? rssEnd - rssStart : 0});
+    }
+
+    if (opts.verifyEach) {
+      // lazy is off, so every module is fully materialized here.
+      for (size_t i = 0; i < modules.size(); ++i) {
+        if (!ok[i])
+          continue;
+        for (const std::string &e : ir::verify(modules[i].op)) {
+          diags[i]->error(SourceLoc(), "pass '" + pass->name() +
+                                           "' broke invariant: " + e);
+          ok[i] = 0;
+        }
+      }
+    }
+
+    // Batch invalidation is global (the union of what ran); per-module
+    // executed-scope precision matters less here because replayed
+    // functions carry no cached analyses anyway.
+    analysisManager_.invalidate(pass->preservedAnalyses());
+  }
+
+  for (size_t i = 0; i < modules.size(); ++i) {
+    if (!ok[i])
+      continue;
+    if (!materializeAll(modules[i], st[i])) {
+      diags[i]->error(SourceLoc(), "pass-cache: cached IR failed to "
+                                   "re-parse (print/parse round-trip bug)");
+      ok[i] = 0;
+    }
+  }
+  return ok;
 }
 
 std::string PassManager::pipelineSpec() const {

@@ -62,6 +62,25 @@ public:
   /// scheduled across functions in parallel.
   virtual bool isFunctionPass() const { return false; }
 
+  // IR-change tracking --------------------------------------------------------
+  // Passes that know exactly when they mutate IR (the same bookkeeping
+  // that backs their dynamic PreservedAnalyses refinement) report each
+  // mutating call through a thread-local flag, so composite passes
+  // (repeat{until=fixpoint}) can detect per-function convergence even
+  // while sibling workers run the same pass objects on other functions.
+
+  /// Whether runOnFunction reports exact per-call change information via
+  /// noteIRChanged. Passes answering false force hash-based convergence
+  /// detection in repeat{until=fixpoint}.
+  virtual bool tracksIRChange() const { return false; }
+
+  /// Clears the calling thread's IR-change flag; composite passes call
+  /// this immediately before each child execution.
+  static void resetThreadIRChanged();
+  /// Whether any pass on the calling thread noted a change since the
+  /// last reset.
+  static bool threadIRChanged();
+
   /// Module-scope entry point. Returns false on a hard error (which must
   /// also be reported through `diag`).
   virtual bool run(ModuleOp module, DiagnosticEngine &diag) = 0;
@@ -138,18 +157,31 @@ protected:
   void declareIntOption(const std::string &key, int64_t *storage,
                         int64_t dflt, int64_t min = INT64_MIN,
                         int64_t max = INT64_MAX);
+  /// A string-valued option; when `allowed` is non-empty, setOption
+  /// rejects values outside it (listing the choices in the error).
+  void declareStringOption(const std::string &key, std::string *storage,
+                           std::string dflt,
+                           std::vector<std::string> allowed = {});
+
+  /// Passes call this from runOnFunction when they mutated IR (see
+  /// tracksIRChange).
+  static void noteIRChanged();
 
   AnalysisManager *getAnalysisManager() const { return analysisManager_; }
 
 private:
   struct Option {
+    enum class Kind { Bool, Int, String };
     std::string key;
-    bool isBool;
+    Kind kind;
     bool *boolStorage = nullptr;
     int64_t *intStorage = nullptr;
-    int64_t dflt; // bool options store 0/1
+    std::string *strStorage = nullptr;
+    int64_t dflt = 0; // bool options store 0/1; unused for strings
     int64_t min = INT64_MIN;
     int64_t max = INT64_MAX;
+    std::string strDflt;
+    std::vector<std::string> allowed;
   };
 
   std::string name_;
@@ -175,11 +207,15 @@ public:
 
 /// repeat{n=K}(a,b,...): a composite pass running its children K times in
 /// sequence — the declarative form of the canonicalize/cse fixpoint pairs
-/// in the standard pipeline. Children must be function passes (the repeat
-/// is then itself schedulable per function, and cacheable as one unit
-/// whose spec covers the whole body); the registry rejects module passes
-/// inside repeat. Preserves the intersection of what every child
-/// preserved.
+/// in the standard pipeline. repeat{until=fixpoint}(a,b,...) instead
+/// iterates until a round leaves the function's IR unchanged (capped at
+/// 1024 rounds): when every child tracksIRChange, convergence is read off
+/// the per-pass change tracking; otherwise a round's printed IR is
+/// compared against the previous round's. Children must be function
+/// passes (the repeat is then itself schedulable per function, and
+/// cacheable as one unit whose spec covers the whole body); the registry
+/// rejects module passes inside repeat. Preserves the intersection of
+/// what every child preserved.
 class RepeatPass : public FunctionPass {
 public:
   RepeatPass();
@@ -193,9 +229,15 @@ public:
   void beginRun() override;
   PreservedAnalyses preservedAnalyses() const override;
   bool runOnFunction(ir::Op *func, DiagnosticEngine &diag) override;
+  /// Exact iff every child is exact (then a repeat nests inside an
+  /// enclosing fixpoint repeat without forcing the print fallback).
+  bool tracksIRChange() const override;
 
 private:
+  bool isFixpoint() const { return until_ == "fixpoint"; }
+
   int64_t n_ = 2;
+  std::string until_;
   std::vector<std::unique_ptr<Pass>> children_;
 };
 
@@ -362,10 +404,51 @@ public:
   void setThreadCount(unsigned n) { threads_ = n == 0 ? 1 : n; }
   unsigned threadCount() const { return threads_; }
 
+  /// Uses an externally owned worker pool for parallel scheduling instead
+  /// of creating one per run — the CompilerSession layer shares a single
+  /// pool across every compile it drives, amortizing worker startup.
+  /// setThreadCount(>1) still gates whether parallel scheduling happens.
+  void setThreadPool(runtime::ThreadPool *pool) { externalPool_ = pool; }
+
   /// Runs every pass in order. Stops at the first failure (a pass
   /// returning false, a new diagnostic error, or an instrumentation
   /// abort) and returns false.
   bool run(ModuleOp module, DiagnosticEngine &diag);
+
+  /// Knobs for runOnModules. Instrumentations installed via enable* hook
+  /// per-module pass executions and do not apply to batch runs; batch
+  /// supports the two that matter for sessions directly.
+  struct BatchOptions {
+    /// Verify every module after every pass, attributing breakage to the
+    /// pass and failing only the broken module.
+    bool verifyEach = false;
+    /// One timing record per pass covering the whole batch.
+    PassTimingReport *timing = nullptr;
+  };
+
+  /// Cross-module batch scheduling: runs the pipeline over all `modules`
+  /// in lockstep — pass k completes on every module before pass k+1
+  /// starts anywhere — so each function pass fans out across the union
+  /// of all modules' functions on one pool. This is what makes
+  /// --pm-threads visible on suites whose modules hold only 1-2 kernels
+  /// each (per-module fan-out starves the workers; the union does not).
+  /// Function passes never look outside their function and each module's
+  /// passes still run in pipeline order, so results are bit-identical to
+  /// compiling every module serially. The result cache (setResultCache)
+  /// is consulted per function across the whole batch, so identical
+  /// kernels in different modules share entries within one run.
+  ///
+  /// Returns per-module success. A failing module (pass error, verifier
+  /// breakage) is dropped from subsequent passes and left materialized;
+  /// the remaining modules continue unaffected (job-level isolation).
+  std::vector<char> runOnModules(const std::vector<ModuleOp> &modules,
+                                 const std::vector<DiagnosticEngine *> &diags,
+                                 const BatchOptions &opts);
+  std::vector<char>
+  runOnModules(const std::vector<ModuleOp> &modules,
+               const std::vector<DiagnosticEngine *> &diags) {
+    return runOnModules(modules, diags, BatchOptions());
+  }
 
   /// The canonical textual pipeline, e.g. "inline,canonicalize,
   /// unroll{max-trip=16}". Feeding it back through the registry's
@@ -410,10 +493,29 @@ private:
   /// returns the new func, or nullptr if the entry fails to parse.
   ir::Op *spliceFunction(ModuleOp module, ir::Op *oldFunc,
                          const std::string &text);
+  /// Applies a per-function cache hit: lazy mode parks the cached text
+  /// and advances the hash chain; eager mode splices immediately. False
+  /// when the entry fails to splice (caller treats it as a miss).
+  bool applyHit(ModuleOp module, ir::Op *func, PassResultCache::Entry &&hit,
+                bool lazy, CacheState &st);
   /// Replaces the whole module body from a cached module entry,
   /// re-keying the hash chain (via the entry's funcHashes when present).
   bool spliceModule(ModuleOp module, const PassResultCache::Entry &entry,
                     CacheState &st);
+
+  /// The pool to schedule on for this run: the external pool when set,
+  /// else a fresh one parked in `owned`. Null when threads_ == 1, when
+  /// called from inside a parallel region, or when `wantPool` is false.
+  runtime::ThreadPool *acquirePool(std::unique_ptr<runtime::ThreadPool> &owned,
+                                   bool wantPool);
+
+  /// One function pass across every live module's functions (cache-aware;
+  /// see runOnModules). Updates `ok` in place for modules that failed.
+  void runFunctionPassBatch(FunctionPass &pass,
+                            const std::vector<ModuleOp> &modules,
+                            const std::vector<DiagnosticEngine *> &diags,
+                            std::vector<char> &ok, runtime::ThreadPool *pool,
+                            bool lazy, std::vector<CacheState> &st);
 
   std::vector<std::unique_ptr<Pass>> passes_;
   std::vector<std::unique_ptr<Instrumentation>> instrumentations_;
@@ -421,6 +523,7 @@ private:
   bool collectStats_ = false;
   AnalysisManager analysisManager_;
   PassResultCache *cache_ = nullptr;
+  runtime::ThreadPool *externalPool_ = nullptr;
 };
 
 /// Renders one "  <secs> s (<pct>%)  <+MB>  <label>" timing row (the MB

@@ -169,10 +169,14 @@ public:
       if (after < before)
         *removed_ += before - after;
     }
-    if (any)
+    if (any) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

@@ -109,10 +109,14 @@ public:
   bool runOnFunction(Op *func, DiagnosticEngine &) override {
     unsigned unrolled = unrollRoot(func, maxTrip_);
     *unrolled_ += unrolled;
-    if (unrolled)
+    if (unrolled) {
       changed_.store(true, std::memory_order_relaxed);
+      noteIRChanged();
+    }
     return true;
   }
+
+  bool tracksIRChange() const override { return true; }
 
   void beginRun() override {
     changed_.store(false, std::memory_order_relaxed);

@@ -401,3 +401,92 @@ TEST(PassCacheTest, ThreadSafeUnderPmThreads) {
   EXPECT_GT(cache.stats().passesReplayed, 0u);
   std::filesystem::remove_all(dir);
 }
+
+//===----------------------------------------------------------------------===//
+// Disk LRU eviction (--cache-limit / PARALIFT_CACHE_LIMIT)
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, DiskLimitEvictsOldestMtimeFirst) {
+  std::string dir = tempDir("evict");
+  uint64_t entryBytes = 0;
+  {
+    PassResultCache cache(dir);
+    // Four entries, mtimes spread far apart so ordering is unambiguous
+    // regardless of filesystem timestamp granularity.
+    for (int i = 0; i < 4; ++i) {
+      std::string ir = "func " + std::to_string(i) + "\n";
+      cache.store(hashBytes("input" + std::to_string(i)), "canonicalize",
+                  ir, hashBytes(ir));
+    }
+    std::vector<std::filesystem::path> files;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+      files.push_back(e.path());
+    ASSERT_EQ(files.size(), 4u);
+    entryBytes = std::filesystem::file_size(files[0]);
+    // Filenames are key hashes (unordered); back-date by directory
+    // iteration order, recording which basenames got the oldest stamps.
+    auto now = std::filesystem::file_time_type::clock::now();
+    int k = 0;
+    std::vector<std::string> oldest;
+    for (const auto &f : files) {
+      std::filesystem::last_write_time(f, now - std::chrono::hours(4 - k));
+      if (k < 2)
+        oldest.push_back(f.filename().string());
+      ++k;
+    }
+    // Keep ~2 entries: the sweep must drop exactly the two back-dated
+    // furthest and keep the rest.
+    cache.setDiskLimitBytes(2 * entryBytes + entryBytes / 2);
+    auto ev = cache.evictToDiskLimit();
+    EXPECT_EQ(ev.filesRemoved, 2u);
+    EXPECT_LE(ev.bytesRemaining, 2 * entryBytes + entryBytes / 2);
+    for (const std::string &name : oldest)
+      EXPECT_FALSE(std::filesystem::exists(
+          std::filesystem::path(dir) / name))
+          << name << " should have been evicted first";
+  }
+  size_t remaining = 0;
+  for (const auto &e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PassCacheTest, DestructorSweepsToLimit) {
+  std::string dir = tempDir("evict-dtor");
+  {
+    PassResultCache cache(dir);
+    for (int i = 0; i < 6; ++i) {
+      std::string ir = "func " + std::to_string(i) + "\n";
+      cache.store(hashBytes("in" + std::to_string(i)), "cse", ir,
+                  hashBytes(ir));
+    }
+    // A limit below one entry's size: shutdown keeps at most one file.
+    cache.setDiskLimitBytes(1);
+  } // destructor sweeps
+  size_t remaining = 0;
+  for (const auto &e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++remaining;
+  }
+  EXPECT_LE(remaining, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PassCacheTest, NoLimitMeansNoEviction) {
+  std::string dir = tempDir("evict-off");
+  PassResultCache cache(dir);
+  std::string ir = "func\n";
+  cache.store(hashBytes("in"), "cse", ir, hashBytes(ir));
+  auto ev = cache.evictToDiskLimit();
+  EXPECT_EQ(ev.filesRemoved, 0u);
+  size_t remaining = 0;
+  for (const auto &e : std::filesystem::directory_iterator(dir)) {
+    (void)e;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 1u);
+  std::filesystem::remove_all(dir);
+}
