@@ -4,7 +4,9 @@
 // comparisons are the reproduction target.
 #pragma once
 
+#include "ir/hasher.h"
 #include "ir/ophelpers.h"
+#include "ir/printer.h"
 #include "ir/verifier.h"
 #include "rodinia/rodinia.h"
 #include "transforms/pass_cache.h"
@@ -218,6 +220,56 @@ compileSuiteSession(const transforms::PipelineOptions &opts,
       job = nullptr;
     }
   return out;
+}
+
+/// Cache-keying cost over the parsed suite: the structural hasher
+/// (ir::hashOp — what the pass cache keys on) against the printed-hash
+/// baseline it replaced (hashBytes(printOp)). This is the
+/// single-threaded prologue every cached pass pays per function, so the
+/// ratio here is the cold-populate keying overhead drop the cache-mode
+/// sweeps above benefit from.
+inline void printKeyingTime(const SuiteModules &suite, int rounds = 50) {
+  std::printf("\n=== Cache-keying time, whole suite x%d (structural "
+              "ir::hashOp vs printed-hash baseline) ===\n\n",
+              rounds);
+  size_t funcs = 0;
+  for (size_t i = 0; i < suite.modules.size(); ++i)
+    if (suite.isValid(i))
+      for (ir::Op *op : suite.modules[i].get().body())
+        if (op->kind() == ir::OpKind::Func)
+          ++funcs;
+  // volatile sinks keep the hash loops from folding away without pulling
+  // google-benchmark into this header.
+  volatile uint64_t sink = 0;
+  double printed = medianTime([&] {
+    uint64_t acc = 0;
+    for (int r = 0; r < rounds; ++r)
+      for (size_t i = 0; i < suite.modules.size(); ++i) {
+        if (!suite.isValid(i))
+          continue;
+        for (ir::Op *op : suite.modules[i].get().body())
+          if (op->kind() == ir::OpKind::Func)
+            acc ^= transforms::hashBytes(ir::printOp(op)).lo;
+      }
+    sink = acc;
+  });
+  double structural = medianTime([&] {
+    uint64_t acc = 0;
+    for (int r = 0; r < rounds; ++r)
+      for (size_t i = 0; i < suite.modules.size(); ++i) {
+        if (!suite.isValid(i))
+          continue;
+        for (ir::Op *op : suite.modules[i].get().body())
+          if (op->kind() == ir::OpKind::Func)
+            acc ^= ir::hashOp(op).lo;
+      }
+    sink = acc;
+  });
+  (void)sink;
+  std::printf("  printed-hash baseline : %10.6f s  (%zu funcs x%d)\n",
+              printed, funcs, rounds);
+  std::printf("  structural ir::hashOp : %10.6f s  (%.2fx faster)\n",
+              structural, structural > 0 ? printed / structural : 0.0);
 }
 
 inline double geomean(const std::vector<double> &xs) {

@@ -122,5 +122,6 @@ int main(int argc, char **argv) {
   printTable();
   printPassBreakdown();
   printSuiteSessionMode();
+  printKeyingTime(parseSuiteModules());
   return 0;
 }

@@ -147,6 +147,10 @@ void printPassTimingBreakdown(const SuiteModules &suite) {
               "than cache off)\n",
               warmTotal, warmTotal > 0 ? coldTotal / warmTotal : 0.0);
   std::printf("  %s\n", cache.statsStr().c_str());
+
+  // Where the populate overhead went: keying each (function, pass)
+  // boundary. Structural hashing removed the print from that path.
+  printKeyingTime(suite);
 }
 
 void BM_AblationOne(benchmark::State &state) {

@@ -355,6 +355,13 @@ bool CompilerSession::compileAll() {
       }
     }
   }
+  // Keep a long-lived session within its disk budget between batches:
+  // without this, --cache-limit only bound the store at session shutdown
+  // and a compile-server-style session could grow unboundedly mid-run.
+  // No-op unless the resolved cache has a directory and a limit (the
+  // stores themselves also auto-sweep once they exceed half the limit).
+  if (cache_)
+    cache_->evictToDiskLimit();
   return ok();
 }
 

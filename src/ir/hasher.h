@@ -1,0 +1,106 @@
+// Content hashing for the IR layer.
+//
+//  - Hash128 / hashBytes / combineHash: the 128-bit non-cryptographic
+//    content-hash primitives shared by the pass-result cache (on-disk
+//    payload integrity, key filenames) and the structural hasher.
+//  - HashStream: an incremental word-granularity mixer for hashing
+//    structured data without materializing it as text; also backs the
+//    AnalysisManager result fingerprints.
+//  - hashOp: a *structural* hash of an op tree — one walk over op kinds,
+//    operand/result value numbering, attributes, types, and region/block
+//    structure, with no string materialization. It distinguishes exactly
+//    what ir::printOp distinguishes: two ops hash equal iff their printed
+//    forms are equal (w.h.p.), because the hashed stream is a function of
+//    precisely the structure the printer renders (print-order value
+//    numbering included). The pass-result cache keys on hashOp, so keying
+//    a function costs one walk instead of a print + byte hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace paralift::ir {
+
+class Op;
+
+//===----------------------------------------------------------------------===//
+// Hash128
+//===----------------------------------------------------------------------===//
+
+/// 128-bit content hash (two independent 64-bit streams). Not
+/// cryptographic; sized so accidental collisions are out of reach for any
+/// realistic cache population, and cheap enough to run per pass.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Hash128 &o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const Hash128 &o) const { return !(*this == o); }
+
+  /// 32 lowercase hex chars (hi then lo); doubles as the on-disk filename.
+  std::string hex() const;
+  static std::optional<Hash128> fromHex(const std::string &s);
+};
+
+/// Hashes a byte string (printed IR payloads, pass specs).
+Hash128 hashBytes(const std::string &bytes);
+
+/// Folds `next` into an accumulating hash; used to derive a module-level
+/// hash from the per-function hashes in body order.
+Hash128 combineHash(const Hash128 &acc, const Hash128 &next);
+
+//===----------------------------------------------------------------------===//
+// HashStream
+//===----------------------------------------------------------------------===//
+
+/// Incremental order-sensitive mixer over 64-bit words (splitmix64-based
+/// finalization per word). Content only, never pointers: hashing the same
+/// logical stream always reproduces the result exactly, across threads
+/// and processes.
+class HashStream {
+public:
+  void addWord(uint64_t w) {
+    lo_ = mix(lo_ ^ w);
+    hi_ = mix(hi_ ^ (w * 0x9e3779b97f4a7c15ull + 0x165667b19e3779f9ull));
+  }
+  /// Bools mix as distinct non-zero words so a flag stream cannot alias
+  /// an absent-field stream.
+  void addBool(bool b) { addWord(b ? 1 : 2); }
+  void addBytes(const std::string &s) {
+    Hash128 h = hashBytes(s);
+    addWord(h.lo);
+    addWord(h.hi);
+  }
+
+  Hash128 finish() const { return {lo_, hi_}; }
+  /// Folded 64-bit digest (AnalysisManager fingerprints).
+  uint64_t finish64() const {
+    return mix(lo_ ^ (hi_ * 0x9e3779b97f4a7c15ull));
+  }
+
+private:
+  static uint64_t mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t lo_ = 0xcbf29ce484222325ull;
+  uint64_t hi_ = 0x6c62272e07bb0142ull;
+};
+
+//===----------------------------------------------------------------------===//
+// Structural op hashing
+//===----------------------------------------------------------------------===//
+
+/// Structural hash of `op` and everything nested under it. Equal to the
+/// hash of any other op with an identical printed form (clones, spliced
+/// cache replays, a fresh parse of the same text) and different (w.h.p.)
+/// from every op that prints differently. Pointer-free and
+/// iteration-order-free, so hashes are stable across processes sharing an
+/// on-disk pass cache.
+Hash128 hashOp(Op *op);
+
+} // namespace paralift::ir

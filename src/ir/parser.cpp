@@ -1,11 +1,44 @@
 #include "ir/parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <unordered_map>
 
 namespace paralift::ir {
 
 namespace {
+
+//===----------------------------------------------------------------------===//
+// Numeric literal parsing
+//===----------------------------------------------------------------------===//
+// std::stod/std::stoll throw (std::stod even for *valid* printer output:
+// subnormal spellings like 4.9e-324 raise out_of_range via ERANGE, which
+// would crash a pass-cache replay re-parsing a cached attribute). These
+// wrappers never throw; float parsing keeps strtod's clamped result for
+// out-of-range magnitudes (denormals, ±HUGE_VAL) since the printer only
+// emits spellings of representable doubles, and inf/nan spellings parse
+// through strtod directly.
+
+bool parseFloatText(const std::string &s, double &out) {
+  if (s.empty())
+    return false;
+  char *end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parseIntText(const std::string &s, int64_t &out) {
+  if (s.empty())
+    return false;
+  errno = 0;
+  char *end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE)
+    return false;
+  out = v;
+  return true;
+}
 
 //===----------------------------------------------------------------------===//
 // Token stream
@@ -261,10 +294,12 @@ Type parseMemRefBody(const std::string &body) {
     if (part == "?") {
       shape.push_back(Type::kDynamic);
     } else {
+      int64_t dim = 0;
       if (part.empty() ||
-          part.find_first_not_of("0123456789") != std::string::npos)
+          part.find_first_not_of("0123456789") != std::string::npos ||
+          !parseIntText(part, dim))
         return Type();
-      shape.push_back(std::stoll(part));
+      shape.push_back(dim);
     }
     pos = x + 1;
   }
@@ -353,12 +388,20 @@ private:
     const Token &t = lex_.cur();
     switch (t.kind) {
     case Tok::Integer: {
-      int64_t v = std::stoll(t.text);
+      int64_t v = 0;
+      if (!parseIntText(t.text, v)) {
+        error("integer literal '" + t.text + "' out of range");
+        return std::nullopt;
+      }
       lex_.advance();
       return AttrValue(v);
     }
     case Tok::Float: {
-      double v = std::stod(t.text);
+      double v = 0;
+      if (!parseFloatText(t.text, v)) {
+        error("malformed float literal '" + t.text + "'");
+        return std::nullopt;
+      }
       lex_.advance();
       return AttrValue(v);
     }
@@ -385,7 +428,12 @@ private:
             error("expected integer in attribute array");
             return std::nullopt;
           }
-          vec.push_back(std::stoll(lex_.cur().text));
+          int64_t elem = 0;
+          if (!parseIntText(lex_.cur().text, elem)) {
+            error("integer literal '" + lex_.cur().text + "' out of range");
+            return std::nullopt;
+          }
+          vec.push_back(elem);
           lex_.advance();
           if (lex_.cur().kind != Tok::Comma)
             break;

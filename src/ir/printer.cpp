@@ -1,5 +1,6 @@
 #include "ir/printer.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <unordered_map>
 
@@ -9,7 +10,10 @@ namespace {
 
 /// Formats a double so that it (a) survives a print->parse round trip
 /// exactly and (b) is lexically distinguishable from an integer (always
-/// contains '.', 'e', or a non-finite spelling).
+/// contains '.', 'e', or a non-finite spelling). The round-trip probe
+/// uses strtod — the same function the IR parser uses — because istream
+/// extraction rejects exactly the spellings that need probing most
+/// (inf/nan and out-of-range magnitudes like denormals).
 std::string formatDouble(double d) {
   std::string s;
   for (int prec : {6, 15, 17}) {
@@ -17,8 +21,7 @@ std::string formatDouble(double d) {
     os.precision(prec);
     os << d;
     s = os.str();
-    double back = 0;
-    std::istringstream(s) >> back;
+    double back = std::strtod(s.c_str(), nullptr);
     if (back == d || d != d) // NaN never equals itself
       break;
   }

@@ -3,6 +3,7 @@
 #include "analysis/affine.h"
 #include "analysis/barrier.h"
 #include "analysis/memory.h"
+#include "ir/hasher.h"
 
 #include <algorithm>
 #include <sstream>
@@ -42,12 +43,15 @@ std::string PreservedAnalyses::str() const {
 
 namespace {
 
-/// Small order-sensitive mixer for fingerprints (content only, never
-/// pointers: recomputation on identical IR must reproduce it exactly).
+/// Order-sensitive mixer for fingerprints (content only, never pointers:
+/// recomputation on identical IR must reproduce it exactly). Thin facade
+/// over the shared ir::HashStream word mixer so the analysis layer and
+/// the pass-cache keying use one hashing module.
 struct Fingerprint {
-  uint64_t h = 0xcbf29ce484222325ull;
-  void add(uint64_t v) { h = (h ^ v) * 0x100000001b3ull + (v >> 32); }
-  void add(bool b) { add(static_cast<uint64_t>(b ? 1 : 2)); }
+  ir::HashStream hs;
+  void add(uint64_t v) { hs.addWord(v); }
+  void add(bool b) { hs.addBool(b); }
+  uint64_t digest() const { return hs.finish64(); }
 };
 
 } // namespace
@@ -99,7 +103,7 @@ uint64_t BarrierAnalysis::fingerprint() const {
     fp.add(b.beforeUnknown);
     fp.add(b.afterUnknown);
   }
-  return fp.h;
+  return fp.digest();
 }
 
 MemoryAnalysis MemoryAnalysis::compute(ir::Op *func) {
@@ -136,7 +140,7 @@ uint64_t MemoryAnalysis::fingerprint() const {
   fp.add(allocs);
   fp.add(frees);
   fp.add(unknown);
-  return fp.h;
+  return fp.digest();
 }
 
 AffineAnalysis AffineAnalysis::compute(ir::Op *func) {
@@ -167,7 +171,7 @@ uint64_t AffineAnalysis::fingerprint() const {
   fp.add(static_cast<uint64_t>(threadParallels.size()));
   for (const ParallelInfo &p : threadParallels)
     fp.add((static_cast<uint64_t>(p.accesses) << 32) | p.threadPrivate);
-  return fp.h;
+  return fp.digest();
 }
 
 //===----------------------------------------------------------------------===//

@@ -16,64 +16,6 @@
 namespace paralift::transforms {
 
 //===----------------------------------------------------------------------===//
-// Hash128
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-constexpr uint64_t kFnvPrime = 0x100000001b3ull;
-constexpr uint64_t kFnvOffsetLo = 0xcbf29ce484222325ull;
-// A second stream with a different offset basis; the per-byte tweak keeps
-// the two streams from being related by a constant factor.
-constexpr uint64_t kFnvOffsetHi = 0x6c62272e07bb0142ull;
-
-} // namespace
-
-Hash128 hashBytes(const std::string &bytes) {
-  uint64_t lo = kFnvOffsetLo, hi = kFnvOffsetHi;
-  for (unsigned char c : bytes) {
-    lo = (lo ^ c) * kFnvPrime;
-    hi = (hi ^ (c + 0x9eu)) * kFnvPrime;
-  }
-  return {lo, hi};
-}
-
-Hash128 combineHash(const Hash128 &acc, const Hash128 &next) {
-  Hash128 out;
-  out.lo = (acc.lo ^ next.lo) * kFnvPrime + next.hi;
-  out.hi = (acc.hi ^ next.hi) * kFnvPrime + next.lo;
-  return out;
-}
-
-std::string Hash128::hex() const {
-  char buf[33];
-  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                static_cast<unsigned long long>(hi),
-                static_cast<unsigned long long>(lo));
-  return buf;
-}
-
-std::optional<Hash128> Hash128::fromHex(const std::string &s) {
-  if (s.size() != 32)
-    return std::nullopt;
-  uint64_t parts[2] = {0, 0};
-  for (int p = 0; p < 2; ++p) {
-    for (int i = 0; i < 16; ++i) {
-      char c = s[p * 16 + i];
-      uint64_t d;
-      if (c >= '0' && c <= '9')
-        d = c - '0';
-      else if (c >= 'a' && c <= 'f')
-        d = 10 + (c - 'a');
-      else
-        return std::nullopt;
-      parts[p] = (parts[p] << 4) | d;
-    }
-  }
-  return Hash128{parts[1], parts[0]};
-}
-
-//===----------------------------------------------------------------------===//
 // PassResultCache
 //===----------------------------------------------------------------------===//
 
@@ -103,6 +45,7 @@ PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
   uint64_t limit = diskLimitBytes();
   if (dir_.empty() || limit == 0)
     return out;
+  bytesSinceSweep_.store(0, std::memory_order_relaxed);
   // Snapshot the directory; the filesystem is the source of truth (other
   // processes may share the dir), entries written after the snapshot
   // simply survive this sweep.
@@ -142,7 +85,35 @@ PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
   return out;
 }
 
+void PassResultCache::maybeAutoEvict(uint64_t bytesJustWritten) {
+  uint64_t limit = diskLimitBytes();
+  if (dir_.empty() || limit == 0)
+    return;
+  uint64_t pending = bytesSinceSweep_.fetch_add(bytesJustWritten,
+                                                std::memory_order_relaxed) +
+                     bytesJustWritten;
+  // Half the limit of fresh writes between sweeps bounds the store to
+  // ~1.5x the limit at any instant; the directory scan stays off the
+  // common store path.
+  if (pending < std::max<uint64_t>(limit / 2, 1))
+    return;
+  if (sweeping_.exchange(true, std::memory_order_acquire))
+    return; // another worker is already sweeping
+  evictToDiskLimit();
+  sweeping_.store(false, std::memory_order_release);
+}
+
 namespace {
+
+/// Temp-file uniqueness across processes sharing one cache dir needs the
+/// process id; _WIN32 has no ::getpid (only _getpid from <process.h>).
+unsigned long getProcessId() {
+#ifdef _WIN32
+  return static_cast<unsigned long>(::_getpid());
+#else
+  return static_cast<unsigned long>(::getpid());
+#endif
+}
 
 /// Build fingerprint mixed into every key: entries written by a build
 /// with different pass semantics must read as misses, never replay.
@@ -213,37 +184,44 @@ void PassResultCache::store(const Hash128 &input, const std::string &spec,
   // tolerates concurrent writers of one key; same key implies same
   // value for deterministic passes).
   if (!dir_.empty())
-    writeToDisk(key, input, spec, entry);
+    if (uint64_t written = writeToDisk(key, input, spec, entry))
+      maybeAutoEvict(written);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
   entries_[key] = std::move(entry);
 }
 
 // On-disk entry format (header lines, a separator, then the IR verbatim):
-//   paralift-pass-cache v1
-//   input <32 hex>
+//   paralift-pass-cache v2
+//   input <32 hex>                    (structural hash of the pass input)
 //   spec <canonical pass spec>
-//   output <32 hex>
+//   output <32 hex>                   (structural hash of the result; the
+//                                      next pass's input key)
+//   text <32 hex>                     (hashBytes of the payload below)
 //   funcs <32 hex>,<32 hex>,...       (module entries only)
 //   ---
 //   <ir text>
 // The header repeats the full key so a (vanishingly unlikely) filename
 // hash collision, or a stale file from an incompatible version, reads as
-// a miss instead of replaying wrong IR.
+// a miss instead of replaying wrong IR; the text hash catches truncated
+// or corrupted payloads. v1 files (printed-text keying, no text line)
+// fail the magic check and degrade to misses.
 std::optional<PassResultCache::Entry>
 PassResultCache::loadFromDisk(const Hash128 &key, const Hash128 &input,
                               const std::string &spec) {
   std::ifstream in(keyFile(key), std::ios::binary);
   if (!in)
     return std::nullopt;
-  std::string magic, inputLine, specLine, outputLine, line;
-  if (!std::getline(in, magic) || magic != "paralift-pass-cache v1")
+  std::string magic, inputLine, specLine, outputLine, textLine, line;
+  if (!std::getline(in, magic) || magic != "paralift-pass-cache v2")
     return std::nullopt;
   if (!std::getline(in, inputLine) || inputLine.rfind("input ", 0) != 0)
     return std::nullopt;
   if (!std::getline(in, specLine) || specLine.rfind("spec ", 0) != 0)
     return std::nullopt;
   if (!std::getline(in, outputLine) || outputLine.rfind("output ", 0) != 0)
+    return std::nullopt;
+  if (!std::getline(in, textLine) || textLine.rfind("text ", 0) != 0)
     return std::nullopt;
   if (!std::getline(in, line))
     return std::nullopt;
@@ -269,36 +247,40 @@ PassResultCache::loadFromDisk(const Hash128 &key, const Hash128 &input,
     return std::nullopt;
   auto storedInput = Hash128::fromHex(inputLine.substr(6));
   auto storedOutput = Hash128::fromHex(outputLine.substr(7));
-  if (!storedInput || !storedOutput || *storedInput != input ||
-      specLine.substr(5) != spec)
+  auto storedText = Hash128::fromHex(textLine.substr(5));
+  if (!storedInput || !storedOutput || !storedText ||
+      *storedInput != input || specLine.substr(5) != spec)
     return std::nullopt;
   std::ostringstream ir;
   ir << in.rdbuf();
   entry.ir = ir.str();
   entry.outputHash = *storedOutput;
-  if (hashBytes(entry.ir) != entry.outputHash)
+  if (hashBytes(entry.ir) != *storedText)
     return std::nullopt; // truncated or corrupted payload
   return entry;
 }
 
-void PassResultCache::writeToDisk(const Hash128 &key, const Hash128 &input,
-                                  const std::string &spec,
-                                  const Entry &entry) {
+uint64_t PassResultCache::writeToDisk(const Hash128 &key,
+                                      const Hash128 &input,
+                                      const std::string &spec,
+                                      const Entry &entry) {
   std::string path = keyFile(key);
   // Unique temp name per process+thread+key (thread ids alone are not
   // unique across processes sharing one cache dir); rename is atomic on
   // POSIX, so concurrent writers of the same key both land a complete
   // file.
   std::ostringstream tmp;
-  tmp << path << ".tmp." << ::getpid() << "." << std::this_thread::get_id();
+  tmp << path << ".tmp." << getProcessId() << "."
+      << std::this_thread::get_id();
   {
     std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
     if (!out)
-      return;
-    out << "paralift-pass-cache v1\n"
+      return 0;
+    out << "paralift-pass-cache v2\n"
         << "input " << input.hex() << "\n"
         << "spec " << spec << "\n"
-        << "output " << entry.outputHash.hex() << "\n";
+        << "output " << entry.outputHash.hex() << "\n"
+        << "text " << hashBytes(entry.ir).hex() << "\n";
     if (!entry.funcHashes.empty()) {
       out << "funcs ";
       for (size_t i = 0; i < entry.funcHashes.size(); ++i)
@@ -311,13 +293,21 @@ void PassResultCache::writeToDisk(const Hash128 &key, const Hash128 &input,
       out.close();
       std::error_code ec;
       std::filesystem::remove(tmp.str(), ec);
-      return;
+      return 0;
     }
   }
   std::error_code ec;
-  std::filesystem::rename(tmp.str(), path, ec);
+  // Actual file bytes (header included) so the auto-sweep threshold
+  // tracks real disk growth, not just payload size.
+  uint64_t written = std::filesystem::file_size(tmp.str(), ec);
   if (ec)
+    written = entry.ir.size();
+  std::filesystem::rename(tmp.str(), path, ec);
+  if (ec) {
     std::filesystem::remove(tmp.str(), ec);
+    return 0;
+  }
+  return written;
 }
 
 PassResultCache::StatsSnapshot PassResultCache::stats() const {

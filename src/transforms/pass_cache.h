@@ -1,13 +1,21 @@
-// Persistent pass-result cache: maps (canonical pass spec, hash of the
-// input IR) to the printed IR the pass produced, so re-compiling an
-// unchanged function through an unchanged pipeline prefix replays cached
-// IR instead of re-running passes.
+// Persistent pass-result cache: maps (canonical pass spec, structural
+// hash of the input IR) to the printed IR the pass produced, so
+// re-compiling an unchanged function through an unchanged pipeline prefix
+// replays cached IR instead of re-running passes.
 //
-// Keys chain naturally: the stored entry carries the hash of its output
-// text, which becomes the next pass's input hash. Two pipelines sharing a
-// prefix therefore share every prefix entry, and an ablation sweep whose
-// stages diverge only at pass k re-runs from pass k onwards — the
-// O(changed work) property bench_fig13_ablation exploits.
+// Keying: lookups are keyed on ir::hashOp — a direct structural hash
+// (one walk over op kinds, operand numbering, attrs, types, regions) —
+// never on a hash of printed text, so keying a function costs no string
+// materialization. Entries carry the structural hash of their *output*
+// (Entry::outputHash), which becomes the next pass's input key; replayed
+// and executed passes therefore advance identical hash chains. Two
+// pipelines sharing a prefix share every prefix entry, and an ablation
+// sweep whose stages diverge only at pass k re-runs from pass k onwards —
+// the O(changed work) property bench_fig13_ablation exploits. Byte
+// hashing (hashBytes) survives only where text is the object itself: the
+// spec+salt key component and the on-disk payload integrity check
+// (replay splices stored text, so the stored text is what must be
+// intact).
 //
 // Granularity: function passes cache one entry per function (editing one
 // function only misses its own entries); module passes (inline, and any
@@ -22,6 +30,9 @@
 // PassManager queries the cache from --pm-threads workers).
 #pragma once
 
+#include "ir/hasher.h"
+
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -31,31 +42,11 @@
 
 namespace paralift::transforms {
 
-//===----------------------------------------------------------------------===//
-// Hash128
-//===----------------------------------------------------------------------===//
-
-/// 128-bit content hash (two independent 64-bit FNV-1a streams). Not
-/// cryptographic; sized so accidental collisions are out of reach for any
-/// realistic cache population, and cheap enough to run per pass.
-struct Hash128 {
-  uint64_t lo = 0;
-  uint64_t hi = 0;
-
-  bool operator==(const Hash128 &o) const { return lo == o.lo && hi == o.hi; }
-  bool operator!=(const Hash128 &o) const { return !(*this == o); }
-
-  /// 32 lowercase hex chars (hi then lo); doubles as the on-disk filename.
-  std::string hex() const;
-  static std::optional<Hash128> fromHex(const std::string &s);
-};
-
-/// Hashes a byte string (typically printed IR).
-Hash128 hashBytes(const std::string &bytes);
-
-/// Folds `next` into an accumulating hash; used to derive a module-level
-/// hash from the per-function hashes in body order.
-Hash128 combineHash(const Hash128 &acc, const Hash128 &next);
+// The hashing primitives live with the IR they hash (ir/hasher.h); the
+// transform layer keeps its historical spellings.
+using ir::combineHash;
+using ir::Hash128;
+using ir::hashBytes;
 
 //===----------------------------------------------------------------------===//
 // PassResultCache
@@ -76,14 +67,19 @@ public:
 
   struct Entry {
     std::string ir;     ///< printed IR produced by the pass
-    Hash128 outputHash; ///< hashBytes(ir); the next pass's input hash
-    /// For module-granularity entries: the per-function hashes of the
-    /// result, in body order, so replay re-keys the hash chain without
-    /// printing each function again. Empty for function entries.
+    /// Structural hash (ir::hashOp) of the produced IR; the next pass's
+    /// input key. Splicing `ir` back in reproduces it exactly (the
+    /// print/parse round trip preserves structure), so replayed and
+    /// executed passes advance identical hash chains.
+    Hash128 outputHash;
+    /// For module-granularity entries: the per-function structural
+    /// hashes of the result, in body order, so replay re-keys the hash
+    /// chain without re-hashing each function. Empty for function
+    /// entries.
     std::vector<Hash128> funcHashes;
   };
 
-  /// Finds the result of running `spec` on IR whose print hashes to
+  /// Finds the result of running `spec` on IR whose structural hash is
   /// `input`. Checks memory first, then disk; disk hits are promoted into
   /// memory. Returns nullopt on miss (and counts it).
   std::optional<Entry> lookup(const Hash128 &input, const std::string &spec);
@@ -102,10 +98,12 @@ public:
   // The on-disk store grows without bound by default (every distinct
   // (spec, input) pair ever compiled leaves a file). A byte limit turns
   // it into an LRU-by-mtime cache: evictToDiskLimit removes
-  // oldest-modified entry files until the directory total fits. The
-  // sweep runs automatically at destruction (session shutdown), so a
-  // long-lived CompilerSession — or the process-wide PARALIFT_CACHE_DIR
-  // cache — trims itself when it winds down rather than on the hot path.
+  // oldest-modified entry files until the directory total fits. Sweeps
+  // run at destruction (session shutdown), after every
+  // CompilerSession::compileAll batch, and automatically mid-run once
+  // stores have written more than half the limit since the last sweep —
+  // so a long-lived session (or the future compile-server) stays within
+  // ~1.5x the bound at all times instead of growing until shutdown.
 
   /// 0 (the default) disables the bound. Driven by --cache-limit=<MB> /
   /// $PARALIFT_CACHE_LIMIT at the CLI/session layer.
@@ -151,8 +149,13 @@ private:
   static Hash128 keyHash(const Hash128 &input, const std::string &spec);
   std::optional<Entry> loadFromDisk(const Hash128 &key, const Hash128 &input,
                                     const std::string &spec);
-  void writeToDisk(const Hash128 &key, const Hash128 &input,
-                   const std::string &spec, const Entry &entry);
+  /// Returns the bytes the entry file occupies on disk (header + payload),
+  /// 0 when the write failed.
+  uint64_t writeToDisk(const Hash128 &key, const Hash128 &input,
+                       const std::string &spec, const Entry &entry);
+  /// Sweeps once stores have accumulated more than half the limit in
+  /// newly written bytes (one worker sweeps; the rest keep storing).
+  void maybeAutoEvict(uint64_t bytesJustWritten);
 
   struct Hash128Hasher {
     size_t operator()(const Hash128 &h) const {
@@ -165,6 +168,8 @@ private:
   std::unordered_map<Hash128, Entry, Hash128Hasher> entries_;
   StatsSnapshot stats_;
   uint64_t diskLimitBytes_ = 0;
+  std::atomic<uint64_t> bytesSinceSweep_{0};
+  std::atomic<bool> sweeping_{false};
 };
 
 } // namespace paralift::transforms

@@ -1,5 +1,6 @@
 #include "transforms/pass_manager.h"
 
+#include "ir/hasher.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
@@ -409,7 +410,7 @@ public:
 
   /// Timing reads clocks and counters only, so cached replays may stay
   /// lazy (unspliced) across timed passes.
-  bool inspectsIR() const override { return false; }
+  bool inspectsIR(const Pass &) const override { return false; }
 
 private:
   PassTimingReport *report_;
@@ -573,7 +574,7 @@ bool PassManager::runOnFunctions(FunctionPass &pass,
 const Hash128 &PassManager::hashOf(ir::Op *func, CacheState &st) {
   auto it = st.irHash.find(func);
   if (it == st.irHash.end())
-    it = st.irHash.emplace(func, hashBytes(ir::printOp(func))).first;
+    it = st.irHash.emplace(func, ir::hashOp(func)).first;
   return it->second;
 }
 
@@ -614,6 +615,10 @@ bool PassManager::applyHit(ModuleOp module, ir::Op *func,
     return false;
   analysisManager_.invalidate(func);
   st.irHash.erase(func);
+  // A leftover lazy entry from an earlier pass would otherwise
+  // materialize outdated IR over the spliced result at the next
+  // materialize of `func`.
+  st.pending.erase(func);
   st.irHash[replacement] = hit.outputHash;
   return true;
 }
@@ -668,11 +673,11 @@ bool PassManager::spliceModule(ModuleOp module,
     if (op->kind() != ir::OpKind::Func)
       continue;
     // The entry records the per-function result hashes; fall back to
-    // printing only when the metadata is absent (older cache files).
+    // rehashing only when the metadata is absent (older cache files).
     if (funcIdx < entry.funcHashes.size())
       st.irHash[op] = entry.funcHashes[funcIdx];
     else
-      st.irHash[op] = hashBytes(ir::printOp(op));
+      st.irHash[op] = ir::hashOp(op);
     ++funcIdx;
   }
   return true;
@@ -709,13 +714,17 @@ bool PassManager::runPassCached(Pass &pass, ModuleOp module,
       return false;
     st.irHash.clear();
     PassResultCache::Entry entry;
+    Hash128 output;
     for (ir::Op *func : collectFuncs(module)) {
-      Hash128 h = hashBytes(ir::printOp(func));
+      Hash128 h = ir::hashOp(func);
       st.irHash[func] = h;
       entry.funcHashes.push_back(h);
+      output = combineHash(output, h);
     }
     entry.ir = ir::printOp(module.op);
-    entry.outputHash = hashBytes(entry.ir);
+    // The chain key of a module entry is the same per-function fold the
+    // next module pass derives its input from.
+    entry.outputHash = output;
     cache_->store(input, spec, std::move(entry));
     return true;
   }
@@ -750,10 +759,12 @@ bool PassManager::runPassCached(Pass &pass, ModuleOp module,
       diag.numErrors() > errorsAtStart)
     return false;
   for (ir::Op *func : missed) {
-    std::string text = ir::printOp(func);
-    Hash128 outputHash = hashBytes(text);
+    // The entry payload is the printed text (replay splices text); the
+    // chain key is the structural hash, matching what a fresh walk of
+    // the spliced replay would produce.
+    Hash128 outputHash = ir::hashOp(func);
     Hash128 input = st.irHash[func];
-    cache_->store(input, spec, std::move(text), outputHash);
+    cache_->store(input, spec, ir::printOp(func), outputHash);
     st.irHash[func] = outputHash;
   }
   return true;
@@ -786,24 +797,31 @@ bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
   // them); entries primed for *this* module's functions are kept.
   analysisManager_.retainOnly(collectFuncs(module));
 
-  // Chained per-function IR hashes for the result cache: each executed
-  // pass prints its output once (becoming the next pass's input hash),
-  // and replayed passes reuse the stored output hash — so a fully cached
-  // pipeline never prints IR beyond the initial hashing. When no
-  // installed instrumentation inspects the IR, replays are additionally
-  // lazy: hits park their cached text and only the final state (or the
-  // input of an actually-executing pass) is ever parsed back in.
+  // Chained per-function structural IR hashes for the result cache: the
+  // initial keying is one hashOp walk per function (no printing), each
+  // executed pass re-walks its output once (becoming the next pass's
+  // input hash), and replayed passes reuse the stored output hash — so a
+  // fully cached pipeline never prints or parses IR at all. Laziness is
+  // per pass: around a pass no instrumentation inspects, hits park their
+  // cached text and only advance the hash chain; before a pass some
+  // instrumentation does inspect, every pending replay is materialized
+  // so the hooks (and the pass) observe real IR.
   CacheState st;
-  bool lazy = true;
-  for (const auto &ins : instrumentations_)
-    lazy = lazy && !ins->inspectsIR();
   if (cache_)
     for (ir::Op *op : module.body())
       if (op->kind() == ir::OpKind::Func)
-        st.irHash[op] = hashBytes(ir::printOp(op));
+        st.irHash[op] = ir::hashOp(op);
 
   for (auto &pass : passes_) {
     pass->beginRun();
+    bool lazy = true;
+    for (const auto &ins : instrumentations_)
+      lazy = lazy && !ins->inspectsIR(*pass);
+    if (cache_ && !lazy && !materializeAll(module, st)) {
+      diag.error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                              "(print/parse round-trip bug)");
+      return false;
+    }
     for (auto &ins : instrumentations_)
       ins->beforePass(*pass, module);
     bool ok;
@@ -955,10 +973,9 @@ void PassManager::runFunctionPassBatch(
     if (!ok[i])
       continue;
     if (cache_) {
-      std::string text = ir::printOp(missed[k].func);
-      Hash128 outputHash = hashBytes(text);
+      Hash128 outputHash = ir::hashOp(missed[k].func);
       Hash128 input = st[i].irHash[missed[k].func];
-      cache_->store(input, spec, std::move(text), outputHash);
+      cache_->store(input, spec, ir::printOp(missed[k].func), outputHash);
       st[i].irHash[missed[k].func] = outputHash;
     }
   }
@@ -983,9 +1000,8 @@ void PassManager::runFunctionPassBatch(
       ok[i] = 0;
       continue;
     }
-    std::string text = ir::printOp(it.func);
-    Hash128 outputHash = hashBytes(text);
-    cache_->store(input, spec, std::move(text), outputHash);
+    Hash128 outputHash = ir::hashOp(it.func);
+    cache_->store(input, spec, ir::printOp(it.func), outputHash);
     st[i].irHash[it.func] = outputHash;
   }
   for (size_t i = 0; i < modules.size(); ++i)
@@ -1016,13 +1032,15 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
 
   // Per-module hash chains (see run()); functions hash identically across
   // modules, so two modules containing the same kernel share every cache
-  // entry within this one batch.
+  // entry within this one batch. This prologue is single-threaded for
+  // every batch pass, which is exactly why keying is a structural walk
+  // (ir::hashOp) and not a print.
   std::vector<CacheState> st(modules.size());
   const bool lazy = !opts.verifyEach;
   if (cache_)
     for (size_t i = 0; i < modules.size(); ++i)
       for (ir::Op *func : collectFuncs(modules[i]))
-        st[i].irHash[func] = hashBytes(ir::printOp(func));
+        st[i].irHash[func] = ir::hashOp(func);
 
   for (auto &pass : passes_) {
     pass->beginRun();

@@ -276,12 +276,18 @@ public:
     (void)diag;
     return true;
   }
-  /// Whether the hooks read the module IR. When every installed
-  /// instrumentation answers false (e.g. timing only), the result cache
-  /// may defer splicing replayed IR until a pass actually executes —
-  /// consecutive cache hits then cost hash-chain lookups instead of
-  /// print/parse round-trips.
-  virtual bool inspectsIR() const { return true; }
+  /// Whether the hooks read the module IR around `pass`. When every
+  /// installed instrumentation answers false for a pass (e.g. timing
+  /// only, or a filtered IR printer watching another pass), the result
+  /// cache may defer splicing replayed IR past it — consecutive cache
+  /// hits then cost hash-chain lookups instead of parse round-trips.
+  /// Laziness is decided per pass: before a pass some instrumentation
+  /// does inspect, the PassManager materializes every pending replay so
+  /// the hooks (and the pass) observe real IR.
+  virtual bool inspectsIR(const Pass &pass) const {
+    (void)pass;
+    return true;
+  }
 };
 
 /// Per-pass wall-clock timing and peak-RSS growth, one record per pass
@@ -344,6 +350,10 @@ public:
   void beforePass(const Pass &pass, ModuleOp module) override;
   bool afterPass(const Pass &pass, ModuleOp module,
                  DiagnosticEngine &diag) override;
+  /// Only the watched pass needs materialized IR: a filtered
+  /// --print-ir-after=P no longer forces eager replay of the whole
+  /// pipeline, only of pass P.
+  bool inspectsIR(const Pass &pass) const override { return matches(pass); }
 
 private:
   bool matches(const Pass &pass) const {
@@ -393,9 +403,12 @@ public:
 
   /// Attaches a pass-result cache (owned by the caller; shareable across
   /// PassManagers and threads). When set, each pass execution is keyed on
-  /// (canonical pass spec, hash of the printed input IR) per function —
-  /// per module for module passes — and cache hits splice the stored IR
-  /// in instead of running the pass.
+  /// (canonical pass spec, ir::hashOp structural hash of the input IR)
+  /// per function — per module for module passes, folding the
+  /// per-function hashes — and cache hits splice the stored IR in
+  /// instead of running the pass. Keying never prints IR; the structural
+  /// hash is one walk per (function, pass) boundary, and replayed passes
+  /// reuse the stored output hash without any walk at all.
   void setResultCache(PassResultCache *cache) { cache_ = cache; }
   PassResultCache *resultCache() const { return cache_; }
 
@@ -470,10 +483,11 @@ private:
     bool wholeModule = false;        ///< module pass (or cache disabled)
     std::vector<ir::Op *> executed;  ///< functions the pass actually ran on
   };
-  /// Per-run cache bookkeeping: the chained per-function IR hashes plus —
-  /// in lazy mode — cached result text accepted but not yet spliced into
-  /// the module (consecutive hits only advance the hash chain; IR is
-  /// materialized when a pass actually has to execute, or at end of run).
+  /// Per-run cache bookkeeping: the chained per-function structural IR
+  /// hashes plus — for lazily replayed passes — cached result text
+  /// accepted but not yet spliced into the module (consecutive hits only
+  /// advance the hash chain; IR is materialized when a pass actually has
+  /// to execute, when an instrumentation inspects it, or at end of run).
   struct CacheState {
     std::unordered_map<ir::Op *, Hash128> irHash;
     std::unordered_map<ir::Op *, std::string> pending;
@@ -481,7 +495,8 @@ private:
   bool runPassCached(Pass &pass, ModuleOp module, DiagnosticEngine &diag,
                      runtime::ThreadPool *pool, bool lazy, CacheState &st,
                      RunScope &scope);
-  /// Hash of `func`'s logical IR, printing it on first use.
+  /// Structural hash (ir::hashOp) of `func`'s logical IR, walking it on
+  /// first use; never prints.
   const Hash128 &hashOf(ir::Op *func, CacheState &st);
   /// Splices `func`'s pending cached text into the module (no-op without
   /// pending text). Returns the replacement op, or nullptr on a

@@ -1,0 +1,259 @@
+// Structural IR hashing (ir::hashOp) tests. The load-bearing property is
+// *differential*: hashOp must distinguish exactly what ir::printOp
+// distinguishes — equal printed text implies equal hash (clones, fresh
+// parses, replayed cache splices key identically), and distinct printed
+// text implies distinct hash (no false cache hits). Verified across the
+// Rodinia suite (frontend output and fully optimized output), a matrix
+// of single mutations, and the double-attribute edge cases the printer
+// collapses (NaN payloads) or keeps distinct (-0.0, -nan).
+#include "driver/compiler.h"
+#include "frontend/irgen.h"
+#include "ir/hasher.h"
+#include "ir/ophelpers.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "rodinia/rodinia.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <vector>
+
+using namespace paralift;
+using namespace paralift::ir;
+
+namespace {
+
+OwnedModule parseOk(const std::string &text) {
+  DiagnosticEngine diag;
+  auto m = ir::parseModule(text, diag);
+  EXPECT_TRUE(m.has_value()) << diag.str();
+  return std::move(*m);
+}
+
+/// Asserts the differential property over a corpus: for every pair of
+/// ops, hash equality must coincide with printed-text equality. Checked
+/// via two maps instead of O(n^2) pairs.
+class DifferentialChecker {
+public:
+  void add(Op *op, const std::string &label) {
+    std::string text = printOp(op);
+    std::string hash = hashOp(op).hex();
+    auto byText = textToHash_.emplace(text, hash);
+    EXPECT_EQ(byText.first->second, hash)
+        << label << ": same printed text, different hash";
+    auto byHash = hashToText_.emplace(hash, text);
+    EXPECT_EQ(byHash.first->second, text)
+        << label << ": hash collision between distinct printed texts";
+    ++count_;
+  }
+  size_t count() const { return count_; }
+
+private:
+  std::map<std::string, std::string> textToHash_;
+  std::map<std::string, std::string> hashToText_;
+  size_t count_ = 0;
+};
+
+const char *kBase = R"(module {
+  func {sym_name = "m", res_types = []} {
+    [%0: memref<4x?xf32>, %1: index]:
+    %2 = const.int {value = 7} : i32
+    %3 = const.float {value = 1.5} : f64
+    %4 = const.int {value = 3} : index
+    %5 = memref.load(%0, %1, %4) : f32
+    %6 = addf(%5, %5) : f32
+    memref.store(%6, %0, %1, %4)
+    scf.for(%4, %1, %4) {
+      [%7: index]:
+      %8 = muli(%7, %7) : index
+      yield
+    }
+    return
+  }
+})";
+
+double nanWithPayload(uint64_t payload) {
+  uint64_t bits = 0x7ff8000000000000ull | (payload & 0xfffffffffffffull);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// First op of the first func's body (the const.int).
+Op *firstBodyOp(ModuleOp m) {
+  return FuncOp(m.body().front()).body().front();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Equality side: identical print => identical hash
+//===----------------------------------------------------------------------===//
+
+TEST(HasherTest, CloneAndReparseHashIdentically) {
+  OwnedModule m = parseOk(kBase);
+  Hash128 h = hashOp(m.op());
+  // Clone: fresh Op/ValueImpl addresses, same structure.
+  OwnedModule clone = cloneModule(m.get());
+  EXPECT_EQ(hashOp(clone.op()), h);
+  // Print -> parse: a replayed cache splice keys like the original.
+  OwnedModule reparsed = parseOk(printOp(m.op()));
+  EXPECT_EQ(hashOp(reparsed.op()), h);
+  // Per-function hashes agree too.
+  EXPECT_EQ(hashOp(m.get().body().front()),
+            hashOp(clone.get().body().front()));
+}
+
+TEST(HasherTest, HashIsDeterministicAcrossCalls) {
+  OwnedModule m = parseOk(kBase);
+  EXPECT_EQ(hashOp(m.op()), hashOp(m.op()));
+}
+
+TEST(HasherTest, NanPayloadsCollapseLikeThePrinter) {
+  OwnedModule a = parseOk(kBase);
+  OwnedModule b = parseOk(kBase);
+  // Different payload bits; the printer renders both as "nan", so the
+  // hashes must agree (hashing raw bits would shatter warm-cache keys
+  // for any module carrying a NaN attribute).
+  firstBodyOp(a.get())->attrs().set("value", nanWithPayload(0x1));
+  firstBodyOp(b.get())->attrs().set("value", nanWithPayload(0xbeef));
+  ASSERT_EQ(printOp(a.op()), printOp(b.op()));
+  EXPECT_EQ(hashOp(a.op()), hashOp(b.op()));
+  // A sign flip prints differently ("-nan") and must hash differently.
+  firstBodyOp(b.get())->attrs().set(
+      "value", std::copysign(nanWithPayload(0x1), -1.0));
+  ASSERT_NE(printOp(a.op()), printOp(b.op()));
+  EXPECT_NE(hashOp(a.op()), hashOp(b.op()));
+}
+
+TEST(HasherTest, SignedZeroAndNonFiniteAttrsDistinguish) {
+  DifferentialChecker check;
+  const double values[] = {0.0,
+                           -0.0,
+                           1.5,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           4.9406564584124654e-324, // smallest denormal
+                           1e308};
+  OwnedModule m = parseOk(kBase);
+  for (double v : values) {
+    firstBodyOp(m.get())->attrs().set("value", v);
+    check.add(m.op(), "value attr " + std::to_string(v));
+  }
+  EXPECT_EQ(check.count(), std::size(values));
+}
+
+//===----------------------------------------------------------------------===//
+// Inequality side: every single mutation that changes the printed text
+// changes the hash
+//===----------------------------------------------------------------------===//
+
+TEST(HasherTest, SingleMutationsAllDistinguish) {
+  // Each variant differs from kBase in exactly one structural aspect.
+  const std::pair<const char *, const char *> mutations[] = {
+      {"int attr value", "{value = 7}"},
+      {"float attr value", "{value = 1.5}"},
+      {"op kind", "addf(%5, %5)"},
+      {"operand order", "memref.store(%6, %0, %1, %4)"},
+      {"result type", "%2 = const.int {value = 7} : i32"},
+      {"block arg type", "[%0: memref<4x?xf32>, %1: index]:"},
+      {"memref shape", "memref<4x?xf32>"},
+      {"sym name", "sym_name = \"m\""},
+      {"extra op", "%8 = muli(%7, %7) : index"},
+  };
+  const std::pair<const char *, const char *> replacements[] = {
+      {"{value = 7}", "{value = 8}"},
+      {"{value = 1.5}", "{value = 1.25}"},
+      {"addf(%5, %5)", "mulf(%5, %5)"},
+      {"memref.store(%6, %0, %1, %4)", "memref.store(%6, %0, %4, %1)"},
+      {"%2 = const.int {value = 7} : i32",
+       "%2 = const.int {value = 7} : i64"},
+      {"[%0: memref<4x?xf32>, %1: index]:",
+       "[%0: memref<4x?xf64>, %1: index]:"},
+      {"memref<4x?xf32>", "memref<8x?xf32>"},
+      {"sym_name = \"m\"", "sym_name = \"m2\""},
+      {"%8 = muli(%7, %7) : index",
+       "%8 = muli(%7, %7) : index\n      %9 = addi(%8, %7) : index"},
+  };
+  static_assert(std::size(mutations) == std::size(replacements));
+
+  DifferentialChecker check;
+  OwnedModule base = parseOk(kBase);
+  check.add(base.op(), "base");
+  Hash128 baseHash = hashOp(base.op());
+  for (size_t i = 0; i < std::size(replacements); ++i) {
+    std::string text = kBase;
+    size_t pos = text.find(replacements[i].first);
+    ASSERT_NE(pos, std::string::npos) << mutations[i].first;
+    text.replace(pos, std::strlen(replacements[i].first),
+                 replacements[i].second);
+    OwnedModule variant = parseOk(text);
+    check.add(variant.op(), mutations[i].first);
+    EXPECT_NE(hashOp(variant.op()), baseHash)
+        << "mutation not distinguished: " << mutations[i].first;
+  }
+}
+
+TEST(HasherTest, AttrOrderAndPresenceDistinguish) {
+  // AttrMap is ordered and the printer renders it in order.
+  OwnedModule a = parseOk(kBase);
+  OwnedModule b = parseOk(kBase);
+  firstBodyOp(a.get())->attrs().set("extra", true);
+  Op *bOp = firstBodyOp(b.get());
+  int64_t v = bOp->attrs().getInt("value");
+  bOp->attrs().erase("value");
+  bOp->attrs().set("extra", true);
+  bOp->attrs().set("value", v);
+  ASSERT_NE(printOp(a.op()), printOp(b.op()));
+  EXPECT_NE(hashOp(a.op()), hashOp(b.op()));
+  // Variant tags: int 1 vs bool true vs [1] vs "1" all print (and must
+  // hash) differently.
+  DifferentialChecker check;
+  for (AttrValue val :
+       {AttrValue(int64_t{1}), AttrValue(true), AttrValue(std::string("1")),
+        AttrValue(std::vector<int64_t>{1})}) {
+    firstBodyOp(a.get())->attrs().set("extra", val);
+    check.add(a.op(), "attr variant");
+  }
+  EXPECT_EQ(check.count(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rodinia differential sweep (acceptance)
+//===----------------------------------------------------------------------===//
+
+TEST(HasherTest, DifferentialAcrossRodiniaSuite) {
+  DifferentialChecker check;
+  for (const auto &b : rodinia::suite()) {
+    DiagnosticEngine diag;
+    OwnedModule frontendOut = frontend::compileToIR(b.cudaSource, diag);
+    if (diag.hasErrors())
+      continue;
+    check.add(frontendOut.op(), b.id + " (frontend)");
+    for (Op *op : frontendOut.get().body())
+      if (op->kind() == OpKind::Func)
+        check.add(op, b.id + " func (frontend)");
+    // The fully optimized module exercises every op kind the pipeline
+    // can produce (omp dialect, fissioned loops, subviews, ...).
+    DiagnosticEngine cdiag;
+    auto compiled = driver::compile(b.cudaSource, transforms::PipelineOptions{},
+                                    cdiag);
+    if (!compiled.ok)
+      continue;
+    check.add(compiled.module.op(), b.id + " (optimized)");
+    for (Op *op : compiled.module.get().body())
+      if (op->kind() == OpKind::Func)
+        check.add(op, b.id + " func (optimized)");
+    // And the frontend output's clone + reparse key identically.
+    OwnedModule clone = cloneModule(frontendOut.get());
+    check.add(clone.op(), b.id + " (clone)");
+    OwnedModule reparsed = parseOk(printOp(frontendOut.op()));
+    check.add(reparsed.op(), b.id + " (reparse)");
+  }
+  EXPECT_GT(check.count(), 20u) << "suite corpus unexpectedly small";
+}

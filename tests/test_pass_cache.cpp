@@ -490,3 +490,201 @@ TEST(PassCacheTest, NoLimitMeansNoEviction) {
   EXPECT_EQ(remaining, 1u);
   std::filesystem::remove_all(dir);
 }
+
+//===----------------------------------------------------------------------===//
+// Non-finite / denormal float attributes through a cache round trip
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, NonFiniteAttrsSurviveCacheReplay) {
+  // Every printable double edge case the printer emits special spellings
+  // for: ±inf, nan, -nan, signed zero, and a denormal (whose spelling
+  // used to crash replay — std::stod raises out_of_range on 4.9e-324).
+  const char *src = R"(module {
+  func {sym_name = "edge", res_types = []} {
+    [%0: memref<?xf64>, %1: index]:
+    %2 = const.float {value = inf} : f64
+    %3 = const.float {value = -inf} : f64
+    %4 = const.float {value = nan} : f64
+    %5 = const.float {value = -nan} : f64
+    %6 = const.float {value = -0.0} : f64
+    %7 = const.float {value = 4.9406564584124654e-324} : f64
+    memref.store(%2, %0, %1)
+    memref.store(%3, %0, %1)
+    memref.store(%4, %0, %1)
+    memref.store(%5, %0, %1)
+    memref.store(%6, %0, %1)
+    memref.store(%7, %0, %1)
+    return
+  }
+})";
+  const std::string pipeline = "canonicalize,cse";
+  OwnedModule reference = parseOk(src);
+  DiagnosticEngine refDiag;
+  ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, refDiag))
+      << refDiag.str();
+  std::string golden = printOp(reference.op());
+
+  std::string dir = tempDir("nonfinite");
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(src);
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), golden);
+  }
+  // Fresh cache instance over the same dir: the replay must re-parse the
+  // stored text (which spells inf/nan/-0.0/denormals) instead of failing
+  // with "cached IR failed to re-parse" — or crashing.
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(src);
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), golden);
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.passesExecuted, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Key determinism across cache instances (structural-hash guarantee)
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, KeysDeterministicAcrossCacheInstances) {
+  // Fresh cache instance + fresh module objects over one disk dir models
+  // a second process: every key must reproduce exactly (no pointer or
+  // iteration-order input), so the second run reports zero misses and
+  // zero executed passes. The pipeline includes a module pass (inline)
+  // to cover the folded module-level keys, and a repeat composite.
+  const char *src = R"(module {
+  func {sym_name = "callee", res_types = []} {
+    [%0: memref<?xf32>, %1: index]:
+    %2 = memref.load(%0, %1) : f32
+    %3 = addf(%2, %2) : f32
+    memref.store(%3, %0, %1)
+    return
+  }
+  func {sym_name = "caller", res_types = []} {
+    [%10: memref<?xf32>, %11: index]:
+    call(%10, %11) {callee = "callee"}
+    return
+  }
+})";
+  const std::string pipeline =
+      "inline,repeat{n=2}(canonicalize,cse),unroll{max-trip=4}";
+  std::string dir = tempDir("determinism");
+  std::string first;
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(src);
+    first = runCached(m.get(), pipeline, &cache);
+    EXPECT_GT(cache.stats().stores, 0u);
+  }
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(src);
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), first);
+    auto s = cache.stats();
+    EXPECT_EQ(s.misses, 0u) << "a cache key failed to reproduce";
+    EXPECT_EQ(s.passesExecuted, 0u);
+    EXPECT_EQ(s.hits, s.diskHits) << "all hits must come from disk";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Mid-run disk eviction (long-lived sessions must not outgrow the limit)
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, StoresSweepTheDiskLimitMidRun) {
+  std::string dir = tempDir("midrun-evict");
+  auto dirBytes = [&] {
+    uint64_t total = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+      total += std::filesystem::file_size(e.path());
+    return total;
+  };
+  const uint64_t limit = 4096;
+  uint64_t written = 0;
+  {
+    PassResultCache cache(dir);
+    cache.setDiskLimitBytes(limit);
+    // Far more entry bytes than the limit, without destroying the cache:
+    // the store path itself must keep the directory bounded (~1.5x the
+    // limit plus the writes since the last threshold crossing).
+    for (int i = 0; i < 60; ++i) {
+      std::string ir(400, 'a' + (i % 26));
+      written += ir.size();
+      cache.store(hashBytes("in" + std::to_string(i)), "canonicalize",
+                  ir, hashBytes(ir));
+      EXPECT_LE(dirBytes(), 3 * limit) << "store " << i;
+    }
+    ASSERT_GT(written, 3 * limit) << "test must overflow the limit";
+    size_t files = 0;
+    for (const auto &e : std::filesystem::directory_iterator(dir)) {
+      (void)e;
+      ++files;
+    }
+    EXPECT_LT(files, 60u) << "no mid-run sweep ever ran";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Mixed lazy/eager replay (per-pass inspectsIR)
+//===----------------------------------------------------------------------===//
+
+TEST(PassCacheTest, MidPipelineInspectionSeesRealIRAndKeepsReplay) {
+  // A filtered IR printer watches only "cse": passes around it replay
+  // lazily (pending text), cse itself is inspected — the pass manager
+  // must materialize pending replays before it and must not let a stale
+  // pending entry overwrite the spliced result afterwards.
+  const std::string pipeline = "canonicalize,cse,canonicalize";
+  OwnedModule goldenModule = parseOk(twoFuncModule("2.0"));
+  DiagnosticEngine goldenDiag;
+  ASSERT_TRUE(runPassPipeline(goldenModule.get(), pipeline, goldenDiag));
+  std::string golden = printOp(goldenModule.op());
+  // The intermediate state the instrumentation should observe after cse.
+  OwnedModule midModule = parseOk(twoFuncModule("2.0"));
+  DiagnosticEngine midDiag;
+  ASSERT_TRUE(runPassPipeline(midModule.get(), "canonicalize,cse", midDiag));
+  std::string afterCse = printOp(midModule.op());
+
+  PassResultCache cache;
+  {
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), golden);
+  }
+  cache.resetStats();
+
+  std::FILE *capture = std::tmpfile();
+  ASSERT_NE(capture, nullptr);
+  PassManager pm;
+  DiagnosticEngine diag;
+  ASSERT_TRUE(buildPipelineFromSpec(pm, pipeline, diag)) << diag.str();
+  pm.setResultCache(&cache);
+  pm.enableIRPrinting(/*before=*/false, /*after=*/true, "cse", capture);
+  OwnedModule m = parseOk(twoFuncModule("2.0"));
+  ASSERT_TRUE(pm.run(m.get(), diag)) << diag.str();
+
+  // Fully replayed despite the mid-pipeline inspection...
+  auto s = cache.stats();
+  EXPECT_EQ(s.passesExecuted, 0u);
+  EXPECT_EQ(s.passesReplayed, 3u);
+  // ...final IR is the cse result carried through, not a stale pending
+  // splice from the earlier lazy hit...
+  EXPECT_EQ(printOp(m.op()), golden);
+  // ...and the instrumentation saw the real post-cse module, not the
+  // pre-canonicalize IR the lazy replay had left unspliced.
+  std::fflush(capture);
+  std::rewind(capture);
+  std::string printed;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), capture)) > 0)
+    printed.append(buf, n);
+  std::fclose(capture);
+  EXPECT_NE(printed.find("IR after pass 'cse'"), std::string::npos)
+      << printed;
+  EXPECT_NE(printed.find(afterCse), std::string::npos)
+      << "instrumentation printed stale IR:\n"
+      << printed;
+}

@@ -12,6 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <unistd.h>
+
 using namespace paralift;
 using transforms::PipelineOptions;
 
@@ -289,6 +292,34 @@ TEST(SessionTest, LegacyWrapperStillUnprefixed) {
   ASSERT_TRUE(diag.hasErrors());
   for (const auto &d : diag.diagnostics())
     EXPECT_TRUE(d.module.empty()) << d.str();
+}
+
+TEST(SessionTest, CompileAllSweepsTheDiskLimit) {
+  // A long-lived session must stay within --cache-limit after every
+  // batch, not only at shutdown: compileAll itself sweeps.
+  auto dir = std::filesystem::temp_directory_path() /
+             ("paralift-session-evict-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const uint64_t limit = 2048;
+  uint64_t total = 0;
+  {
+    driver::SessionOptions so;
+    so.threads = 1;
+    so.useEnvCache = false;
+    so.cacheDir = dir.string();
+    driver::CompilerSession session(so);
+    ASSERT_NE(session.cache(), nullptr);
+    session.cache()->setDiskLimitBytes(limit);
+    for (const auto &b : rodinia::suite())
+      session.addSource(b.id, b.cudaSource);
+    ASSERT_TRUE(session.compileAll());
+    EXPECT_GT(session.cache()->stats().stores, 0u);
+    // Session still alive — the bound must hold here already.
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+      total += std::filesystem::file_size(e.path());
+    EXPECT_LE(total, limit);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SessionTest, SessionTimingAggregatesAcrossBatch) {
