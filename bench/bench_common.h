@@ -224,24 +224,30 @@ compileSuiteSession(const transforms::PipelineOptions &opts,
 
 /// Cache-keying cost over the parsed suite: the structural hasher
 /// (ir::hashOp — what the pass cache keys on) against the printed-hash
-/// baseline it replaced (hashBytes(printOp)). This is the
-/// single-threaded prologue every cached pass pays per function, so the
-/// ratio here is the cold-populate keying overhead drop the cache-mode
-/// sweeps above benefit from.
-inline void printKeyingTime(const SuiteModules &suite, int rounds = 50) {
-  std::printf("\n=== Cache-keying time, whole suite x%d (structural "
-              "ir::hashOp vs printed-hash baseline) ===\n\n",
-              rounds);
+/// baseline it replaced (hashBytes(printOp)). Keying is what the DAG
+/// scheduler fans out as per-module leaf tasks (and the lockstep
+/// prologue fans across the pool), so the per-function cost here is the
+/// unit of that parallel work.
+struct KeyingTimes {
+  double printedSeconds = 0;
+  double structuralSeconds = 0;
   size_t funcs = 0;
+  int rounds = 0;
+};
+
+inline KeyingTimes measureKeyingTime(const SuiteModules &suite,
+                                     int rounds = 50) {
+  KeyingTimes out;
+  out.rounds = rounds;
   for (size_t i = 0; i < suite.modules.size(); ++i)
     if (suite.isValid(i))
       for (ir::Op *op : suite.modules[i].get().body())
         if (op->kind() == ir::OpKind::Func)
-          ++funcs;
+          ++out.funcs;
   // volatile sinks keep the hash loops from folding away without pulling
   // google-benchmark into this header.
   volatile uint64_t sink = 0;
-  double printed = medianTime([&] {
+  out.printedSeconds = medianTime([&] {
     uint64_t acc = 0;
     for (int r = 0; r < rounds; ++r)
       for (size_t i = 0; i < suite.modules.size(); ++i) {
@@ -253,7 +259,7 @@ inline void printKeyingTime(const SuiteModules &suite, int rounds = 50) {
       }
     sink = acc;
   });
-  double structural = medianTime([&] {
+  out.structuralSeconds = medianTime([&] {
     uint64_t acc = 0;
     for (int r = 0; r < rounds; ++r)
       for (size_t i = 0; i < suite.modules.size(); ++i) {
@@ -266,10 +272,23 @@ inline void printKeyingTime(const SuiteModules &suite, int rounds = 50) {
     sink = acc;
   });
   (void)sink;
+  return out;
+}
+
+inline void printKeyingTime(const KeyingTimes &k) {
+  std::printf("\n=== Cache-keying time, whole suite x%d (structural "
+              "ir::hashOp vs printed-hash baseline) ===\n\n",
+              k.rounds);
   std::printf("  printed-hash baseline : %10.6f s  (%zu funcs x%d)\n",
-              printed, funcs, rounds);
+              k.printedSeconds, k.funcs, k.rounds);
   std::printf("  structural ir::hashOp : %10.6f s  (%.2fx faster)\n",
-              structural, structural > 0 ? printed / structural : 0.0);
+              k.structuralSeconds,
+              k.structuralSeconds > 0 ? k.printedSeconds / k.structuralSeconds
+                                      : 0.0);
+}
+
+inline void printKeyingTime(const SuiteModules &suite, int rounds = 50) {
+  printKeyingTime(measureKeyingTime(suite, rounds));
 }
 
 inline double geomean(const std::vector<double> &xs) {

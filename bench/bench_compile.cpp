@@ -1,5 +1,10 @@
 // Supporting table: compilation-time cost of each pipeline stage across
 // the Rodinia suite (not a paper figure; quantifies the compiler itself).
+//
+// --json=FILE additionally emits a machine-readable BENCH_compile.json
+// (suite latency per scheduler and thread count, mean/median
+// job-completion latency, keying time, cache stats) so the perf
+// trajectory is tracked across PRs.
 #include "bench_common.h"
 
 #include <benchmark/benchmark.h>
@@ -60,19 +65,68 @@ void printPassBreakdown() {
   }
 }
 
+/// One measured batch compile of the whole suite through a session.
+struct SchedulerMeasurement {
+  double wallSeconds = 0;      ///< compileAll wall clock
+  double meanJobSeconds = 0;   ///< mean CompileJob-completion latency
+  double medianJobSeconds = 0; ///< median CompileJob-completion latency
+};
+
+SchedulerMeasurement measureSuiteSession(unsigned threads,
+                                         driver::ScheduleMode schedule,
+                                         int reps = 7) {
+  std::vector<SchedulerMeasurement> ms;
+  for (int r = 0; r < reps; ++r) {
+    driver::SessionOptions so = suiteSessionOptions(threads);
+    so.schedule = schedule;
+    driver::CompilerSession session(std::move(so));
+    std::vector<driver::CompileJob *> jobs;
+    for (const auto &b : rodinia::suite())
+      jobs.push_back(&session.addSource(b.id, b.cudaSource,
+                                        transforms::PipelineOptions{}));
+    double t0 = now();
+    benchmark::DoNotOptimize(session.compileAll());
+    SchedulerMeasurement m;
+    m.wallSeconds = now() - t0;
+    std::vector<double> lats;
+    for (driver::CompileJob *job : jobs)
+      lats.push_back(job->latencySeconds());
+    std::sort(lats.begin(), lats.end());
+    for (double l : lats)
+      m.meanJobSeconds += l;
+    m.meanJobSeconds /= lats.empty() ? 1 : lats.size();
+    m.medianJobSeconds = lats.empty() ? 0 : lats[lats.size() / 2];
+    ms.push_back(m);
+  }
+  // Median rep by wall clock.
+  std::sort(ms.begin(), ms.end(),
+            [](const SchedulerMeasurement &a, const SchedulerMeasurement &b) {
+              return a.wallSeconds < b.wallSeconds;
+            });
+  return ms[ms.size() / 2];
+}
+
+struct SchedulerRow {
+  unsigned threads;
+  SchedulerMeasurement dag, lockstep;
+};
+
 /// Suite-session mode: the whole Rodinia suite queued on one
-/// CompilerSession, so every module's function passes schedule across
-/// one shared pool (and one pool startup) instead of 1-2 kernels per
-/// compile starving the workers. The speedup over the serial per-module
-/// facade is the batch win the per-module sweep above cannot show.
-void printSuiteSessionMode() {
-  std::printf("\n=== Suite-session batch compile vs serial per-module "
-              "(whole suite, seconds) ===\n");
-  std::printf("(hardware: %u cores; batch scheduling needs >1 to win — "
-              "see EXPERIMENTS.md)\n\n",
+/// CompilerSession. The table compares the dependency-DAG scheduler
+/// (parse/keying/pass steps overlap across modules; each CompileJob
+/// future resolves the moment its module's last pass lands) against the
+/// lockstep executor (global per-pass barriers, futures resolve at end
+/// of batch) — batch wall clock AND job-completion latency, the two
+/// numbers the DAG is built to shrink. A serial one-shot baseline
+/// anchors both.
+std::vector<SchedulerRow> printSuiteSessionMode() {
+  std::printf("\n=== Suite-session batch compile: DAG vs lockstep "
+              "scheduling (whole suite, seconds) ===\n");
+  std::printf("(hardware: %u cores; wall-clock wins need >1 — job-latency "
+              "wins appear even on 1 — see EXPERIMENTS.md)\n\n",
               std::thread::hardware_concurrency());
   // The serial baseline goes through one-shot sessions rather than
-  // driver::compile so both sides ignore $PARALIFT_CACHE_DIR — the
+  // driver::compile so every mode ignores $PARALIFT_CACHE_DIR — the
   // comparison must measure scheduling, not an env cache warming one
   // side.
   double serial = medianTime(
@@ -86,21 +140,99 @@ void printSuiteSessionMode() {
         }
       },
       3);
-  std::printf("  serial per-module (one-shot sessions)  %10.4f s\n", serial);
+  std::printf("  serial per-module (one-shot sessions)  %10.4f s\n\n",
+              serial);
+  std::printf("  %-12s%12s%12s%14s%14s\n", "pm-threads", "wall", "vs-lock",
+              "mean-job", "median-job");
+  std::vector<SchedulerRow> rows;
   for (unsigned threads : {1u, 2u, 4u}) {
-    double t = medianTime(
-        [&] {
-          driver::CompilerSession session = makeSuiteSession(threads);
-          for (const auto &b : rodinia::suite())
-            session.addSource(b.id, b.cudaSource,
-                              transforms::PipelineOptions{});
-          benchmark::DoNotOptimize(session.compileAll());
-        },
-        3);
-    std::printf("  session batch pm-threads=%u           %10.4f s  "
-                "(%.2fx vs serial)\n",
-                threads, t, t > 0 ? serial / t : 0.0);
+    SchedulerRow row;
+    row.threads = threads;
+    row.dag = measureSuiteSession(threads, driver::ScheduleMode::Dag);
+    row.lockstep =
+        measureSuiteSession(threads, driver::ScheduleMode::Lockstep);
+    std::printf("  dag=%-8u%10.4f s%11.2fx%12.4f s%12.4f s\n", threads,
+                row.dag.wallSeconds,
+                row.dag.wallSeconds > 0
+                    ? row.lockstep.wallSeconds / row.dag.wallSeconds
+                    : 0.0,
+                row.dag.meanJobSeconds, row.dag.medianJobSeconds);
+    std::printf("  lock=%-7u%10.4f s%12s%12.4f s%12.4f s\n", threads,
+                row.lockstep.wallSeconds, "-",
+                row.lockstep.meanJobSeconds,
+                row.lockstep.medianJobSeconds);
+    rows.push_back(row);
   }
+  return rows;
+}
+
+/// Cold-populate cache behavior of one DAG suite batch (hits include
+/// in-batch dedup of kernels shared across modules).
+transforms::PassResultCache::StatsSnapshot measureCacheStats() {
+  transforms::PassResultCache cache;
+  driver::CompilerSession session = makeSuiteSession(4, &cache);
+  for (const auto &b : rodinia::suite())
+    session.addSource(b.id, b.cudaSource, transforms::PipelineOptions{});
+  session.compileAll();
+  return cache.stats();
+}
+
+void writeJson(const std::string &path,
+               const std::vector<SchedulerRow> &rows, const KeyingTimes &k,
+               const transforms::PassResultCache::StatsSnapshot &cs) {
+  std::FILE *f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench_compile: cannot write '%s'\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"compile\",\n");
+  std::fprintf(f, "  \"suite\": \"rodinia\",\n");
+  std::fprintf(f, "  \"modules\": %zu,\n", rodinia::suite().size());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"scheduler_default\": \"dag\",\n");
+  std::fprintf(f, "  \"suite_session\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SchedulerRow &r = rows[i];
+    auto emit = [&](const char *name, const SchedulerMeasurement &m,
+                    const char *sep) {
+      std::fprintf(f,
+                   "      \"%s\": {\"wall_s\": %.6f, \"mean_job_s\": %.6f, "
+                   "\"median_job_s\": %.6f}%s\n",
+                   name, m.wallSeconds, m.meanJobSeconds, m.medianJobSeconds,
+                   sep);
+    };
+    std::fprintf(f, "    {\n      \"pm_threads\": %u,\n", r.threads);
+    emit("dag", r.dag, ",");
+    emit("lockstep", r.lockstep, ",");
+    std::fprintf(
+        f, "      \"speedup_wall\": %.3f,\n      \"speedup_mean_job\": %.3f\n",
+        r.dag.wallSeconds > 0 ? r.lockstep.wallSeconds / r.dag.wallSeconds
+                              : 0.0,
+        r.dag.meanJobSeconds > 0
+            ? r.lockstep.meanJobSeconds / r.dag.meanJobSeconds
+            : 0.0);
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"keying\": {\"structural_s\": %.6f, \"printed_hash_s\": "
+               "%.6f, \"funcs\": %zu, \"rounds\": %d},\n",
+               k.structuralSeconds, k.printedSeconds, k.funcs, k.rounds);
+  std::fprintf(f,
+               "  \"cache_cold_populate\": {\"hits\": %llu, \"misses\": "
+               "%llu, \"stores\": %llu, \"passes_executed\": %llu, "
+               "\"passes_replayed\": %llu, \"waits\": %llu}\n",
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.stores),
+               static_cast<unsigned long long>(cs.passesExecuted),
+               static_cast<unsigned long long>(cs.passesReplayed),
+               static_cast<unsigned long long>(cs.waits));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 void BM_CompileBackprop(benchmark::State &state) {
@@ -117,11 +249,28 @@ BENCHMARK(BM_CompileBackprop)->Unit(benchmark::kMillisecond);
 } // namespace
 
 int main(int argc, char **argv) {
+  // Strip --json=FILE before google-benchmark sees (and rejects) it.
+  std::string jsonPath;
+  {
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0)
+        jsonPath = arg.substr(7);
+      else
+        argv[w++] = argv[i];
+    }
+    argc = w;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printTable();
   printPassBreakdown();
-  printSuiteSessionMode();
-  printKeyingTime(parseSuiteModules());
+  std::vector<SchedulerRow> rows = printSuiteSessionMode();
+  SuiteModules suite = parseSuiteModules();
+  KeyingTimes keying = measureKeyingTime(suite);
+  printKeyingTime(keying);
+  if (!jsonPath.empty())
+    writeJson(jsonPath, rows, keying, measureCacheStats());
   return 0;
 }

@@ -5,7 +5,8 @@
 // Usage:
 //   paralift-opt [file...] [--cuda] [--passes=PIPELINE] [--list-passes]
 //                [--timing] [--stats] [--verify-each] [--verify-analyses]
-//                [--pm-threads=N] [--cache-dir=DIR] [--cache-limit=MB]
+//                [--pm-threads=N] [--pm-schedule=dag|lockstep]
+//                [--cache-dir=DIR] [--cache-limit=MB]
 //                [--no-pass-cache] [--cache-stats]
 //                [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]
 //
@@ -21,6 +22,12 @@
 //   paralift-opt kernel.cu --cuda --passes='cpuify{mincut=false},omp-lower'
 //   paralift-opt a.cu b.cu c.cu --cuda --pm-threads=4
 //     --passes='repeat{until=fixpoint}(canonicalize,cse),cpuify,omp-lower'
+//
+// Batches schedule as a dependency DAG by default (each file parses,
+// keys, and runs its passes as an independent task chain on the
+// --pm-threads pool; every file's output is ready the moment its own
+// last pass lands); --pm-schedule=lockstep restores the barriered
+// pass-by-pass executor for ablation. Outputs are identical either way.
 //
 // Pass results are cached persistently under --cache-dir (or
 // $PARALIFT_CACHE_DIR when set): re-running an unchanged file through an
@@ -60,7 +67,8 @@ int usage(const char *argv0) {
   std::printf(
       "usage: %s [file...] [--cuda] [--passes=PIPELINE] [--list-passes]\n"
       "       [--timing] [--stats] [--verify-each] [--verify-analyses]\n"
-      "       [--pm-threads=N] [--cache-dir=DIR] [--cache-limit=MB]\n"
+      "       [--pm-threads=N] [--pm-schedule=dag|lockstep]\n"
+      "       [--cache-dir=DIR] [--cache-limit=MB]\n"
       "       [--no-pass-cache] [--cache-stats]\n"
       "       [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]\n"
       "\n"
@@ -116,6 +124,7 @@ int main(int argc, char **argv) {
   bool printBefore = false, printAfter = false;
   std::string printBeforeFilter, printAfterFilter;
   unsigned pmThreads = 1;
+  driver::ScheduleMode schedule = driver::ScheduleMode::Dag;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--list-passes")
@@ -172,6 +181,19 @@ int main(int argc, char **argv) {
         return 2;
       }
       pmThreads = static_cast<unsigned>(n);
+    } else if (arg.rfind("--pm-schedule=", 0) == 0) {
+      std::string v = arg.substr(14);
+      if (v == "dag") {
+        schedule = driver::ScheduleMode::Dag;
+      } else if (v == "lockstep") {
+        schedule = driver::ScheduleMode::Lockstep;
+      } else {
+        std::fprintf(stderr,
+                     "error: invalid --pm-schedule value '%s' (expected "
+                     "'dag' or 'lockstep')\n",
+                     v.c_str());
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -195,6 +217,7 @@ int main(int argc, char **argv) {
 
   driver::SessionOptions so;
   so.threads = pmThreads;
+  so.schedule = schedule;
   so.verifyEach = verifyEach;
   so.verifyAnalyses = verifyAnalyses;
   so.collectTiming = timing;

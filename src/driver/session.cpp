@@ -81,6 +81,12 @@ bool CompileJob::ok() {
   return result_.ok;
 }
 
+double CompileJob::latencySeconds() {
+  wait();
+  std::lock_guard<std::mutex> lock(session_->mutex_);
+  return latencySeconds_;
+}
+
 //===----------------------------------------------------------------------===//
 // CompilerSession
 //===----------------------------------------------------------------------===//
@@ -156,9 +162,32 @@ void CompilerSession::markDone(CompileJob &job, bool ok) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job.result_.ok = ok;
+    job.latencySeconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      batchStart_)
+            .count();
     job.state_ = CompileJob::State::Done;
   }
   cv_.notify_all();
+  if (opts_.onJobCompleted)
+    opts_.onJobCompleted(job);
+}
+
+void CompilerSession::runFrontendOne(CompileJob &job) {
+  job.result_.module = frontend::compileToIR(job.source_, job.diag_);
+  if (job.diag_.hasErrors())
+    return;
+  if (opts_.mode == SessionMode::Optimize) {
+    // Same gate the facade always applied: diagnostics clean AND the
+    // produced IR structurally valid.
+    auto errors = ir::verify(job.result_.module.op());
+    if (!errors.empty()) {
+      for (const std::string &e : errors)
+        job.diag_.error(SourceLoc(), "frontend produced invalid IR: " + e);
+      return;
+    }
+  }
+  job.frontendOk_ = true;
 }
 
 void CompilerSession::runFrontend(const std::vector<CompileJob *> &jobs) {
@@ -166,34 +195,17 @@ void CompilerSession::runFrontend(const std::vector<CompileJob *> &jobs) {
   for (CompileJob *job : jobs)
     if (!job->preparsed_)
       toParse.push_back(job);
-  auto parseOne = [this](CompileJob &job) {
-    job.result_.module = frontend::compileToIR(job.source_, job.diag_);
-    if (job.diag_.hasErrors())
-      return;
-    if (opts_.mode == SessionMode::Optimize) {
-      // Same gate the facade always applied: diagnostics clean AND the
-      // produced IR structurally valid.
-      auto errors = ir::verify(job.result_.module.op());
-      if (!errors.empty()) {
-        for (const std::string &e : errors)
-          job.diag_.error(SourceLoc(),
-                          "frontend produced invalid IR: " + e);
-        return;
-      }
-    }
-    job.frontendOk_ = true;
-  };
   // Each job owns its module and engine, so parsing fans out trivially.
   if (pool_ && toParse.size() >= 2) {
     std::atomic<size_t> next{0};
     pool_->parallel([&](unsigned, runtime::Team &) {
       for (size_t k = next.fetch_add(1); k < toParse.size();
            k = next.fetch_add(1))
-        parseOne(*toParse[k]);
+        runFrontendOne(*toParse[k]);
     });
   } else {
     for (CompileJob *job : toParse)
-      parseOne(*job);
+      runFrontendOne(*job);
   }
 }
 
@@ -289,8 +301,9 @@ bool CompilerSession::compileAll() {
   std::lock_guard<std::mutex> compileLock(compileMutex_);
   std::vector<CompileJob *> batch = takeQueued();
   if (!batch.empty()) {
-    runFrontend(batch);
+    batchStart_ = std::chrono::steady_clock::now();
     if (opts_.mode == SessionMode::Simt) {
+      runFrontend(batch);
       compileSimt(batch);
     } else {
       // Group jobs by pipeline; each group compiles against one
@@ -332,6 +345,8 @@ bool CompilerSession::compileAll() {
           it->jobs.push_back(job);
         }
       }
+      // Both schedulers run each group against an identically configured
+      // PassManager (shared pool, shared cache).
       for (Group &group : groups) {
         transforms::PassManager &pm = *group.pm;
         pm.setThreadCount(opts_.threads);
@@ -339,20 +354,72 @@ bool CompilerSession::compileAll() {
         pm.setResultCache(cache_);
         if (opts_.collectStatistics)
           pm.enableStatistics();
-        // Per-module instrumentation needs force the serial path; it
-        // still shares the session's pool and cache.
-        bool perModule = group.jobs.size() == 1 || opts_.verifyAnalyses ||
-                         opts_.configurePassManager != nullptr;
-        if (perModule)
-          compileGroupPerModule(pm, group.jobs);
-        else
-          compileGroupBatch(pm, group.jobs);
-        // Retained only for statisticsStr(); a long-lived session that
-        // never reads statistics must not accumulate one PassManager
-        // per batch.
-        if (opts_.collectStatistics)
-          pms_.push_back(std::move(group.pm));
       }
+      // Per-module instrumentation (verifyAnalyses, configurePassManager)
+      // observes one module at a time and forces the per-module path for
+      // the whole batch; otherwise the configured schedule decides.
+      const bool perModuleForced =
+          opts_.verifyAnalyses || opts_.configurePassManager != nullptr;
+      if (opts_.schedule == ScheduleMode::Dag && !perModuleForced) {
+        // Every group's graph goes onto one scheduler: parse/keying
+        // leaves and pass steps of all pipelines interleave freely, and
+        // each job is marked done the moment its own chain completes.
+        runtime::TaskScheduler sched(pool_.get());
+        std::vector<std::shared_ptr<transforms::BatchDag>> states;
+        for (Group &group : groups) {
+          transforms::PassManager &pm = *group.pm;
+          std::vector<transforms::PassManager::BatchItem> items;
+          for (CompileJob *job : group.jobs) {
+            transforms::PassManager::BatchItem item;
+            item.diag = &job->diag_;
+            if (job->preparsed_)
+              item.module = job->result_.module.op();
+            else
+              item.prepare = [this, job]() -> std::optional<ir::ModuleOp> {
+                runFrontendOne(*job);
+                if (!job->frontendOk_)
+                  return std::nullopt;
+                return job->result_.module.get();
+              };
+            items.push_back(std::move(item));
+          }
+          transforms::PassManager::BatchOptions bo;
+          bo.verifyEach = opts_.verifyEach;
+          bo.timing = opts_.collectTiming ? &timing_ : nullptr;
+          transforms::PassManager *pmPtr = &pm;
+          std::vector<CompileJob *> groupJobs = group.jobs;
+          bo.onModuleDone = [this, pmPtr, groupJobs](size_t idx, bool ok) {
+            CompileJob *job = groupJobs[idx];
+            ok = finalVerify(*pmPtr, job->result_.module.get(), job->diag_,
+                             ok);
+            markDone(*job, ok);
+          };
+          states.push_back(
+              pm.scheduleBatch(sched, std::move(items), std::move(bo)));
+        }
+        sched.run();
+        if (opts_.collectTiming)
+          for (auto &state : states)
+            state->foldTimingInto(timing_);
+      } else {
+        runFrontend(batch);
+        for (Group &group : groups) {
+          transforms::PassManager &pm = *group.pm;
+          // Per-module instrumentation needs force the serial path; it
+          // still shares the session's pool and cache.
+          bool perModule = group.jobs.size() == 1 || perModuleForced;
+          if (perModule)
+            compileGroupPerModule(pm, group.jobs);
+          else
+            compileGroupBatch(pm, group.jobs);
+        }
+      }
+      // Retained only for statisticsStr(); a long-lived session that
+      // never reads statistics must not accumulate one PassManager per
+      // batch.
+      if (opts_.collectStatistics)
+        for (Group &group : groups)
+          pms_.push_back(std::move(group.pm));
     }
   }
   // Keep a long-lived session within its disk budget between batches:

@@ -25,12 +25,41 @@
 // amortizes worker startup across every compile; the legacy
 // driver::compile free functions survive as one-shot wrappers over a
 // temporary session (driver/compiler.h).
+//
+// Batch scheduling
+// ----------------
+// compileAll schedules the batch one of two ways (--pm-schedule at the
+// CLI, SessionOptions::schedule in the API):
+//
+//  - Dag (the default): every module becomes a chain of tasks on a
+//    work-stealing scheduler over the session pool — a leaf task that
+//    parses the source and keys its functions (ir::hashOp), then one
+//    task per (module, pass) step, with fan-out per function inside a
+//    step when several functions miss the cache. The only edges are each
+//    module's own pipeline order plus module-pass fences, so module B's
+//    kernels run pass 3 while module A is still parsing, and each
+//    CompileJob future resolves the moment *its* module's last pass (or
+//    terminal cache splice) completes rather than at end of batch.
+//    In-batch dedup of identical kernels flows through the shared
+//    cache's in-flight registry: the first claimant executes, concurrent
+//    duplicates park and replay its stored entry. Pass execution is
+//    deterministic per input, so outputs are bit-for-bit identical to
+//    lockstep (and serial) compiles. Under --timing, per-worker clocks
+//    are folded by (module, pass), so the report attributes true
+//    per-module per-pass time.
+//
+//  - Lockstep (the pre-DAG executor, kept for ablation): parse *all*
+//    modules, then march every module through each pass together, every
+//    function pass fanned across the union of all modules' kernels. A
+//    batch's latency is the sum of the slowest module at every stage,
+//    and every future resolves at end of batch.
 #pragma once
 
 #include "frontend/irgen.h"
 #include "support/diagnostics.h"
 #include "transforms/passes.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -57,8 +86,21 @@ struct CompileResult {
 /// for the lockstep SIMT reference executor (driver::compileForSimt).
 enum class SessionMode { Optimize, Simt };
 
+/// How compileAll schedules a batch (see the "Batch scheduling" section
+/// of the header comment). Outputs are bit-for-bit identical either way.
+enum class ScheduleMode {
+  Dag,     ///< dependency-DAG tasks; incremental futures (the default)
+  Lockstep ///< pass-by-pass barriers across the batch (ablation baseline)
+};
+
+class CompileJob;
+
 struct SessionOptions {
   SessionMode mode = SessionMode::Optimize;
+
+  /// Batch executor for compileAll; Lockstep is kept for the ablation
+  /// row (--pm-schedule=lockstep).
+  ScheduleMode schedule = ScheduleMode::Dag;
 
   /// Workers in the session's shared pool; >1 fans function passes
   /// across the union of every queued module's kernels (and parses
@@ -106,6 +148,13 @@ struct SessionOptions {
   /// --print-ir-before/after). Setting it forces the per-module compile
   /// path, since instrumentations observe one module at a time.
   std::function<void(transforms::PassManager &)> configurePassManager;
+
+  /// Invoked the moment each job's compile finishes (after its future
+  /// resolves), on whatever thread completed it — under the DAG
+  /// scheduler that is mid-batch, per module; under Lockstep, at end of
+  /// batch. Completion-order probes and schedulers hang off this; keep
+  /// it cheap and do not call back into compileAll from it.
+  std::function<void(CompileJob &)> onJobCompleted;
 };
 
 class CompilerSession;
@@ -139,6 +188,13 @@ public:
   /// succeeded.
   bool ok();
 
+  /// wait(), then the seconds from the start of the compileAll batch
+  /// that compiled this job to the moment its future resolved. Under the
+  /// DAG scheduler jobs resolve incrementally, so the mean/median over a
+  /// batch measures job-completion latency (bench_compile reports both);
+  /// under Lockstep every job's latency is ~the batch wall time.
+  double latencySeconds();
+
 private:
   friend class CompilerSession;
   enum class State { Queued, Compiling, Done };
@@ -151,6 +207,7 @@ private:
   DiagnosticEngine diag_;
   CompileResult result_;
   bool frontendOk_ = false;
+  double latencySeconds_ = -1;
   State state_ = State::Queued;
 };
 
@@ -219,6 +276,10 @@ private:
   /// Jobs to compile in this batch (flips them to Compiling).
   std::vector<CompileJob *> takeQueued();
   void markDone(CompileJob &job, bool ok);
+  /// Frontend for one job: parse + (in Optimize mode) IR verification.
+  /// Thread-safe across distinct jobs; the DAG scheduler runs it as each
+  /// module's leaf task.
+  void runFrontendOne(CompileJob &job);
   void runFrontend(const std::vector<CompileJob *> &jobs);
   void compileSimt(const std::vector<CompileJob *> &jobs);
   /// End-of-pipeline verification gate shared by both compile paths:
@@ -245,6 +306,10 @@ private:
   /// accessors against a batch mutating those structures mid-run.
   mutable std::mutex compileMutex_;
   std::thread asyncThread_;
+  /// Start of the in-flight (or last) batch; job completion latencies
+  /// are measured from here. Written at batch start, before any job of
+  /// the batch can complete.
+  std::chrono::steady_clock::time_point batchStart_{};
 
   transforms::PassTimingReport timing_;
   /// PassManagers kept alive so statistics stay queryable after runs.

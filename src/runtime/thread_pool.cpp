@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace paralift::runtime {
 
@@ -115,6 +116,115 @@ void ThreadPool::runNested(const TeamFn &fn) {
   fn(0, team); // caller participates; already inside a parallel region
   for (auto &th : extra)
     th.join();
+}
+
+//===----------------------------------------------------------------------===//
+// TaskScheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+// Routes spawn() calls from inside a task to the executing worker's own
+// deque (depth-first chains); spawns from any other thread fall back to
+// the injection queue.
+thread_local TaskScheduler *tlsScheduler = nullptr;
+thread_local unsigned tlsSchedulerWorker = 0;
+} // namespace
+
+TaskScheduler::TaskScheduler(ThreadPool *pool)
+    : pool_(pool),
+      workers_(pool && pool->numThreads() > 1 && !ThreadPool::insideParallel()
+                   ? pool->numThreads()
+                   : 1) {
+  queues_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+}
+
+void TaskScheduler::spawn(Task task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (tlsScheduler == this) {
+    WorkerQueue &wq = *queues_[tlsSchedulerWorker];
+    std::scoped_lock lock(wq.mutex);
+    wq.tasks.push_back(std::move(task));
+  } else {
+    std::scoped_lock lock(injectMutex_);
+    inject_.push_back(std::move(task));
+  }
+  idleCv_.notify_one();
+}
+
+bool TaskScheduler::tryTake(unsigned self, Task &out) {
+  // Own deque first, newest first: continuations of the task that just
+  // ran, still hot.
+  {
+    WorkerQueue &wq = *queues_[self];
+    std::scoped_lock lock(wq.mutex);
+    if (!wq.tasks.empty()) {
+      out = std::move(wq.tasks.back());
+      wq.tasks.pop_back();
+      return true;
+    }
+  }
+  // Externally injected work, oldest first.
+  {
+    std::scoped_lock lock(injectMutex_);
+    if (!inject_.empty()) {
+      out = std::move(inject_.front());
+      inject_.pop_front();
+      return true;
+    }
+  }
+  // Steal the oldest task of a sibling (its least-recently-touched work).
+  for (unsigned d = 1; d < workers_; ++d) {
+    WorkerQueue &wq = *queues_[(self + d) % workers_];
+    std::scoped_lock lock(wq.mutex);
+    if (!wq.tasks.empty()) {
+      out = std::move(wq.tasks.front());
+      wq.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskScheduler::workerLoop(unsigned self) {
+  TaskScheduler *prevSched = tlsScheduler;
+  unsigned prevWorker = tlsSchedulerWorker;
+  tlsScheduler = this;
+  tlsSchedulerWorker = self;
+  Task task;
+  while (true) {
+    if (tryTake(self, task)) {
+      task(self);
+      task = nullptr; // drop captures before possibly sleeping
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        idleCv_.notify_all();
+      continue;
+    }
+    if (pending_.load(std::memory_order_acquire) == 0)
+      break;
+    // Work may land in a sibling deque between tryTake and the wait
+    // (deque pushes are not covered by injectMutex_); the timed wait
+    // bounds that race to a millisecond of latency instead of a hang.
+    std::unique_lock lock(injectMutex_);
+    if (!inject_.empty() || pending_.load(std::memory_order_acquire) == 0)
+      continue;
+    idleCv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+  tlsScheduler = prevSched;
+  tlsSchedulerWorker = prevWorker;
+}
+
+void TaskScheduler::run() {
+  if (pending_.load(std::memory_order_acquire) == 0)
+    return;
+  if (workers_ <= 1) {
+    // Serial drain on the caller: tasks only appear from running tasks,
+    // so an empty take with pending > 0 is impossible here.
+    workerLoop(0);
+    return;
+  }
+  pool_->parallel([this](unsigned tid, Team &) { workerLoop(tid); });
 }
 
 //===----------------------------------------------------------------------===//

@@ -8,8 +8,10 @@
 // real cost of OpenMP nested parallelism that Fig. 12 measures).
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -85,6 +87,68 @@ private:
   bool shutdown_ = false;
   unsigned teamSize_;
   NestedPolicy nested_ = NestedPolicy::Serialize;
+};
+
+/// Dynamic work-stealing task scheduler for dependency-DAG workloads
+/// (notably the compile-time batch DAG of PassManager::scheduleBatch).
+/// Tasks are closures spawned either before run() or from inside running
+/// tasks; dependency edges are expressed by the producer spawning the
+/// successor when its predecessors complete (the last-finisher-spawns
+/// pattern), so there is no static edge table to size up front and the
+/// graph can grow as parsing discovers work.
+///
+/// Scheduling: each worker owns a deque. Own work is pushed and popped
+/// LIFO — a chain of continuations (e.g. one module's pipeline) runs
+/// depth-first on one worker, keeping its IR cache-hot and completing
+/// whole jobs early instead of breadth-first last. Other workers steal
+/// FIFO, taking the oldest queued task (typically an unstarted job's
+/// leaf). External spawns land in a shared injection queue consumed
+/// before stealing. Idle workers sleep on a condition variable with a
+/// short timed wait (the timeout makes a lost wakeup cost a millisecond,
+/// never a hang), and run() returns once every spawned task — including
+/// transitively spawned ones — has finished.
+class TaskScheduler {
+public:
+  /// A unit of work; receives the executing worker's index in
+  /// [0, workers()).
+  using Task = std::function<void(unsigned worker)>;
+
+  /// Schedules onto `pool` (every member of one team drains the graph
+  /// together). A null pool, a one-thread pool, or a caller already
+  /// inside a parallel region degrade to draining every task on the
+  /// calling thread (depth-first, deterministic).
+  explicit TaskScheduler(ThreadPool *pool);
+
+  /// Enqueues a task. Thread-safe; callable before run() and from inside
+  /// running tasks (which is how DAG edges are expressed).
+  void spawn(Task task);
+
+  /// Runs tasks until none are pending, then returns. Not reentrant; may
+  /// be called repeatedly after spawning more work.
+  void run();
+
+  /// Worker count run() will use (1 in the serial fallback).
+  unsigned workers() const { return workers_; }
+
+private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  bool tryTake(unsigned self, Task &out);
+  void workerLoop(unsigned self);
+
+  ThreadPool *pool_;
+  unsigned workers_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::mutex injectMutex_;
+  std::condition_variable idleCv_;
+  std::deque<Task> inject_;
+  /// Tasks spawned but not yet completed; 0 means the graph is drained
+  /// (running tasks hold their own count until they return, so 0 is
+  /// stable).
+  std::atomic<size_t> pending_{0};
 };
 
 /// A serial dispatch queue in the style of Grand Central Dispatch, used by

@@ -6,6 +6,7 @@
 #include "ir/verifier.h"
 #include "transforms/passes.h"
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -99,6 +100,9 @@ class InlinerPass : public Pass {
 public:
   InlinerPass() : Pass("inline", "inline module-local calls") {
     declareBoolOption("kernels-only", &kernelsOnly_, false);
+    // Created up front: statistic() creation is not thread-safe, and the
+    // DAG batch scheduler runs this pass on several modules at once.
+    statistic("calls-inlined");
   }
 
   bool run(ModuleOp module, DiagnosticEngine &) override {
@@ -106,29 +110,44 @@ public:
     // delta would miss the case where an inlined callee body carries a
     // non-inlinable call of its own (count unchanged, IR changed).
     if (!statisticsEnabled()) {
-      changed_ = runInliner(module, kernelsOnly_);
+      noteChanged(runInliner(module, kernelsOnly_));
       return true;
     }
     size_t before = countNestedOps(module.op, OpKind::Call);
-    changed_ = runInliner(module, kernelsOnly_);
+    noteChanged(runInliner(module, kernelsOnly_));
     size_t after = countNestedOps(module.op, OpKind::Call);
     if (after < before)
       statistic("calls-inlined") += before - after;
     return true;
   }
 
-  void beginRun() override { changed_ = false; }
+  void beginRun() override {
+    changed_.store(false, std::memory_order_relaxed);
+  }
 
   /// Inlining splices callee bodies into kernels — everything shifts; a
   /// run that found no inlinable calls (every rerun after the first)
   /// preserves everything.
   PreservedAnalyses preservedAnalyses() const override {
-    return changed_ ? PreservedAnalyses::none() : PreservedAnalyses::all();
+    return changed_.load(std::memory_order_relaxed)
+               ? PreservedAnalyses::none()
+               : PreservedAnalyses::all();
   }
 
 private:
+  /// ORs across every module run since beginRun — like the function
+  /// passes' dynamic declarations, and required now that batch
+  /// schedulers run one pass object on several modules (concurrently
+  /// under the DAG; and in lockstep a plain assignment let the *last*
+  /// module's "unchanged" overwrite an earlier module's "changed" before
+  /// the batch-wide invalidation read it).
+  void noteChanged(bool c) {
+    if (c)
+      changed_.store(true, std::memory_order_relaxed);
+  }
+
   bool kernelsOnly_ = false;
-  bool changed_ = false; // module passes run single-threaded
+  std::atomic<bool> changed_{false};
 };
 
 } // namespace

@@ -177,6 +177,90 @@ PassResultCache::lookup(const Hash128 &input, const std::string &spec) {
   return std::nullopt;
 }
 
+PassResultCache::AcquireResult
+PassResultCache::acquire(const Hash128 &input, const std::string &spec,
+                         std::function<void()> onReady) {
+  Hash128 key = keyHash(input, spec);
+  AcquireResult out;
+  // The lookup half mirrors lookup() — memory probe, disk probe outside
+  // the lock — but the claim half re-checks memory under the same lock
+  // that owns inflight_, so an owner finishing between the two halves is
+  // observed as either its stored entry or a free key, never missed. A
+  // key already in flight short-circuits before the disk probe: its
+  // owner cannot have stored yet, so the file read is a guaranteed miss
+  // (and Busy rescans would otherwise pay it on every pass).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      out.state = AcquireState::Hit;
+      out.entry = it->second;
+      return out;
+    }
+    auto fl = inflight_.find(key);
+    if (fl != inflight_.end()) {
+      out.state = AcquireState::Busy;
+      if (onReady) {
+        ++stats_.waits;
+        fl->second.push_back(std::move(onReady));
+      }
+      return out;
+    }
+  }
+  if (!dir_.empty()) {
+    if (auto fromDisk = loadFromDisk(key, input, spec)) {
+      std::error_code ec;
+      std::filesystem::last_write_time(
+          keyFile(key), std::filesystem::file_time_type::clock::now(), ec);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hits;
+      ++stats_.diskHits;
+      entries_.emplace(key, *fromDisk);
+      out.state = AcquireState::Hit;
+      out.entry = std::move(fromDisk);
+      return out;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) { // stored while we probed the disk
+    ++stats_.hits;
+    out.state = AcquireState::Hit;
+    out.entry = it->second;
+    return out;
+  }
+  auto fl = inflight_.find(key);
+  if (fl == inflight_.end()) {
+    ++stats_.misses;
+    inflight_.emplace(key, std::vector<std::function<void()>>());
+    out.state = AcquireState::Owned;
+    return out;
+  }
+  out.state = AcquireState::Busy;
+  if (onReady) {
+    ++stats_.waits;
+    fl->second.push_back(std::move(onReady));
+  }
+  return out;
+}
+
+void PassResultCache::finishCompute(const Hash128 &input,
+                                    const std::string &spec) {
+  Hash128 key = keyHash(input, spec);
+  std::vector<std::function<void()>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end())
+      return;
+    waiters = std::move(it->second);
+    inflight_.erase(it);
+  }
+  for (auto &cb : waiters)
+    cb();
+}
+
 void PassResultCache::store(const Hash128 &input, const std::string &spec,
                             Entry entry) {
   Hash128 key = keyHash(input, spec);
@@ -321,7 +405,7 @@ std::string PassResultCache::statsStr() const {
   os << "pass-cache: hits=" << s.hits << " misses=" << s.misses
      << " stores=" << s.stores << " disk-hits=" << s.diskHits
      << " passes-executed=" << s.passesExecuted
-     << " passes-replayed=" << s.passesReplayed;
+     << " passes-replayed=" << s.passesReplayed << " waits=" << s.waits;
   return os.str();
 }
 

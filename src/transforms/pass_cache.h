@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -94,6 +95,36 @@ public:
 
   const std::string &directory() const { return dir_; }
 
+  // In-flight computation registry -------------------------------------------
+  // In-batch dedup for concurrent schedulers (PassManager::scheduleBatch):
+  // the first task to miss on a key claims it and computes; tasks
+  // reaching the same in-flight key park a callback instead of
+  // duplicating the work, then re-probe once the owner finishes — hitting
+  // its stored entry, or claiming in turn when the owner failed and
+  // stored nothing. Claims are only ever held for the duration of one
+  // executing pass step (owners always finish), so waiting cannot cycle.
+
+  enum class AcquireState {
+    Hit,   ///< entry found; no claim taken
+    Owned, ///< key claimed — caller must finishCompute() exactly once
+    Busy   ///< another caller owns the key
+  };
+  struct AcquireResult {
+    AcquireState state = AcquireState::Busy;
+    std::optional<Entry> entry; ///< set for Hit
+  };
+  /// Atomic lookup-or-claim. Hit returns the entry like lookup() (and
+  /// counts a hit); Owned claims the key for the caller, which must call
+  /// finishCompute(input, spec) exactly once, whether or not it stored a
+  /// result (counts a miss); Busy means the key is in flight elsewhere —
+  /// a non-null `onReady` is parked and invoked after the owner's
+  /// finishCompute, a null one just probes (neither counts).
+  AcquireResult acquire(const Hash128 &input, const std::string &spec,
+                        std::function<void()> onReady);
+  /// Releases a key claimed via acquire(), invoking parked callbacks
+  /// (outside the cache lock, on the finishing caller's thread).
+  void finishCompute(const Hash128 &input, const std::string &spec);
+
   // Disk size bounds ---------------------------------------------------------
   // The on-disk store grows without bound by default (every distinct
   // (spec, input) pair ever compiled leaves a file). A byte limit turns
@@ -132,6 +163,7 @@ public:
     uint64_t diskHits = 0;  ///< subset of hits served from disk
     uint64_t passesExecuted = 0; ///< pass runs that executed transform code
     uint64_t passesReplayed = 0; ///< pass runs fully satisfied from cache
+    uint64_t waits = 0; ///< acquire() calls parked behind an in-flight key
   };
   StatsSnapshot stats() const;
   /// One line, e.g. "pass-cache: hits=12 misses=3 stores=3 disk-hits=0
@@ -166,6 +198,11 @@ private:
   std::string dir_;
   mutable std::mutex mutex_;
   std::unordered_map<Hash128, Entry, Hash128Hasher> entries_;
+  /// Keys claimed by an in-flight computation, with the callbacks parked
+  /// behind each (see acquire()).
+  std::unordered_map<Hash128, std::vector<std::function<void()>>,
+                     Hash128Hasher>
+      inflight_;
   StatsSnapshot stats_;
   uint64_t diskLimitBytes_ = 0;
   std::atomic<uint64_t> bytesSinceSweep_{0};

@@ -382,7 +382,9 @@ std::string PassTimingReport::str() const {
                 total, totalRssDeltaBytes() / (1024.0 * 1024.0));
   os << buf;
   for (const Record &r : records)
-    os << formatTimingRow(r.seconds, total, r.rssDeltaBytes, r.spec);
+    os << formatTimingRow(
+        r.seconds, total, r.rssDeltaBytes,
+        r.module.empty() ? r.spec : r.spec + "  [" + r.module + "]");
   return os.str();
 }
 
@@ -404,7 +406,7 @@ public:
                       .count();
     uint64_t rssEnd = readPeakRssBytes();
     uint64_t delta = rssEnd > rssStart_ ? rssEnd - rssStart_ : 0;
-    report_->records.push_back({pass.spec(), secs, delta});
+    report_->records.push_back({pass.spec(), secs, delta, {}});
     return true;
   }
 
@@ -1032,15 +1034,37 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
 
   // Per-module hash chains (see run()); functions hash identically across
   // modules, so two modules containing the same kernel share every cache
-  // entry within this one batch. This prologue is single-threaded for
-  // every batch pass, which is exactly why keying is a structural walk
-  // (ir::hashOp) and not a print.
+  // entry within this one batch. The initial keying fans the per-function
+  // ir::hashOp walks across the pool (hashOp is deterministic, so the
+  // keys are bit-identical to serial keying); only the map fills stay on
+  // this thread, because concurrent inserts into one module's map would
+  // race.
   std::vector<CacheState> st(modules.size());
   const bool lazy = !opts.verifyEach;
-  if (cache_)
+  if (cache_) {
+    struct KeyItem {
+      size_t mod;
+      ir::Op *func;
+    };
+    std::vector<KeyItem> items;
     for (size_t i = 0; i < modules.size(); ++i)
       for (ir::Op *func : collectFuncs(modules[i]))
-        st[i].irHash[func] = ir::hashOp(func);
+        items.push_back({i, func});
+    std::vector<Hash128> hashes(items.size());
+    if (pool && items.size() >= 2) {
+      std::atomic<size_t> next{0};
+      pool->parallel([&](unsigned, runtime::Team &) {
+        for (size_t k = next.fetch_add(1); k < items.size();
+             k = next.fetch_add(1))
+          hashes[k] = ir::hashOp(items[k].func);
+      });
+    } else {
+      for (size_t k = 0; k < items.size(); ++k)
+        hashes[k] = ir::hashOp(items[k].func);
+    }
+    for (size_t k = 0; k < items.size(); ++k)
+      st[items[k].mod].irHash[items[k].func] = hashes[k];
+  }
 
   for (auto &pass : passes_) {
     pass->beginRun();
@@ -1081,7 +1105,8 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
                         .count();
       uint64_t rssEnd = readPeakRssBytes();
       opts.timing->records.push_back(
-          {pass->spec(), secs, rssEnd > rssStart ? rssEnd - rssStart : 0});
+          {pass->spec(), secs, rssEnd > rssStart ? rssEnd - rssStart : 0,
+           {}});
     }
 
     if (opts.verifyEach) {
@@ -1113,6 +1138,522 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
     }
   }
   return ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Dependency-DAG batch scheduling
+//===----------------------------------------------------------------------===//
+
+/// One module's scheduling state (owned by exactly one task at a time;
+/// see the ownership note in the header).
+struct BatchDag::Mod {
+  ir::Op *module = nullptr;
+  DiagnosticEngine *diag = nullptr;
+  std::function<std::optional<ModuleOp>()> prepare;
+  PassManager::CacheState st;
+  /// Functions not yet advanced past the current pass step.
+  std::vector<ir::Op *> remaining;
+  size_t passIdx = 0;
+  bool stepInited = false;
+  /// Whether the current step already counted a notePassExecuted (a fan
+  /// join re-enters the step; the counter must bump once).
+  bool stepExecuted = false;
+};
+
+/// Join state of one fanned-out function-pass step: per-function run
+/// tasks decrement `left`; the last finisher completes the step and
+/// resumes the module chain.
+struct BatchDag::Fan {
+  FunctionPass *pass = nullptr;
+  std::string spec;
+  std::vector<FuncRun> items;
+  std::vector<DiagnosticEngine> diags;
+  std::vector<char> oks;
+  std::atomic<size_t> left{0};
+};
+
+BatchDag::BatchDag(PassManager &pm, runtime::TaskScheduler &sched,
+                   PassManager::BatchOptions opts)
+    : pm_(pm), sched_(sched), opts_(std::move(opts)),
+      lazy_(!opts_.verifyEach) {}
+
+BatchDag::~BatchDag() = default;
+
+void BatchDag::addSample(unsigned worker, size_t i, const std::string &spec,
+                         double seconds, uint64_t rssDelta) {
+  if (opts_.timing)
+    samples_[worker].push_back(
+        {i, mods_[i]->passIdx, spec, seconds, rssDelta});
+}
+
+void BatchDag::foldTimingInto(PassTimingReport &report) const {
+  // Stable presentation order — module, then pipeline position —
+  // regardless of which workers ran what when.
+  struct Key {
+    size_t mod;
+    size_t pass;
+  };
+  std::vector<std::pair<Key, PassTimingReport::Record>> rows;
+  for (const auto &workerSamples : samples_) {
+    for (const Sample &s : workerSamples) {
+      auto it = std::find_if(rows.begin(), rows.end(), [&](const auto &r) {
+        return r.first.mod == s.mod && r.first.pass == s.pass;
+      });
+      if (it == rows.end()) {
+        rows.push_back({{s.mod, s.pass},
+                        {s.spec, s.seconds, s.rssDelta,
+                         mods_[s.mod]->diag->moduleName()}});
+      } else {
+        it->second.seconds += s.seconds;
+        it->second.rssDeltaBytes += s.rssDelta;
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto &a, const auto &b) {
+    return a.first.mod != b.first.mod ? a.first.mod < b.first.mod
+                                      : a.first.pass < b.first.pass;
+  });
+  // Append (never merge into existing rows): a pipeline running the same
+  // spec at two positions keeps two rows, exactly like the per-execution
+  // records the lockstep and per-module paths emit.
+  for (auto &row : rows)
+    report.records.push_back(row.second);
+}
+
+void BatchDag::spawnAdvance(size_t i) {
+  auto self = shared_from_this();
+  sched_.spawn([self, i](unsigned worker) { self->advance(i, worker); });
+}
+
+void BatchDag::finish(size_t i, bool ok) {
+  Mod &m = *mods_[i];
+  if (ok && m.module) {
+    if (!pm_.materializeAll(ModuleOp(m.module), m.st)) {
+      m.diag->error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                                 "(print/parse round-trip bug)");
+      ok = false;
+    }
+  }
+  ok_[i] = ok ? 1 : 0;
+  if (opts_.onModuleDone)
+    opts_.onModuleDone(i, ok);
+}
+
+void BatchDag::fail(size_t i) {
+  Mod &m = *mods_[i];
+  // Leave the failed module's (partially transformed) IR materialized;
+  // a round-trip failure here is secondary to the abort being reported.
+  if (m.module)
+    pm_.materializeAll(ModuleOp(m.module), m.st);
+  finish(i, false);
+}
+
+bool BatchDag::verifyAfter(size_t i, Pass &pass) {
+  // verify-each turns lazy replay off, so the module is materialized.
+  Mod &m = *mods_[i];
+  bool ok = true;
+  for (const std::string &e : ir::verify(m.module)) {
+    m.diag->error(SourceLoc(),
+                  "pass '" + pass.name() + "' broke invariant: " + e);
+    ok = false;
+  }
+  return ok;
+}
+
+void BatchDag::startModule(size_t i, unsigned worker) {
+  Mod &m = *mods_[i];
+  if (m.prepare) {
+    auto parsed = m.prepare();
+    if (!parsed) {
+      finish(i, false);
+      return;
+    }
+    m.module = parsed->op;
+  }
+  // Initial keying: one structural-hash walk per function, on whatever
+  // worker this leaf landed on — with every module a separate leaf, the
+  // walks fan across the pool instead of forming a serial prologue.
+  if (pm_.cache_) {
+    ModuleOp module(m.module);
+    for (ir::Op *func : collectFuncs(module))
+      m.st.irHash[func] = ir::hashOp(func);
+  }
+  advance(i, worker);
+}
+
+void BatchDag::advance(size_t i, unsigned worker) {
+  Mod &m = *mods_[i];
+  while (true) {
+    if (m.passIdx >= pm_.passes_.size()) {
+      finish(i, true);
+      return;
+    }
+    Pass &pass = *pm_.passes_[m.passIdx];
+    Step s = pass.isFunctionPass()
+                 ? runFunctionPass(i, static_cast<FunctionPass &>(pass),
+                                   worker)
+                 : runModulePass(i, pass, worker);
+    if (s != Step::Advanced)
+      return; // Yielded: a continuation owns the module now. Failed: done.
+    if (opts_.verifyEach && !verifyAfter(i, pass)) {
+      fail(i);
+      return;
+    }
+    ++m.passIdx;
+    m.stepInited = false;
+    m.stepExecuted = false;
+  }
+}
+
+BatchDag::Step BatchDag::runModulePass(size_t i, Pass &pass,
+                                       unsigned worker) {
+  Mod &m = *mods_[i];
+  ModuleOp module(m.module);
+  DiagnosticEngine &diag = *m.diag;
+  PassResultCache *cache = pm_.cache_;
+  bool owned = false;
+  Hash128 input;
+  std::string spec;
+  if (cache) {
+    // Same key shape as the lockstep path: fold of the per-function
+    // hashes under a "module:" spec prefix.
+    spec = "module:" + pass.spec();
+    for (ir::Op *func : collectFuncs(module))
+      input = combineHash(input, pm_.hashOf(func, m.st));
+    auto self = shared_from_this();
+    auto ar = cache->acquire(input, spec,
+                             [self, i] { self->spawnAdvance(i); });
+    if (ar.state == PassResultCache::AcquireState::Busy)
+      return Step::Yielded;
+    if (ar.state == PassResultCache::AcquireState::Hit) {
+      // Concurrent modules share the AnalysisManager, so invalidate the
+      // replaced functions individually — clear() would drop entries
+      // other modules' running passes hold references to.
+      for (ir::Op *func : collectFuncs(module))
+        pm_.analysisManager_.invalidate(func);
+      if (pm_.spliceModule(module, *ar.entry, m.st)) {
+        cache->notePassReplayed();
+        return Step::Advanced;
+      }
+      // Unparseable entry: recompute without a claim (rare; the corrupt
+      // key is simply overwritten by the store below).
+    } else {
+      owned = true;
+    }
+    if (!pm_.materializeAll(module, m.st)) {
+      diag.error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                              "(print/parse round-trip bug)");
+      if (owned)
+        cache->finishCompute(input, spec);
+      fail(i);
+      return Step::Failed;
+    }
+    cache->notePassExecuted();
+  }
+  // A module pass may erase functions (inline), and a concurrent module
+  // could recycle a freed Op address the moment it is released — so the
+  // pre-run entries must be gone *before* the pass can free anything, or
+  // the recycled address would false-hit a stale analysis (or worse,
+  // invalidate a sibling's fresh entry afterwards). Conservative for
+  // surviving functions.
+  for (ir::Op *func : collectFuncs(module))
+    pm_.analysisManager_.invalidate(func);
+  size_t errorsBefore = diag.numErrors();
+  uint64_t rssStart = opts_.timing ? readPeakRssBytes() : 0;
+  auto t0 = std::chrono::steady_clock::now();
+  bool okRun = pass.run(module, diag);
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (opts_.timing) {
+    uint64_t rssEnd = readPeakRssBytes();
+    addSample(worker, i, pass.spec(), secs,
+              rssEnd > rssStart ? rssEnd - rssStart : 0);
+  }
+  if (!okRun || diag.numErrors() > errorsBefore) {
+    if (owned)
+      cache->finishCompute(input, spec);
+    fail(i);
+    return Step::Failed;
+  }
+  // Entries the pass primed mid-run for functions it then mutated are
+  // stale too; its *current* functions are ours alone, so this touches
+  // no sibling state (pre-run pointers may be dead — never revisit them).
+  for (ir::Op *func : collectFuncs(module))
+    pm_.analysisManager_.invalidate(func);
+  if (cache) {
+    m.st.irHash.clear();
+    PassResultCache::Entry entry;
+    Hash128 output;
+    for (ir::Op *func : collectFuncs(module)) {
+      Hash128 h = ir::hashOp(func);
+      m.st.irHash[func] = h;
+      entry.funcHashes.push_back(h);
+      output = combineHash(output, h);
+    }
+    entry.ir = ir::printOp(module.op);
+    entry.outputHash = output;
+    cache->store(input, spec, std::move(entry));
+    cache->finishCompute(input, spec);
+  }
+  return Step::Advanced;
+}
+
+BatchDag::Step BatchDag::runFunctionPass(size_t i, FunctionPass &pass,
+                                         unsigned worker) {
+  Mod &m = *mods_[i];
+  ModuleOp module(m.module);
+  PassResultCache *cache = pm_.cache_;
+  const std::string spec = pass.spec();
+  if (!m.stepInited) {
+    m.remaining = collectFuncs(module);
+    m.stepInited = true;
+  }
+  if (!cache) {
+    // No cache: nothing to key, replay, or dedup — run every function.
+    std::vector<FuncRun> toRun;
+    for (ir::Op *func : m.remaining)
+      toRun.push_back({func, Hash128(), false});
+    return toRun.empty() ? Step::Advanced
+                         : executeMisses(i, pass, spec, std::move(toRun),
+                                         worker);
+  }
+  while (true) {
+    // Scan: hits advance in place; first-claimant misses collect for
+    // execution; keys in flight elsewhere stay in `remaining` for a
+    // later rescan. Claims taken here are always released by the
+    // executeMisses call below (or its fan join) before any wait, so
+    // module A parking on a key module B owns can never cycle.
+    std::vector<FuncRun> toRun;
+    for (auto it = m.remaining.begin(); it != m.remaining.end();) {
+      ir::Op *func = *it;
+      Hash128 input = pm_.hashOf(func, m.st);
+      auto ar = cache->acquire(input, spec, nullptr);
+      if (ar.state == PassResultCache::AcquireState::Hit) {
+        if (pm_.applyHit(module, func, std::move(*ar.entry), lazy_, m.st)) {
+          it = m.remaining.erase(it);
+          continue;
+        }
+        // Unparseable entry: recompute without a claim (rare).
+      } else if (ar.state == PassResultCache::AcquireState::Busy) {
+        ++it;
+        continue;
+      }
+      // Owned (or corrupt hit): the pass must run on this function's
+      // real IR.
+      ir::Op *live = pm_.materialize(module, func, m.st);
+      if (!live) {
+        m.diag->error(SourceLoc(), "pass-cache: cached IR failed to "
+                                   "re-parse (print/parse round-trip bug)");
+        // Release every claim collected so far, not just this one — a
+        // leaked claim would park other modules' waiters forever.
+        if (ar.state == PassResultCache::AcquireState::Owned)
+          cache->finishCompute(input, spec);
+        for (const FuncRun &r : toRun)
+          if (r.owned)
+            cache->finishCompute(r.input, spec);
+        fail(i);
+        return Step::Failed;
+      }
+      *it = live;
+      toRun.push_back(
+          {live, input, ar.state == PassResultCache::AcquireState::Owned});
+      ++it;
+    }
+    if (!toRun.empty()) {
+      Step s = executeMisses(i, pass, spec, std::move(toRun), worker);
+      if (s != Step::Advanced)
+        return s;
+      continue; // rescan: keys that were busy may have landed meanwhile
+    }
+    if (m.remaining.empty()) {
+      if (!m.stepExecuted)
+        cache->notePassReplayed();
+      return Step::Advanced;
+    }
+    // Everything left is in flight in some other module: park one
+    // continuation on the first such key and hand it the module's
+    // ownership token. Re-acquiring with the callback is what makes the
+    // registration atomic with the busy check.
+    ir::Op *func = m.remaining.front();
+    Hash128 input = pm_.hashOf(func, m.st);
+    auto self = shared_from_this();
+    auto ar =
+        cache->acquire(input, spec, [self, i] { self->spawnAdvance(i); });
+    if (ar.state == PassResultCache::AcquireState::Busy)
+      return Step::Yielded;
+    if (ar.state == PassResultCache::AcquireState::Hit) {
+      if (pm_.applyHit(module, func, std::move(*ar.entry), lazy_, m.st)) {
+        m.remaining.erase(m.remaining.begin());
+        continue;
+      }
+      // Corrupt entry: run it unclaimed.
+      ir::Op *live = pm_.materialize(module, func, m.st);
+      if (!live) {
+        m.diag->error(SourceLoc(), "pass-cache: cached IR failed to "
+                                   "re-parse (print/parse round-trip bug)");
+        fail(i);
+        return Step::Failed;
+      }
+      m.remaining.front() = live;
+      Step s = executeMisses(i, pass, spec, {{live, input, false}}, worker);
+      if (s != Step::Advanced)
+        return s;
+      continue;
+    }
+    // Owned: the previous owner finished without storing (it failed);
+    // run the function ourselves.
+    ir::Op *live = pm_.materialize(module, func, m.st);
+    if (!live) {
+      m.diag->error(SourceLoc(), "pass-cache: cached IR failed to re-parse "
+                                 "(print/parse round-trip bug)");
+      cache->finishCompute(input, spec);
+      fail(i);
+      return Step::Failed;
+    }
+    m.remaining.front() = live;
+    Step s = executeMisses(i, pass, spec, {{live, input, true}}, worker);
+    if (s != Step::Advanced)
+      return s;
+  }
+}
+
+BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
+                                       const std::string &spec,
+                                       std::vector<FuncRun> toRun,
+                                       unsigned worker) {
+  Mod &m = *mods_[i];
+  PassResultCache *cache = pm_.cache_;
+  if (cache && !m.stepExecuted) {
+    m.stepExecuted = true;
+    cache->notePassExecuted();
+  }
+  auto fan = std::make_shared<Fan>();
+  fan->pass = &pass;
+  fan->spec = spec;
+  fan->items = std::move(toRun);
+  fan->diags.resize(fan->items.size());
+  fan->oks.assign(fan->items.size(), 0);
+  for (DiagnosticEngine &d : fan->diags)
+    d.setModuleName(m.diag->moduleName());
+  if (fan->items.size() >= 2 && sched_.workers() > 1) {
+    // Fan the functions out as their own (function, pass-index) tasks;
+    // the last finisher completes the step and resumes the chain.
+    fan->left.store(fan->items.size(), std::memory_order_relaxed);
+    auto self = shared_from_this();
+    for (size_t k = 0; k < fan->items.size(); ++k) {
+      sched_.spawn([self, i, fan, k](unsigned w) {
+        uint64_t rssStart = self->opts_.timing ? readPeakRssBytes() : 0;
+        auto t0 = std::chrono::steady_clock::now();
+        fan->oks[k] = fan->pass->runOnFunction(fan->items[k].func,
+                                               fan->diags[k])
+                          ? 1
+                          : 0;
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        if (self->opts_.timing) {
+          uint64_t rssEnd = readPeakRssBytes();
+          self->addSample(w, i, fan->spec, secs,
+                          rssEnd > rssStart ? rssEnd - rssStart : 0);
+        }
+        if (fan->left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          // Last finisher completes the step and resumes the chain
+          // (rescanning the step, or moving on when it is drained).
+          if (self->completeStep(i, *fan))
+            self->advance(i, w);
+        }
+      });
+    }
+    return Step::Yielded;
+  }
+  // Inline: run on this worker, then complete the step directly.
+  for (size_t k = 0; k < fan->items.size(); ++k) {
+    uint64_t rssStart = opts_.timing ? readPeakRssBytes() : 0;
+    auto t0 = std::chrono::steady_clock::now();
+    fan->oks[k] =
+        pass.runOnFunction(fan->items[k].func, fan->diags[k]) ? 1 : 0;
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (opts_.timing) {
+      uint64_t rssEnd = readPeakRssBytes();
+      addSample(worker, i, spec, secs,
+                rssEnd > rssStart ? rssEnd - rssStart : 0);
+    }
+  }
+  return completeStep(i, *fan) ? Step::Advanced : Step::Failed;
+}
+
+bool BatchDag::completeStep(size_t i, Fan &fan) {
+  Mod &m = *mods_[i];
+  PassResultCache *cache = pm_.cache_;
+  bool anyFailed = false;
+  for (size_t k = 0; k < fan.items.size(); ++k) {
+    m.diag->mergeFrom(fan.diags[k]);
+    anyFailed |= !fan.oks[k] || fan.diags[k].hasErrors();
+  }
+  if (anyFailed) {
+    // Release every claim unstored: parked waiters re-acquire, miss, and
+    // run the work themselves (lockstep parity: a failed module stores
+    // nothing for the step).
+    if (cache)
+      for (const FuncRun &r : fan.items)
+        if (r.owned)
+          cache->finishCompute(r.input, fan.spec);
+    fail(i);
+    return false;
+  }
+  for (const FuncRun &r : fan.items) {
+    if (cache) {
+      Hash128 outputHash = ir::hashOp(r.func);
+      cache->store(r.input, fan.spec, ir::printOp(r.func), outputHash);
+      m.st.irHash[r.func] = outputHash;
+      if (r.owned)
+        cache->finishCompute(r.input, fan.spec);
+    }
+    pm_.analysisManager_.invalidate(r.func, fan.pass->preservedAnalyses());
+    m.remaining.erase(
+        std::find(m.remaining.begin(), m.remaining.end(), r.func));
+  }
+  return true;
+}
+
+std::shared_ptr<BatchDag>
+PassManager::scheduleBatch(runtime::TaskScheduler &sched,
+                           std::vector<BatchItem> items, BatchOptions opts) {
+  // One beginRun per pass per batch, before any task runs: pass objects
+  // are shared by every module in flight, and their per-run state is
+  // already required to tolerate concurrent runOnFunction calls (the
+  // lockstep scheduler fans one pass across workers under a single
+  // beginRun); dynamic preservation only accumulates toward "changed
+  // more", i.e. stays conservative when modules interleave.
+  for (auto &pass : passes_) {
+    pass->setStatisticsEnabled(collectStats_);
+    pass->setAnalysisManager(&analysisManager_);
+    pass->beginRun();
+  }
+  // Entries from a previous batch could false-hit through a recycled Op
+  // address, and the per-module retainOnly is impossible before the
+  // parse leaves have produced the functions — drop everything.
+  analysisManager_.clear();
+
+  auto dag = std::shared_ptr<BatchDag>(
+      new BatchDag(*this, sched, std::move(opts)));
+  dag->mods_.reserve(items.size());
+  for (BatchItem &item : items) {
+    auto mod = std::make_unique<BatchDag::Mod>();
+    mod->module = item.module;
+    mod->diag = item.diag;
+    mod->prepare = std::move(item.prepare);
+    dag->mods_.push_back(std::move(mod));
+  }
+  dag->ok_.assign(items.size(), 1);
+  dag->samples_.resize(sched.workers());
+  for (size_t i = 0; i < dag->mods_.size(); ++i)
+    sched.spawn(
+        [dag, i](unsigned worker) { dag->startModule(i, worker); });
+  return dag;
 }
 
 std::string PassManager::pipelineSpec() const {

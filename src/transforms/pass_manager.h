@@ -29,12 +29,15 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace paralift::runtime {
+class TaskScheduler;
 class ThreadPool;
 }
 
@@ -292,7 +295,7 @@ public:
 
 /// Per-pass wall-clock timing and peak-RSS growth, one record per pass
 /// execution in pipeline order. Filled by the timing instrumentation
-/// PassManager::enableTiming installs.
+/// PassManager::enableTiming installs; batch runs append through fold().
 struct PassTimingReport {
   struct Record {
     std::string spec; ///< canonical pass spec at execution time
@@ -300,6 +303,12 @@ struct PassTimingReport {
     /// Peak-RSS growth (bytes) during the pass; 0 when the pass stayed
     /// within the high-water mark or the platform has no reading.
     uint64_t rssDeltaBytes = 0;
+    /// Module the time is attributed to; empty for whole-batch rows
+    /// (lockstep scheduling) and single-module runs. The DAG scheduler
+    /// folds per-worker clocks by (module, pass) into one row each, so
+    /// --timing reports true per-module per-pass time under parallel
+    /// batch scheduling.
+    std::string module;
   };
   std::vector<Record> records;
   double totalSeconds() const;
@@ -368,6 +377,8 @@ private:
 // PassManager
 //===----------------------------------------------------------------------===//
 
+class BatchDag;
+
 class PassManager {
 public:
   PassManager() = default;
@@ -428,15 +439,35 @@ public:
   /// abort) and returns false.
   bool run(ModuleOp module, DiagnosticEngine &diag);
 
-  /// Knobs for runOnModules. Instrumentations installed via enable* hook
-  /// per-module pass executions and do not apply to batch runs; batch
-  /// supports the two that matter for sessions directly.
+  /// Knobs for the batch schedulers (runOnModules / scheduleBatch).
+  /// Instrumentations installed via enable* hook per-module pass
+  /// executions and do not apply to batch runs; batch supports the hooks
+  /// that matter for sessions directly.
   struct BatchOptions {
     /// Verify every module after every pass, attributing breakage to the
     /// pass and failing only the broken module.
     bool verifyEach = false;
-    /// One timing record per pass covering the whole batch.
+    /// Lockstep: one timing record per pass covering the whole batch.
+    /// DAG: enables per-worker clock collection, folded by (module,
+    /// pass) into this report by BatchDag::foldTimingInto.
     PassTimingReport *timing = nullptr;
+    /// DAG only: invoked (on whatever worker ran the final step) the
+    /// moment a module's last pass — or terminal cache splice — has
+    /// completed and its IR is materialized, long before the rest of the
+    /// batch drains. This is what lets CompileJob futures resolve
+    /// incrementally inside one batch.
+    std::function<void(size_t index, bool ok)> onModuleDone;
+  };
+
+  /// One module of a DAG batch (scheduleBatch). Either `module` is a
+  /// live module op, or `prepare` produces one as a leaf task of the
+  /// graph — so parsing one module overlaps other modules' passes.
+  struct BatchItem {
+    ir::Op *module = nullptr; ///< pre-parsed module, or null with prepare
+    DiagnosticEngine *diag = nullptr;
+    /// Parses/builds the module on a worker; nullopt on frontend failure
+    /// (which must be reported through `diag`).
+    std::function<std::optional<ModuleOp>()> prepare;
   };
 
   /// Cross-module batch scheduling: runs the pipeline over all `modules`
@@ -463,6 +494,29 @@ public:
     return runOnModules(modules, diags, BatchOptions());
   }
 
+  /// Dependency-DAG batch scheduling, the alternative to the lockstep
+  /// runOnModules: enqueues onto `sched` one leaf task per module
+  /// (prepare/parse + initial ir::hashOp keying) and one task per
+  /// (module, pass) step, chained only by each module's own pipeline
+  /// order — module B runs pass 3 while module A is still parsing, and a
+  /// module's CompileJob resolves (opts.onModuleDone) the moment its own
+  /// last step lands instead of at end of batch. In-batch dedup of
+  /// identical kernels goes through the result cache's in-flight
+  /// registry (PassResultCache::acquire): the first claimant executes, a
+  /// concurrent duplicate parks and replays the stored entry. Pass
+  /// execution on a given input is deterministic, so outputs are
+  /// bit-for-bit identical to lockstep (and to serial compiles)
+  /// regardless of interleaving; per-module failure isolation and lazy
+  /// cache-chain advancement carry over unchanged.
+  ///
+  /// The caller runs `sched` (several PassManagers — pipeline groups —
+  /// may schedule onto one scheduler; their graphs interleave freely)
+  /// and must keep the returned state alive until the scheduler drains;
+  /// BatchDag::results() then holds per-module success.
+  std::shared_ptr<BatchDag> scheduleBatch(runtime::TaskScheduler &sched,
+                                          std::vector<BatchItem> items,
+                                          BatchOptions opts);
+
   /// The canonical textual pipeline, e.g. "inline,canonicalize,
   /// unroll{max-trip=16}". Feeding it back through the registry's
   /// pipeline parser reconstructs this pipeline exactly (round-trip).
@@ -471,7 +525,20 @@ public:
   /// Renders non-zero statistics of all passes as a table.
   std::string statisticsStr() const;
 
+  /// Per-run cache bookkeeping: the chained per-function structural IR
+  /// hashes plus — for lazily replayed passes — cached result text
+  /// accepted but not yet spliced into the module (consecutive hits only
+  /// advance the hash chain; IR is materialized when a pass actually has
+  /// to execute, when an instrumentation inspects it, or at end of run).
+  /// Public only for BatchDag's per-module state; not a client API.
+  struct CacheState {
+    std::unordered_map<ir::Op *, Hash128> irHash;
+    std::unordered_map<ir::Op *, std::string> pending;
+  };
+
 private:
+  friend class BatchDag;
+
   /// Runs a function pass over `funcs` (serially, or fanned out on
   /// `pool` when given and profitable), merging worker diagnostics in
   /// function order.
@@ -482,15 +549,6 @@ private:
   struct RunScope {
     bool wholeModule = false;        ///< module pass (or cache disabled)
     std::vector<ir::Op *> executed;  ///< functions the pass actually ran on
-  };
-  /// Per-run cache bookkeeping: the chained per-function structural IR
-  /// hashes plus — for lazily replayed passes — cached result text
-  /// accepted but not yet spliced into the module (consecutive hits only
-  /// advance the hash chain; IR is materialized when a pass actually has
-  /// to execute, when an instrumentation inspects it, or at end of run).
-  struct CacheState {
-    std::unordered_map<ir::Op *, Hash128> irHash;
-    std::unordered_map<ir::Op *, std::string> pending;
   };
   bool runPassCached(Pass &pass, ModuleOp module, DiagnosticEngine &diag,
                      runtime::ThreadPool *pool, bool lazy, CacheState &st,
@@ -539,6 +597,85 @@ private:
   AnalysisManager analysisManager_;
   PassResultCache *cache_ = nullptr;
   runtime::ThreadPool *externalPool_ = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// BatchDag
+//===----------------------------------------------------------------------===//
+
+/// Live state of one pipeline group's dependency-DAG batch, handed out
+/// by PassManager::scheduleBatch and kept alive jointly by the caller
+/// and the in-flight tasks. Query after the scheduler drained.
+class BatchDag : public std::enable_shared_from_this<BatchDag> {
+public:
+  ~BatchDag();
+
+  /// Per-module success, in item order; stable once the scheduler ran.
+  const std::vector<char> &results() const { return ok_; }
+
+  /// Folds the per-worker (module, pass) clock samples collected while
+  /// the graph ran into `report`, in module order then pipeline order.
+  /// Only meaningful when BatchOptions::timing was set. Note: the
+  /// peak-RSS column attributes the process-global high-water mark to
+  /// whichever concurrently running step observed the growth first.
+  void foldTimingInto(PassTimingReport &report) const;
+
+private:
+  friend class PassManager;
+
+  /// One module's scheduling state. Exactly one task at a time owns a
+  /// Mod — ownership passes from the leaf task along the pass chain,
+  /// through fan-out joins and in-flight-key continuations — so none of
+  /// these fields need locks.
+  struct Mod;
+  struct Fan;
+  struct FuncRun {
+    ir::Op *func = nullptr;
+    Hash128 input;
+    bool owned = false; ///< holds an in-flight claim to release
+  };
+  struct Sample {
+    size_t mod;
+    size_t pass;
+    std::string spec;
+    double seconds;
+    uint64_t rssDelta;
+  };
+  /// How one pass step over one module ended.
+  enum class Step {
+    Advanced, ///< step complete; the module may move to the next pass
+    Yielded,  ///< ownership handed to a continuation (fan join / parked)
+    Failed    ///< module failed; fail(i) has run
+  };
+
+  BatchDag(PassManager &pm, runtime::TaskScheduler &sched,
+           PassManager::BatchOptions opts);
+
+  void spawnAdvance(size_t i);
+  void startModule(size_t i, unsigned worker);
+  void advance(size_t i, unsigned worker);
+  Step runModulePass(size_t i, Pass &pass, unsigned worker);
+  Step runFunctionPass(size_t i, FunctionPass &pass, unsigned worker);
+  Step executeMisses(size_t i, FunctionPass &pass, const std::string &spec,
+                     std::vector<FuncRun> toRun, unsigned worker);
+  /// Shared completion tail of a function-pass step (inline and fanned):
+  /// merges worker diagnostics in item order, then either releases every
+  /// owned claim unstored and fails the module (false), or stores the
+  /// results, advances the hash chain, and drains `remaining` (true).
+  bool completeStep(size_t i, Fan &fan);
+  bool verifyAfter(size_t i, Pass &pass);
+  void finish(size_t i, bool ok);
+  void fail(size_t i);
+  void addSample(unsigned worker, size_t i, const std::string &spec,
+                 double seconds, uint64_t rssDelta);
+
+  PassManager &pm_;
+  runtime::TaskScheduler &sched_;
+  PassManager::BatchOptions opts_;
+  bool lazy_ = true;
+  std::vector<std::unique_ptr<Mod>> mods_;
+  std::vector<char> ok_; ///< distinct elements written by distinct owners
+  std::vector<std::vector<Sample>> samples_; ///< one vector per worker
 };
 
 /// Renders one "  <secs> s (<pct>%)  <+MB>  <label>" timing row (the MB
