@@ -2,10 +2,12 @@
 // the Rodinia suite (not a paper figure; quantifies the compiler itself).
 //
 // --json=FILE additionally emits a machine-readable BENCH_compile.json
-// (suite latency per scheduler and thread count, mean/median
-// job-completion latency, keying time, cache stats) so the perf
-// trajectory is tracked across PRs.
+// (suite latency per scheduler and thread count, mean/median/p95
+// job-completion latency, keying time, arena parse/clone/teardown cost,
+// cache stats) so the perf trajectory is tracked across PRs.
 #include "bench_common.h"
+
+#include "ir/parser.h"
 
 #include <benchmark/benchmark.h>
 
@@ -70,7 +72,17 @@ struct SchedulerMeasurement {
   double wallSeconds = 0;      ///< compileAll wall clock
   double meanJobSeconds = 0;   ///< mean CompileJob-completion latency
   double medianJobSeconds = 0; ///< median CompileJob-completion latency
+  double p95JobSeconds = 0;    ///< p95 CompileJob-completion latency
 };
+
+/// p95 by the nearest-rank method on a sorted sample.
+double p95Of(const std::vector<double> &sorted) {
+  if (sorted.empty())
+    return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(0.95 * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<size_t>(rank, 1)) - 1];
+}
 
 SchedulerMeasurement measureSuiteSession(unsigned threads,
                                          driver::ScheduleMode schedule,
@@ -96,6 +108,7 @@ SchedulerMeasurement measureSuiteSession(unsigned threads,
       m.meanJobSeconds += l;
     m.meanJobSeconds /= lats.empty() ? 1 : lats.size();
     m.medianJobSeconds = lats.empty() ? 0 : lats[lats.size() / 2];
+    m.p95JobSeconds = p95Of(lats);
     ms.push_back(m);
   }
   // Median rep by wall clock.
@@ -142,8 +155,8 @@ std::vector<SchedulerRow> printSuiteSessionMode() {
       3);
   std::printf("  serial per-module (one-shot sessions)  %10.4f s\n\n",
               serial);
-  std::printf("  %-12s%12s%12s%14s%14s\n", "pm-threads", "wall", "vs-lock",
-              "mean-job", "median-job");
+  std::printf("  %-12s%12s%12s%14s%14s%14s\n", "pm-threads", "wall",
+              "vs-lock", "mean-job", "median-job", "p95-job");
   std::vector<SchedulerRow> rows;
   for (unsigned threads : {1u, 2u, 4u}) {
     SchedulerRow row;
@@ -151,19 +164,90 @@ std::vector<SchedulerRow> printSuiteSessionMode() {
     row.dag = measureSuiteSession(threads, driver::ScheduleMode::Dag);
     row.lockstep =
         measureSuiteSession(threads, driver::ScheduleMode::Lockstep);
-    std::printf("  dag=%-8u%10.4f s%11.2fx%12.4f s%12.4f s\n", threads,
-                row.dag.wallSeconds,
+    std::printf("  dag=%-8u%10.4f s%11.2fx%12.4f s%12.4f s%12.4f s\n",
+                threads, row.dag.wallSeconds,
                 row.dag.wallSeconds > 0
                     ? row.lockstep.wallSeconds / row.dag.wallSeconds
                     : 0.0,
-                row.dag.meanJobSeconds, row.dag.medianJobSeconds);
-    std::printf("  lock=%-7u%10.4f s%12s%12.4f s%12.4f s\n", threads,
-                row.lockstep.wallSeconds, "-",
-                row.lockstep.meanJobSeconds,
-                row.lockstep.medianJobSeconds);
+                row.dag.meanJobSeconds, row.dag.medianJobSeconds,
+                row.dag.p95JobSeconds);
+    std::printf("  lock=%-7u%10.4f s%12s%12.4f s%12.4f s%12.4f s\n",
+                threads, row.lockstep.wallSeconds, "-",
+                row.lockstep.meanJobSeconds, row.lockstep.medianJobSeconds,
+                row.lockstep.p95JobSeconds);
     rows.push_back(row);
   }
   return rows;
+}
+
+/// IR-memory cost across the suite: parse (textual IR -> arena-backed
+/// module), clone (cloneModule into a fresh arena), and teardown
+/// (OwnedModule destruction, which is an O(1)-per-module slab release).
+/// These are the three paths the per-module arena is built to speed up;
+/// the rows land in BENCH_compile.json so the trajectory is tracked
+/// across PRs.
+struct IrMemoryTimes {
+  double parseSeconds = 0;
+  double cloneSeconds = 0;
+  double teardownSeconds = 0;
+  size_t modules = 0; ///< valid suite modules per round
+  int rounds = 0;
+};
+
+IrMemoryTimes measureIrMemory(const SuiteModules &suite, int rounds = 20,
+                              int reps = 3) {
+  IrMemoryTimes out;
+  out.rounds = rounds;
+  std::vector<std::string> texts;
+  for (size_t i = 0; i < suite.modules.size(); ++i)
+    if (suite.isValid(i))
+      texts.push_back(ir::printOp(suite.modules[i].get().op));
+  out.modules = texts.size();
+  std::vector<double> parseT, cloneT, tearT;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<ir::OwnedModule> parsed;
+    parsed.reserve(texts.size() * rounds);
+    double t0 = now();
+    for (int r = 0; r < rounds; ++r)
+      for (const std::string &text : texts) {
+        DiagnosticEngine diag;
+        auto m = ir::parseModule(text, diag);
+        if (m)
+          parsed.push_back(std::move(*m));
+      }
+    parseT.push_back(now() - t0);
+
+    std::vector<ir::OwnedModule> clones;
+    clones.reserve(parsed.size());
+    t0 = now();
+    for (ir::OwnedModule &m : parsed)
+      clones.push_back(ir::cloneModule(m.get()));
+    cloneT.push_back(now() - t0);
+
+    t0 = now();
+    parsed.clear();
+    clones.clear();
+    tearT.push_back(now() - t0);
+  }
+  auto med = [](std::vector<double> &v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  out.parseSeconds = med(parseT);
+  out.cloneSeconds = med(cloneT);
+  out.teardownSeconds = med(tearT);
+  return out;
+}
+
+void printIrMemory(const IrMemoryTimes &m) {
+  std::printf("\n=== IR-memory cost, whole suite x%d (arena-backed "
+              "parse/clone/teardown) ===\n\n",
+              m.rounds);
+  std::printf("  parse    : %10.6f s  (%zu modules x%d)\n", m.parseSeconds,
+              m.modules, m.rounds);
+  std::printf("  clone    : %10.6f s\n", m.cloneSeconds);
+  std::printf("  teardown : %10.6f s  (parse+clone modules, slab release)\n",
+              m.teardownSeconds);
 }
 
 /// Cold-populate cache behavior of one DAG suite batch (hits include
@@ -179,6 +263,7 @@ transforms::PassResultCache::StatsSnapshot measureCacheStats() {
 
 void writeJson(const std::string &path,
                const std::vector<SchedulerRow> &rows, const KeyingTimes &k,
+               const IrMemoryTimes &im,
                const transforms::PassResultCache::StatsSnapshot &cs) {
   std::FILE *f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -199,9 +284,9 @@ void writeJson(const std::string &path,
                     const char *sep) {
       std::fprintf(f,
                    "      \"%s\": {\"wall_s\": %.6f, \"mean_job_s\": %.6f, "
-                   "\"median_job_s\": %.6f}%s\n",
+                   "\"median_job_s\": %.6f, \"p95_job_s\": %.6f}%s\n",
                    name, m.wallSeconds, m.meanJobSeconds, m.medianJobSeconds,
-                   sep);
+                   m.p95JobSeconds, sep);
     };
     std::fprintf(f, "    {\n      \"pm_threads\": %u,\n", r.threads);
     emit("dag", r.dag, ",");
@@ -220,6 +305,11 @@ void writeJson(const std::string &path,
                "  \"keying\": {\"structural_s\": %.6f, \"printed_hash_s\": "
                "%.6f, \"funcs\": %zu, \"rounds\": %d},\n",
                k.structuralSeconds, k.printedSeconds, k.funcs, k.rounds);
+  std::fprintf(f,
+               "  \"ir_memory\": {\"parse_s\": %.6f, \"clone_s\": %.6f, "
+               "\"teardown_s\": %.6f, \"modules\": %zu, \"rounds\": %d},\n",
+               im.parseSeconds, im.cloneSeconds, im.teardownSeconds,
+               im.modules, im.rounds);
   std::fprintf(f,
                "  \"cache_cold_populate\": {\"hits\": %llu, \"misses\": "
                "%llu, \"stores\": %llu, \"passes_executed\": %llu, "
@@ -270,7 +360,9 @@ int main(int argc, char **argv) {
   SuiteModules suite = parseSuiteModules();
   KeyingTimes keying = measureKeyingTime(suite);
   printKeyingTime(keying);
+  IrMemoryTimes irMem = measureIrMemory(suite);
+  printIrMemory(irMem);
   if (!jsonPath.empty())
-    writeJson(jsonPath, rows, keying, measureCacheStats());
+    writeJson(jsonPath, rows, keying, irMem, measureCacheStats());
   return 0;
 }

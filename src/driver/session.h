@@ -53,6 +53,29 @@
 //    function pass fanned across the union of all modules' kernels. A
 //    batch's latency is the sum of the slowest module at every stage,
 //    and every future resolves at end of batch.
+//
+// Memory
+// ------
+// Every job's module lives in its own ir::IRArena (see ir/arena.h and
+// op.h "Design notes"): all ops, values, blocks, regions and attribute
+// storage for one module come from that module's bump allocator, and the
+// OwnedModule held by CompileResult is the arena handle. Consequences
+// for session users:
+//
+//  - Job teardown is O(1) in IR size. Dropping a CompileJob's result (or
+//    the session) releases each module as a handful of slab frees, not a
+//    node-by-node destructor walk — cheap even for batches that built
+//    millions of ops.
+//  - Arena memory is monotonic per module while the module is alive.
+//    Passes that erase ops (canonicalize, CSE, DSE) unlink them from the
+//    IR but return nothing to the allocator; the bytes are reclaimed
+//    when the module is destroyed. Peak RSS of a batch therefore tracks
+//    the *created*, not the surviving, op count.
+//  - Cross-module splices never share arenas. Cache replays and clones
+//    parse/clone directly into the destination module's arena
+//    (ir::parseModuleInto, ir::cloneOpInto), so worker threads may
+//    replay into a live module under --pm-threads without transferring
+//    ownership; the arena's allocation path is thread-safe.
 #pragma once
 
 #include "frontend/irgen.h"

@@ -1220,8 +1220,8 @@ private:
     b_.yield({convert(ev.scalar, ev.ty.scalar, common)});
     // Rebuild the if with the right result type.
     std::vector<Value> operands = {ifOp.cond()};
-    Op *newIf = Op::create(OpKind::ScfIf, e.loc, {irType(common)}, operands,
-                           2);
+    Op *newIf = Op::create(ifOp.op->arena(), OpKind::ScfIf, e.loc,
+                           {irType(common)}, operands, 2);
     ifOp.op->parent()->insertBefore(ifOp.op, newIf);
     newIf->region(0).takeBlocks(ifOp.op->region(0));
     newIf->region(1).takeBlocks(ifOp.op->region(1));

@@ -1,0 +1,135 @@
+#include "ir/arena.h"
+
+#include <algorithm>
+#include <shared_mutex>
+#include <string>
+#include <unordered_set>
+
+namespace paralift::ir {
+
+//===----------------------------------------------------------------------===//
+// IRArena
+//===----------------------------------------------------------------------===//
+
+IRArena::IRArena() { current_.store(newSlab(kFirstSlabBytes)); }
+
+IRArena::~IRArena() {
+  // Non-trivial payloads first (LIFO): the objects live in the slabs.
+  for (DtorRecord *r = dtors_.load(std::memory_order_relaxed); r;
+       r = r->next)
+    r->fn(r->obj);
+  Slab *s = current_.load(std::memory_order_relaxed);
+  while (s) {
+    Slab *prev = s->prev;
+    ::operator delete(static_cast<void *>(s), std::align_val_t(16));
+    s = prev;
+  }
+}
+
+IRArena::Slab *IRArena::newSlab(size_t minPayload) {
+  Slab *cur = current_.load(std::memory_order_relaxed);
+  size_t payload = cur ? std::min(cur->capacity * 2, kMaxSlabBytes)
+                       : minPayload;
+  if (payload < minPayload)
+    payload = minPayload;
+  void *mem =
+      ::operator new(Slab::headerBytes() + payload, std::align_val_t(16));
+  Slab *slab = new (mem) Slab{cur, payload, {0}};
+  return slab;
+}
+
+void *IRArena::allocate(size_t size) {
+  size = (size + 15) & ~size_t{15};
+  if (size == 0)
+    size = 16;
+  Slab *slab = current_.load(std::memory_order_acquire);
+  size_t off = slab->used.fetch_add(size, std::memory_order_relaxed);
+  if (off + size <= slab->capacity) {
+    bytesAllocated_.fetch_add(size, std::memory_order_relaxed);
+    return slab->data() + off;
+  }
+  return allocateSlow(size);
+}
+
+void *IRArena::allocateSlow(size_t size) {
+  std::lock_guard<std::mutex> lock(slabMutex_);
+  for (;;) {
+    // Another thread may have chained a slab while we waited.
+    Slab *slab = current_.load(std::memory_order_acquire);
+    size_t off = slab->used.fetch_add(size, std::memory_order_relaxed);
+    if (off + size <= slab->capacity) {
+      bytesAllocated_.fetch_add(size, std::memory_order_relaxed);
+      return slab->data() + off;
+    }
+    current_.store(newSlab(size), std::memory_order_release);
+  }
+}
+
+void IRArena::registerDestructor(void *obj, void (*fn)(void *)) {
+  auto *rec = static_cast<DtorRecord *>(allocate(sizeof(DtorRecord)));
+  rec->fn = fn;
+  rec->obj = obj;
+  rec->next = dtors_.load(std::memory_order_relaxed);
+  while (!dtors_.compare_exchange_weak(rec->next, rec,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+IRArena::Stats IRArena::stats() const {
+  Stats st;
+  st.bytesAllocated = bytesAllocated_.load(std::memory_order_relaxed);
+  for (Slab *s = current_.load(std::memory_order_acquire); s; s = s->prev) {
+    ++st.slabs;
+    st.bytesReserved += s->capacity;
+  }
+  for (DtorRecord *r = dtors_.load(std::memory_order_relaxed); r;
+       r = r->next)
+    ++st.destructorRecords;
+  return st;
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute-name interning
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct InternTable {
+  std::shared_mutex mutex;
+  // Node-based set: element addresses (and thus c_str()) are stable.
+  std::unordered_set<std::string> names;
+
+  InternTable() {
+    // The fixed attribute vocabulary of the IR; pre-seeding keeps the hot
+    // parse/build path on the shared (read) lock.
+    for (const char *n :
+         {"value", "pred", "sym_name", "callee", "res_types", "dims",
+          "index", "gpu.grid", "gpu.block", "kernel", "omp.source"})
+      names.emplace(n);
+  }
+};
+
+InternTable &internTable() {
+  static InternTable table;
+  return table;
+}
+
+} // namespace
+
+const char *internAttrName(const char *name, size_t len) {
+  InternTable &t = internTable();
+  // The transparent-lookup dance isn't worth it for a handful of names;
+  // build the key once.
+  std::string key(name, len);
+  {
+    std::shared_lock<std::shared_mutex> lock(t.mutex);
+    auto it = t.names.find(key);
+    if (it != t.names.end())
+      return it->c_str();
+  }
+  std::unique_lock<std::shared_mutex> lock(t.mutex);
+  return t.names.emplace(std::move(key)).first->c_str();
+}
+
+} // namespace paralift::ir

@@ -43,11 +43,13 @@ public:
     return op;
   }
 
-  /// Creates and inserts a raw op.
+  /// Creates and inserts a raw op, allocated from the insertion block's
+  /// arena (i.e. the owning module's).
   Op *createOp(OpKind kind, std::vector<Type> resultTypes,
                const std::vector<Value> &operands, unsigned numRegions = 0) {
-    return insert(Op::create(kind, loc_, std::move(resultTypes), operands,
-                             numRegions));
+    assert(block_ && "no insertion point");
+    return insert(Op::create(*block_->arena(), kind, loc_,
+                             std::move(resultTypes), operands, numRegions));
   }
 
   // Constants -----------------------------------------------------------------

@@ -22,9 +22,10 @@ constexpr uint64_t kFnvOffsetHi = 0x6c62272e07bb0142ull;
 
 } // namespace
 
-Hash128 hashBytes(const std::string &bytes) {
+Hash128 hashBytes(const char *data, size_t len) {
   uint64_t lo = kFnvOffsetLo, hi = kFnvOffsetHi;
-  for (unsigned char c : bytes) {
+  for (size_t i = 0; i < len; ++i) {
+    auto c = static_cast<unsigned char>(data[i]);
     lo = (lo ^ c) * kFnvPrime;
     hi = (hi ^ (c + 0x9eu)) * kFnvPrime;
   }

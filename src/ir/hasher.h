@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 
@@ -44,7 +45,10 @@ struct Hash128 {
 };
 
 /// Hashes a byte string (printed IR payloads, pass specs).
-Hash128 hashBytes(const std::string &bytes);
+Hash128 hashBytes(const char *data, size_t len);
+inline Hash128 hashBytes(const std::string &bytes) {
+  return hashBytes(bytes.data(), bytes.size());
+}
 
 /// Folds `next` into an accumulating hash; used to derive a module-level
 /// hash from the per-function hashes in body order.
@@ -67,8 +71,11 @@ public:
   /// Bools mix as distinct non-zero words so a flag stream cannot alias
   /// an absent-field stream.
   void addBool(bool b) { addWord(b ? 1 : 2); }
-  void addBytes(const std::string &s) {
-    Hash128 h = hashBytes(s);
+  void addBytes(const std::string &s) { addBytes(s.data(), s.size()); }
+  /// Allocation-free overload for interned attribute names (op.h).
+  void addBytes(const char *s) { addBytes(s, std::strlen(s)); }
+  void addBytes(const char *data, size_t len) {
+    Hash128 h = hashBytes(data, len);
     addWord(h.lo);
     addWord(h.hi);
   }

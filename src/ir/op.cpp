@@ -147,30 +147,56 @@ bool hasParallelLayout(OpKind k) {
 // AttrMap
 //===----------------------------------------------------------------------===//
 
-void AttrMap::set(const std::string &name, AttrValue v) {
-  for (auto &e : entries_)
+AttrMap &AttrMap::operator=(const AttrMap &o) {
+  if (this == &o)
+    return *this;
+  entries_.clear();
+  entries_.reserve(o.entries_.size());
+  for (const Entry &e : o.entries_)
+    setInterned(e.first, e.second);
+  return *this;
+}
+
+void AttrMap::registerCleanup() {
+  if (registered_)
+    return;
+  registered_ = true;
+  entries_.arena()->registerDestructor(&entries_, [](void *p) {
+    static_cast<ArenaVector<Entry> *>(p)->clear();
+  });
+}
+
+void AttrMap::setInterned(const char *name, AttrValue v) {
+  bool nonTrivial = needsDtor(v);
+  for (Entry &e : entries_)
     if (e.first == name) {
       e.second = std::move(v);
+      if (nonTrivial)
+        registerCleanup();
       return;
     }
   entries_.emplace_back(name, std::move(v));
+  if (nonTrivial)
+    registerCleanup();
 }
 
 void AttrMap::erase(const std::string &name) {
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](auto &e) { return e.first == name; }),
-                 entries_.end());
+  for (size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].first == name) {
+      entries_.eraseAt(i);
+      return;
+    }
 }
 
 bool AttrMap::has(const std::string &name) const {
-  for (auto &e : entries_)
+  for (const Entry &e : entries_)
     if (e.first == name)
       return true;
   return false;
 }
 
 bool AttrMap::getBool(const std::string &name, bool dflt) const {
-  for (auto &e : entries_)
+  for (const Entry &e : entries_)
     if (e.first == name)
       if (auto *b = std::get_if<bool>(&e.second))
         return *b;
@@ -178,7 +204,7 @@ bool AttrMap::getBool(const std::string &name, bool dflt) const {
 }
 
 int64_t AttrMap::getInt(const std::string &name, int64_t dflt) const {
-  for (auto &e : entries_)
+  for (const Entry &e : entries_)
     if (e.first == name)
       if (auto *i = std::get_if<int64_t>(&e.second))
         return *i;
@@ -186,7 +212,7 @@ int64_t AttrMap::getInt(const std::string &name, int64_t dflt) const {
 }
 
 double AttrMap::getFloat(const std::string &name, double dflt) const {
-  for (auto &e : entries_)
+  for (const Entry &e : entries_)
     if (e.first == name)
       if (auto *f = std::get_if<double>(&e.second))
         return *f;
@@ -194,7 +220,7 @@ double AttrMap::getFloat(const std::string &name, double dflt) const {
 }
 
 std::string AttrMap::getString(const std::string &name) const {
-  for (auto &e : entries_)
+  for (const Entry &e : entries_)
     if (e.first == name)
       if (auto *s = std::get_if<std::string>(&e.second))
         return *s;
@@ -202,7 +228,7 @@ std::string AttrMap::getString(const std::string &name) const {
 }
 
 std::vector<int64_t> AttrMap::getIntVec(const std::string &name) const {
-  for (auto &e : entries_)
+  for (const Entry &e : entries_)
     if (e.first == name)
       if (auto *v = std::get_if<std::vector<int64_t>>(&e.second))
         return *v;
@@ -217,7 +243,8 @@ void Value::replaceAllUsesWith(Value other) {
   assert(impl_ && other.impl_);
   assert(impl_ != other.impl_ && "self replacement");
   // setOperand mutates the use list; copy first.
-  auto uses = impl_->uses;
+  std::vector<std::pair<Op *, unsigned>> uses(impl_->uses.begin(),
+                                              impl_->uses.end());
   for (auto &[op, idx] : uses)
     op->setOperand(idx, other);
   assert(impl_->uses.empty());
@@ -228,45 +255,33 @@ void Value::replaceAllUsesWith(Value other) {
 //===----------------------------------------------------------------------===//
 
 /// Recursively drops the operands of `op` and of everything nested in it,
-/// so that values defined anywhere can be destroyed in any order.
+/// so that values defined anywhere in a detached subtree lose their uses
+/// regardless of order. This is the whole of "destruction" under the
+/// arena: memory is reclaimed only when the module dies.
 static void dropAllReferences(Op *op) {
   op->dropAllOperands();
   for (unsigned r = 0; r < op->numRegions(); ++r)
-    for (auto &block : op->region(r).blocks())
+    for (Block *block : op->region(r).blocks())
       for (Op *inner : *block)
         dropAllReferences(inner);
-}
-
-Block::~Block() {
-  // Drop all references (including from nested regions) so that use lists
-  // of values defined in this block are empty regardless of op order.
-  for (Op *op = first_; op; op = op->next())
-    dropAllReferences(op);
-  Op *op = first_;
-  while (op) {
-    Op *next = op->next();
-    op->parent_ = nullptr; // already unlinked logically
-    Op::destroy(op);
-    op = next;
-  }
 }
 
 Op *Block::parentOp() const { return parent_ ? parent_->parentOp() : nullptr; }
 
 Value Block::addArg(Type t) {
-  auto impl = std::make_unique<ValueImpl>();
+  ValueImpl *impl = arena_->create<ValueImpl>(arena_);
   impl->type = t;
   impl->defBlock = this;
   impl->index = static_cast<unsigned>(args_.size());
-  args_.push_back(std::move(impl));
-  return Value(args_.back().get());
+  args_.push_back(impl);
+  return Value(impl);
 }
 
 void Block::eraseArg(unsigned i) {
   assert(i < args_.size() && args_[i]->uses.empty() && "erasing used arg");
-  args_.erase(args_.begin() + i);
-  for (unsigned j = i; j < args_.size(); ++j)
-    args_[j]->index = j;
+  args_.eraseAt(i);
+  for (size_t j = i; j < args_.size(); ++j)
+    args_[j]->index = static_cast<unsigned>(j);
 }
 
 Op *Block::terminator() const {
@@ -279,6 +294,7 @@ void Block::push_front(Op *op) { insertBefore(first_, op); }
 
 void Block::insertBefore(Op *anchor, Op *op) {
   assert(op->parent_ == nullptr && "op already in a block");
+  assert(op->arena_ == arena_ && "op from another module's arena");
   op->parent_ = this;
   if (!anchor) {
     op->prev_ = last_;
@@ -331,15 +347,24 @@ Block::iterator &Block::iterator::operator++() {
 //===----------------------------------------------------------------------===//
 
 Block &Region::emplaceBlock() {
-  blocks_.push_back(std::make_unique<Block>());
-  blocks_.back()->parent_ = this;
-  return *blocks_.back();
+  Block *b = arena_->create<Block>(arena_);
+  b->parent_ = this;
+  blocks_.push_back(b);
+  return *b;
+}
+
+void Region::clear() {
+  for (Block *b : blocks_)
+    for (Op *op : *b)
+      dropAllReferences(op);
+  blocks_.clear();
 }
 
 void Region::takeBlocks(Region &other) {
-  for (auto &b : other.blocks_) {
+  assert(arena_ == other.arena_ && "moving blocks across arenas");
+  for (Block *b : other.blocks_) {
     b->parent_ = this;
-    blocks_.push_back(std::move(b));
+    blocks_.push_back(b);
   }
   other.blocks_.clear();
 }
@@ -348,38 +373,65 @@ void Region::takeBlocks(Region &other) {
 // Op
 //===----------------------------------------------------------------------===//
 
-Op *Op::create(OpKind kind, SourceLoc loc, std::vector<Type> resultTypes,
-               const std::vector<Value> &operands, unsigned numRegions) {
-  Op *op = new Op(kind, loc);
-  op->results_.reserve(resultTypes.size());
-  for (unsigned i = 0; i < resultTypes.size(); ++i) {
-    auto impl = std::make_unique<ValueImpl>();
-    impl->type = resultTypes[i];
-    impl->defOp = op;
-    impl->index = i;
-    op->results_.push_back(std::move(impl));
+// The tail arrays are placed directly after the Op header inside one
+// arena block; their alignment must divide into the preceding sizes.
+static_assert(sizeof(Op) % alignof(ValueImpl) == 0);
+static_assert(sizeof(ValueImpl) % alignof(Region) == 0);
+static_assert(sizeof(Region) % alignof(Value) == 0);
+
+Op *Op::create(IRArena &arena, OpKind kind, SourceLoc loc,
+               const Type *resultTypes, size_t numResults,
+               const Value *operands, size_t numOperands,
+               unsigned numRegions) {
+  // One arena block for the op and every fixed-size tail it owns —
+  // header, result ValueImpls, regions, exact-capacity operand storage —
+  // so creating an op is a single bump-pointer hit.
+  size_t bytes = sizeof(Op) + sizeof(ValueImpl) * numResults +
+                 sizeof(Region) * numRegions + sizeof(Value) * numOperands;
+  char *mem = static_cast<char *>(arena.allocate(bytes));
+  Op *op = new (mem) Op(&arena, kind, loc);
+  mem += sizeof(Op);
+  if (numResults) {
+    op->results_ = reinterpret_cast<ValueImpl *>(mem);
+    for (unsigned i = 0; i < numResults; ++i) {
+      ValueImpl *impl = new (op->results_ + i) ValueImpl(&arena);
+      impl->type = resultTypes[i];
+      impl->defOp = op;
+      impl->index = i;
+    }
+    mem += sizeof(ValueImpl) * numResults;
   }
-  op->operands_.reserve(operands.size());
-  for (Value v : operands)
-    op->appendOperand(v);
-  op->regions_.reserve(numRegions);
-  for (unsigned i = 0; i < numRegions; ++i) {
-    op->regions_.push_back(std::make_unique<Region>());
-    op->regions_.back()->parentOp_ = op;
+  op->numResults_ = static_cast<uint16_t>(numResults);
+  if (numRegions) {
+    op->regions_ = reinterpret_cast<Region *>(mem);
+    for (unsigned i = 0; i < numRegions; ++i) {
+      Region *r = new (op->regions_ + i) Region(&arena);
+      r->parentOp_ = op;
+    }
+    mem += sizeof(Region) * numRegions;
+  }
+  op->numRegions_ = static_cast<uint16_t>(numRegions);
+  if (numOperands) {
+    op->operands_.adoptStorage(reinterpret_cast<Value *>(mem), numOperands);
+    for (size_t i = 0; i < numOperands; ++i)
+      op->appendOperand(operands[i]);
   }
   return op;
 }
 
 void Op::destroy(Op *op) {
   assert(op->parent_ == nullptr && "destroying attached op");
-  op->dropAllOperands();
-  delete op;
-}
-
-Op::~Op() {
+  IRArena *arena = op->arena_;
+  if (arena->root() == op) {
+    // The whole module dies: run the (short) destructor list and release
+    // every slab at once. No per-op walk.
+    delete arena;
+    return;
+  }
+  dropAllReferences(op);
 #ifndef NDEBUG
-  for (auto &r : results_)
-    assert(r->uses.empty() && "destroying op with used results");
+  for (unsigned i = 0; i < op->numResults_; ++i)
+    assert(op->results_[i].uses.empty() && "destroying op with used results");
 #endif
 }
 
@@ -398,8 +450,7 @@ static void removeUse(ValueImpl *impl, Op *op, unsigned idx) {
   auto &uses = impl->uses;
   for (size_t i = 0; i < uses.size(); ++i) {
     if (uses[i].first == op && uses[i].second == idx) {
-      uses[i] = uses.back();
-      uses.pop_back();
+      uses.swapRemove(i);
       return;
     }
   }
@@ -425,19 +476,16 @@ void Op::insertOperand(unsigned i, Value v) {
   // Uses after position i shift by one; re-register them.
   for (unsigned j = i; j < operands_.size(); ++j)
     removeUse(operands_[j].impl(), this, j);
-  operands_.insert(operands_.begin() + i, v);
+  operands_.insertAt(i, v);
   for (unsigned j = i; j < operands_.size(); ++j)
-    if (j == i)
-      operands_[j].impl()->uses.emplace_back(this, j);
-    else
-      operands_[j].impl()->uses.emplace_back(this, j);
+    operands_[j].impl()->uses.emplace_back(this, j);
 }
 
 void Op::eraseOperand(unsigned i) {
   assert(i < operands_.size());
   for (unsigned j = i; j < operands_.size(); ++j)
     removeUse(operands_[j].impl(), this, j);
-  operands_.erase(operands_.begin() + i);
+  operands_.eraseAt(i);
   for (unsigned j = i; j < operands_.size(); ++j)
     operands_[j].impl()->uses.emplace_back(this, j);
 }
@@ -449,9 +497,15 @@ void Op::dropAllOperands() {
   operands_.clear();
 }
 
+void Op::replaceUsesOfWith(Value from, Value to) {
+  for (unsigned i = 0; i < operands_.size(); ++i)
+    if (operands_[i] == from)
+      setOperand(i, to);
+}
+
 bool Op::hasAnyUse() const {
-  for (auto &r : results_)
-    if (!r->uses.empty())
+  for (unsigned i = 0; i < numResults_; ++i)
+    if (!results_[i].uses.empty())
       return true;
   return false;
 }
@@ -460,7 +514,9 @@ void Op::erase() {
   assert(!hasAnyUse() && "erasing op with live uses");
   if (parent_)
     parent_->unlink(this);
-  Op::destroy(this);
+  // Unlink-without-free: detach every use-def edge out of the subtree;
+  // the memory stays in the arena until the module dies.
+  dropAllReferences(this);
 }
 
 void Op::moveBefore(Op *other) {
@@ -486,8 +542,8 @@ void Op::walk(const std::function<void(Op *)> &fn) {
   // Visit this op first; the callback may not erase `this` while nested
   // ops are still to be visited, so visit regions from a snapshot.
   fn(this);
-  for (auto &region : regions_) {
-    for (auto &block : region->blocks()) {
+  for (unsigned r = 0; r < numRegions_; ++r) {
+    for (Block *block : regions_[r].blocks()) {
       for (Op *op = block->front(), *next = nullptr; op; op = next) {
         next = op->next();
         op->walk(fn);
@@ -497,8 +553,8 @@ void Op::walk(const std::function<void(Op *)> &fn) {
 }
 
 void Op::walkPostOrder(const std::function<void(Op *)> &fn) {
-  for (auto &region : regions_) {
-    for (auto &block : region->blocks()) {
+  for (unsigned r = 0; r < numRegions_; ++r) {
+    for (Block *block : regions_[r].blocks()) {
       for (Op *op = block->front(), *next = nullptr; op; op = next) {
         next = op->next();
         op->walkPostOrder(fn);

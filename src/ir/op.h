@@ -7,10 +7,28 @@
 //    ops at the IR level).
 //  - Values are results of ops or block arguments; use-def chains are
 //    maintained eagerly by setOperand/appendOperand/erase.
-//  - Ownership: Region owns Blocks, Block owns Ops (intrusive list),
-//    Op owns its result ValueImpls and nested Regions.
+//  - Memory & ownership (§4, rewritten for the arena): every node of a
+//    module — Op, ValueImpl, Block, Region, and all of their dynamic
+//    payloads (operand/use/arg/block/attr lists) — is bump-allocated from
+//    the module's ir::IRArena (ir/arena.h). The module op created by
+//    ModuleOp::create() is the arena *root*: Op::destroy on the root (what
+//    ~OwnedModule runs) releases the arena's slabs in O(1) with no
+//    recursive delete walk, after running the short destructor list for
+//    the few non-trivial attribute payloads (string/int-vector values).
+//    Nodes themselves are trivially destructible, enforced below.
+//  - The erase-is-unlink invariant: destroying anything smaller than the
+//    whole module (Op::erase, Op::destroy on a non-root op, Region::clear,
+//    Block::eraseArg) detaches it — unlinks from the parent list and drops
+//    every use-def edge from the erased subtree — but never frees; the
+//    memory is reclaimed when the module dies. Consequently pointers into
+//    erased IR stay dereferenceable (not that code should), arena usage
+//    grows monotonically per module, and nothing may move ops BETWEEN
+//    modules: clone (cloneOpInto) or reparse (parseModuleInto) into the
+//    destination module's arena instead — the cache-replay splice paths in
+//    PassManager do exactly that.
 #pragma once
 
+#include "ir/arena.h"
 #include "ir/type.h"
 #include "support/diagnostics.h"
 
@@ -102,9 +120,25 @@ using AttrValue =
 
 /// A small ordered name->value attribute map. Ops carry at most a handful
 /// of attributes, so linear lookup is appropriate.
+///
+/// Names are interned (internAttrName) — they come from a fixed small
+/// vocabulary, so storing `const char *` keys means set/lookup never
+/// allocates on the hot parse path and equal names compare by pointer.
+/// Entries live in the owning op's arena; bool/int/double values are
+/// trivially destructible, and the first string/int-vector value lazily
+/// registers this map on the arena's destructor list.
 class AttrMap {
 public:
-  void set(const std::string &name, AttrValue v);
+  explicit AttrMap(IRArena *arena) : entries_(arena) {}
+
+  /// Deep-copies `o`'s entries into this map's arena (cloneOp).
+  AttrMap &operator=(const AttrMap &o);
+
+  void set(const std::string &name, AttrValue v) {
+    setInterned(internAttrName(name), std::move(v));
+  }
+  /// `name` must be a pointer returned by internAttrName.
+  void setInterned(const char *name, AttrValue v);
   void erase(const std::string &name);
   bool has(const std::string &name) const;
 
@@ -114,29 +148,42 @@ public:
   std::string getString(const std::string &name) const;
   std::vector<int64_t> getIntVec(const std::string &name) const;
 
-  const std::vector<std::pair<std::string, AttrValue>> &entries() const {
-    return entries_;
+  using Entry = std::pair<const char *, AttrValue>;
+  const ArenaVector<Entry> &entries() const { return entries_; }
+  bool operator==(const AttrMap &o) const {
+    // Interned keys compare by pointer.
+    return entries_ == o.entries_;
   }
-  bool operator==(const AttrMap &o) const { return entries_ == o.entries_; }
 
 private:
-  std::vector<std::pair<std::string, AttrValue>> entries_;
+  /// True if `v` holds a payload that needs destruction at arena
+  /// teardown.
+  static bool needsDtor(const AttrValue &v) {
+    return std::holds_alternative<std::string>(v) ||
+           std::holds_alternative<std::vector<int64_t>>(v);
+  }
+  void registerCleanup();
+
+  ArenaVector<Entry> entries_;
+  bool registered_ = false;
 };
 
 //===----------------------------------------------------------------------===//
 // Value
 //===----------------------------------------------------------------------===//
 
-/// Backing storage for one SSA value. Owned by the defining Op (results)
-/// or Block (arguments).
+/// Backing storage for one SSA value. Arena-allocated; logically owned by
+/// the defining Op (results) or Block (arguments).
 class ValueImpl {
 public:
+  explicit ValueImpl(IRArena *arena) : uses(arena) {}
+
   Type type;
   Op *defOp = nullptr;
   Block *defBlock = nullptr;
   unsigned index = 0;
   /// (user op, operand index) pairs; order unspecified.
-  std::vector<std::pair<Op *, unsigned>> uses;
+  ArenaVector<std::pair<Op *, unsigned>> uses;
 };
 
 /// A lightweight handle to an SSA value.
@@ -162,7 +209,7 @@ public:
 
   bool hasUses() const { return !impl_->uses.empty(); }
   size_t numUses() const { return impl_->uses.size(); }
-  const std::vector<std::pair<Op *, unsigned>> &uses() const {
+  const ArenaVector<std::pair<Op *, unsigned>> &uses() const {
     return impl_->uses;
   }
 
@@ -190,19 +237,20 @@ struct ValueHash {
 /// one block (enforced by the verifier for scf ops).
 class Block {
 public:
-  Block() = default;
-  ~Block();
+  explicit Block(IRArena *arena) : arena_(arena), args_(arena) {}
   Block(const Block &) = delete;
   Block &operator=(const Block &) = delete;
 
   Region *parent() const { return parent_; }
   Op *parentOp() const;
+  IRArena *arena() const { return arena_; }
 
   // Arguments ---------------------------------------------------------------
   Value addArg(Type t);
   unsigned numArgs() const { return static_cast<unsigned>(args_.size()); }
-  Value arg(unsigned i) const { return Value(args_[i].get()); }
-  /// Erases argument i; it must be unused.
+  Value arg(unsigned i) const { return Value(args_[i]); }
+  /// Erases argument i; it must be unused. (Unlink-without-free: the
+  /// ValueImpl's memory stays in the arena.)
   void eraseArg(unsigned i);
 
   // Op list -----------------------------------------------------------------
@@ -240,7 +288,8 @@ private:
   friend class Region;
   friend class Op;
   Region *parent_ = nullptr;
-  std::vector<std::unique_ptr<ValueImpl>> args_;
+  IRArena *arena_ = nullptr;
+  ArenaVector<ValueImpl *> args_;
   Op *first_ = nullptr;
   Op *last_ = nullptr;
 };
@@ -251,7 +300,7 @@ private:
 
 class Region {
 public:
-  Region() = default;
+  explicit Region(IRArena *arena) : arena_(arena), blocks_(arena) {}
   Region(const Region &) = delete;
   Region &operator=(const Region &) = delete;
 
@@ -262,18 +311,21 @@ public:
   const Block &front() const { return *blocks_.front(); }
   Block &emplaceBlock();
   size_t numBlocks() const { return blocks_.size(); }
-  /// Destroys all blocks (and their ops).
-  void clear() { blocks_.clear(); }
+  /// Detaches all blocks (and their ops): use-def edges out of the
+  /// dropped subtree are removed, the memory stays in the arena.
+  void clear();
 
-  const std::vector<std::unique_ptr<Block>> &blocks() const { return blocks_; }
+  const ArenaVector<Block *> &blocks() const { return blocks_; }
 
   /// Moves all blocks of `other` into this (appending). Used by inlining.
+  /// Both regions must live in the same arena.
   void takeBlocks(Region &other);
 
 private:
   friend class Op;
   Op *parentOp_ = nullptr;
-  std::vector<std::unique_ptr<Block>> blocks_;
+  IRArena *arena_ = nullptr;
+  ArenaVector<Block *> blocks_;
 };
 
 //===----------------------------------------------------------------------===//
@@ -282,17 +334,33 @@ private:
 
 class Op {
 public:
-  /// Creates a detached op. Ownership transfers to the block it is
-  /// eventually inserted into; detached ops must be destroyed with
-  /// Op::destroy().
-  static Op *create(OpKind kind, SourceLoc loc, std::vector<Type> resultTypes,
-                    const std::vector<Value> &operands, unsigned numRegions);
-  /// Destroys a detached op (recursively destroying regions).
+  /// Creates a detached op in `arena` (the owning module's — see
+  /// Op::arena() / Builder::createOp, which picks the insertion block's).
+  /// Ownership transfers to the block it is eventually inserted into;
+  /// a detached op that is abandoned should be passed to Op::destroy() so
+  /// its operand uses are detached.
+  static Op *create(IRArena &arena, OpKind kind, SourceLoc loc,
+                    const Type *resultTypes, size_t numResults,
+                    const Value *operands, size_t numOperands,
+                    unsigned numRegions);
+  static Op *create(IRArena &arena, OpKind kind, SourceLoc loc,
+                    const std::vector<Type> &resultTypes,
+                    const std::vector<Value> &operands, unsigned numRegions) {
+    return create(arena, kind, loc, resultTypes.data(), resultTypes.size(),
+                  operands.data(), operands.size(), numRegions);
+  }
+  /// Detaches a detached op: recursively drops every use-def edge out of
+  /// the subtree. The memory stays in the arena — except for the arena
+  /// root (the module op of ModuleOp::create), where this instead
+  /// releases the whole arena in O(1).
   static void destroy(Op *op);
 
   OpKind kind() const { return kind_; }
   SourceLoc loc() const { return loc_; }
   void setLoc(SourceLoc l) { loc_ = l; }
+
+  /// The arena every node of this op's module lives in.
+  IRArena &arena() const { return *arena_; }
 
   Block *parent() const { return parent_; }
   /// The op owning the region that contains this op's parent block.
@@ -308,7 +376,7 @@ public:
     return static_cast<unsigned>(operands_.size());
   }
   Value operand(unsigned i) const { return operands_[i]; }
-  const std::vector<Value> &operands() const { return operands_; }
+  const ArenaVector<Value> &operands() const { return operands_; }
   void setOperand(unsigned i, Value v);
   void appendOperand(Value v);
   void insertOperand(unsigned i, Value v);
@@ -318,21 +386,22 @@ public:
   void replaceUsesOfWith(Value from, Value to);
 
   // Results -----------------------------------------------------------------
-  unsigned numResults() const { return static_cast<unsigned>(results_.size()); }
-  Value result(unsigned i = 0) const { return Value(results_[i].get()); }
+  unsigned numResults() const { return numResults_; }
+  Value result(unsigned i = 0) const { return Value(&results_[i]); }
   bool hasAnyUse() const;
 
   // Regions -----------------------------------------------------------------
-  unsigned numRegions() const { return static_cast<unsigned>(regions_.size()); }
-  Region &region(unsigned i) { return *regions_[i]; }
-  const Region &region(unsigned i) const { return *regions_[i]; }
+  unsigned numRegions() const { return numRegions_; }
+  Region &region(unsigned i) { return regions_[i]; }
+  const Region &region(unsigned i) const { return regions_[i]; }
 
   // Attributes ----------------------------------------------------------------
   AttrMap &attrs() { return attrs_; }
   const AttrMap &attrs() const { return attrs_; }
 
   // Mutation ------------------------------------------------------------------
-  /// Unlinks from the parent block and destroys; results must be unused.
+  /// Unlinks from the parent block and detaches use-def edges; results
+  /// must be unused. Memory stays in the arena (erase-is-unlink).
   void erase();
   void moveBefore(Op *other);
   void moveAfter(Op *other);
@@ -347,19 +416,34 @@ public:
 
 private:
   friend class Block;
-  Op(OpKind kind, SourceLoc loc) : kind_(kind), loc_(loc) {}
-  ~Op();
+  Op(IRArena *arena, OpKind kind, SourceLoc loc)
+      : kind_(kind), loc_(loc), arena_(arena), operands_(arena),
+        attrs_(arena) {}
 
   OpKind kind_;
+  uint16_t numResults_ = 0;
+  uint16_t numRegions_ = 0;
   SourceLoc loc_;
+  IRArena *arena_;
   Block *parent_ = nullptr;
   Op *prev_ = nullptr;
   Op *next_ = nullptr;
-  std::vector<Value> operands_;
-  std::vector<std::unique_ptr<ValueImpl>> results_;
-  std::vector<std::unique_ptr<Region>> regions_;
+  ArenaVector<Value> operands_;
+  ValueImpl *results_ = nullptr; ///< contiguous array, fixed at create
+  Region *regions_ = nullptr;    ///< contiguous array, fixed at create
   AttrMap attrs_;
 };
+
+// The O(1)-teardown contract: arena nodes must never need destructors
+// (string/int-vector attr values are the registered exception).
+static_assert(std::is_trivially_destructible_v<ValueImpl>,
+              "ValueImpl must stay trivially destructible");
+static_assert(std::is_trivially_destructible_v<Block>,
+              "Block must stay trivially destructible");
+static_assert(std::is_trivially_destructible_v<Region>,
+              "Region must stay trivially destructible");
+static_assert(std::is_trivially_destructible_v<Op>,
+              "Op must stay trivially destructible");
 
 //===----------------------------------------------------------------------===//
 // Kind predicates / traits

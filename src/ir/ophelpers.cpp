@@ -9,7 +9,11 @@ namespace paralift::ir {
 //===----------------------------------------------------------------------===//
 
 ModuleOp ModuleOp::create() {
-  Op *op = Op::create(OpKind::Module, SourceLoc(), {}, {}, 1);
+  // The module op is the root of a fresh arena: destroying it (via
+  // ~OwnedModule) releases every node of the module in O(1).
+  auto *arena = new IRArena();
+  Op *op = Op::create(*arena, OpKind::Module, SourceLoc(), {}, {}, 1);
+  arena->setRoot(op);
   op->region(0).emplaceBlock();
   return ModuleOp(op);
 }
@@ -25,7 +29,7 @@ Op *ModuleOp::lookupFunc(const std::string &name) const {
 FuncOp FuncOp::create(ModuleOp module, const std::string &name,
                       const std::vector<Type> &argTypes,
                       const std::vector<Type> &resultTypes) {
-  Op *op = Op::create(OpKind::Func, SourceLoc(), {}, {}, 1);
+  Op *op = Op::create(module.op->arena(), OpKind::Func, SourceLoc(), {}, {}, 1);
   op->attrs().set("sym_name", name);
   std::vector<int64_t> resKinds;
   // Result types are encoded as attributes: scalar kinds only (functions
@@ -158,35 +162,70 @@ static Value mapValue(Value v, std::unordered_map<ValueImpl *, Value> &map) {
 }
 
 OwnedModule cloneModule(ModuleOp module) {
+  // The clone gets its own arena (a fresh OwnedModule); funcs are cloned
+  // into it one by one. Ops never migrate between arenas.
+  OwnedModule dst;
   std::unordered_map<ValueImpl *, Value> map;
-  return OwnedModule::adopt(cloneOp(module.op, map));
+  // Seeded above the typical per-module value count: the incremental
+  // rehashes otherwise dominate the map's cost on kernel-sized funcs.
+  map.reserve(1024);
+  IRArena &arena = dst.arena();
+  Block &body = dst.get().body();
+  for (Op *fn : module.body())
+    body.push_back(cloneOpInto(arena, fn, map));
+  dst.op()->attrs() = module.op->attrs();
+  return dst;
 }
 
-Op *cloneOp(Op *src, std::unordered_map<ValueImpl *, Value> &map) {
+namespace {
+
+/// Scratch buffers shared across one clone's whole recursion: both are
+/// fully consumed by Op::create before any nested op is cloned, so inner
+/// frames may freely clobber them — one pair of heap buffers per clone
+/// instead of two per op.
+struct CloneScratch {
   std::vector<Type> resultTypes;
-  for (unsigned i = 0; i < src->numResults(); ++i)
-    resultTypes.push_back(src->result(i).type());
   std::vector<Value> operands;
+};
+
+Op *cloneOpRec(IRArena &arena, Op *src,
+               std::unordered_map<ValueImpl *, Value> &map,
+               CloneScratch &scratch) {
+  scratch.resultTypes.clear();
+  for (unsigned i = 0; i < src->numResults(); ++i)
+    scratch.resultTypes.push_back(src->result(i).type());
+  scratch.operands.clear();
   for (unsigned i = 0; i < src->numOperands(); ++i)
-    operands.push_back(mapValue(src->operand(i), map));
-  Op *clone =
-      Op::create(src->kind(), src->loc(), resultTypes, operands,
-                 src->numRegions());
+    scratch.operands.push_back(mapValue(src->operand(i), map));
+  Op *clone = Op::create(arena, src->kind(), src->loc(), scratch.resultTypes,
+                         scratch.operands, src->numRegions());
   clone->attrs() = src->attrs();
   for (unsigned i = 0; i < src->numResults(); ++i)
     map[src->result(i).impl()] = clone->result(i);
   for (unsigned r = 0; r < src->numRegions(); ++r) {
-    for (auto &srcBlock : src->region(r).blocks()) {
+    for (Block *srcBlock : src->region(r).blocks()) {
       Block &dstBlock = clone->region(r).emplaceBlock();
       for (unsigned a = 0; a < srcBlock->numArgs(); ++a) {
         Value newArg = dstBlock.addArg(srcBlock->arg(a).type());
         map[srcBlock->arg(a).impl()] = newArg;
       }
       for (Op *inner : *srcBlock)
-        dstBlock.push_back(cloneOp(inner, map));
+        dstBlock.push_back(cloneOpRec(arena, inner, map, scratch));
     }
   }
   return clone;
+}
+
+} // namespace
+
+Op *cloneOpInto(IRArena &arena, Op *src,
+                std::unordered_map<ValueImpl *, Value> &map) {
+  CloneScratch scratch;
+  return cloneOpRec(arena, src, map, scratch);
+}
+
+Op *cloneOp(Op *src, std::unordered_map<ValueImpl *, Value> &map) {
+  return cloneOpInto(src->arena(), src, map);
 }
 
 bool isDefinedOutside(Value v, Op *op) {

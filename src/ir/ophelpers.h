@@ -7,6 +7,7 @@
 #include "ir/op.h"
 
 #include <optional>
+#include <unordered_map>
 
 namespace paralift::ir {
 
@@ -30,8 +31,12 @@ class OwnedModule {
 public:
   OwnedModule() : module_(ModuleOp::create()) {}
 
-  /// Takes ownership of an existing detached module op (e.g. a clone).
+  /// Takes ownership of an existing detached module op. It must be the
+  /// root of its arena (i.e. come from ModuleOp::create / cloneModule),
+  /// since ~OwnedModule releases the arena through it.
   static OwnedModule adopt(Op *moduleOp) {
+    assert(moduleOp->arena().root() == moduleOp &&
+           "adopted module must own its arena");
     return OwnedModule(ModuleOp(moduleOp));
   }
   ~OwnedModule() {
@@ -55,6 +60,8 @@ public:
 
   ModuleOp get() const { return module_; }
   Op *op() const { return module_.op; }
+  /// The arena all of this module's IR lives in.
+  IRArena &arena() const { return module_.op->arena(); }
 
 private:
   explicit OwnedModule(ModuleOp m) : module_(m) {}
@@ -194,9 +201,16 @@ std::optional<int64_t> getConstInt(Value v);
 /// Returns the constant float value of `v` if defined by ConstFloat.
 std::optional<double> getConstFloat(Value v);
 
-/// Clones `src` (with all nested regions) remapping operands through `map`;
-/// values missing from the map are used as-is. The clone's results are
-/// recorded in the map. Returns the detached clone.
+/// Clones `src` (with all nested regions) into `arena`, remapping operands
+/// through `map`; values missing from the map are used as-is. The clone's
+/// results are recorded in the map. Returns the detached clone. This is
+/// the only way to move IR between modules — ops must never migrate out
+/// of their arena.
+Op *cloneOpInto(IRArena &arena, Op *src,
+                std::unordered_map<ValueImpl *, Value> &map);
+
+/// Same-arena clone shorthand (inlining, unrolling): clones into
+/// `src->arena()`.
 Op *cloneOp(Op *src, std::unordered_map<ValueImpl *, Value> &map);
 
 /// True if `v` is defined outside `op` (i.e. usable as an operand of `op`).

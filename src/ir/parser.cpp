@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cstdlib>
+#include <string_view>
 #include <unordered_map>
 
 namespace paralift::ir {
@@ -20,25 +22,75 @@ namespace {
 // emits spellings of representable doubles, and inf/nan spellings parse
 // through strtod directly.
 
-bool parseFloatText(const std::string &s, double &out) {
+bool parseFloatText(std::string_view s, double &out) {
   if (s.empty())
     return false;
+  // strtod needs a terminator; float literals are short, so a local copy
+  // is cheap and keeps the clamping/inf/nan semantics exactly.
+  std::string buf(s);
   char *end = nullptr;
-  out = std::strtod(s.c_str(), &end);
-  return end == s.c_str() + s.size();
+  out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
 }
 
-bool parseIntText(const std::string &s, int64_t &out) {
+bool parseIntText(std::string_view s, int64_t &out) {
   if (s.empty())
     return false;
-  errno = 0;
-  char *end = nullptr;
-  long long v = std::strtoll(s.c_str(), &end, 10);
-  if (end != s.c_str() + s.size() || errno == ERANGE)
-    return false;
-  out = v;
-  return true;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && p == s.data() + s.size();
 }
+
+//===----------------------------------------------------------------------===//
+// Small-buffer vector
+//===----------------------------------------------------------------------===//
+
+/// Stack-buffered vector for parseOp's per-op lists (operands, result
+/// ids/types, attrs, regions): typical ops fit in the inline buffer, so
+/// parsing an op performs no heap allocation for them. Grows to the heap
+/// only past N elements.
+template <typename T, unsigned N> class SmallVec {
+public:
+  SmallVec() : data_(reinterpret_cast<T *>(inline_)) {}
+  ~SmallVec() {
+    for (uint32_t i = 0; i < size_; ++i)
+      data_[i].~T();
+    if (data_ != reinterpret_cast<T *>(inline_))
+      ::operator delete(data_);
+  }
+  SmallVec(const SmallVec &) = delete;
+  SmallVec &operator=(const SmallVec &) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  const T *data() const { return data_; }
+  T *begin() { return data_; }
+  T *end() { return data_ + size_; }
+  T &operator[](size_t i) { return data_[i]; }
+
+  void push_back(T v) {
+    if (size_ == cap_)
+      grow();
+    new (data_ + size_++) T(std::move(v));
+  }
+
+private:
+  void grow() {
+    uint32_t cap = cap_ * 2;
+    T *fresh = static_cast<T *>(::operator new(cap * sizeof(T)));
+    for (uint32_t i = 0; i < size_; ++i) {
+      new (fresh + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (data_ != reinterpret_cast<T *>(inline_))
+      ::operator delete(data_);
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T *data_;
+  uint32_t size_ = 0, cap_ = N;
+};
 
 //===----------------------------------------------------------------------===//
 // Token stream
@@ -65,7 +117,7 @@ enum class Tok {
 
 struct Token {
   Tok kind = Tok::Eof;
-  std::string text;
+  std::string_view text; ///< slice of the source buffer (no escapes)
   SourceLoc loc;
 };
 
@@ -102,6 +154,13 @@ private:
     ++pos_;
   }
 
+  /// The token text is always a contiguous slice of the source (the
+  /// grammar has no escapes), so tokens carry string_views into src_ —
+  /// no per-token allocation, and Token copies are trivial.
+  std::string_view slice(size_t from) const {
+    return std::string_view(src_).substr(from, pos_ - from);
+  }
+
   Token lexOne() {
     while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(
                                      src_[pos_])))
@@ -114,7 +173,7 @@ private:
     char c = src_[pos_];
     auto single = [&](Tok k) {
       t.kind = k;
-      t.text = c;
+      t.text = std::string_view(src_).substr(pos_, 1);
       bump();
       return t;
     };
@@ -133,106 +192,86 @@ private:
 
     if (c == '%') {
       bump();
-      std::string digits;
-      while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
-        digits += at(pos_);
+      size_t start = pos_;
+      while (std::isdigit(static_cast<unsigned char>(at(pos_))))
         bump();
-      }
-      if (digits.empty()) {
+      if (pos_ == start) {
         diag_.error(t.loc, "expected value number after '%'");
         return t; // Eof ends parsing
       }
       t.kind = Tok::SsaId;
-      t.text = digits;
+      t.text = slice(start);
       return t;
     }
 
     if (c == '"') {
       bump();
-      std::string s;
-      while (at(pos_) != '"' && pos_ < src_.size()) {
-        s += at(pos_);
+      size_t start = pos_;
+      while (at(pos_) != '"' && pos_ < src_.size())
         bump();
-      }
       if (at(pos_) != '"') {
         diag_.error(t.loc, "unterminated string");
         return t;
       }
-      bump();
       t.kind = Tok::Str;
-      t.text = s;
+      t.text = slice(start);
+      bump();
       return t;
     }
 
     if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-      std::string num;
+      size_t start = pos_;
       bool isFloat = false;
       if (c == '-') {
-        num += c;
         bump();
         // "-inf" / "-nan"
         if (std::isalpha(static_cast<unsigned char>(at(pos_)))) {
-          while (std::isalpha(static_cast<unsigned char>(at(pos_)))) {
-            num += at(pos_);
+          while (std::isalpha(static_cast<unsigned char>(at(pos_))))
             bump();
-          }
           t.kind = Tok::Float;
-          t.text = num;
+          t.text = slice(start);
           return t;
         }
       }
-      while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
-        num += at(pos_);
+      while (std::isdigit(static_cast<unsigned char>(at(pos_))))
         bump();
-      }
       if (at(pos_) == '.') {
         isFloat = true;
-        num += '.';
         bump();
-        while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
-          num += at(pos_);
+        while (std::isdigit(static_cast<unsigned char>(at(pos_))))
           bump();
-        }
       }
       if (at(pos_) == 'e' || at(pos_) == 'E') {
         isFloat = true;
-        num += at(pos_);
         bump();
-        if (at(pos_) == '+' || at(pos_) == '-') {
-          num += at(pos_);
+        if (at(pos_) == '+' || at(pos_) == '-')
           bump();
-        }
-        while (std::isdigit(static_cast<unsigned char>(at(pos_)))) {
-          num += at(pos_);
+        while (std::isdigit(static_cast<unsigned char>(at(pos_))))
           bump();
-        }
       }
       t.kind = isFloat ? Tok::Float : Tok::Integer;
-      t.text = num;
+      t.text = slice(start);
       return t;
     }
 
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-      std::string id;
+      size_t start = pos_;
       while (std::isalnum(static_cast<unsigned char>(at(pos_))) ||
-             at(pos_) == '_' || at(pos_) == '.') {
-        id += at(pos_);
+             at(pos_) == '_' || at(pos_) == '.')
         bump();
-      }
+      std::string_view id = slice(start);
       if (id == "memref" && at(pos_) == '<') {
         bump();
-        std::string inner;
-        while (at(pos_) != '>' && pos_ < src_.size()) {
-          inner += at(pos_);
+        size_t inner = pos_;
+        while (at(pos_) != '>' && pos_ < src_.size())
           bump();
-        }
         if (at(pos_) != '>') {
           diag_.error(t.loc, "unterminated memref type");
           return t;
         }
-        bump();
         t.kind = Tok::MemRef;
-        t.text = inner;
+        t.text = slice(inner);
+        bump();
         return t;
       }
       if (id == "inf" || id == "nan") {
@@ -261,7 +300,7 @@ private:
 // Type parsing
 //===----------------------------------------------------------------------===//
 
-TypeKind scalarKindFromName(const std::string &s) {
+TypeKind scalarKindFromName(std::string_view s) {
   if (s == "i1") return TypeKind::I1;
   if (s == "i32") return TypeKind::I32;
   if (s == "i64") return TypeKind::I64;
@@ -276,11 +315,11 @@ TypeKind scalarKindFromName(const std::string &s) {
 /// or '?'. Returns Type() on malformed input. The remainder is probed as
 /// an element name before splitting on 'x' because "index" itself
 /// contains one.
-Type parseMemRefBody(const std::string &body) {
+Type parseMemRefBody(std::string_view body) {
   std::vector<int64_t> shape;
   size_t pos = 0;
   while (pos <= body.size()) {
-    std::string rest = body.substr(pos);
+    std::string_view rest = body.substr(pos);
     TypeKind elem = scalarKindFromName(rest);
     if (elem != TypeKind::MemRef) {
       if (elem == TypeKind::None)
@@ -288,15 +327,15 @@ Type parseMemRefBody(const std::string &body) {
       return Type::memref(elem, std::move(shape));
     }
     size_t x = body.find('x', pos);
-    if (x == std::string::npos)
+    if (x == std::string_view::npos)
       return Type(); // trailing component is not a scalar type
-    std::string part = body.substr(pos, x - pos);
+    std::string_view part = body.substr(pos, x - pos);
     if (part == "?") {
       shape.push_back(Type::kDynamic);
     } else {
       int64_t dim = 0;
       if (part.empty() ||
-          part.find_first_not_of("0123456789") != std::string::npos ||
+          part.find_first_not_of("0123456789") != std::string_view::npos ||
           !parseIntText(part, dim))
         return Type();
       shape.push_back(dim);
@@ -310,9 +349,21 @@ Type parseMemRefBody(const std::string &body) {
 // Parser
 //===----------------------------------------------------------------------===//
 
-const std::unordered_map<std::string, OpKind> &opNameTable() {
-  static const std::unordered_map<std::string, OpKind> table = [] {
-    std::unordered_map<std::string, OpKind> t;
+/// Heterogeneous hashing so string_view tokens look up without a
+/// temporary std::string.
+struct SvHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+using OpNameMap =
+    std::unordered_map<std::string, OpKind, SvHash, std::equal_to<>>;
+
+const OpNameMap &opNameTable() {
+  static const OpNameMap table = [] {
+    OpNameMap t;
     for (unsigned k = 0; k < static_cast<unsigned>(OpKind::kNumOpKinds); ++k)
       t.emplace(opKindName(static_cast<OpKind>(k)), static_cast<OpKind>(k));
     return t;
@@ -322,8 +373,10 @@ const std::unordered_map<std::string, OpKind> &opNameTable() {
 
 class Parser {
 public:
-  Parser(const std::string &src, DiagnosticEngine &diag)
-      : lex_(src, diag), diag_(diag) {}
+  /// All parsed IR is allocated from `arena` — the destination module's,
+  /// so parsed ops can be spliced into it without crossing arenas.
+  Parser(IRArena &arena, const std::string &src, DiagnosticEngine &diag)
+      : arena_(arena), lex_(src, diag), diag_(diag) {}
 
   /// Parses exactly one top-level op (the module) followed by EOF.
   Op *parseTopLevel() {
@@ -350,18 +403,28 @@ private:
     return true;
   }
 
-  Value lookup(const std::string &id) {
-    auto it = values_.find(id);
+  /// SsaId token text is pure digits (the lexer guarantees it), so the
+  /// value table keys on the numeric id — no per-lookup string hashing
+  /// or allocation. %07 and %7 deliberately alias (the printer never
+  /// emits leading zeros).
+  static uint64_t idKey(std::string_view id) {
+    uint64_t key = 0;
+    std::from_chars(id.data(), id.data() + id.size(), key);
+    return key;
+  }
+
+  Value lookup(std::string_view id) {
+    auto it = values_.find(idKey(id));
     if (it == values_.end()) {
-      error("use of undefined value %" + id);
+      error("use of undefined value %" + std::string(id));
       return Value();
     }
     return it->second;
   }
 
-  void define(const std::string &id, Value v) {
-    if (!values_.emplace(id, v).second)
-      error("redefinition of value %" + id);
+  void define(std::string_view id, Value v) {
+    if (!values_.emplace(idKey(id), v).second)
+      error("redefinition of value %" + std::string(id));
   }
 
   Type parseTypeTok() {
@@ -390,7 +453,7 @@ private:
     case Tok::Integer: {
       int64_t v = 0;
       if (!parseIntText(t.text, v)) {
-        error("integer literal '" + t.text + "' out of range");
+        error("integer literal '" + std::string(t.text) + "' out of range");
         return std::nullopt;
       }
       lex_.advance();
@@ -399,14 +462,14 @@ private:
     case Tok::Float: {
       double v = 0;
       if (!parseFloatText(t.text, v)) {
-        error("malformed float literal '" + t.text + "'");
+        error("malformed float literal '" + std::string(t.text) + "'");
         return std::nullopt;
       }
       lex_.advance();
       return AttrValue(v);
     }
     case Tok::Str: {
-      std::string v = t.text;
+      std::string v(t.text);
       lex_.advance();
       return AttrValue(v);
     }
@@ -416,7 +479,7 @@ private:
         lex_.advance();
         return AttrValue(v);
       }
-      error("unknown attribute value '" + t.text + "'");
+      error("unknown attribute value '" + std::string(t.text) + "'");
       return std::nullopt;
     }
     case Tok::LBracket: {
@@ -430,7 +493,7 @@ private:
           }
           int64_t elem = 0;
           if (!parseIntText(lex_.cur().text, elem)) {
-            error("integer literal '" + lex_.cur().text + "' out of range");
+            error("integer literal '" + std::string(lex_.cur().text) + "' out of range");
             return std::nullopt;
           }
           vec.push_back(elem);
@@ -451,20 +514,23 @@ private:
   }
 
   /// Parses `ident = value, ...}` — the opening '{' has been consumed.
-  bool parseAttrDict(AttrMap &attrs) {
+  /// Entries are collected into a plain vector (the op does not exist
+  /// yet; its AttrMap lives in the arena) and applied after Op::create.
+  bool parseAttrDict(SmallVec<std::pair<const char *, AttrValue>, 8> &attrs) {
     while (true) {
       if (lex_.cur().kind != Tok::Ident) {
         error("expected attribute name");
         return false;
       }
-      std::string name = lex_.cur().text;
+      const char *name =
+          internAttrName(lex_.cur().text.data(), lex_.cur().text.size());
       lex_.advance();
       if (!expect(Tok::Equal, "'=' after attribute name"))
         return false;
       auto v = parseAttrValue();
       if (!v)
         return false;
-      attrs.set(name, std::move(*v));
+      attrs.push_back({name, std::move(*v)});
       if (lex_.cur().kind == Tok::Comma) {
         lex_.advance();
         continue;
@@ -489,7 +555,7 @@ private:
           error("expected block argument %id");
           return false;
         }
-        std::string id = lex_.cur().text;
+        std::string_view id = lex_.cur().text;
         lex_.advance();
         if (!expect(Tok::Colon, "':' after block argument"))
           return false;
@@ -526,7 +592,7 @@ private:
     SourceLoc loc = lex_.cur().loc;
 
     // Optional result list.
-    std::vector<std::string> resultIds;
+    SmallVec<std::string_view, 4> resultIds;
     if (lex_.cur().kind == Tok::SsaId) {
       while (lex_.cur().kind == Tok::SsaId) {
         resultIds.push_back(lex_.cur().text);
@@ -548,14 +614,14 @@ private:
     }
     auto it = opNameTable().find(lex_.cur().text);
     if (it == opNameTable().end()) {
-      error("unknown op '" + lex_.cur().text + "'");
+      error("unknown op '" + std::string(lex_.cur().text) + "'");
       return nullptr;
     }
     OpKind kind = it->second;
     lex_.advance();
 
     // Operands.
-    std::vector<Value> operands;
+    SmallVec<Value, 8> operands;
     if (lex_.cur().kind == Tok::LParen) {
       lex_.advance();
       if (lex_.cur().kind != Tok::RParen) {
@@ -585,23 +651,23 @@ private:
     // %N tokens, and no op name is followed by '='), so one extra token
     // of lookahead disambiguates. If the brace opened a region, the op
     // has no attrs and no result types (types print before regions).
-    AttrMap attrs;
-    std::vector<std::unique_ptr<Region>> regions;
+    SmallVec<std::pair<const char *, AttrValue>, 8> attrs;
+    SmallVec<Region *, 2> regions;
     if (lex_.cur().kind == Tok::LBrace) {
       lex_.advance();
       if (lex_.cur().kind == Tok::Ident && lex_.peek().kind == Tok::Equal) {
         if (!parseAttrDict(attrs))
           return nullptr;
       } else {
-        auto region = std::make_unique<Region>();
+        Region *region = arena_.create<Region>(&arena_);
         if (!parseRegion(*region))
           return nullptr;
-        regions.push_back(std::move(region));
+        regions.push_back(region);
       }
     }
 
     // Result types (only before any region).
-    std::vector<Type> resultTypes;
+    SmallVec<Type, 4> resultTypes;
     if (regions.empty() && lex_.cur().kind == Tok::Colon) {
       lex_.advance();
       while (true) {
@@ -624,18 +690,21 @@ private:
     }
 
     // Remaining regions. The count is only known after parsing, so they
-    // are built freestanding and moved into the op below.
+    // are built freestanding (in the same arena) and moved into the op
+    // below.
     while (lex_.cur().kind == Tok::LBrace) {
       lex_.advance();
-      auto region = std::make_unique<Region>();
+      Region *region = arena_.create<Region>(&arena_);
       if (!parseRegion(*region))
         return nullptr;
-      regions.push_back(std::move(region));
+      regions.push_back(region);
     }
 
-    Op *op = Op::create(kind, loc, std::move(resultTypes), operands,
+    Op *op = Op::create(arena_, kind, loc, resultTypes.data(),
+                        resultTypes.size(), operands.data(), operands.size(),
                         static_cast<unsigned>(regions.size()));
-    op->attrs() = std::move(attrs);
+    for (auto &a : attrs)
+      op->attrs().setInterned(a.first, std::move(a.second));
     for (unsigned i = 0; i < regions.size(); ++i)
       op->region(i).takeBlocks(*regions[i]);
     for (unsigned i = 0; i < resultIds.size(); ++i)
@@ -643,9 +712,10 @@ private:
     return op;
   }
 
+  IRArena &arena_;
   Lexer lex_;
   DiagnosticEngine &diag_;
-  std::unordered_map<std::string, Value> values_;
+  std::unordered_map<uint64_t, Value> values_;
 };
 
 } // namespace
@@ -661,23 +731,32 @@ Type parseType(const std::string &text) {
   return Type();
 }
 
-std::optional<OwnedModule> parseModule(const std::string &text,
-                                       DiagnosticEngine &diag) {
-  Parser parser(text, diag);
+Op *parseModuleInto(IRArena &arena, const std::string &text,
+                    DiagnosticEngine &diag) {
+  Parser parser(arena, text, diag);
   Op *top = parser.parseTopLevel();
   if (!top || diag.hasErrors()) {
     if (top)
-      Op::destroy(top);
-    return std::nullopt;
+      Op::destroy(top); // detach only; memory stays in the arena
+    return nullptr;
   }
   if (top->kind() != OpKind::Module) {
     diag.error(top->loc(), "top-level op must be a module");
     Op::destroy(top);
-    return std::nullopt;
+    return nullptr;
   }
-  // Move the parsed funcs into a fresh OwnedModule (whose module op owns
-  // the canonical single body block).
+  return top;
+}
+
+std::optional<OwnedModule> parseModule(const std::string &text,
+                                       DiagnosticEngine &diag) {
+  // Parse directly into the fresh module's arena; on failure the arena
+  // (with any partially-parsed IR) dies with `owned`.
   OwnedModule owned;
+  Op *top = parseModuleInto(owned.arena(), text, diag);
+  if (!top)
+    return std::nullopt;
+  // Move the parsed funcs into the canonical module op (same arena).
   Block &dst = owned.get().body();
   if (!top->region(0).empty()) {
     Block &src = top->region(0).front();

@@ -30,6 +30,15 @@ namespace paralift::ir {
 std::optional<OwnedModule> parseModule(const std::string &text,
                                        DiagnosticEngine &diag);
 
+/// Parses a textual module, allocating every node from `arena`, and
+/// returns the *detached* module op (not the arena root) — or nullptr on
+/// error, reported through `diag`. This is how cache-replay splices
+/// materialize IR inside an existing module: parse into its arena, move
+/// the funcs over, then Op::destroy the returned top op (which only
+/// detaches it; the memory belongs to the arena).
+Op *parseModuleInto(IRArena &arena, const std::string &text,
+                    DiagnosticEngine &diag);
+
 /// Parses a type spelling, e.g. "f32" or "memref<4x?xf32>". Returns
 /// Type() (None kind) on failure.
 Type parseType(const std::string &text);

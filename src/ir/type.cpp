@@ -1,6 +1,46 @@
 #include "ir/type.h"
 
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
+
 namespace paralift::ir {
+
+namespace {
+
+struct ShapeHash {
+  size_t operator()(const std::vector<int64_t> &shape) const {
+    size_t h = 0x9e3779b97f4a7c15ull;
+    for (int64_t d : shape)
+      h = (h ^ static_cast<size_t>(d)) * 0x100000001b3ull;
+    return h;
+  }
+};
+
+struct ShapeTable {
+  std::shared_mutex mutex;
+  // Node-based set: element addresses are stable across rehashing.
+  std::unordered_set<std::vector<int64_t>, ShapeHash> shapes;
+};
+
+ShapeTable &shapeTable() {
+  static ShapeTable table;
+  return table;
+}
+
+} // namespace
+
+const std::vector<int64_t> *Type::internShape(std::vector<int64_t> shape) {
+  ShapeTable &t = shapeTable();
+  {
+    std::shared_lock<std::shared_mutex> lock(t.mutex);
+    auto it = t.shapes.find(shape);
+    if (it != t.shapes.end())
+      return &*it;
+  }
+  std::unique_lock<std::shared_mutex> lock(t.mutex);
+  return &*t.shapes.emplace(std::move(shape)).first;
+}
 
 unsigned byteWidth(TypeKind k) {
   switch (k) {
@@ -53,8 +93,10 @@ const char *typeKindName(TypeKind k) {
 }
 
 unsigned Type::numDynamicDims() const {
+  if (!shape_)
+    return 0;
   unsigned n = 0;
-  for (int64_t d : shape_)
+  for (int64_t d : *shape_)
     if (d == kDynamic)
       ++n;
   return n;
@@ -65,7 +107,7 @@ bool Type::hasStaticShape() const { return numDynamicDims() == 0; }
 int64_t Type::staticNumElements() const {
   assert(hasStaticShape());
   int64_t n = 1;
-  for (int64_t d : shape_)
+  for (int64_t d : *shape_)
     n *= d;
   return n;
 }
@@ -74,7 +116,7 @@ std::string Type::str() const {
   if (!isMemRef())
     return typeKindName(kind_);
   std::string s = "memref<";
-  for (int64_t d : shape_) {
+  for (int64_t d : *shape_) {
     s += d == kDynamic ? std::string("?") : std::to_string(d);
     s += "x";
   }

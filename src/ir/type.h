@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace paralift::ir {
@@ -35,6 +36,11 @@ const char *typeKindName(TypeKind k);
 /// A type. Scalar types carry only their kind; memref types additionally
 /// carry an element kind and a shape where kDynamic (-1) marks dimensions
 /// whose extent is an SSA operand of the allocating op.
+///
+/// Shapes are interned in a process-wide table (equal shapes share one
+/// immortal vector), which makes Type a trivially-destructible,
+/// trivially-copyable value — a requirement of the arena-backed IR nodes
+/// (ir/arena.h), and a copy-speed win since types ride on every ValueImpl.
 class Type {
 public:
   static constexpr int64_t kDynamic = -1;
@@ -57,7 +63,7 @@ public:
     Type t;
     t.kind_ = TypeKind::MemRef;
     t.elem_ = elem;
-    t.shape_ = std::move(shape);
+    t.shape_ = internShape(std::move(shape));
     return t;
   }
   /// Rank-0 memref holding a single scalar (the representation of a local
@@ -78,11 +84,11 @@ public:
   }
   const std::vector<int64_t> &shape() const {
     assert(isMemRef());
-    return shape_;
+    return *shape_;
   }
   unsigned rank() const {
     assert(isMemRef());
-    return static_cast<unsigned>(shape_.size());
+    return static_cast<unsigned>(shape_->size());
   }
   unsigned numDynamicDims() const;
   bool hasStaticShape() const;
@@ -90,6 +96,7 @@ public:
   int64_t staticNumElements() const;
 
   bool operator==(const Type &o) const {
+    // Interning makes equal shapes pointer-identical.
     return kind_ == o.kind_ && elem_ == o.elem_ && shape_ == o.shape_;
   }
   bool operator!=(const Type &o) const { return !(*this == o); }
@@ -97,9 +104,17 @@ public:
   std::string str() const;
 
 private:
+  /// Canonicalizes a shape into the immortal intern table. Thread-safe.
+  static const std::vector<int64_t> *internShape(std::vector<int64_t> shape);
+
   TypeKind kind_;
   TypeKind elem_;
-  std::vector<int64_t> shape_;
+  /// Interned; null for non-memref types.
+  const std::vector<int64_t> *shape_ = nullptr;
 };
+
+static_assert(std::is_trivially_destructible_v<Type> &&
+                  std::is_trivially_copyable_v<Type>,
+              "Type must stay trivial for arena-backed IR nodes");
 
 } // namespace paralift::ir

@@ -60,7 +60,8 @@ int64_t crossingBytes(Op *anchor) {
 /// inserted before `target`, is `barrier` redundant? Leaves the IR
 /// unchanged.
 bool motionLegal(Op *barrier, Op *target, Op *threadPar) {
-  Op *fict = Op::create(OpKind::Barrier, barrier->loc(), {}, {}, 0);
+  Op *fict =
+      Op::create(barrier->arena(), OpKind::Barrier, barrier->loc(), {}, {}, 0);
   target->parent()->insertBefore(target, fict);
   bool ok = analysis::isBarrierRedundant(barrier, threadPar);
   fict->erase();

@@ -147,8 +147,8 @@ private:
     for (unsigned i = 0; i < op->numResults(); ++i)
       resultTypes.push_back(op->result(i).type());
     resultTypes.push_back(elemType_);
-    Op *newOp =
-        Op::create(OpKind::ScfIf, op->loc(), resultTypes, {op->operand(0)}, 2);
+    Op *newOp = Op::create(op->arena(), OpKind::ScfIf, op->loc(), resultTypes,
+                           {op->operand(0)}, 2);
     newOp->attrs() = op->attrs();
     op->parent()->insertBefore(op, newOp);
     newOp->region(0).takeBlocks(op->region(0));
@@ -172,10 +172,10 @@ private:
     for (unsigned i = 0; i < op->numResults(); ++i)
       resultTypes.push_back(op->result(i).type());
     resultTypes.push_back(elemType_);
-    std::vector<Value> operands = op->operands();
+    std::vector<Value> operands(op->operands().begin(), op->operands().end());
     operands.push_back(cur);
-    Op *newOp =
-        Op::create(OpKind::ScfFor, op->loc(), resultTypes, operands, 1);
+    Op *newOp = Op::create(op->arena(), OpKind::ScfFor, op->loc(), resultTypes,
+                           operands, 1);
     newOp->attrs() = op->attrs();
     op->parent()->insertBefore(op, newOp);
     newOp->region(0).takeBlocks(op->region(0));

@@ -291,8 +291,8 @@ void ompLowerRoot(Op *root, const OmpLowerOptions &opts) {
       std::vector<Block *> blocks;
       root->walk([&](Op *op) {
         for (unsigned r = 0; r < op->numRegions(); ++r)
-          for (auto &b : op->region(r).blocks())
-            blocks.push_back(b.get());
+          for (Block *b : op->region(r).blocks())
+            blocks.push_back(b);
       });
       for (Block *b : blocks)
         if (fuseAdjacent(*b)) {

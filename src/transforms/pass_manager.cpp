@@ -583,20 +583,28 @@ const Hash128 &PassManager::hashOf(ir::Op *func, CacheState &st) {
 ir::Op *PassManager::spliceFunction(ModuleOp module, ir::Op *oldFunc,
                                     const std::string &text) {
   // Cached entries hold a standalone printed func; wrap it into module
-  // syntax for the parser.
+  // syntax for the parser. Parse directly into the destination module's
+  // arena — ops must never migrate between arenas.
   DiagnosticEngine localDiag;
-  auto parsed = ir::parseModule("module {\n" + text + "\n}\n", localDiag);
-  if (!parsed || localDiag.hasErrors())
+  ir::Op *top = ir::parseModuleInto(module.op->arena(),
+                                    "module {\n" + text + "\n}\n", localDiag);
+  if (!top || localDiag.hasErrors()) {
+    if (top)
+      ir::Op::destroy(top);
     return nullptr;
+  }
   ir::Op *newFunc = nullptr;
-  for (ir::Op *op : parsed->get().body())
+  for (ir::Op *op : top->region(0).front())
     if (op->kind() == ir::OpKind::Func) {
       newFunc = op;
       break;
     }
-  if (!newFunc)
+  if (!newFunc) {
+    ir::Op::destroy(top);
     return nullptr;
+  }
   newFunc->removeFromParent();
+  ir::Op::destroy(top); // detach the scaffolding; memory stays in the arena
   module.body().insertBefore(oldFunc, newFunc);
   oldFunc->erase();
   return newFunc;
@@ -658,15 +666,19 @@ bool PassManager::spliceModule(ModuleOp module,
                                const PassResultCache::Entry &entry,
                                CacheState &st) {
   DiagnosticEngine localDiag;
-  auto parsed = ir::parseModule(entry.ir, localDiag);
-  if (!parsed || localDiag.hasErrors())
+  ir::Op *top =
+      ir::parseModuleInto(module.op->arena(), entry.ir, localDiag);
+  if (!top || localDiag.hasErrors()) {
+    if (top)
+      ir::Op::destroy(top);
     return false;
+  }
   for (ir::Op *op : collectFuncs(module))
     op->erase();
   st.irHash.clear();
   st.pending.clear();
   std::vector<ir::Op *> newOps;
-  for (ir::Op *op : parsed->get().body())
+  for (ir::Op *op : top->region(0).front())
     newOps.push_back(op);
   size_t funcIdx = 0;
   for (ir::Op *op : newOps) {
@@ -682,6 +694,7 @@ bool PassManager::spliceModule(ModuleOp module,
       st.irHash[op] = ir::hashOp(op);
     ++funcIdx;
   }
+  ir::Op::destroy(top); // detach the scaffolding module op
   return true;
 }
 
