@@ -67,10 +67,12 @@ public:
         return p.spec == r.spec;
       });
       if (it == agg_.end())
-        agg_.push_back({r.spec, r.seconds, r.rssDeltaBytes});
+        agg_.push_back({r.spec, r.seconds, r.rssDeltaBytes,
+                        r.arenaDeltaBytes});
       else {
         it->seconds += r.seconds;
         it->rssDeltaBytes += r.rssDeltaBytes;
+        it->arenaDeltaBytes += r.arenaDeltaBytes;
       }
     }
   }
@@ -82,20 +84,24 @@ public:
     return total;
   }
 
-  /// Prints one row per pass with its share of the total and its summed
-  /// peak-RSS growth, then the total.
+  /// Prints one row per pass with its share of the total, its summed
+  /// peak-RSS growth, and its summed IR-arena growth, then the total.
   void print() const {
     double total = totalSeconds();
-    uint64_t totalRss = 0;
-    for (const auto &row : agg_)
+    uint64_t totalRss = 0, totalArena = 0;
+    for (const auto &row : agg_) {
       totalRss += row.rssDeltaBytes;
+      totalArena += row.arenaDeltaBytes;
+    }
     for (const auto &row : agg_)
       std::fputs(transforms::formatTimingRow(row.seconds, total,
-                                             row.rssDeltaBytes, row.spec)
+                                             row.rssDeltaBytes,
+                                             row.arenaDeltaBytes, row.spec)
                      .c_str(),
                  stdout);
-    std::printf("  %10.6f s total, peak-RSS +%.2f MB\n", total,
-                totalRss / (1024.0 * 1024.0));
+    std::printf("  %10.6f s total, peak-RSS +%.2f MB, IR-arena +%.2f MB\n",
+                total, totalRss / (1024.0 * 1024.0),
+                totalArena / (1024.0 * 1024.0));
   }
 
 private:
@@ -103,6 +109,7 @@ private:
     std::string spec;
     double seconds = 0;
     uint64_t rssDeltaBytes = 0;
+    uint64_t arenaDeltaBytes = 0;
   };
   std::vector<Row> agg_;
 };

@@ -4,10 +4,13 @@
 // --json=FILE additionally emits a machine-readable BENCH_compile.json
 // (suite latency per scheduler and thread count, mean/median/p95
 // job-completion latency, keying time, arena parse/clone/teardown cost,
-// cache stats) so the perf trajectory is tracked across PRs.
+// cache stats, tracing-disabled vs -enabled overhead, and a
+// MetricsRegistry snapshot) so the perf trajectory is tracked across PRs.
 #include "bench_common.h"
 
 #include "ir/parser.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -250,6 +253,52 @@ void printIrMemory(const IrMemoryTimes &m) {
               m.teardownSeconds);
 }
 
+/// Wall clock of one 4-thread DAG suite batch with the trace recorder
+/// off vs on. The disabled row is the always-on cost of the
+/// instrumentation (one relaxed atomic load per site — must stay within
+/// noise of the pre-observability baseline); the enabled row adds the
+/// per-event recording cost.
+struct TracingOverhead {
+  double disabledWall = 0;
+  double enabledWall = 0;
+  double overheadPct = 0;
+};
+
+TracingOverhead measureTracingOverhead() {
+  // Interleaved paired reps: the suite batch is tens of milliseconds,
+  // so a single sample is dominated by scheduling noise, not the
+  // tracing branch. Each rep measures both arms back to back and the
+  // overhead is the median of the per-rep ratios — pairing cancels
+  // machine drift that would bias a min-vs-min comparison.
+  constexpr int kReps = 7;
+  TracingOverhead t;
+  t.disabledWall = std::numeric_limits<double>::infinity();
+  t.enabledWall = std::numeric_limits<double>::infinity();
+  std::vector<double> ratios;
+  for (int i = 0; i < kReps; ++i) {
+    double off = measureSuiteSession(4, driver::ScheduleMode::Dag).wallSeconds;
+    trace::enable();
+    double on = measureSuiteSession(4, driver::ScheduleMode::Dag).wallSeconds;
+    trace::disable();
+    t.disabledWall = std::min(t.disabledWall, off);
+    t.enabledWall = std::min(t.enabledWall, on);
+    if (off > 0)
+      ratios.push_back(on / off);
+  }
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    t.overheadPct = 100.0 * (ratios[ratios.size() / 2] - 1.0);
+  }
+  return t;
+}
+
+void printTracingOverhead(const TracingOverhead &t) {
+  std::printf("\n=== Tracing overhead (4-thread DAG suite batch) ===\n\n");
+  std::printf("  tracing disabled : %10.4f s\n", t.disabledWall);
+  std::printf("  tracing enabled  : %10.4f s  (%+.1f%% median paired)\n",
+              t.enabledWall, t.overheadPct);
+}
+
 /// Cold-populate cache behavior of one DAG suite batch (hits include
 /// in-batch dedup of kernels shared across modules).
 transforms::PassResultCache::StatsSnapshot measureCacheStats() {
@@ -264,7 +313,8 @@ transforms::PassResultCache::StatsSnapshot measureCacheStats() {
 void writeJson(const std::string &path,
                const std::vector<SchedulerRow> &rows, const KeyingTimes &k,
                const IrMemoryTimes &im,
-               const transforms::PassResultCache::StatsSnapshot &cs) {
+               const transforms::PassResultCache::StatsSnapshot &cs,
+               const TracingOverhead &to) {
   std::FILE *f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_compile: cannot write '%s'\n", path.c_str());
@@ -313,13 +363,33 @@ void writeJson(const std::string &path,
   std::fprintf(f,
                "  \"cache_cold_populate\": {\"hits\": %llu, \"misses\": "
                "%llu, \"stores\": %llu, \"passes_executed\": %llu, "
-               "\"passes_replayed\": %llu, \"waits\": %llu}\n",
+               "\"passes_replayed\": %llu, \"waits\": %llu},\n",
                static_cast<unsigned long long>(cs.hits),
                static_cast<unsigned long long>(cs.misses),
                static_cast<unsigned long long>(cs.stores),
                static_cast<unsigned long long>(cs.passesExecuted),
                static_cast<unsigned long long>(cs.passesReplayed),
                static_cast<unsigned long long>(cs.waits));
+  std::fprintf(f,
+               "  \"tracing\": {\"disabled_wall_s\": %.6f, "
+               "\"enabled_wall_s\": %.6f, \"enabled_overhead_pct\": %.2f},\n",
+               to.disabledWall, to.enabledWall, to.overheadPct);
+  // Process-wide registry snapshot over everything this run compiled:
+  // the trajectory of scheduler/cache/arena activity across PRs.
+  const auto &reg = metrics::MetricsRegistry::instance();
+  std::fprintf(f,
+               "  \"metrics\": {\"cache_hits\": %llu, "
+               "\"scheduler_tasks\": %llu, \"scheduler_steals\": %llu, "
+               "\"session_jobs_completed\": %llu, "
+               "\"arena_peak_bytes\": %lld}\n",
+               static_cast<unsigned long long>(reg.counterValue("cache.hits")),
+               static_cast<unsigned long long>(
+                   reg.counterValue("scheduler.tasks")),
+               static_cast<unsigned long long>(
+                   reg.counterValue("scheduler.steals")),
+               static_cast<unsigned long long>(
+                   reg.counterValue("session.jobs_completed")),
+               static_cast<long long>(reg.gaugePeak("arena.reserved_bytes")));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
@@ -362,7 +432,9 @@ int main(int argc, char **argv) {
   printKeyingTime(keying);
   IrMemoryTimes irMem = measureIrMemory(suite);
   printIrMemory(irMem);
+  TracingOverhead tracing = measureTracingOverhead();
+  printTracingOverhead(tracing);
   if (!jsonPath.empty())
-    writeJson(jsonPath, rows, keying, irMem, measureCacheStats());
+    writeJson(jsonPath, rows, keying, irMem, measureCacheStats(), tracing);
   return 0;
 }

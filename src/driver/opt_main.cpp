@@ -8,6 +8,7 @@
 //                [--pm-threads=N] [--pm-schedule=dag|lockstep]
 //                [--cache-dir=DIR] [--cache-limit=MB]
 //                [--no-pass-cache] [--cache-stats]
+//                [--trace-json=FILE] [--metrics[=FILE]]
 //                [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]
 //
 // PIPELINE is a comma-separated list of registered pass names, each with
@@ -37,6 +38,13 @@
 // --cache-stats prints the hit/miss/replay counters to stderr.
 // --verify-analyses cross-checks every pass's PreservedAnalyses
 // declaration by recomputation.
+//
+// Observability: --trace-json=FILE records a Chrome trace_event JSON of
+// the whole run (worker lanes, per-pass spans with cache-hit
+// annotations, per-job async spans; load in Perfetto). --metrics prints
+// the process-wide metrics snapshot (cache/scheduler/session/arena
+// counters and latency histograms) to stderr; --metrics=FILE writes it
+// as JSON instead. See the "Observability" section in driver/session.h.
 #include "driver/compiler.h"
 #include "ir/parser.h"
 #include "ir/printer.h"
@@ -70,6 +78,7 @@ int usage(const char *argv0) {
       "       [--pm-threads=N] [--pm-schedule=dag|lockstep]\n"
       "       [--cache-dir=DIR] [--cache-limit=MB]\n"
       "       [--no-pass-cache] [--cache-stats]\n"
+      "       [--trace-json=FILE] [--metrics[=FILE]]\n"
       "       [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]\n"
       "\n"
       "PIPELINE example: 'inline,repeat{n=2}(canonicalize,cse),\n"
@@ -119,6 +128,9 @@ int main(int argc, char **argv) {
   bool verifyAnalyses = false;
   bool noPassCache = false;
   bool cacheStats = false;
+  std::string traceJsonPath;
+  bool metricsToStderr = false;
+  std::string metricsJsonPath;
   std::string cacheDir;
   long long cacheLimitMB = 0;
   bool printBefore = false, printAfter = false;
@@ -145,6 +157,20 @@ int main(int argc, char **argv) {
       noPassCache = true;
     } else if (arg == "--cache-stats") {
       cacheStats = true;
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      traceJsonPath = arg.substr(13);
+      if (traceJsonPath.empty()) {
+        std::fprintf(stderr, "error: --trace-json requires a path\n");
+        return 2;
+      }
+    } else if (arg == "--metrics") {
+      metricsToStderr = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metricsJsonPath = arg.substr(10);
+      if (metricsJsonPath.empty()) {
+        std::fprintf(stderr, "error: --metrics= requires a path\n");
+        return 2;
+      }
     } else if (arg.rfind("--cache-dir=", 0) == 0) {
       cacheDir = arg.substr(12);
       if (cacheDir.empty()) {
@@ -222,6 +248,9 @@ int main(int argc, char **argv) {
   so.verifyAnalyses = verifyAnalyses;
   so.collectTiming = timing;
   so.collectStatistics = stats;
+  so.traceJsonPath = traceJsonPath;
+  so.metricsToStderr = metricsToStderr;
+  so.metricsJsonPath = metricsJsonPath;
   // --cuda inputs run the frontend, then device-function inlining (the
   // compileForSimt lowering), then the explicit pipeline.
   so.pipelineSpec = cuda ? (passes.empty() ? std::string("inline-kernels")

@@ -2,6 +2,8 @@
 
 #include "ir/verifier.h"
 #include "runtime/thread_pool.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "transforms/pass_cache.h"
 #include "transforms/registry.h"
 
@@ -9,8 +11,27 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 namespace paralift::driver {
+
+namespace {
+/// Session-level figures in the process-wide registry, resolved once.
+struct SessionMetrics {
+  metrics::Counter &jobsCompleted;
+  metrics::Counter &jobsFailed;
+  metrics::Histogram &jobLatency;
+};
+
+SessionMetrics &sessionMetrics() {
+  auto &reg = metrics::MetricsRegistry::instance();
+  static SessionMetrics *m = new SessionMetrics{
+      reg.counter("session.jobs_completed"),
+      reg.counter("session.jobs_failed"),
+      reg.histogram("session.job_latency_s")};
+  return *m;
+}
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Environment-driven process-wide cache
@@ -110,11 +131,26 @@ CompilerSession::CompilerSession(SessionOptions opts)
   } else if (opts_.useEnvCache) {
     cache_ = envPassResultCache();
   }
+  if (!opts_.traceJsonPath.empty())
+    trace::enable();
 }
 
 CompilerSession::~CompilerSession() {
   if (asyncThread_.joinable())
     asyncThread_.join();
+  // Tracing is left enabled (overlapping sessions and $PARALIFT_TRACE
+  // compose); writeJson snapshots whatever has been published so far.
+  if (!opts_.traceJsonPath.empty())
+    trace::writeJson(opts_.traceJsonPath);
+  if (opts_.metricsToStderr)
+    std::fprintf(stderr, "%s",
+                 metrics::MetricsRegistry::instance().textSnapshot().c_str());
+  if (!opts_.metricsJsonPath.empty()) {
+    std::ofstream os(opts_.metricsJsonPath,
+                     std::ios::binary | std::ios::trunc);
+    if (os)
+      os << metrics::MetricsRegistry::instance().jsonSnapshot();
+  }
   // ownedCache_'s destructor sweeps the disk bound (cacheLimitMB).
 }
 
@@ -159,6 +195,7 @@ std::vector<CompileJob *> CompilerSession::takeQueued() {
 }
 
 void CompilerSession::markDone(CompileJob &job, bool ok) {
+  double latency;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job.result_.ok = ok;
@@ -166,14 +203,24 @@ void CompilerSession::markDone(CompileJob &job, bool ok) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       batchStart_)
             .count();
+    latency = job.latencySeconds_;
     job.state_ = CompileJob::State::Done;
   }
+  // Closes the async span opened at batch start; matched by (name, id).
+  if (trace::enabled())
+    trace::asyncEnd("job:" + job.name_, reinterpret_cast<uintptr_t>(&job));
+  SessionMetrics &m = sessionMetrics();
+  (ok ? m.jobsCompleted : m.jobsFailed).add();
+  m.jobLatency.observe(latency);
   cv_.notify_all();
   if (opts_.onJobCompleted)
     opts_.onJobCompleted(job);
 }
 
 void CompilerSession::runFrontendOne(CompileJob &job) {
+  trace::TraceSpan span(trace::enabled() ? "parse:" + job.name_
+                                         : std::string(),
+                        "frontend");
   job.result_.module = frontend::compileToIR(job.source_, job.diag_);
   if (job.diag_.hasErrors())
     return;
@@ -302,6 +349,13 @@ bool CompilerSession::compileAll() {
   std::vector<CompileJob *> batch = takeQueued();
   if (!batch.empty()) {
     batchStart_ = std::chrono::steady_clock::now();
+    // One async span per job, from batch admission to markDone — in the
+    // trace these are the per-job "queue + compile" lifetimes that start
+    // together and resolve incrementally under the DAG scheduler.
+    if (trace::enabled())
+      for (CompileJob *job : batch)
+        trace::asyncBegin("job:" + job->name_,
+                          reinterpret_cast<uintptr_t>(job));
     if (opts_.mode == SessionMode::Simt) {
       runFrontend(batch);
       compileSimt(batch);
@@ -390,8 +444,14 @@ bool CompilerSession::compileAll() {
           std::vector<CompileJob *> groupJobs = group.jobs;
           bo.onModuleDone = [this, pmPtr, groupJobs](size_t idx, bool ok) {
             CompileJob *job = groupJobs[idx];
-            ok = finalVerify(*pmPtr, job->result_.module.get(), job->diag_,
-                             ok);
+            {
+              trace::TraceSpan span(trace::enabled()
+                                        ? "finalize:" + job->name_
+                                        : std::string(),
+                                    "session");
+              ok = finalVerify(*pmPtr, job->result_.module.get(),
+                               job->diag_, ok);
+            }
             markDone(*job, ok);
           };
           states.push_back(

@@ -76,6 +76,39 @@
 //    (ir::parseModuleInto, ir::cloneOpInto), so worker threads may
 //    replay into a live module under --pm-threads without transferring
 //    ownership; the arena's allocation path is thread-safe.
+//
+// Observability
+// -------------
+// The compiler carries a unified tracing + metrics layer (support/trace.h,
+// support/metrics.h); sessions are its main driver:
+//
+//  - Tracing. SessionOptions::traceJsonPath enables the process-wide
+//    trace recorder for the session's lifetime and writes a Chrome
+//    trace_event JSON file ("catapult" format — load in about://tracing
+//    or Perfetto) at session destruction. Each worker thread is a named
+//    lane ("worker-N"); every job contributes an async span from batch
+//    start to job completion, nested over its frontend parse span, one
+//    span per (module, pass) step annotated with the cache outcome
+//    ("cache: run" vs "cache: replay"), per-function fan-out spans, and
+//    cache disk-IO/eviction spans. $PARALIFT_TRACE=FILE does the same
+//    process-wide without API involvement (written at exit), and
+//    trace::enable()/writeJson() are available for embedders. When
+//    disabled (the default), instrumentation costs one relaxed atomic
+//    load per site — the recorder is compiled in but never buffers.
+//
+//  - Metrics. A process-wide MetricsRegistry aggregates named counters,
+//    gauges, and log2-bucket latency histograms across every subsystem:
+//    "cache.*" (hits/misses/stores/waits/disk/evictions), "scheduler.*"
+//    (tasks/steals/injects/parks/idle-wakeups), "session.*" (jobs
+//    completed/failed, job-latency histogram), "pm.pass_seconds",
+//    "pass.<pass>.<stat>" (mirrors of every Pass::Statistic), and
+//    "arena.reserved_bytes" (live IR slab bytes; .peak tracks the
+//    high-water mark). SessionOptions::metricsToStderr prints the text
+//    snapshot at session destruction; metricsJsonPath writes the JSON
+//    snapshot (--metrics / --metrics=FILE at the CLI). The registry is
+//    process-global on purpose: one snapshot shows cache, scheduler,
+//    arena, and per-pass activity side by side, regardless of how many
+//    sessions produced it.
 #pragma once
 
 #include "frontend/irgen.h"
@@ -178,6 +211,19 @@ struct SessionOptions {
   /// batch. Completion-order probes and schedulers hang off this; keep
   /// it cheap and do not call back into compileAll from it.
   std::function<void(CompileJob &)> onJobCompleted;
+
+  // Observability (see the "Observability" section above):
+  /// When set, enable the process-wide trace recorder for the session's
+  /// lifetime and write Chrome trace_event JSON here at session
+  /// destruction (--trace-json=FILE at the CLI). Tracing stays enabled
+  /// afterwards; overlapping sessions and $PARALIFT_TRACE compose.
+  std::string traceJsonPath;
+  /// Print the MetricsRegistry text snapshot to stderr at session
+  /// destruction (--metrics at the CLI).
+  bool metricsToStderr = false;
+  /// Write the MetricsRegistry JSON snapshot here at session
+  /// destruction (--metrics=FILE at the CLI).
+  std::string metricsJsonPath;
 };
 
 class CompilerSession;

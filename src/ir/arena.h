@@ -84,6 +84,13 @@ public:
   };
   Stats stats() const;
 
+  /// Bytes handed out so far (16-rounded). One relaxed load — cheap
+  /// enough for the pass manager to read before/after every pass to
+  /// attribute IR growth per (module, pass).
+  size_t bytesAllocated() const {
+    return bytesAllocated_.load(std::memory_order_relaxed);
+  }
+
 private:
   struct Slab {
     Slab *prev;                ///< chain for teardown

@@ -1,7 +1,11 @@
 #include "runtime/thread_pool.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 
 namespace paralift::runtime {
 
@@ -128,6 +132,26 @@ namespace {
 // the injection queue.
 thread_local TaskScheduler *tlsScheduler = nullptr;
 thread_local unsigned tlsSchedulerWorker = 0;
+
+// Process-wide scheduler counters, resolved once. Individual schedulers
+// additionally keep per-instance figures (TaskScheduler::stats()); the
+// registry aggregates across every scheduler the process creates.
+struct SchedCounters {
+  metrics::Counter &tasks;
+  metrics::Counter &steals;
+  metrics::Counter &injects;
+  metrics::Counter &parks;
+  metrics::Counter &idleWakeups;
+};
+
+SchedCounters &schedCounters() {
+  auto &reg = metrics::MetricsRegistry::instance();
+  static SchedCounters *c = new SchedCounters{
+      reg.counter("scheduler.tasks"), reg.counter("scheduler.steals"),
+      reg.counter("scheduler.injects"), reg.counter("scheduler.parks"),
+      reg.counter("scheduler.idle_wakeups")};
+  return *c;
+}
 } // namespace
 
 TaskScheduler::TaskScheduler(ThreadPool *pool)
@@ -147,13 +171,18 @@ void TaskScheduler::spawn(Task task) {
     std::scoped_lock lock(wq.mutex);
     wq.tasks.push_back(std::move(task));
   } else {
-    std::scoped_lock lock(injectMutex_);
-    inject_.push_back(std::move(task));
+    {
+      std::scoped_lock lock(injectMutex_);
+      inject_.push_back(std::move(task));
+    }
+    injects_.fetch_add(1, std::memory_order_relaxed);
+    schedCounters().injects.add();
   }
   idleCv_.notify_one();
 }
 
-bool TaskScheduler::tryTake(unsigned self, Task &out) {
+bool TaskScheduler::tryTake(unsigned self, Task &out, bool &stolen) {
+  stolen = false;
   // Own deque first, newest first: continuations of the task that just
   // ran, still hot.
   {
@@ -181,6 +210,9 @@ bool TaskScheduler::tryTake(unsigned self, Task &out) {
     if (!wq.tasks.empty()) {
       out = std::move(wq.tasks.front());
       wq.tasks.pop_front();
+      stolen = true;
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      schedCounters().steals.add();
       return true;
     }
   }
@@ -192,10 +224,29 @@ void TaskScheduler::workerLoop(unsigned self) {
   unsigned prevWorker = tlsSchedulerWorker;
   tlsScheduler = this;
   tlsSchedulerWorker = self;
+  if (trace::enabled()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker-%u", self);
+    trace::setThreadName(name);
+  }
   Task task;
+  bool parked = false; // last loop iteration slept
   while (true) {
-    if (tryTake(self, task)) {
-      task(self);
+    bool stolen = false;
+    if (tryTake(self, task, stolen)) {
+      if (parked) {
+        idleWakeups_.fetch_add(1, std::memory_order_relaxed);
+        schedCounters().idleWakeups.add();
+        parked = false;
+      }
+      {
+        trace::TraceSpan span("task", "sched");
+        if (stolen)
+          span.annotate("origin", "stolen");
+        task(self);
+      }
+      tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
+      schedCounters().tasks.add();
       task = nullptr; // drop captures before possibly sleeping
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
         idleCv_.notify_all();
@@ -209,10 +260,23 @@ void TaskScheduler::workerLoop(unsigned self) {
     std::unique_lock lock(injectMutex_);
     if (!inject_.empty() || pending_.load(std::memory_order_acquire) == 0)
       continue;
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    schedCounters().parks.add();
+    parked = true;
     idleCv_.wait_for(lock, std::chrono::milliseconds(1));
   }
   tlsScheduler = prevSched;
   tlsSchedulerWorker = prevWorker;
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  Stats s;
+  s.tasksExecuted = tasksExecuted_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.injects = injects_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.idleWakeups = idleWakeups_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TaskScheduler::run() {

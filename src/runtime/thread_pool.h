@@ -130,13 +130,25 @@ public:
   /// Worker count run() will use (1 in the serial fallback).
   unsigned workers() const { return workers_; }
 
+  /// Scheduling introspection, accumulated over this scheduler's
+  /// lifetime. The same figures feed the process-wide MetricsRegistry
+  /// ("scheduler.*"), where they aggregate across schedulers.
+  struct Stats {
+    uint64_t tasksExecuted = 0; ///< tasks run to completion
+    uint64_t steals = 0;        ///< takes from a sibling's deque
+    uint64_t injects = 0;       ///< spawns from outside any worker
+    uint64_t parks = 0;         ///< idle waits on the condition variable
+    uint64_t idleWakeups = 0;   ///< parks that woke to find work
+  };
+  Stats stats() const;
+
 private:
   struct WorkerQueue {
     std::mutex mutex;
     std::deque<Task> tasks;
   };
 
-  bool tryTake(unsigned self, Task &out);
+  bool tryTake(unsigned self, Task &out, bool &stolen);
   void workerLoop(unsigned self);
 
   ThreadPool *pool_;
@@ -149,6 +161,12 @@ private:
   /// (running tasks hold their own count until they return, so 0 is
   /// stable).
   std::atomic<size_t> pending_{0};
+
+  std::atomic<uint64_t> tasksExecuted_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> injects_{0};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<uint64_t> idleWakeups_{0};
 };
 
 /// A serial dispatch queue in the style of Grand Central Dispatch, used by

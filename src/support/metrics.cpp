@@ -1,0 +1,150 @@
+#include "support/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace paralift::metrics {
+
+void Histogram::observe(double seconds) {
+  if (!(seconds > 0))
+    seconds = 0;
+  // Bucket index = ceil(log2(seconds)) + kMicroShift, clamped.
+  int idx = 0;
+  if (seconds > 0) {
+    int e = static_cast<int>(std::ceil(std::log2(seconds)));
+    idx = e + kMicroShift;
+    if (idx < 0)
+      idx = 0;
+    if (idx >= kBuckets)
+      idx = kBuckets - 1;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sumNanos_.fetch_add(static_cast<uint64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+}
+
+double Histogram::bucketUpper(int i) {
+  return std::ldexp(1.0, i - kMicroShift);
+}
+
+double Histogram::quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0)
+    return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank < 1)
+    rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucketCount(i);
+    if (seen >= rank)
+      return bucketUpper(i);
+  }
+  return bucketUpper(kBuckets - 1);
+}
+
+MetricsRegistry &MetricsRegistry::instance() {
+  static MetricsRegistry *reg = new MetricsRegistry();
+  return *reg;
+}
+
+Counter &MetricsRegistry::counter(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &slot = counters_[name];
+  if (!slot)
+    slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &slot = gauges_[name];
+  if (!slot)
+    slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto &slot = histograms_[name];
+  if (!slot)
+    slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+int64_t MetricsRegistry::gaugeValue(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+int64_t MetricsRegistry::gaugePeak(const std::string &name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->peak();
+}
+
+std::string MetricsRegistry::textSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto &[name, c] : counters_)
+    os << name << " = " << c->value() << "\n";
+  for (const auto &[name, g] : gauges_)
+    os << name << " = " << g->value() << " (peak " << g->peak() << ")\n";
+  for (const auto &[name, h] : histograms_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: count=%llu sum=%.6fs p50<=%.6fs p95<=%.6fs",
+                  name.c_str(),
+                  static_cast<unsigned long long>(h->count()), h->sum(),
+                  h->quantile(0.5), h->quantile(0.95));
+    os << buf << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::jsonSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first)
+      os << ",\n";
+    first = false;
+  };
+  for (const auto &[name, c] : counters_) {
+    sep();
+    os << "  \"" << name << "\": " << c->value();
+  }
+  for (const auto &[name, g] : gauges_) {
+    sep();
+    os << "  \"" << name << "\": " << g->value() << ",\n  \"" << name
+       << ".peak\": " << g->peak();
+  }
+  for (const auto &[name, h] : histograms_) {
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"%s.count\": %llu,\n  \"%s.sum_s\": %.6f,\n"
+                  "  \"%s.p50_s\": %.6f,\n  \"%s.p95_s\": %.6f",
+                  name.c_str(),
+                  static_cast<unsigned long long>(h->count()), name.c_str(),
+                  h->sum(), name.c_str(), h->quantile(0.5), name.c_str(),
+                  h->quantile(0.95));
+    sep();
+    os << buf;
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+} // namespace paralift::metrics

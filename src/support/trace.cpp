@@ -1,0 +1,335 @@
+#include "support/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace paralift::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  uint64_t ts = 0;  // micros
+  uint64_t dur = 0; // micros (complete events)
+  uint64_t id = 0;  // async id / counter value
+  char phase = 'X';
+  char name[64] = {};
+  char cat[16] = {};
+  char argKey[16] = {};
+  char argVal[48] = {};
+};
+
+void copyStr(char *dst, size_t cap, std::string_view src) {
+  size_t n = src.size() < cap - 1 ? src.size() : cap - 1;
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+struct Chunk {
+  static constexpr size_t kCap = 4096;
+  TraceEvent events[kCap];
+  // The owning thread is the only writer of `count` and the slots below
+  // it; it publishes slot i with a release store of i+1. `next` is set
+  // once (release) when the chunk fills.
+  std::atomic<size_t> count{0};
+  std::atomic<Chunk *> next{nullptr};
+};
+
+struct ThreadBuf {
+  Chunk *head = nullptr;
+  Chunk *cur = nullptr; // owner-only
+  uint32_t tid = 0;
+  std::string threadName; // guarded by registry mutex
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadBuf *> bufs; // never shrunk; ThreadBufs live forever
+  uint32_t nextTid = 1;
+};
+
+Registry &registry() {
+  static Registry *r = new Registry();
+  return *r;
+}
+
+ThreadBuf &threadBuf() {
+  thread_local ThreadBuf *buf = [] {
+    auto *b = new ThreadBuf();
+    b->head = b->cur = new Chunk();
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    b->tid = r.nextTid++;
+    r.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+/// Reserves the next event slot for this thread. Caller fills it, then
+/// must publish via publish().
+TraceEvent &reserveSlot(ThreadBuf &b, size_t &idxOut) {
+  Chunk *c = b.cur;
+  size_t n = c->count.load(std::memory_order_relaxed);
+  if (n == Chunk::kCap) {
+    Chunk *fresh = new Chunk();
+    c->next.store(fresh, std::memory_order_release);
+    b.cur = c = fresh;
+    n = 0;
+  }
+  idxOut = n;
+  return c->events[n];
+}
+
+void publish(ThreadBuf &b, size_t idx) {
+  b.cur->count.store(idx + 1, std::memory_order_release);
+}
+
+uint64_t epochMicros() {
+  using namespace std::chrono;
+  static const steady_clock::time_point epoch = steady_clock::now();
+  return static_cast<uint64_t>(
+      duration_cast<microseconds>(steady_clock::now() - epoch).count());
+}
+
+void jsonEscape(std::string &out, const char *s) {
+  for (; *s; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if (c < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += static_cast<char>(c);
+      }
+    }
+  }
+}
+
+void appendEvent(std::string &out, const TraceEvent &e, uint32_t tid) {
+  char buf[96];
+  out += "{\"name\":\"";
+  jsonEscape(out, e.name);
+  out += "\",\"cat\":\"";
+  jsonEscape(out, e.cat[0] ? e.cat : "t");
+  std::snprintf(buf, sizeof(buf), "\",\"ph\":\"%c\",\"pid\":1,\"tid\":%u",
+                e.phase, tid);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%llu",
+                static_cast<unsigned long long>(e.ts));
+  out += buf;
+  if (e.phase == 'X') {
+    std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
+                  static_cast<unsigned long long>(e.dur));
+    out += buf;
+  }
+  if (e.phase == 'b' || e.phase == 'e') {
+    std::snprintf(buf, sizeof(buf), ",\"id\":%llu",
+                  static_cast<unsigned long long>(e.id));
+    out += buf;
+  }
+  if (e.phase == 'C') {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%llu}",
+                  static_cast<unsigned long long>(e.id));
+    out += buf;
+  } else if (e.argKey[0]) {
+    out += ",\"args\":{\"";
+    jsonEscape(out, e.argKey);
+    out += "\":\"";
+    jsonEscape(out, e.argVal);
+    out += "\"}";
+  }
+  out += "}";
+}
+
+// $PARALIFT_TRACE=FILE: enable at startup, write the JSON at exit.
+std::string &envTracePath() {
+  static std::string *path = new std::string();
+  return *path;
+}
+
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char *p = std::getenv("PARALIFT_TRACE");
+    if (p && *p) {
+      envTracePath() = p;
+      enable();
+      std::atexit([] { writeJson(envTracePath()); });
+    }
+  }
+};
+EnvTraceInit envTraceInit;
+
+} // namespace
+
+void enable() {
+  epochMicros(); // pin the epoch before the first event
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+uint64_t nowMicros() { return epochMicros(); }
+
+size_t eventCount() {
+  Registry &r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  size_t total = 0;
+  for (ThreadBuf *b : r.bufs)
+    for (Chunk *c = b->head; c;) {
+      total += c->count.load(std::memory_order_acquire);
+      c = c->next.load(std::memory_order_acquire);
+    }
+  return total;
+}
+
+void setThreadName(std::string_view name) {
+  if (!enabled())
+    return;
+  ThreadBuf &b = threadBuf();
+  Registry &r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  b.threadName.assign(name.data(), name.size());
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view cat) {
+  if (!enabled())
+    return;
+  copyStr(name_, sizeof(name_), name);
+  copyStr(cat_, sizeof(cat_), cat);
+  argKey_[0] = '\0';
+  argVal_[0] = '\0';
+  start_ = nowMicros();
+  active_ = true;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_ || !enabled())
+    return;
+  uint64_t end = nowMicros();
+  ThreadBuf &b = threadBuf();
+  size_t idx;
+  TraceEvent &e = reserveSlot(b, idx);
+  e.ts = start_;
+  e.dur = end - start_;
+  e.id = 0;
+  e.phase = 'X';
+  std::memcpy(e.name, name_, sizeof(name_));
+  std::memcpy(e.cat, cat_, sizeof(cat_));
+  std::memcpy(e.argKey, argKey_, sizeof(argKey_));
+  std::memcpy(e.argVal, argVal_, sizeof(argVal_));
+  publish(b, idx);
+}
+
+void TraceSpan::annotate(std::string_view key, std::string_view value) {
+  if (!active_)
+    return;
+  copyStr(argKey_, sizeof(argKey_), key);
+  copyStr(argVal_, sizeof(argVal_), value);
+}
+
+namespace {
+void record(std::string_view name, std::string_view cat, char phase,
+            uint64_t id) {
+  ThreadBuf &b = threadBuf();
+  size_t idx;
+  TraceEvent &e = reserveSlot(b, idx);
+  e.ts = nowMicros();
+  e.dur = 0;
+  e.id = id;
+  e.phase = phase;
+  copyStr(e.name, sizeof(e.name), name);
+  copyStr(e.cat, sizeof(e.cat), cat);
+  e.argKey[0] = '\0';
+  e.argVal[0] = '\0';
+  publish(b, idx);
+}
+} // namespace
+
+void counterEvent(std::string_view name, uint64_t value) {
+  if (!enabled())
+    return;
+  record(name, "counter", 'C', value);
+}
+
+void asyncBegin(std::string_view name, uint64_t id, std::string_view cat) {
+  if (!enabled())
+    return;
+  record(name, cat, 'b', id);
+}
+
+void asyncEnd(std::string_view name, uint64_t id, std::string_view cat) {
+  if (!enabled())
+    return;
+  record(name, cat, 'e', id);
+}
+
+std::string json() {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  Registry &r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (ThreadBuf *b : r.bufs) {
+    if (!b->threadName.empty()) {
+      if (!first)
+        out += ",\n";
+      first = false;
+      char buf[32];
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      std::snprintf(buf, sizeof(buf), "%u", b->tid);
+      out += buf;
+      out += ",\"args\":{\"name\":\"";
+      jsonEscape(out, b->threadName.c_str());
+      out += "\"}}";
+    }
+    for (Chunk *c = b->head; c;) {
+      size_t n = c->count.load(std::memory_order_acquire);
+      for (size_t i = 0; i < n; ++i) {
+        if (!first)
+          out += ",\n";
+        first = false;
+        appendEvent(out, c->events[i], b->tid);
+      }
+      c = c->next.load(std::memory_order_acquire);
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool writeJson(const std::string &path) {
+  std::string text = json();
+  std::FILE *f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "trace: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+} // namespace paralift::trace

@@ -1,5 +1,8 @@
 #include "transforms/pass_cache.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -18,6 +21,37 @@ namespace paralift::transforms {
 //===----------------------------------------------------------------------===//
 // PassResultCache
 //===----------------------------------------------------------------------===//
+
+namespace {
+// Registry mirrors of the private per-cache stats: every PassResultCache
+// bumps the same process-wide "cache.*" counters, so one metrics
+// snapshot covers all caches a process creates (env cache, per-session
+// caches, tests). Resolved once; each bump is one relaxed atomic add on
+// paths that already hold the cache mutex or do file I/O.
+struct CacheCounters {
+  metrics::Counter &hits;
+  metrics::Counter &misses;
+  metrics::Counter &stores;
+  metrics::Counter &diskHits;
+  metrics::Counter &passesExecuted;
+  metrics::Counter &passesReplayed;
+  metrics::Counter &waits;
+  metrics::Counter &evictedFiles;
+  metrics::Counter &evictedBytes;
+};
+
+CacheCounters &cacheCounters() {
+  auto &reg = metrics::MetricsRegistry::instance();
+  static CacheCounters *c = new CacheCounters{
+      reg.counter("cache.hits"),          reg.counter("cache.misses"),
+      reg.counter("cache.stores"),        reg.counter("cache.disk_hits"),
+      reg.counter("cache.passes_executed"),
+      reg.counter("cache.passes_replayed"),
+      reg.counter("cache.waits"),         reg.counter("cache.evicted_files"),
+      reg.counter("cache.evicted_bytes")};
+  return *c;
+}
+} // namespace
 
 PassResultCache::PassResultCache(std::string dir) : dir_(std::move(dir)) {
   if (dir_.empty())
@@ -45,6 +79,7 @@ PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
   uint64_t limit = diskLimitBytes();
   if (dir_.empty() || limit == 0)
     return out;
+  trace::TraceSpan span("cache:evict", "cache");
   bytesSinceSweep_.store(0, std::memory_order_relaxed);
   // Snapshot the directory; the filesystem is the source of truth (other
   // processes may share the dir), entries written after the snapshot
@@ -80,6 +115,10 @@ PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
       ++out.filesRemoved;
       out.bytesRemoved += f.size;
     }
+  }
+  if (out.filesRemoved) {
+    cacheCounters().evictedFiles.add(out.filesRemoved);
+    cacheCounters().evictedBytes.add(out.bytesRemoved);
   }
   out.bytesRemaining = total;
   return out;
@@ -151,6 +190,7 @@ PassResultCache::lookup(const Hash128 &input, const std::string &spec) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      cacheCounters().hits.add();
       return it->second;
     }
   }
@@ -168,12 +208,15 @@ PassResultCache::lookup(const Hash128 &input, const std::string &spec) {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.hits;
       ++stats_.diskHits;
+      cacheCounters().hits.add();
+      cacheCounters().diskHits.add();
       entries_.emplace(key, *fromDisk);
       return fromDisk;
     }
   }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  cacheCounters().misses.add();
   return std::nullopt;
 }
 
@@ -194,6 +237,7 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      cacheCounters().hits.add();
       out.state = AcquireState::Hit;
       out.entry = it->second;
       return out;
@@ -203,6 +247,7 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
       out.state = AcquireState::Busy;
       if (onReady) {
         ++stats_.waits;
+        cacheCounters().waits.add();
         fl->second.push_back(std::move(onReady));
       }
       return out;
@@ -216,6 +261,8 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.hits;
       ++stats_.diskHits;
+      cacheCounters().hits.add();
+      cacheCounters().diskHits.add();
       entries_.emplace(key, *fromDisk);
       out.state = AcquireState::Hit;
       out.entry = std::move(fromDisk);
@@ -226,6 +273,7 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
   auto it = entries_.find(key);
   if (it != entries_.end()) { // stored while we probed the disk
     ++stats_.hits;
+    cacheCounters().hits.add();
     out.state = AcquireState::Hit;
     out.entry = it->second;
     return out;
@@ -233,6 +281,7 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
   auto fl = inflight_.find(key);
   if (fl == inflight_.end()) {
     ++stats_.misses;
+    cacheCounters().misses.add();
     inflight_.emplace(key, std::vector<std::function<void()>>());
     out.state = AcquireState::Owned;
     return out;
@@ -240,6 +289,7 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
   out.state = AcquireState::Busy;
   if (onReady) {
     ++stats_.waits;
+    cacheCounters().waits.add();
     fl->second.push_back(std::move(onReady));
   }
   return out;
@@ -272,6 +322,7 @@ void PassResultCache::store(const Hash128 &input, const std::string &spec,
       maybeAutoEvict(written);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
+  cacheCounters().stores.add();
   entries_[key] = std::move(entry);
 }
 
@@ -296,6 +347,9 @@ PassResultCache::loadFromDisk(const Hash128 &key, const Hash128 &input,
   std::ifstream in(keyFile(key), std::ios::binary);
   if (!in)
     return std::nullopt;
+  trace::TraceSpan span("cache:disk-read", "cache");
+  if (span.active())
+    span.annotate("spec", spec);
   std::string magic, inputLine, specLine, outputLine, textLine, line;
   if (!std::getline(in, magic) || magic != "paralift-pass-cache v2")
     return std::nullopt;
@@ -348,6 +402,9 @@ uint64_t PassResultCache::writeToDisk(const Hash128 &key,
                                       const Hash128 &input,
                                       const std::string &spec,
                                       const Entry &entry) {
+  trace::TraceSpan span("cache:disk-write", "cache");
+  if (span.active())
+    span.annotate("spec", spec);
   std::string path = keyFile(key);
   // Unique temp name per process+thread+key (thread ids alone are not
   // unique across processes sharing one cache dir); rename is atomic on
@@ -417,11 +474,13 @@ void PassResultCache::resetStats() {
 void PassResultCache::notePassExecuted() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.passesExecuted;
+  cacheCounters().passesExecuted.add();
 }
 
 void PassResultCache::notePassReplayed() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.passesReplayed;
+  cacheCounters().passesReplayed.add();
 }
 
 } // namespace paralift::transforms

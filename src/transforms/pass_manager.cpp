@@ -5,6 +5,7 @@
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "runtime/thread_pool.h"
+#include "support/trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -182,6 +183,11 @@ Pass::Statistic &Pass::statistic(const std::string &name) {
     if (s->name == name)
       return *s;
   stats_.push_back(std::make_unique<Statistic>(name));
+  // Mirror into the process-wide registry so pass counters appear in the
+  // same snapshot as cache/scheduler/session metrics. Creation happens
+  // in pass constructors (single-threaded); bumps stay lock-free.
+  stats_.back()->mirror = &metrics::MetricsRegistry::instance().counter(
+      "pass." + this->name() + "." + name);
   return *stats_.back();
 }
 
@@ -360,14 +366,22 @@ uint64_t PassTimingReport::totalRssDeltaBytes() const {
   return t;
 }
 
+uint64_t PassTimingReport::totalArenaDeltaBytes() const {
+  uint64_t t = 0;
+  for (const Record &r : records)
+    t += r.arenaDeltaBytes;
+  return t;
+}
+
 std::string formatTimingRow(double seconds, double total,
-                            uint64_t rssDeltaBytes,
+                            uint64_t rssDeltaBytes, uint64_t arenaDeltaBytes,
                             const std::string &label) {
-  char buf[192];
+  char buf[224];
   double pct = total > 0 ? 100.0 * seconds / total : 0.0;
-  std::snprintf(buf, sizeof(buf), "  %10.6f s (%5.1f%%)  %+9.2f MB  %s\n",
+  std::snprintf(buf, sizeof(buf),
+                "  %10.6f s (%5.1f%%)  rss %+9.2f MB  ir %+9.2f MB  %s\n",
                 seconds, pct, rssDeltaBytes / (1024.0 * 1024.0),
-                label.c_str());
+                arenaDeltaBytes / (1024.0 * 1024.0), label.c_str());
   return buf;
 }
 
@@ -377,18 +391,38 @@ std::string PassTimingReport::str() const {
   os << "===-------------------------------------------------------------===\n";
   os << "                      Pass execution timing\n";
   os << "===-------------------------------------------------------------===\n";
-  char buf[96];
-  std::snprintf(buf, sizeof(buf), "  Total: %.6f s, peak-RSS +%.2f MB\n",
-                total, totalRssDeltaBytes() / (1024.0 * 1024.0));
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "  Total: %.6f s, peak-RSS +%.2f MB, IR-arena +%.2f MB\n",
+                total, totalRssDeltaBytes() / (1024.0 * 1024.0),
+                totalArenaDeltaBytes() / (1024.0 * 1024.0));
   os << buf;
   for (const Record &r : records)
     os << formatTimingRow(
-        r.seconds, total, r.rssDeltaBytes,
+        r.seconds, total, r.rssDeltaBytes, r.arenaDeltaBytes,
         r.module.empty() ? r.spec : r.spec + "  [" + r.module + "]");
   return os.str();
 }
 
 namespace {
+
+/// Per-pass wall-time distribution across every pass execution in the
+/// process, shared with the metrics snapshot.
+metrics::Histogram &passSecondsHistogram() {
+  static metrics::Histogram *h =
+      &metrics::MetricsRegistry::instance().histogram("pm.pass_seconds");
+  return *h;
+}
+
+/// Builds a trace-span name only when tracing is on, so the disabled
+/// path never allocates for the concatenation.
+std::string spanName(const char *prefix, const std::string &rest) {
+  if (!trace::enabled())
+    return {};
+  std::string s(prefix);
+  s += rest;
+  return s;
+}
 
 /// Installed by PassManager::enableTiming; appends one record per pass.
 class TimingInstrumentation : public Instrumentation {
@@ -396,17 +430,25 @@ public:
   explicit TimingInstrumentation(PassTimingReport *report)
       : report_(report) {}
 
-  void beforePass(const Pass &, ModuleOp) override {
+  void beforePass(const Pass &, ModuleOp module) override {
+    arenaStart_ = module.op->arena().bytesAllocated();
     rssStart_ = readPeakRssBytes();
     start_ = std::chrono::steady_clock::now();
   }
-  bool afterPass(const Pass &pass, ModuleOp, DiagnosticEngine &) override {
+  bool afterPass(const Pass &pass, ModuleOp module,
+                 DiagnosticEngine &) override {
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count();
     uint64_t rssEnd = readPeakRssBytes();
     uint64_t delta = rssEnd > rssStart_ ? rssEnd - rssStart_ : 0;
-    report_->records.push_back({pass.spec(), secs, delta, {}});
+    // Arena bytes are per-module and monotonic, so the delta attributes
+    // IR growth to this pass exactly; VmHWM is process-wide and racy
+    // under concurrent compilation (kept for compatibility).
+    uint64_t arenaEnd = module.op->arena().bytesAllocated();
+    uint64_t arenaDelta = arenaEnd > arenaStart_ ? arenaEnd - arenaStart_ : 0;
+    report_->records.push_back({pass.spec(), secs, delta, arenaDelta, {}});
+    passSecondsHistogram().observe(secs);
     return true;
   }
 
@@ -418,6 +460,7 @@ private:
   PassTimingReport *report_;
   std::chrono::steady_clock::time_point start_;
   uint64_t rssStart_ = 0;
+  uint64_t arenaStart_ = 0;
 };
 
 } // namespace
@@ -841,15 +884,22 @@ bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
       ins->beforePass(*pass, module);
     bool ok;
     RunScope scope;
-    if (cache_) {
-      ok = runPassCached(*pass, module, diag, pool, lazy, st, scope);
-    } else {
-      scope.wholeModule = true;
-      if (pass->isFunctionPass())
-        ok = runOnFunctions(static_cast<FunctionPass &>(*pass),
-                            collectFuncs(module), diag, pool);
-      else
-        ok = pass->run(module, diag);
+    {
+      trace::TraceSpan span(spanName("pass:", pass->name()), "pm");
+      if (cache_) {
+        ok = runPassCached(*pass, module, diag, pool, lazy, st, scope);
+        if (span.active())
+          span.annotate("cache", scope.wholeModule || !scope.executed.empty()
+                                     ? "run"
+                                     : "replay");
+      } else {
+        scope.wholeModule = true;
+        if (pass->isFunctionPass())
+          ok = runOnFunctions(static_cast<FunctionPass &>(*pass),
+                              collectFuncs(module), diag, pool);
+        else
+          ok = pass->run(module, diag);
+      }
     }
     // Reverse order so instrumentations nest (first installed =
     // outermost); e.g. timing installed last excludes the cost of
@@ -1079,35 +1129,47 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
       st[items[k].mod].irHash[items[k].func] = hashes[k];
   }
 
+  auto batchArenaBytes = [&] {
+    uint64_t total = 0;
+    for (const ModuleOp &m : modules)
+      total += m.op->arena().bytesAllocated();
+    return total;
+  };
+
   for (auto &pass : passes_) {
     pass->beginRun();
     uint64_t rssStart = 0;
+    uint64_t arenaStart = 0;
     std::chrono::steady_clock::time_point t0;
     if (opts.timing) {
       rssStart = readPeakRssBytes();
+      arenaStart = batchArenaBytes();
       t0 = std::chrono::steady_clock::now();
     }
 
-    if (pass->isFunctionPass()) {
-      runFunctionPassBatch(static_cast<FunctionPass &>(*pass), modules,
-                           diags, ok, pool, lazy, st);
-    } else {
-      // Module passes run per module; a failure stays that module's.
-      for (size_t i = 0; i < modules.size(); ++i) {
-        if (!ok[i])
-          continue;
-        size_t errorsBefore = diags[i]->numErrors();
-        bool passOk;
-        if (cache_) {
-          RunScope scope;
-          passOk = runPassCached(*pass, modules[i], *diags[i], nullptr,
-                                 lazy, st[i], scope);
-        } else {
-          passOk = pass->run(modules[i], *diags[i]);
-        }
-        if (!passOk || diags[i]->numErrors() > errorsBefore) {
-          ok[i] = 0;
-          materializeAll(modules[i], st[i]);
+    {
+      trace::TraceSpan span(spanName("pass:", pass->name()), "pm");
+      if (pass->isFunctionPass()) {
+        runFunctionPassBatch(static_cast<FunctionPass &>(*pass), modules,
+                             diags, ok, pool, lazy, st);
+      } else {
+        // Module passes run per module; a failure stays that module's.
+        for (size_t i = 0; i < modules.size(); ++i) {
+          if (!ok[i])
+            continue;
+          size_t errorsBefore = diags[i]->numErrors();
+          bool passOk;
+          if (cache_) {
+            RunScope scope;
+            passOk = runPassCached(*pass, modules[i], *diags[i], nullptr,
+                                   lazy, st[i], scope);
+          } else {
+            passOk = pass->run(modules[i], *diags[i]);
+          }
+          if (!passOk || diags[i]->numErrors() > errorsBefore) {
+            ok[i] = 0;
+            materializeAll(modules[i], st[i]);
+          }
         }
       }
     }
@@ -1117,9 +1179,11 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
                         std::chrono::steady_clock::now() - t0)
                         .count();
       uint64_t rssEnd = readPeakRssBytes();
+      uint64_t arenaEnd = batchArenaBytes();
       opts.timing->records.push_back(
           {pass->spec(), secs, rssEnd > rssStart ? rssEnd - rssStart : 0,
-           {}});
+           arenaEnd > arenaStart ? arenaEnd - arenaStart : 0, {}});
+      passSecondsHistogram().observe(secs);
     }
 
     if (opts.verifyEach) {
@@ -1193,10 +1257,11 @@ BatchDag::BatchDag(PassManager &pm, runtime::TaskScheduler &sched,
 BatchDag::~BatchDag() = default;
 
 void BatchDag::addSample(unsigned worker, size_t i, const std::string &spec,
-                         double seconds, uint64_t rssDelta) {
+                         double seconds, uint64_t rssDelta,
+                         uint64_t arenaDelta) {
   if (opts_.timing)
     samples_[worker].push_back(
-        {i, mods_[i]->passIdx, spec, seconds, rssDelta});
+        {i, mods_[i]->passIdx, spec, seconds, rssDelta, arenaDelta});
 }
 
 void BatchDag::foldTimingInto(PassTimingReport &report) const {
@@ -1214,11 +1279,12 @@ void BatchDag::foldTimingInto(PassTimingReport &report) const {
       });
       if (it == rows.end()) {
         rows.push_back({{s.mod, s.pass},
-                        {s.spec, s.seconds, s.rssDelta,
+                        {s.spec, s.seconds, s.rssDelta, s.arenaDelta,
                          mods_[s.mod]->diag->moduleName()}});
       } else {
         it->second.seconds += s.seconds;
         it->second.rssDeltaBytes += s.rssDelta;
+        it->second.arenaDeltaBytes += s.arenaDelta;
       }
     }
   }
@@ -1275,21 +1341,24 @@ bool BatchDag::verifyAfter(size_t i, Pass &pass) {
 
 void BatchDag::startModule(size_t i, unsigned worker) {
   Mod &m = *mods_[i];
-  if (m.prepare) {
-    auto parsed = m.prepare();
-    if (!parsed) {
-      finish(i, false);
-      return;
+  {
+    trace::TraceSpan span(spanName("start:", m.diag->moduleName()), "pm");
+    if (m.prepare) {
+      auto parsed = m.prepare();
+      if (!parsed) {
+        finish(i, false);
+        return;
+      }
+      m.module = parsed->op;
     }
-    m.module = parsed->op;
-  }
-  // Initial keying: one structural-hash walk per function, on whatever
-  // worker this leaf landed on — with every module a separate leaf, the
-  // walks fan across the pool instead of forming a serial prologue.
-  if (pm_.cache_) {
-    ModuleOp module(m.module);
-    for (ir::Op *func : collectFuncs(module))
-      m.st.irHash[func] = ir::hashOp(func);
+    // Initial keying: one structural-hash walk per function, on whatever
+    // worker this leaf landed on — with every module a separate leaf, the
+    // walks fan across the pool instead of forming a serial prologue.
+    if (pm_.cache_) {
+      ModuleOp module(m.module);
+      for (ir::Op *func : collectFuncs(module))
+        m.st.irHash[func] = ir::hashOp(func);
+    }
   }
   advance(i, worker);
 }
@@ -1302,10 +1371,19 @@ void BatchDag::advance(size_t i, unsigned worker) {
       return;
     }
     Pass &pass = *pm_.passes_[m.passIdx];
-    Step s = pass.isFunctionPass()
-                 ? runFunctionPass(i, static_cast<FunctionPass &>(pass),
-                                   worker)
-                 : runModulePass(i, pass, worker);
+    Step s;
+    {
+      trace::TraceSpan span(spanName("pass:", pass.name()), "pm");
+      s = pass.isFunctionPass()
+              ? runFunctionPass(i, static_cast<FunctionPass &>(pass), worker)
+              : runModulePass(i, pass, worker);
+      if (span.active()) {
+        if (s == Step::Advanced)
+          span.annotate("cache", m.stepExecuted ? "run" : "replay");
+        else
+          span.annotate("step", s == Step::Yielded ? "yielded" : "failed");
+      }
+    }
     if (s != Step::Advanced)
       return; // Yielded: a continuation owns the module now. Failed: done.
     if (opts_.verifyEach && !verifyAfter(i, pass)) {
@@ -1363,6 +1441,7 @@ BatchDag::Step BatchDag::runModulePass(size_t i, Pass &pass,
     }
     cache->notePassExecuted();
   }
+  m.stepExecuted = true;
   // A module pass may erase functions (inline), and a concurrent module
   // could recycle a freed Op address the moment it is released — so the
   // pre-run entries must be gone *before* the pass can free anything, or
@@ -1373,15 +1452,19 @@ BatchDag::Step BatchDag::runModulePass(size_t i, Pass &pass,
     pm_.analysisManager_.invalidate(func);
   size_t errorsBefore = diag.numErrors();
   uint64_t rssStart = opts_.timing ? readPeakRssBytes() : 0;
+  uint64_t arenaStart = module.op->arena().bytesAllocated();
   auto t0 = std::chrono::steady_clock::now();
   bool okRun = pass.run(module, diag);
   double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  passSecondsHistogram().observe(secs);
   if (opts_.timing) {
     uint64_t rssEnd = readPeakRssBytes();
+    uint64_t arenaEnd = module.op->arena().bytesAllocated();
     addSample(worker, i, pass.spec(), secs,
-              rssEnd > rssStart ? rssEnd - rssStart : 0);
+              rssEnd > rssStart ? rssEnd - rssStart : 0,
+              arenaEnd > arenaStart ? arenaEnd - arenaStart : 0);
   }
   if (!okRun || diag.numErrors() > errorsBefore) {
     if (owned)
@@ -1537,9 +1620,10 @@ BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
                                        unsigned worker) {
   Mod &m = *mods_[i];
   PassResultCache *cache = pm_.cache_;
-  if (cache && !m.stepExecuted) {
+  if (!m.stepExecuted) {
     m.stepExecuted = true;
-    cache->notePassExecuted();
+    if (cache)
+      cache->notePassExecuted();
   }
   auto fan = std::make_shared<Fan>();
   fan->pass = &pass;
@@ -1556,7 +1640,14 @@ BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
     auto self = shared_from_this();
     for (size_t k = 0; k < fan->items.size(); ++k) {
       sched_.spawn([self, i, fan, k](unsigned w) {
+        trace::TraceSpan span(spanName("fn:", fan->spec), "pm");
+        if (span.active())
+          span.annotate("mod", fan->diags[k].moduleName());
         uint64_t rssStart = self->opts_.timing ? readPeakRssBytes() : 0;
+        // Siblings of this fan allocate into the same module arena
+        // concurrently, so per-function arena deltas within one fan are
+        // approximate; the per-(module,pass) fold remains exact.
+        uint64_t arenaStart = fan->items[k].func->arena().bytesAllocated();
         auto t0 = std::chrono::steady_clock::now();
         fan->oks[k] = fan->pass->runOnFunction(fan->items[k].func,
                                                fan->diags[k])
@@ -1565,10 +1656,13 @@ BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
         double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count();
+        passSecondsHistogram().observe(secs);
         if (self->opts_.timing) {
           uint64_t rssEnd = readPeakRssBytes();
+          uint64_t arenaEnd = fan->items[k].func->arena().bytesAllocated();
           self->addSample(w, i, fan->spec, secs,
-                          rssEnd > rssStart ? rssEnd - rssStart : 0);
+                          rssEnd > rssStart ? rssEnd - rssStart : 0,
+                          arenaEnd > arenaStart ? arenaEnd - arenaStart : 0);
         }
         if (fan->left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           // Last finisher completes the step and resumes the chain
@@ -1583,16 +1677,20 @@ BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
   // Inline: run on this worker, then complete the step directly.
   for (size_t k = 0; k < fan->items.size(); ++k) {
     uint64_t rssStart = opts_.timing ? readPeakRssBytes() : 0;
+    uint64_t arenaStart = fan->items[k].func->arena().bytesAllocated();
     auto t0 = std::chrono::steady_clock::now();
     fan->oks[k] =
         pass.runOnFunction(fan->items[k].func, fan->diags[k]) ? 1 : 0;
     double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    passSecondsHistogram().observe(secs);
     if (opts_.timing) {
       uint64_t rssEnd = readPeakRssBytes();
+      uint64_t arenaEnd = fan->items[k].func->arena().bytesAllocated();
       addSample(worker, i, spec, secs,
-                rssEnd > rssStart ? rssEnd - rssStart : 0);
+                rssEnd > rssStart ? rssEnd - rssStart : 0,
+                arenaEnd > arenaStart ? arenaEnd - arenaStart : 0);
     }
   }
   return completeStep(i, *fan) ? Step::Advanced : Step::Failed;

@@ -23,6 +23,7 @@
 
 #include "ir/ophelpers.h"
 #include "support/diagnostics.h"
+#include "support/metrics.h"
 #include "transforms/analysis_manager.h"
 #include "transforms/pass_cache.h"
 
@@ -134,8 +135,16 @@ public:
   struct Statistic {
     std::string name;
     std::atomic<uint64_t> value{0};
+    /// Registry twin ("pass.<pass-name>.<stat-name>"), resolved when the
+    /// statistic is created, so one metrics snapshot includes every pass
+    /// counter alongside cache/scheduler/session figures.
+    metrics::Counter *mirror = nullptr;
     Statistic(std::string n) : name(std::move(n)) {}
-    void operator+=(uint64_t d) { value.fetch_add(d, std::memory_order_relaxed); }
+    void operator+=(uint64_t d) {
+      value.fetch_add(d, std::memory_order_relaxed);
+      if (mirror)
+        mirror->add(d);
+    }
   };
 
   /// Finds or creates the named counter. Counter bumps are thread-safe,
@@ -301,8 +310,18 @@ struct PassTimingReport {
     std::string spec; ///< canonical pass spec at execution time
     double seconds = 0;
     /// Peak-RSS growth (bytes) during the pass; 0 when the pass stayed
-    /// within the high-water mark or the platform has no reading.
+    /// within the high-water mark or the platform has no reading. VmHWM
+    /// is process-wide: concurrent steps race to observe growth, and a
+    /// pass allocating below the existing high-water mark reads as 0 —
+    /// treat it as "which pass pushed the process peak", not a per-pass
+    /// footprint. The arena column below is the per-pass figure.
     uint64_t rssDeltaBytes = 0;
+    /// IR-arena growth (bytes) of the module(s) the pass ran on: the
+    /// difference in IRArena::bytesAllocated() across the pass. Arena
+    /// memory is monotonic per module (erase is unlink-without-free), so
+    /// this is an exact, per-module attribution of IR materialized by
+    /// the pass — immune to the VmHWM caveats above.
+    uint64_t arenaDeltaBytes = 0;
     /// Module the time is attributed to; empty for whole-batch rows
     /// (lockstep scheduling) and single-module runs. The DAG scheduler
     /// folds per-worker clocks by (module, pass) into one row each, so
@@ -313,6 +332,7 @@ struct PassTimingReport {
   std::vector<Record> records;
   double totalSeconds() const;
   uint64_t totalRssDeltaBytes() const;
+  uint64_t totalArenaDeltaBytes() const;
   /// Renders the report as a table ("===- Pass execution timing -===").
   std::string str() const;
 };
@@ -640,6 +660,7 @@ private:
     std::string spec;
     double seconds;
     uint64_t rssDelta;
+    uint64_t arenaDelta;
   };
   /// How one pass step over one module ended.
   enum class Step {
@@ -667,7 +688,7 @@ private:
   void finish(size_t i, bool ok);
   void fail(size_t i);
   void addSample(unsigned worker, size_t i, const std::string &spec,
-                 double seconds, uint64_t rssDelta);
+                 double seconds, uint64_t rssDelta, uint64_t arenaDelta);
 
   PassManager &pm_;
   runtime::TaskScheduler &sched_;
@@ -678,11 +699,12 @@ private:
   std::vector<std::vector<Sample>> samples_; ///< one vector per worker
 };
 
-/// Renders one "  <secs> s (<pct>%)  <+MB>  <label>" timing row (the MB
-/// column is the peak-RSS growth); shared by PassTimingReport::str and
-/// the benchmark aggregators so the two table formats cannot drift.
+/// Renders one "  <secs> s (<pct>%)  <+rssMB>  <+arenaMB>  <label>"
+/// timing row (peak-RSS growth, then per-module IR-arena growth); shared
+/// by PassTimingReport::str and the benchmark aggregators so the two
+/// table formats cannot drift.
 std::string formatTimingRow(double seconds, double total,
-                            uint64_t rssDeltaBytes,
+                            uint64_t rssDeltaBytes, uint64_t arenaDeltaBytes,
                             const std::string &label);
 
 } // namespace paralift::transforms
