@@ -1,0 +1,234 @@
+// VM-tier benchmark (ROADMAP "Hardened + faster VM tier" tracking file):
+// suite-execution wall time of the bytecode interpreter under the three
+// trust configurations the static verifier (vm/verifier.h) defines:
+//
+//   checked       - unverified module, boundsCheck on: per-access index
+//                   checks plus the descriptor sanity checks (rank/dim
+//                   arity) the interpreter must assume nothing about
+//   verified-fast - VerifiedModule token, boundsCheck off: every check
+//                   statically discharged, the trusted-run fast path
+//   unverified    - raw module, boundsCheck off: the pre-verifier fast
+//                   path, shown so verified-fast's "no slower than
+//                   blind trust" claim is measured, not asserted
+//
+// Plus a one-time cost row: verifying the whole suite's bytecode.
+//
+// --json=FILE emits BENCH_vm.json with per-benchmark and suite-total
+// rows so the trajectory is tracked across PRs.
+#include "bench_common.h"
+
+#include "support/metrics.h"
+#include "vm/compile.h"
+#include "vm/interp.h"
+#include "vm/verifier.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace paralift;
+using namespace paralift::bench;
+
+namespace {
+
+constexpr int kScale = 8;
+constexpr unsigned kThreads = 2;
+constexpr int kReps = 7;
+
+/// The Executor::run argument conversion, against an explicit Interp so
+/// each trust configuration drives the same bytecode.
+std::vector<vm::Slot> toSlots(vm::Interp &interp,
+                              const std::vector<driver::Executor::Arg> &args) {
+  std::vector<vm::Slot> slots;
+  slots.reserve(args.size());
+  for (const driver::Executor::Arg &a : args) {
+    if (auto *i = std::get_if<int64_t>(&a)) {
+      vm::Slot s;
+      s.i = *i;
+      slots.push_back(s);
+    } else if (auto *f = std::get_if<double>(&a)) {
+      vm::Slot s;
+      s.f = *f;
+      slots.push_back(s);
+    } else {
+      const auto &b = std::get<driver::Executor::Buffer>(a);
+      slots.push_back(interp.makeMemRef(b.elem, b.data, b.dims));
+    }
+  }
+  return slots;
+}
+
+struct BenchRow {
+  std::string id;
+  double checked = 0;
+  double verifiedFast = 0;
+  double unverified = 0;
+};
+
+struct VerifyCost {
+  double wallSeconds = 0;
+  uint64_t functions = 0;
+  uint64_t errors = 0;
+};
+
+/// Times all three trust configurations with their reps interleaved
+/// (rotating order each rep) so slow machine drift lands on every
+/// configuration equally instead of biasing whichever was timed last.
+void timeConfigs(const rodinia::Benchmark &b, vm::Interp *interps[3],
+                 double out[3]) {
+  std::vector<double> times[3];
+  for (int r = 0; r < kReps; ++r) {
+    for (int k = 0; k < 3; ++k) {
+      int c = (r + k) % 3;
+      rodinia::Workload w = b.makeWorkload(kScale);
+      vm::Interp &in = *interps[c];
+      std::vector<vm::Slot> slots = toSlots(in, w.args());
+      double t0 = now();
+      in.call("run", std::move(slots));
+      times[c].push_back(now() - t0);
+    }
+  }
+  for (int c = 0; c < 3; ++c) {
+    std::sort(times[c].begin(), times[c].end());
+    out[c] = times[c][times[c].size() / 2];
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0)
+      jsonPath = arg.substr(7);
+  }
+
+  // Compile the whole suite once (full pipeline, shared batch session,
+  // no env cache) and lower each module to bytecode.
+  SuiteSession suite = compileSuiteSession(transforms::PipelineOptions{});
+  std::vector<std::optional<vm::BCModule>> bytecodes;
+  for (driver::CompileJob *job : suite.jobs)
+    bytecodes.push_back(job ? std::optional<vm::BCModule>(vm::compileModule(
+                                  job->result().module.get()))
+                            : std::nullopt);
+
+  // One-time verification cost over the whole suite's bytecode.
+  auto &reg = metrics::MetricsRegistry::instance();
+  uint64_t fns0 = reg.counterValue("vm.verify.functions");
+  uint64_t errs0 = reg.counterValue("vm.verify.errors");
+  VerifyCost vc;
+  vc.wallSeconds = medianTime(
+      [&] {
+        for (const auto &bc : bytecodes)
+          if (bc) {
+            vm::VerifyResult r = vm::verifyModule(*bc);
+            if (!r.ok())
+              std::fprintf(stderr, "UNEXPECTED verify failure:\n%s",
+                           r.str().c_str());
+          }
+      },
+      3);
+  vc.functions = reg.counterValue("vm.verify.functions") - fns0;
+  vc.errors = reg.counterValue("vm.verify.errors") - errs0;
+
+  std::printf("=== Bytecode verification (one-time, whole suite x3) ===\n\n");
+  std::printf("  verify wall      : %10.6f s (%llu function passes, "
+              "%llu errors)\n",
+              vc.wallSeconds, static_cast<unsigned long long>(vc.functions),
+              static_cast<unsigned long long>(vc.errors));
+
+  std::printf("\n=== Suite execution wall (seconds, scale=%d, threads=%u, "
+              "median of %d) ===\n\n",
+              kScale, kThreads, kReps);
+  std::printf("%-28s%14s%16s%14s\n", "benchmark", "checked",
+              "verified-fast", "unverified");
+
+  std::vector<BenchRow> rows;
+  double totChecked = 0, totVerified = 0, totUnverified = 0;
+  size_t idx = 0;
+  for (const auto &b : rodinia::suite()) {
+    size_t i = idx++;
+    if (!bytecodes[i])
+      continue;
+    const vm::BCModule &bc = *bytecodes[i];
+    std::optional<vm::VerifiedModule> token = vm::VerifiedModule::create(bc);
+    if (!token) {
+      std::fprintf(stderr, "verify failed for %s; skipping\n", b.id.c_str());
+      continue;
+    }
+    runtime::ThreadPool pool(std::max(kThreads, 8u));
+    pool.setNumThreads(kThreads);
+
+    vm::ExecOptions checkedOpts;
+    checkedOpts.boundsCheck = true;
+    vm::Interp checked(bc, pool, checkedOpts);
+    vm::ExecOptions fastOpts;
+    fastOpts.boundsCheck = false;
+    vm::Interp verifiedFast(*token, pool, fastOpts);
+    vm::Interp unverified(bc, pool, fastOpts);
+
+    BenchRow row;
+    row.id = b.id;
+    vm::Interp *interps[3] = {&checked, &verifiedFast, &unverified};
+    double t[3];
+    timeConfigs(b, interps, t);
+    row.checked = t[0];
+    row.verifiedFast = t[1];
+    row.unverified = t[2];
+    totChecked += row.checked;
+    totVerified += row.verifiedFast;
+    totUnverified += row.unverified;
+    std::printf("%-28s%14.6f%16.6f%14.6f\n", b.id.c_str(), row.checked,
+                row.verifiedFast, row.unverified);
+    rows.push_back(std::move(row));
+  }
+  std::printf("%-28s%14.6f%16.6f%14.6f\n", "TOTAL", totChecked, totVerified,
+              totUnverified);
+  std::printf("\n  checked / verified-fast : %.3fx\n",
+              totVerified > 0 ? totChecked / totVerified : 0.0);
+  std::printf("  unverified / verified-fast : %.3fx (1.0 = proof costs "
+              "nothing at run time)\n",
+              totVerified > 0 ? totUnverified / totVerified : 0.0);
+
+  if (!jsonPath.empty()) {
+    std::FILE *f = std::fopen(jsonPath.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_vm: cannot write '%s'\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"vm\",\n");
+    std::fprintf(f, "  \"suite\": \"rodinia\",\n");
+    std::fprintf(f, "  \"modules\": %zu,\n", rodinia::suite().size());
+    std::fprintf(f, "  \"scale\": %d,\n", kScale);
+    std::fprintf(f, "  \"threads\": %u,\n", kThreads);
+    std::fprintf(f,
+                 "  \"verify\": {\"wall_s\": %.6f, \"functions\": %llu, "
+                 "\"errors\": %llu},\n",
+                 vc.wallSeconds,
+                 static_cast<unsigned long long>(vc.functions),
+                 static_cast<unsigned long long>(vc.errors));
+    std::fprintf(f, "  \"execution\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i)
+      std::fprintf(f,
+                   "    {\"benchmark\": \"%s\", \"checked_s\": %.6f, "
+                   "\"verified_fast_s\": %.6f, \"unverified_s\": %.6f}%s\n",
+                   rows[i].id.c_str(), rows[i].checked, rows[i].verifiedFast,
+                   rows[i].unverified, i + 1 < rows.size() ? "," : "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"suite_total\": {\"checked_s\": %.6f, "
+                 "\"verified_fast_s\": %.6f, \"unverified_s\": %.6f, "
+                 "\"checked_over_verified_fast\": %.3f, "
+                 "\"unverified_over_verified_fast\": %.3f}\n",
+                 totChecked, totVerified, totUnverified,
+                 totVerified > 0 ? totChecked / totVerified : 0.0,
+                 totVerified > 0 ? totUnverified / totVerified : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+  }
+  return 0;
+}

@@ -48,13 +48,27 @@ CompileResult compileForSimt(const std::string &source,
 Executor::Executor(ir::ModuleOp module, unsigned maxThreads,
                    bool boundsCheck)
     : bc_(vm::compileModule(module)), pool_(maxThreads) {
+  // Our own compiler's output must always verify; a failure here is a
+  // compiler bug, not a user error, so the tripwire is fatal.
+  vm::VerifyResult vr;
+  std::optional<vm::VerifiedModule> token = vm::VerifiedModule::create(bc_, &vr);
+  if (!token)
+    fatalError("compiled module failed bytecode verification:\n" + vr.str());
   vm::ExecOptions opts;
   opts.boundsCheck = boundsCheck;
-  interp_ = std::make_unique<vm::Interp>(bc_, pool_, opts);
+  interp_ = std::make_unique<vm::Interp>(*token, pool_, opts);
 }
 
 std::vector<vm::Slot> Executor::run(const std::string &fn,
                                     const std::vector<Arg> &args) {
+  vm::CallResult r = tryRun(fn, args);
+  if (!r.ok())
+    fatalError(r.error);
+  return std::move(r.results);
+}
+
+vm::CallResult Executor::tryRun(const std::string &fn,
+                                const std::vector<Arg> &args) {
   std::vector<vm::Slot> slots;
   slots.reserve(args.size());
   for (const Arg &a : args) {
@@ -71,7 +85,7 @@ std::vector<vm::Slot> Executor::run(const std::string &fn,
       slots.push_back(interp_->makeMemRef(b.elem, b.data, b.dims));
     }
   }
-  return interp_->call(fn, std::move(slots));
+  return interp_->tryCall(fn, std::move(slots));
 }
 
 } // namespace paralift::driver

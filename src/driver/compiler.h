@@ -100,8 +100,13 @@ public:
   }
 
   /// Invokes a host function. Scalar results are returned as raw slots.
+  /// Aborts on an unknown name or arity mismatch; use tryRun where the
+  /// caller must survive bad requests.
   std::vector<vm::Slot> run(const std::string &fn,
                             const std::vector<Arg> &args);
+
+  /// Like run(), but surfaces unknown-function/arity errors structurally.
+  vm::CallResult tryRun(const std::string &fn, const std::vector<Arg> &args);
 
 private:
   vm::BCModule bc_;

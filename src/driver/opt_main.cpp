@@ -5,6 +5,7 @@
 // Usage:
 //   paralift-opt [file...] [--cuda] [--passes=PIPELINE] [--list-passes]
 //                [--timing] [--stats] [--verify-each] [--verify-analyses]
+//                [--verify-bytecode]
 //                [--pm-threads=N] [--pm-schedule=dag|lockstep]
 //                [--cache-dir=DIR] [--cache-limit=MB]
 //                [--no-pass-cache] [--cache-stats]
@@ -39,6 +40,14 @@
 // --verify-analyses cross-checks every pass's PreservedAnalyses
 // declaration by recomputation.
 //
+// --verify-bytecode additionally lowers every successful module to VM
+// bytecode and runs the static verifier (vm/verifier.h) over it: any
+// structural or typestate violation is reported to stderr with
+// (function, pc, opcode, reason) attribution and exits 1. Results feed
+// the vm.verify.functions / vm.verify.errors counters, visible via
+// --metrics. The pipeline must lower to VM-executable IR first (e.g.
+// --cuda with cpuify,omp-lower or the default SIMT lowering).
+//
 // Observability: --trace-json=FILE records a Chrome trace_event JSON of
 // the whole run (worker lanes, per-pass spans with cache-hit
 // annotations, per-job async spans; load in Perfetto). --metrics prints
@@ -49,7 +58,10 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "support/metrics.h"
 #include "transforms/registry.h"
+#include "vm/compile.h"
+#include "vm/verifier.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +87,7 @@ int usage(const char *argv0) {
   std::printf(
       "usage: %s [file...] [--cuda] [--passes=PIPELINE] [--list-passes]\n"
       "       [--timing] [--stats] [--verify-each] [--verify-analyses]\n"
+      "       [--verify-bytecode]\n"
       "       [--pm-threads=N] [--pm-schedule=dag|lockstep]\n"
       "       [--cache-dir=DIR] [--cache-limit=MB]\n"
       "       [--no-pass-cache] [--cache-stats]\n"
@@ -126,6 +139,7 @@ int main(int argc, char **argv) {
   bool stats = false;
   bool verifyEach = false;
   bool verifyAnalyses = false;
+  bool verifyBytecode = false;
   bool noPassCache = false;
   bool cacheStats = false;
   std::string traceJsonPath;
@@ -153,6 +167,8 @@ int main(int argc, char **argv) {
       verifyEach = true;
     } else if (arg == "--verify-analyses") {
       verifyAnalyses = true;
+    } else if (arg == "--verify-bytecode") {
+      verifyBytecode = true;
     } else if (arg == "--no-pass-cache") {
       noPassCache = true;
     } else if (arg == "--cache-stats") {
@@ -332,6 +348,25 @@ int main(int argc, char **argv) {
   }
 
   int rc = 0;
+  if (verifyBytecode) {
+    // Touch the counters up front so a clean run still reports
+    // "vm.verify.errors": 0 in the --metrics snapshot.
+    metrics::MetricsRegistry::instance().counter("vm.verify.functions");
+    metrics::MetricsRegistry::instance().counter("vm.verify.errors");
+    for (driver::CompileJob *job : jobs) {
+      if (!job->ok())
+        continue; // reported below
+      vm::BCModule bc = vm::compileModule(job->result().module.get());
+      vm::VerifyResult vr = vm::verifyModule(bc);
+      if (!vr.ok()) {
+        const char *name =
+            job->name().empty() ? "<stdin>" : job->name().c_str();
+        std::fprintf(stderr, "%s: bytecode verification failed:\n%s", name,
+                     vr.str().c_str());
+        rc = 1;
+      }
+    }
+  }
   for (driver::CompileJob *job : jobs) {
     // Never print invalid IR: the session verified the final module
     // (via --verify-each or the end-of-pipeline check, including for

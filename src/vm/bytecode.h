@@ -50,41 +50,67 @@ struct MemRef {
   }
 };
 
+// Per-opcode invariants, enforced statically by vm/verifier.cpp before
+// any untrusted module executes (the interpreter itself never re-checks
+// them). Shared invariants, stated once:
+//  - every register operand (a/b/c/d where used, and every register named
+//    inside an extras range) is < BCFunction::numRegs;
+//  - every extras[b..b+c) range lies inside BCFunction::extras;
+//  - every register is written before it is read on every path, and read
+//    with the Slot view (i/f/p) it was written with — `Any` for
+//    host-supplied arguments, whose typing is the caller's contract.
 enum class BC : uint8_t {
   ConstI,    ///< d <- imm
   ConstF,    ///< d <- fimm
-  Copy,      ///< d <- a
+  Copy,      ///< d <- a (a initialized; d inherits a's typestate)
   // Integer arithmetic (a, b -> d); t selects 32/64-bit wrapping.
+  // a and b must hold ints; d becomes int.
   AddI, SubI, MulI, DivSI, RemSI, AndI, OrI, XOrI, ShLI, ShRSI, MinSI, MaxSI,
-  CmpI,      ///< d <- pred(a, b); pred in imm
+  CmpI,      ///< d <- pred(a, b); pred in imm; int operands, int result
   // Float arithmetic (a, b -> d); t selects f32 rounding.
+  // a and b must hold floats; d becomes float.
   AddF, SubF, MulF, DivF, RemF, MinF, MaxF, PowF,
-  // Float unary (a -> d).
+  // Float unary (a -> d); a must hold a float.
   NegF, SqrtF, ExpF, LogF, AbsF, SinF, CosF, TanhF, FloorF, CeilF,
-  CmpF,      ///< d <- pred(a, b); pred in imm
-  Select,    ///< d <- a ? b : c
-  SIToFP,    ///< d.f <- (double)a.i
-  FPToSI,    ///< d.i <- (int64)a.f
-  TruncI32,  ///< d.i <- sign-extended int32 of a.i
-  Alloca,    ///< d <- stack memref; imm = shape idx; extras[b..b+c) extents
+  CmpF,      ///< d <- pred(a, b); pred in imm; float operands, int result
+  Select,    ///< d <- a ? b : c; a int; b/c initialized; d joins b and c
+  SIToFP,    ///< d.f <- (double)a.i; a int
+  FPToSI,    ///< d.i <- (int64)a.f; a float
+  TruncI32,  ///< d.i <- sign-extended int32 of a.i; a int
+  Alloca,    ///< d <- stack memref; imm = valid shape idx (rank <= kMaxRank,
+             ///< no negative static extent); extras[b..b+c) int extent regs,
+             ///< c == the shape's dynamic-dim count
   AllocHeap, ///< like Alloca but heap-lifetime (freed at invocation end)
-  Dealloc,   ///< frees a (no-op for arena buffers; kept for symmetry)
-  Load,      ///< d <- a[extras[b..b+c)]; t = elem kind
-  Store,     ///< a[extras[b..b+c)] <- d
-  Dim,       ///< d <- a.sizes[imm]
-  SubView,   ///< d <- subview(a, extras[b..b+c))
-  Jump,        ///< pc <- imm
-  JumpIfFalse, ///< if !a: pc <- imm
-  Call,      ///< imm = callee index; extras[b..b+c) args; extras[b+c..b+c+d) results
-  Ret,       ///< return extras[b..b+c)
+  Dealloc,   ///< frees a (a memref; no-op for arena buffers)
+  Load,      ///< d <- a[extras[b..b+c)]; a memref of rank c, int indices;
+             ///< t = elem kind, must agree with the memref's element class
+  Store,     ///< a[extras[b..b+c)] <- d; a memref of rank c, int indices;
+             ///< d typed like the element
+  Dim,       ///< d <- a.sizes[imm]; a memref, imm < rank (and < kMaxRank)
+  SubView,   ///< d <- subview(a, extras[b..b+c)); a memref, c <= rank,
+             ///< int indices; d memref of rank (rank - c)
+  Jump,        ///< pc <- imm; imm on an instruction boundary in [0, size]
+               ///< (size = fall off the end, legal only with 0 results)
+  JumpIfFalse, ///< if !a: pc <- imm; a int; same target rule as Jump
+  Call,      ///< imm = valid callee index; extras[b..b+c) initialized args,
+             ///< extras[b+c..b+c+d) result regs; c == callee.numArgs,
+             ///< d == callee.numResults
+  Ret,       ///< return extras[b..b+c) (initialized); c == numResults;
+             ///< all ScopePush marks popped on this path
   GetTid,      ///< d <- current team thread id
   GetTeamSize, ///< d <- current team size
-  TeamBarrier, ///< omp.barrier
-  SimtBarrier, ///< polygeist.barrier: lockstep suspension point
-  ParallelOmp, ///< imm = closure idx: run on a fresh team
-  ParallelScf, ///< imm = closure idx: SIMT/serial execution
-  ScopePush,   ///< arena mark (allocas inside loops are scoped)
-  ScopePop,
+  TeamBarrier, ///< omp.barrier; only where a team exists: an omp closure
+               ///< body or code it reaches via Call / serial scf closures
+               ///< (a lockstep context has no team)
+  SimtBarrier, ///< polygeist.barrier: lockstep suspension point; only
+               ///< directly inside a gpu-block scf closure body — the
+               ///< lockstep engine cannot suspend across a Call frame,
+               ///< and serial execution aborts on it
+  ParallelOmp, ///< imm = valid closure idx with numIvs == 0: fresh team
+  ParallelScf, ///< imm = valid closure idx: SIMT/serial execution
+  ScopePush,   ///< arena mark (allocas inside loops are scoped); push/pop
+               ///< depth must be equal on every path into a join point
+  ScopePop,    ///< must have a matching ScopePush on every path
 };
 
 struct Instr {
@@ -103,6 +129,11 @@ struct ShapeInfo {
 
 /// A parallel region body compiled as a separate function. Frame layout of
 /// the closure function: [captures..., ivs..., locals...].
+///
+/// Invariants (verifier-enforced): fnIndex is a valid function whose
+/// numArgs == captureRegs.size() + numIvs; captureRegs/lbs/ubs/steps name
+/// valid *enclosing-frame* registers; lbs/ubs/steps each have exactly
+/// numIvs entries (int-typed at the launch site).
 struct Closure {
   uint32_t fnIndex = 0;
   std::vector<int32_t> captureRegs; ///< registers in the enclosing frame
@@ -112,6 +143,9 @@ struct Closure {
   bool gpuGrid = false;
 };
 
+/// Invariants: numArgs <= numRegs (arguments are the leading registers of
+/// the frame); control cannot fall off the end of instrs unless
+/// numResults == 0.
 struct BCFunction {
   std::string name;
   uint32_t numRegs = 0;

@@ -1,7 +1,10 @@
 #include "vm/compile.h"
 
 #include "ir/verifier.h"
+#include "vm/verifier.h"
 
+#include <cstdlib>
+#include <string_view>
 #include <unordered_map>
 
 using namespace paralift::ir;
@@ -574,6 +577,25 @@ BCModule compileModule(ir::ModuleOp module) {
     if (it == out.byName.end())
       fatalError("call to unknown function " + p.callee);
     out.fns[p.fnIdx].instrs[p.instr].imm = static_cast<int64_t>(it->second);
+  }
+  // Self-check tripwire: bytecode we emit must always verify. Always on
+  // in debug builds; opt builds enable it with PARALIFT_VERIFY_BYTECODE=1
+  // (callers that need a proof token run the verifier themselves via
+  // VerifiedModule::create, so this gate is about catching compiler bugs
+  // at the point of emission, not about safety).
+#ifdef NDEBUG
+  static const bool verifyEmitted = [] {
+    const char *e = std::getenv("PARALIFT_VERIFY_BYTECODE");
+    return e && *e && std::string_view(e) != "0";
+  }();
+#else
+  constexpr bool verifyEmitted = true;
+#endif
+  if (verifyEmitted) {
+    VerifyResult r = verifyModule(out);
+    if (!r.ok())
+      fatalError("vm::compile emitted invalid bytecode (compiler bug):\n" +
+                 r.str());
   }
   return out;
 }

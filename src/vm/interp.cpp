@@ -67,18 +67,36 @@ Slot Interp::makeMemRef(TypeKind elem, void *data,
 
 std::vector<Slot> Interp::call(const std::string &name,
                                std::vector<Slot> args) {
+  CallResult r = tryCall(name, std::move(args));
+  if (!r.ok())
+    fatalError(r.error);
+  return std::move(r.results);
+}
+
+CallResult Interp::tryCall(const std::string &name, std::vector<Slot> args) {
+  CallResult out;
   const BCFunction *fn = mod_.lookup(name);
-  if (!fn)
-    fatalError("no such function: " + name);
-  assert(args.size() == fn->numArgs);
-  std::vector<Slot> regs(fn->numRegs);
+  if (!fn) {
+    out.error = "no such function: " + name;
+    return out;
+  }
+  // Real checks, not asserts: in Release an arity mismatch would
+  // otherwise overflow the register copy below.
+  if (args.size() != fn->numArgs) {
+    out.error = "call arity mismatch for '" + name + "': got " +
+                std::to_string(args.size()) + " args, function takes " +
+                std::to_string(fn->numArgs);
+    return out;
+  }
+  // The verifier guarantees numArgs <= numRegs; guard the unverified
+  // path too so the copy can never run past the frame.
+  std::vector<Slot> regs(std::max<size_t>(fn->numRegs, args.size()));
   std::copy(args.begin(), args.end(), regs.begin());
   Arena arena;
   Ctx ctx;
   ctx.arena = &arena;
-  std::vector<Slot> results;
-  exec(*fn, regs.data(), ctx, &results);
-  return results;
+  exec(*fn, regs.data(), ctx, &out.results);
+  return out;
 }
 
 MemRef *Interp::doAlloca(const BCFunction &fn, const Instr &in, Slot *regs,
@@ -190,6 +208,10 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
     break; // arena-managed
   case BC::Load: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
+    if (opts_.boundsCheck && checkDescriptors_ && m.rank != in.c)
+      fatalError("load rank mismatch: " + std::to_string(in.c) +
+                 " indices vs rank " + std::to_string(m.rank) + " in " +
+                 fn.name);
     int64_t off = 0;
     for (int32_t i = 0; i < in.c; ++i) {
       int64_t idx = regs[fn.extras[in.b + i]].i;
@@ -223,6 +245,10 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
   }
   case BC::Store: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
+    if (opts_.boundsCheck && checkDescriptors_ && m.rank != in.c)
+      fatalError("store rank mismatch: " + std::to_string(in.c) +
+                 " indices vs rank " + std::to_string(m.rank) + " in " +
+                 fn.name);
     int64_t off = 0;
     for (int32_t i = 0; i < in.c; ++i) {
       int64_t idx = regs[fn.extras[in.b + i]].i;
@@ -258,11 +284,20 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
   }
   case BC::Dim: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
+    if (opts_.boundsCheck && checkDescriptors_ &&
+        (in.imm < 0 || in.imm >= m.rank))
+      fatalError("dim index " + std::to_string(in.imm) +
+                 " out of range for rank " + std::to_string(m.rank) +
+                 " in " + fn.name);
     regs[in.d].i = m.sizes[in.imm];
     break;
   }
   case BC::SubView: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
+    if (opts_.boundsCheck && checkDescriptors_ && in.c > m.rank)
+      fatalError("subview rank mismatch: drops " + std::to_string(in.c) +
+                 " dims vs rank " + std::to_string(m.rank) + " in " +
+                 fn.name);
     MemRef *v = ctx.arena->newDesc();
     v->elem = m.elem;
     v->rank = static_cast<uint8_t>(m.rank - in.c);

@@ -7,10 +7,39 @@
 //    thread of a block gets its own context, contexts run until they hit
 //    a SimtBarrier, and resume together — giving ground-truth CUDA
 //    __syncthreads semantics for validating the transpilation pipelines.
+//
+// == Bytecode verification ==
+//
+// `Slot` is an untyped i/f/p union and the interpreter indexes frames and
+// extras tables without checking, so malformed bytecode is memory
+// corruption, not an exception. The static verifier (vm/verifier.h)
+// closes that hole before execution starts: `VerifiedModule::create`
+// proves every register/extras/shape/closure/callee index in range, every
+// Call/Ret arity consistent, every register read typed (no int read as a
+// memref pointer, no uninitialized read), every Load/Store/SubView/Dim
+// rank-consistent with the memref it touches, scopes balanced, and
+// barriers placed where their execution regime exists.
+//
+// What that proof buys at runtime:
+//  - Constructing an Interp from a VerifiedModule elides the per-access
+//    *descriptor* checks (Load/Store rank-vs-index-count, Dim/SubView
+//    rank range) — they are statically discharged.
+//  - `ExecOptions::boundsCheck` is demoted to "unverified or
+//    untrusted-data input only": it guards the *data-dependent* index
+//    comparisons (idx vs sizes[i]) which no static analysis can remove.
+//    Trusted runs (our own compiler's verified output on workloads whose
+//    indexing was validated) turn it off for the fast path measured in
+//    BENCH_vm.json.
+//  - Untrusted cached bytecode (the daemon scenario) wants
+//    VerifiedModule + boundsCheck=true: verification stops forged
+//    descriptors/registers, bounds checks stop hostile index math —
+//    and the process answers a bad request with an error (tryCall)
+//    instead of dying.
 #pragma once
 
 #include "runtime/thread_pool.h"
 #include "vm/bytecode.h"
+#include "vm/verifier.h"
 
 #include <deque>
 #include <memory>
@@ -19,43 +48,102 @@ namespace paralift::vm {
 
 /// Per-execution memory arena with scope marks (allocas inside loops are
 /// released at the end of each iteration).
+///
+/// Released storage is recycled, not freed: release() only rewinds the
+/// cursors, so the next iteration's allocas reuse the previous
+/// iteration's descriptors and buffers in place (a buffer regrows only
+/// when a larger request lands on its slot). A loop that allocas the
+/// same shapes every iteration performs zero allocations after the
+/// first — previously every iteration freed and re-malloc'd.
 class Arena {
 public:
   MemRef *newDesc() {
-    descs_.push_back(std::make_unique<MemRef>());
-    return descs_.back().get();
+    if (descsUsed_ == descs_.size())
+      descs_.push_back(std::make_unique<MemRef>());
+    MemRef *m = descs_[descsUsed_++].get();
+    *m = MemRef{}; // recycled descriptors must not leak stale fields
+    return m;
   }
   char *allocate(size_t bytes) {
-    bufs_.push_back(std::make_unique<char[]>(bytes));
-    return bufs_.back().get();
+    if (bufsUsed_ == bufs_.size())
+      bufs_.emplace_back();
+    Buf &b = bufs_[bufsUsed_++];
+    if (b.cap < bytes) {
+      b.data = std::make_unique<char[]>(bytes);
+      b.cap = bytes;
+    }
+    return b.data.get();
   }
   struct Mark {
     size_t descs, bufs;
   };
-  Mark mark() const { return {descs_.size(), bufs_.size()}; }
+  Mark mark() const { return {descsUsed_, bufsUsed_}; }
   void release(Mark m) {
-    descs_.resize(m.descs);
-    bufs_.resize(m.bufs);
+    descsUsed_ = m.descs;
+    bufsUsed_ = m.bufs;
   }
 
+  /// Introspection for tests: live (cursor) counts and pooled capacity.
+  size_t liveDescs() const { return descsUsed_; }
+  size_t liveBuffers() const { return bufsUsed_; }
+  size_t pooledDescs() const { return descs_.size(); }
+  size_t pooledBuffers() const { return bufs_.size(); }
+
 private:
+  struct Buf {
+    std::unique_ptr<char[]> data;
+    size_t cap = 0;
+  };
   std::vector<std::unique_ptr<MemRef>> descs_;
-  std::vector<std::unique_ptr<char[]>> bufs_;
+  std::vector<Buf> bufs_;
+  size_t descsUsed_ = 0;
+  size_t bufsUsed_ = 0;
 };
 
 struct ExecOptions {
+  /// Data-dependent index checking (idx vs sizes) on Load/Store/SubView.
+  /// See "Bytecode verification" above: with a VerifiedModule this is
+  /// only needed for untrusted input; without one it also enables the
+  /// descriptor sanity checks.
   bool boundsCheck = true;
+};
+
+/// Outcome of Interp::tryCall: results on success, a non-empty error
+/// otherwise (unknown function, arity mismatch). Lets a long-lived server
+/// answer a bad request instead of aborting the process.
+struct CallResult {
+  std::vector<Slot> results;
+  std::string error;
+  bool ok() const { return error.empty(); }
 };
 
 class Interp {
 public:
+  /// Trusted-module constructor (bytecode straight out of vm::compile in
+  /// this process). Runs with descriptor sanity checks when boundsCheck
+  /// is on.
   Interp(const BCModule &mod, runtime::ThreadPool &pool,
          ExecOptions opts = {})
       : mod_(mod), pool_(pool), opts_(opts) {}
 
+  /// Verified-module constructor: the token proves every structural and
+  /// typestate invariant, so descriptor checks are elided and
+  /// boundsCheck=false is safe for trusted data. The module behind the
+  /// token must outlive this Interp.
+  Interp(const VerifiedModule &verified, runtime::ThreadPool &pool,
+         ExecOptions opts = {})
+      : mod_(verified.module()), pool_(pool), opts_(opts),
+        checkDescriptors_(false) {}
+
   /// Calls a named function; args are pre-populated registers (scalars or
   /// MemRef* created via makeMemRef). Returns the function results.
+  /// Aborts via fatalError on an unknown name or arity mismatch — use
+  /// tryCall where the process must survive bad requests.
   std::vector<Slot> call(const std::string &name, std::vector<Slot> args);
+
+  /// Like call(), but surfaces unknown-function and arity errors as a
+  /// structured CallResult instead of killing the process.
+  CallResult tryCall(const std::string &name, std::vector<Slot> args);
 
   /// Wraps an external buffer in a descriptor owned by this Interp (alive
   /// until destruction).
@@ -94,6 +182,9 @@ private:
   const BCModule &mod_;
   runtime::ThreadPool &pool_;
   ExecOptions opts_;
+  /// False when constructed from a VerifiedModule: rank/descriptor
+  /// checks are statically discharged (see header comment).
+  bool checkDescriptors_ = true;
   Arena external_; ///< descriptors for user-supplied buffers
 };
 

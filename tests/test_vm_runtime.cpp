@@ -1,8 +1,9 @@
 // Unit tests for the execution layer: thread pool teams and barriers,
 // nested-parallel policies, dispatch queues, VM arithmetic semantics
 // (f32 rounding, i32 wrapping, division guards), memref bounds checking,
-// arena scoping of allocas, and the lockstep SIMT emulator's barrier
-// semantics under divergent-looking but block-uniform control flow.
+// arena scoping and recycling of allocas, structured call errors
+// (tryCall/tryRun), and the lockstep SIMT emulator's barrier semantics
+// under divergent-looking but block-uniform control flow.
 #include "driver/compiler.h"
 #include "runtime/thread_pool.h"
 
@@ -249,6 +250,148 @@ TEST(VmSemanticsTest, BoundsCheckCatchesOutOfRange) {
       exec.run("f", {driver::Executor::bufferF32(buf.data(), {4}),
                      int64_t(7)}),
       "out of bounds");
+}
+
+//===----------------------------------------------------------------------===//
+// Structured call errors (Interp::tryCall / Executor::tryRun)
+//===----------------------------------------------------------------------===//
+
+TEST(TryCallTest, UnknownFunctionReturnsErrorNotAbort) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile("int f(int x) { return x; }",
+                            transforms::PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  driver::Executor exec(cc.module.get(), 1);
+  vm::CallResult r = exec.tryRun("nope", {int64_t(1)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("no such function: nope"), std::string::npos)
+      << r.error;
+  // The executor survives the bad request and still serves good ones.
+  auto good = exec.run("f", {int64_t(7)});
+  ASSERT_EQ(good.size(), 1u);
+  EXPECT_EQ(good[0].i, 7);
+}
+
+TEST(TryCallTest, ArityMismatchReturnsErrorNotAbort) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile("int f(int a, int b) { return a + b; }",
+                            transforms::PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  driver::Executor exec(cc.module.get(), 1);
+  vm::CallResult r = exec.tryRun("f", {int64_t(1)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("arity mismatch"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("got 1 args"), std::string::npos) << r.error;
+  auto good = exec.run("f", {int64_t(2), int64_t(3)});
+  ASSERT_EQ(good.size(), 1u);
+  EXPECT_EQ(good[0].i, 5);
+}
+
+TEST(TryCallTest, RunStillAbortsOnUnknownName) {
+  DiagnosticEngine diag;
+  auto cc = driver::compile("int f(int x) { return x; }",
+                            transforms::PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  driver::Executor exec(cc.module.get(), 1);
+  EXPECT_DEATH(exec.run("nope", {int64_t(1)}), "no such function");
+}
+
+//===----------------------------------------------------------------------===//
+// Arena recycling (scoped allocas)
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, ReleaseRecyclesDescriptorsAndBuffers) {
+  vm::Arena arena;
+  const vm::MemRef *d0 = nullptr;
+  const char *b0 = nullptr;
+  for (int iter = 0; iter < 100; ++iter) {
+    vm::Arena::Mark m = arena.mark();
+    vm::MemRef *d = arena.newDesc();
+    char *buf = arena.allocate(256);
+    if (iter == 0) {
+      d0 = d;
+      b0 = buf;
+    } else {
+      // Same slot position -> same storage, reused in place.
+      EXPECT_EQ(d, d0);
+      EXPECT_EQ(buf, b0);
+    }
+    arena.release(m);
+    EXPECT_EQ(arena.liveDescs(), 0u);
+    EXPECT_EQ(arena.liveBuffers(), 0u);
+    // The pool never grows past the high-water mark of one iteration.
+    EXPECT_EQ(arena.pooledDescs(), 1u);
+    EXPECT_EQ(arena.pooledBuffers(), 1u);
+  }
+}
+
+TEST(ArenaTest, RecycledDescriptorIsReset) {
+  vm::Arena arena;
+  vm::Arena::Mark m = arena.mark();
+  vm::MemRef *d = arena.newDesc();
+  d->rank = 3;
+  d->sizes[0] = 42;
+  d->data = reinterpret_cast<char *>(0x1);
+  arena.release(m);
+  vm::MemRef *d2 = arena.newDesc();
+  ASSERT_EQ(d2, d);
+  EXPECT_EQ(d2->rank, 0);
+  EXPECT_EQ(d2->sizes[0], 0);
+  EXPECT_EQ(d2->data, nullptr);
+}
+
+TEST(ArenaTest, BufferRegrowsInPlaceForLargerRequest) {
+  vm::Arena arena;
+  vm::Arena::Mark m = arena.mark();
+  arena.allocate(16);
+  arena.release(m);
+  // A larger request on the same slot regrows that buffer; it does not
+  // add a second pooled buffer.
+  char *big = arena.allocate(4096);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.pooledBuffers(), 1u);
+  big[4095] = 1; // touch the end: capacity really grew
+  arena.release(m);
+  // A smaller request afterwards reuses the grown buffer as-is.
+  char *again = arena.allocate(16);
+  EXPECT_EQ(again, big);
+  EXPECT_EQ(arena.pooledBuffers(), 1u);
+}
+
+// Scoped-alloca stress: a kernel whose loop body allocas a local array
+// every iteration. With cursor recycling the arena performs zero
+// allocations after the first iteration; before, every iteration freed
+// and re-malloc'd the buffer. Correctness is asserted over a large trip
+// count so a stale-descriptor or stale-buffer bug would surface.
+TEST(ArenaTest, ScopedAllocaLoopStress) {
+  const char *src = R"(
+__global__ void k(float* out, int iters) {
+  int t = threadIdx.x;
+  float sum = 0.0f;
+  for (int it = 0; it < iters; it++) {
+    float tmp[8];
+    for (int j = 0; j < 8; j++) {
+      tmp[j] = 1.0f * j + t;
+    }
+    for (int j = 0; j < 8; j++) {
+      sum += tmp[j];
+    }
+  }
+  out[t] = sum;
+}
+void run(float* out, int iters) { k<<<1, 4>>>(out, iters); }
+)";
+  DiagnosticEngine diag;
+  auto cc = driver::compile(src, transforms::PipelineOptions{}, diag);
+  ASSERT_TRUE(cc.ok) << diag.str();
+  const int iters = 10000;
+  std::vector<float> out(4, -1.0f);
+  driver::Executor exec(cc.module.get(), 1);
+  exec.run("run", {driver::Executor::bufferF32(out.data(), {4}),
+                   int64_t(iters)});
+  // Each iteration contributes sum_j (j + t) = 28 + 8t.
+  for (int t = 0; t < 4; ++t)
+    EXPECT_FLOAT_EQ(out[t], float(iters) * (28.0f + 8.0f * t)) << t;
 }
 
 //===----------------------------------------------------------------------===//
