@@ -57,8 +57,10 @@ struct MemRef {
 //    inside an extras range) is < BCFunction::numRegs;
 //  - every extras[b..b+c) range lies inside BCFunction::extras;
 //  - every register is written before it is read on every path, and read
-//    with the Slot view (i/f/p) it was written with — `Any` for
-//    host-supplied arguments, whose typing is the caller's contract.
+//    with the Slot view (i/f/p) it was written with. Arguments carry the
+//    join of what every invocation site (Call / closure launch) passes;
+//    only functions nothing but the host invokes keep the blanket `Any`
+//    contract, where typing is the trusted caller's responsibility.
 enum class BC : uint8_t {
   ConstI,    ///< d <- imm
   ConstF,    ///< d <- fimm
@@ -94,14 +96,20 @@ enum class BC : uint8_t {
   JumpIfFalse, ///< if !a: pc <- imm; a int; same target rule as Jump
   Call,      ///< imm = valid callee index; extras[b..b+c) initialized args,
              ///< extras[b+c..b+c+d) result regs; c == callee.numArgs,
-             ///< d == callee.numResults
+             ///< d == callee.numResults. Argument typestates propagate
+             ///< into the callee (its body is verified under what every
+             ///< call site passes) and result regs take the callee's
+             ///< joined Ret typestates — no cross-frame type confusion
   Ret,       ///< return extras[b..b+c) (initialized); c == numResults;
              ///< all ScopePush marks popped on this path
   GetTid,      ///< d <- current team thread id
   GetTeamSize, ///< d <- current team size
-  TeamBarrier, ///< omp.barrier; only where a team exists: an omp closure
-               ///< body or code it reaches via Call / serial scf closures
-               ///< (a lockstep context has no team)
+  TeamBarrier, ///< omp.barrier; only where a team ALWAYS exists: the
+               ///< omp-body-reachable set (via Call / serial scf
+               ///< closures) minus anything also reachable from a
+               ///< teamless context (an entry or lockstep path, where
+               ///< the barrier would silently no-op while the team
+               ///< side synchronizes)
   SimtBarrier, ///< polygeist.barrier: lockstep suspension point; only
                ///< directly inside a gpu-block scf closure body — the
                ///< lockstep engine cannot suspend across a Call frame,

@@ -113,8 +113,8 @@ MemRef *Interp::doAlloca(const BCFunction &fn, const Instr &in, Slot *regs,
     m->sizes[i] = d;
   }
   int64_t bytes = m->byteSize();
+  // Arena::allocate returns zeroed storage (fresh and recycled alike).
   m->data = arena.allocate(static_cast<size_t>(std::max<int64_t>(bytes, 1)));
-  std::memset(m->data, 0, static_cast<size_t>(bytes));
   return m;
 }
 

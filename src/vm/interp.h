@@ -16,9 +16,12 @@
 // closes that hole before execution starts: `VerifiedModule::create`
 // proves every register/extras/shape/closure/callee index in range, every
 // Call/Ret arity consistent, every register read typed (no int read as a
-// memref pointer, no uninitialized read), every Load/Store/SubView/Dim
+// memref pointer, no uninitialized read) — interprocedurally, with
+// argument typestates propagated from every Call/launch site and Ret
+// typestates back into Call results, so type confusion cannot be
+// smuggled across a frame boundary either — every Load/Store/SubView/Dim
 // rank-consistent with the memref it touches, scopes balanced, and
-// barriers placed where their execution regime exists.
+// barriers placed where their execution regime always exists.
 //
 // What that proof buys at runtime:
 //  - Constructing an Interp from a VerifiedModule elides the per-access
@@ -41,6 +44,7 @@
 #include "vm/bytecode.h"
 #include "vm/verifier.h"
 
+#include <cstring>
 #include <deque>
 #include <memory>
 
@@ -55,6 +59,12 @@ namespace paralift::vm {
 /// when a larger request lands on its slot). A loop that allocas the
 /// same shapes every iteration performs zero allocations after the
 /// first — previously every iteration freed and re-malloc'd.
+///
+/// Contract: allocate() always returns ZEROED storage — fresh buffers
+/// are value-initialized and recycled ones are memset — so iteration N
+/// observes exactly what iteration 1 did (and what the old
+/// free-and-remalloc scheme guaranteed), never stale bytes from a
+/// previous iteration.
 class Arena {
 public:
   MemRef *newDesc() {
@@ -69,8 +79,10 @@ public:
       bufs_.emplace_back();
     Buf &b = bufs_[bufsUsed_++];
     if (b.cap < bytes) {
-      b.data = std::make_unique<char[]>(bytes);
+      b.data = std::make_unique<char[]>(bytes); // value-init: zeroed
       b.cap = bytes;
+    } else if (bytes > 0) {
+      std::memset(b.data.get(), 0, bytes); // recycled: re-zero
     }
     return b.data.get();
   }

@@ -90,16 +90,20 @@ bool isFloatKind(TypeKind k) {
 //===--------------------------------------------------------------------===//
 
 /// Abstract value of one register. `Any` is the trusted-but-unknown state
-/// of named-function arguments: the host constructs those slots, so
-/// memref uses are its responsibility; closure arguments are seeded with
-/// the concrete typestate of the capture registers at each use site.
+/// of host-supplied arguments: the host constructs those slots, so memref
+/// uses are its responsibility. It exists ONLY for values every one of
+/// whose sources is the trusted host; any value that can also originate
+/// from bytecode (an internal Call argument, a closure capture, a value
+/// merged with a bytecode-computed one) carries the bytecode side's
+/// concrete typestate instead — see join().
 struct RegState {
   enum K : uint8_t {
     Uninit,   ///< never written (or maybe-unwritten at a join)
     Int,      ///< i-view of the Slot union (I1/I32/I64/Index)
     Float,    ///< f-view
+    Scalar,   ///< i- or f-view, unknown which; never a valid p-view
     Mem,      ///< p-view: a MemRef descriptor
-    Any,      ///< initialized, type owned by the (trusted) caller
+    Any,      ///< initialized, type owned by the (trusted) host caller
     Conflict, ///< different non-Uninit types joined across paths
   };
   K k = Uninit;
@@ -108,6 +112,7 @@ struct RegState {
 
   static RegState ofInt() { return {Int, TypeKind::None, -1}; }
   static RegState ofFloat() { return {Float, TypeKind::None, -1}; }
+  static RegState ofScalar() { return {Scalar, TypeKind::None, -1}; }
   static RegState ofAny() { return {Any, TypeKind::None, -1}; }
   static RegState ofMem(TypeKind e, int8_t r) { return {Mem, e, r}; }
 
@@ -120,6 +125,7 @@ struct RegState {
     case Uninit: return "uninitialized";
     case Int: return "int";
     case Float: return "float";
+    case Scalar: return "a scalar (int or float, not a memref)";
     case Mem: return "memref";
     case Any: return "unknown (caller-provided)";
     case Conflict: return "path-dependent (conflicting types)";
@@ -136,13 +142,28 @@ RegState join(const RegState &a, const RegState &b) {
     return {RegState::Uninit, TypeKind::None, -1};
   if (a.k == RegState::Conflict || b.k == RegState::Conflict)
     return {RegState::Conflict, TypeKind::None, -1};
-  if (a.k == RegState::Any || b.k == RegState::Any)
-    return RegState::ofAny();
-  if (a.k != b.k)
-    return {RegState::Conflict, TypeKind::None, -1};
-  // Both Mem with differing detail: widen the differing component.
-  return RegState::ofMem(a.elem == b.elem ? a.elem : TypeKind::None,
-                         a.rank == b.rank ? a.rank : int8_t(-1));
+  // `Any` carries trust, not information: joined with a concrete state
+  // the concrete side governs. A value that is possibly bytecode-chosen
+  // on one path must not inherit the trusted path's blanket permissions
+  // (an attacker-ConstI'd integer merged with a host argument would
+  // otherwise pass a memref read and be dereferenced).
+  if (a.k == RegState::Any)
+    return b;
+  if (b.k == RegState::Any)
+    return a;
+  if (a.k == b.k) // both Mem with differing detail: widen the component
+    return RegState::ofMem(a.elem == b.elem ? a.elem : TypeKind::None,
+                           a.rank == b.rank ? a.rank : int8_t(-1));
+  // Scalar absorbs the scalar views it generalizes; everything else
+  // (int vs float, scalar vs memref) is Slot type confusion.
+  auto scalarish = [](RegState::K k) {
+    return k == RegState::Int || k == RegState::Float ||
+           k == RegState::Scalar;
+  };
+  if (scalarish(a.k) && scalarish(b.k) &&
+      (a.k == RegState::Scalar || b.k == RegState::Scalar))
+    return RegState::ofScalar();
+  return {RegState::Conflict, TypeKind::None, -1};
 }
 
 /// Flow state at one program point: register typestates plus the
@@ -193,11 +214,58 @@ public:
     // errors those reads are unsafe, so stop here.
     if (result_.errors.empty()) {
       computeRoles();
-      argSeeds_.assign(mod_.fns.size(), std::optional<std::vector<RegState>>());
+
+      // Interprocedural fixpoint: argument typestates flow from every
+      // invocation site (Call and closure launch, in any function-index
+      // order) into the target's entry state, and Ret typestates flow
+      // back into Call results. Only functions invoked by nothing but
+      // the host keep blanket-trusted Any arguments; everything
+      // bytecode can reach is analyzed under what bytecode actually
+      // passes. Summaries only ever rise (join), so this terminates.
+      argSeeds_.assign(mod_.fns.size(),
+                       std::optional<std::vector<RegState>>());
+      retStates_.assign(mod_.fns.size(),
+                        std::optional<std::vector<RegState>>());
+      for (uint32_t i = 0; i < mod_.fns.size(); ++i)
+        if (roles_[i].entry)
+          argSeeds_[i] = std::vector<RegState>(mod_.fns[i].numArgs,
+                                               RegState::ofAny());
+      std::vector<std::vector<uint32_t>> callersOf(mod_.fns.size());
+      for (uint32_t i = 0; i < mod_.fns.size(); ++i)
+        for (const Instr &in : mod_.fns[i].instrs)
+          if (in.op == BC::Call)
+            callersOf[in.imm].push_back(i);
+
+      std::vector<char> queued(mod_.fns.size(), 1);
+      std::deque<uint32_t> work;
+      for (uint32_t i = 0; i < mod_.fns.size(); ++i)
+        work.push_back(i);
+      while (!work.empty()) {
+        uint32_t i = work.front();
+        work.pop_front();
+        queued[i] = 0;
+        changedSeeds_.clear();
+        retChanged_ = false;
+        flowFunction(i, /*report=*/false);
+        auto enqueue = [&](uint32_t f) {
+          if (!queued[f]) {
+            queued[f] = 1;
+            work.push_back(f);
+          }
+        };
+        for (uint32_t t : changedSeeds_)
+          enqueue(t);
+        if (retChanged_)
+          for (uint32_t caller : callersOf[i])
+            enqueue(caller);
+      }
+
+      // Reporting pass over the converged summaries: each reachable pc
+      // visited exactly once, so every error has a stable attribution.
       for (uint32_t i = 0; i < mod_.fns.size(); ++i) {
         trace::TraceSpan span(std::string("verify:") + mod_.fns[i].name,
                               "vm");
-        flowFunction(i);
+        flowFunction(i, /*report=*/true);
       }
     }
     errCounter.add(result_.errors.size());
@@ -529,32 +597,44 @@ private:
           break;
         }
 
-    // Team reachability: a TeamBarrier synchronizes ctx.team, which omp
-    // bodies receive fresh and which flows through Call frames and serial
-    // scf closure bodies (the lockstep engine starts a teamless context).
-    teamOk_.assign(mod_.fns.size(), false);
-    std::deque<uint32_t> work;
-    for (uint32_t i = 0; i < mod_.fns.size(); ++i)
-      if (roles_[i].ompBody) {
-        teamOk_[i] = true;
-        work.push_back(i);
-      }
-    while (!work.empty()) {
-      uint32_t i = work.front();
-      work.pop_front();
-      for (const Instr &in : mod_.fns[i].instrs) {
-        uint32_t succ = UINT32_MAX;
-        if (in.op == BC::Call)
-          succ = static_cast<uint32_t>(in.imm);
-        else if (in.op == BC::ParallelScf &&
-                 !mod_.fns[i].closures[in.imm].gpuBlock)
-          succ = mod_.fns[i].closures[in.imm].fnIndex;
-        if (succ != UINT32_MAX && !teamOk_[succ]) {
-          teamOk_[succ] = true;
-          work.push_back(succ);
+    // A ctx.team flows through Call frames and serial scf closure bodies;
+    // it is created fresh by ParallelOmp and absent in a host call or a
+    // lockstep (SIMT) context. Propagate both facts along those edges:
+    //  - teamReach_: may run WITH a team (seeded at omp bodies);
+    //  - teamlessReach_: may run WITHOUT one (seeded at entries and SIMT
+    //    bodies).
+    // A TeamBarrier needs the first and must exclude the second — a
+    // teamless invocation no-ops the barrier (interp.cpp) while the team
+    // invocations synchronize, silently losing the sync the bytecode
+    // asked for on one of its paths.
+    auto reach = [&](std::vector<char> &set, auto seed) {
+      set.assign(mod_.fns.size(), 0);
+      std::deque<uint32_t> work;
+      for (uint32_t i = 0; i < mod_.fns.size(); ++i)
+        if (seed(roles_[i])) {
+          set[i] = 1;
+          work.push_back(i);
+        }
+      while (!work.empty()) {
+        uint32_t i = work.front();
+        work.pop_front();
+        for (const Instr &in : mod_.fns[i].instrs) {
+          uint32_t succ = UINT32_MAX;
+          if (in.op == BC::Call)
+            succ = static_cast<uint32_t>(in.imm);
+          else if (in.op == BC::ParallelScf &&
+                   !mod_.fns[i].closures[in.imm].gpuBlock)
+            succ = mod_.fns[i].closures[in.imm].fnIndex;
+          if (succ != UINT32_MAX && !set[succ]) {
+            set[succ] = 1;
+            work.push_back(succ);
+          }
         }
       }
-    }
+    };
+    reach(teamReach_, [](const Roles &r) { return r.ompBody; });
+    reach(teamlessReach_,
+          [](const Roles &r) { return r.entry || r.simtBody; });
   }
 
   //===------------------------------------------------------------------===//
@@ -572,6 +652,10 @@ private:
     }
   };
 
+  /// Entry state: argument registers carry the join over every
+  /// invocation site's typestates (entries contribute host-trusted Any).
+  /// A function no site invokes can never run; its arguments stay Any so
+  /// its body is still checked intraprocedurally without noise.
   FlowState entryState(uint32_t fnIdx) const {
     const BCFunction &fn = mod_.fns[fnIdx];
     FlowState st;
@@ -587,7 +671,51 @@ private:
     return st;
   }
 
-  void flowFunction(uint32_t fnIdx) {
+  /// Joins one invocation site's argument typestates into the target's
+  /// entry seed, recording the target for re-analysis when it rose.
+  void joinSeed(uint32_t target, std::vector<RegState> seed) {
+    auto &slot = argSeeds_[target];
+    if (!slot) {
+      slot = std::move(seed);
+      changedSeeds_.push_back(target);
+      return;
+    }
+    bool changed = false;
+    for (size_t i = 0; i < slot->size() && i < seed.size(); ++i) {
+      RegState j = join((*slot)[i], seed[i]);
+      if (!(j == (*slot)[i])) {
+        (*slot)[i] = j;
+        changed = true;
+      }
+    }
+    if (changed)
+      changedSeeds_.push_back(target);
+  }
+
+  /// Joins one Ret site's value typestates into the function's return
+  /// summary (consumed at Call sites), flagging callers for re-analysis.
+  void joinRet(uint32_t fnIdx, std::vector<RegState> vals) {
+    auto &slot = retStates_[fnIdx];
+    if (!slot) {
+      slot = std::move(vals);
+      retChanged_ = true;
+      return;
+    }
+    for (size_t i = 0; i < slot->size() && i < vals.size(); ++i) {
+      RegState j = join((*slot)[i], vals[i]);
+      if (!(j == (*slot)[i])) {
+        (*slot)[i] = j;
+        retChanged_ = true;
+      }
+    }
+  }
+
+  /// Runs the intra-function worklist to its fixpoint. With
+  /// report=false, invocation-site and Ret summaries are joined into
+  /// argSeeds_/retStates_ (the interprocedural propagation); with
+  /// report=true the converged states are swept once per pc to emit
+  /// errors with stable attribution.
+  void flowFunction(uint32_t fnIdx, bool report) {
     const BCFunction &fn = mod_.fns[fnIdx];
     const size_t n = fn.instrs.size();
 
@@ -626,7 +754,7 @@ private:
     flowInto(0, entryState(fnIdx));
     if (n == 0) {
       // Empty body: execution falls straight off the end.
-      if (fn.numResults > 0)
+      if (report && fn.numResults > 0)
         error(fnIdx, VerifyError::kNoPc,
               "empty function declares " + std::to_string(fn.numResults) +
                   " results (no Ret can produce them)");
@@ -636,8 +764,11 @@ private:
       size_t pc = work.front();
       work.pop_front();
       FlowState st = in[pc];
-      transfer(fnIdx, pc, st, ErrorSink{}, flowInto, /*report=*/false);
+      transfer(fnIdx, pc, st, ErrorSink{}, flowInto,
+               /*updateSummaries=*/!report);
     }
+    if (!report)
+      return;
 
     // Reporting pass over the fixed states: each reachable pc visited
     // exactly once, so every error has a single, stable attribution.
@@ -650,7 +781,7 @@ private:
               "ScopePush/ScopePop depth differs between predecessor paths");
       FlowState st = in[pc];
       transfer(fnIdx, pc, st, ErrorSink{this, fnIdx, pc}, noFlow,
-               /*report=*/true);
+               /*updateSummaries=*/false);
     }
     if (reachable[n]) {
       if (fn.numResults > 0)
@@ -667,25 +798,29 @@ private:
   /// Executes the abstract transfer for `fn.instrs[pc]` on `st`, feeding
   /// successor states to `flowInto(target, state)` and faults to `err`.
   /// Runs identically during fixpoint and reporting; only the sinks
-  /// differ. On a faulting read the transfer recovers (treats the value
-  /// as the demanded type) so one root cause doesn't cascade.
+  /// differ (updateSummaries is on during the interprocedural fixpoint,
+  /// off during reporting, when the summaries are already converged).
+  /// On a faulting read the transfer recovers (treats the value as the
+  /// demanded type) so one root cause doesn't cascade.
   template <typename FlowInto>
   void transfer(uint32_t fnIdx, size_t pc, FlowState &st, ErrorSink err,
-                FlowInto &&flowInto, bool report) {
+                FlowInto &&flowInto, bool updateSummaries) {
     const BCFunction &fn = mod_.fns[fnIdx];
     const Instr &in = fn.instrs[pc];
     const size_t n = fn.instrs.size();
 
     auto readInt = [&](int32_t r, const char *what) {
       const RegState &s = st.regs[r];
-      if (s.k == RegState::Int || s.k == RegState::Any)
+      if (s.k == RegState::Int || s.k == RegState::Scalar ||
+          s.k == RegState::Any)
         return;
       err(std::string(what) + " reads r" + std::to_string(r) +
           " as int but it is " + s.describe());
     };
     auto readFloat = [&](int32_t r, const char *what) {
       const RegState &s = st.regs[r];
-      if (s.k == RegState::Float || s.k == RegState::Any)
+      if (s.k == RegState::Float || s.k == RegState::Scalar ||
+          s.k == RegState::Any)
         return;
       err(std::string(what) + " reads r" + std::to_string(r) +
           " as float but it is " + s.describe());
@@ -821,7 +956,9 @@ private:
         st.regs[in.d] =
             isFloatKind(in.t) ? RegState::ofFloat() : RegState::ofInt();
       } else {
-        st.regs[in.d] = RegState::ofAny();
+        // Element kind unknowable: the value is data from memory —
+        // definitely a scalar, definitely not a descriptor pointer.
+        st.regs[in.d] = RegState::ofScalar();
       }
       next(st);
       break;
@@ -876,29 +1013,64 @@ private:
       next(st);
       break;
     case BC::Call: {
+      auto callee = static_cast<uint32_t>(in.imm);
       for (int32_t i = 0; i < in.c; ++i)
         readInit(fn.extras[in.b + i], "Call argument");
+      // Feed this site's argument typestates into the callee's entry
+      // seed: the callee is analyzed under what bytecode actually
+      // passes, so an int smuggled into a memref parameter is caught
+      // where it is dereferenced.
+      if (updateSummaries) {
+        std::vector<RegState> seed;
+        seed.reserve(in.c);
+        for (int32_t i = 0; i < in.c; ++i) {
+          const RegState &s = st.regs[fn.extras[in.b + i]];
+          seed.push_back(s.k == RegState::Uninit ? RegState::ofAny() : s);
+        }
+        joinSeed(callee, std::move(seed));
+      }
+      // Results carry the callee's converged Ret typestates. No summary
+      // yet means no reachable Ret (the call cannot return): any state
+      // is sound; Scalar keeps the value un-dereferenceable.
       for (int32_t i = 0; i < in.d; ++i)
-        st.regs[fn.extras[in.b + in.c + i]] = RegState::ofAny();
+        st.regs[fn.extras[in.b + in.c + i]] =
+            retStates_[callee] && static_cast<size_t>(i) <
+                                      retStates_[callee]->size()
+                ? (*retStates_[callee])[i]
+                : RegState::ofScalar();
       next(st);
       break;
     }
-    case BC::Ret:
+    case BC::Ret: {
       for (int32_t i = 0; i < in.c; ++i)
         readInit(fn.extras[in.b + i], "Ret value");
       if (st.depth != 0)
         err("Ret with " + std::to_string(st.depth) +
             " unmatched ScopePush (scope stack would leak)");
+      if (updateSummaries) {
+        std::vector<RegState> vals;
+        vals.reserve(in.c);
+        for (int32_t i = 0; i < in.c; ++i) {
+          const RegState &s = st.regs[fn.extras[in.b + i]];
+          vals.push_back(s.k == RegState::Uninit ? RegState::ofAny() : s);
+        }
+        joinRet(fnIdx, std::move(vals));
+      }
       break;
+    }
     case BC::GetTid:
     case BC::GetTeamSize:
       st.regs[in.d] = RegState::ofInt();
       next(st);
       break;
     case BC::TeamBarrier:
-      if (!teamOk_[fnIdx])
+      if (!teamReach_[fnIdx])
         err("TeamBarrier outside an omp closure body (no team to "
             "synchronize; a partial team would deadlock)");
+      else if (teamlessReach_[fnIdx])
+        err("TeamBarrier reachable from both a team (omp) context and a "
+            "teamless one (entry or SIMT path); the teamless invocation "
+            "would silently skip the synchronization");
       next(st);
       break;
     case BC::SimtBarrier: {
@@ -921,12 +1093,12 @@ private:
           readInt(c.ubs[i], "closure upper bound");
           readInt(c.steps[i], "closure step");
         }
-      // Seed the body's argument typestate from this use site. Only
-      // meaningful during the reporting pass, where `st` is final; the
-      // compiler always emits bodies after their enclosing function, so
-      // the seed lands before the body's own flow analysis runs.
-      if (report && c.fnIndex > fnIdx &&
-          c.fnIndex < argSeeds_.size()) {
+      // Seed the body's argument typestate from this launch site. Runs
+      // during the interprocedural fixpoint, so it is independent of
+      // where the body sits in the function table — adversarial modules
+      // that emit a body before (or recursively inside) its launcher
+      // are seeded all the same.
+      if (updateSummaries) {
         std::vector<RegState> seed;
         seed.reserve(c.captureRegs.size() + c.numIvs);
         for (int32_t r : c.captureRegs)
@@ -935,13 +1107,7 @@ private:
                              : st.regs[r]);
         for (uint8_t i = 0; i < c.numIvs; ++i)
           seed.push_back(RegState::ofInt());
-        if (!argSeeds_[c.fnIndex]) {
-          argSeeds_[c.fnIndex] = std::move(seed);
-        } else {
-          auto &cur = *argSeeds_[c.fnIndex];
-          for (size_t i = 0; i < cur.size() && i < seed.size(); ++i)
-            cur[i] = join(cur[i], seed[i]);
-        }
+        joinSeed(c.fnIndex, std::move(seed));
       }
       next(st);
       break;
@@ -961,14 +1127,22 @@ private:
       break;
     }
     (void)n;
-    (void)report;
   }
 
   const BCModule &mod_;
   VerifyResult result_;
   std::vector<Roles> roles_;
-  std::vector<char> teamOk_;
+  std::vector<char> teamReach_;     ///< may run with a ctx.team
+  std::vector<char> teamlessReach_; ///< may run with ctx.team == null
+  /// Per-function join of argument typestates over all invocation sites
+  /// (pre-set to Any for host entries); nullopt = nothing invokes it.
   std::vector<std::optional<std::vector<RegState>>> argSeeds_;
+  /// Per-function join of Ret value typestates over all reachable Rets;
+  /// nullopt = no Ret seen (the function cannot return).
+  std::vector<std::optional<std::vector<RegState>>> retStates_;
+  /// Scratch for one flowFunction run: which seeds/summaries rose.
+  std::vector<uint32_t> changedSeeds_;
+  bool retChanged_ = false;
 };
 
 } // namespace

@@ -9,16 +9,27 @@
 //    extras[b..b+c) range is in bounds, shape/closure/callee imm indices
 //    are valid, Call/Ret arities match the callee's numArgs/numResults,
 //    and closure numIvs is consistent with its bound vectors.
-//  - Layer 2 (flow-sensitive): a worklist abstract interpretation over
-//    the CFG induced by Jump/JumpIfFalse propagates a per-register
-//    typestate lattice (Uninit / Int / Float / MemRef(elem,rank) / Any)
-//    with joins at merge points, rejecting reads of uninitialized
-//    registers, type confusion on the Slot union (Load from a non-MemRef
-//    register, Dim/SubView rank violations, float arithmetic on
-//    integers), unbalanced ScopePush/ScopePop along any path, and
-//    misplaced barriers (SimtBarrier outside a SIMT closure body,
-//    TeamBarrier outside an omp closure) that would deadlock or abort
-//    the lockstep engine.
+//  - Layer 2 (flow-sensitive, interprocedural): a worklist abstract
+//    interpretation over the CFG induced by Jump/JumpIfFalse propagates
+//    a per-register typestate lattice (Uninit / Int / Float / Scalar /
+//    MemRef(elem,rank) / Any) with joins at merge points, rejecting
+//    reads of uninitialized registers, type confusion on the Slot union
+//    (Load from a non-MemRef register, Dim/SubView rank violations,
+//    float arithmetic on integers), unbalanced ScopePush/ScopePop along
+//    any path, and misplaced barriers (SimtBarrier outside a SIMT
+//    closure body; TeamBarrier anywhere but the omp-team-reachable set,
+//    or in a function ALSO reachable from a teamless entry/SIMT context,
+//    where the barrier would silently no-op). Argument typestates flow
+//    across function boundaries to a global fixpoint: every Call and
+//    closure-launch site joins what it actually passes into the
+//    target's entry state (ordering-independent, so bodies emitted
+//    before their launcher — or recursively — are still seeded), and
+//    Ret typestates flow back into Call results. The blanket-trusted
+//    `Any` state is reserved for values whose every source is the host
+//    (pure entry-function arguments); joined with a bytecode-computed
+//    state, the concrete side's constraints win, so an integer smuggled
+//    toward a memref read is rejected no matter which interprocedural
+//    or CFG path carries it.
 //
 // A module that verifies clean yields a VerifiedModule token; the
 // interpreter accepts the token as proof and elides its dynamic

@@ -357,6 +357,180 @@ TEST(VerifierFlow, StructuralErrorsSuppressFlowLayer) {
 }
 
 //===----------------------------------------------------------------------===//
+// Interprocedural typestate propagation: type confusion smuggled across
+// Call / closure boundaries must be rejected, in any function order.
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierInterproc, CallArgTypeConfusionRejected) {
+  // f ConstIs an arbitrary integer and Calls g, whose body dereferences
+  // that argument as a memref. The callee is analyzed under the
+  // typestate the call site actually passes, so the forged pointer is
+  // caught where it would be dereferenced.
+  BCModule m;
+  BCFunction f;
+  f.name = "f";
+  f.numRegs = 1;
+  f.extras = {0};
+  f.instrs = {ins(BC::ConstI, 0, 0, 0, /*d=*/0, 0x41414141),
+              ins(BC::Call, 0, /*b=*/0, /*c=*/1, /*d=*/0, /*imm=*/1),
+              ins(BC::Ret)};
+  BCFunction g;
+  g.name = "g";
+  g.numRegs = 2;
+  g.numArgs = 1;
+  g.instrs = {ins(BC::Load, /*a=*/0, 0, /*c=*/0, /*d=*/1), ins(BC::Ret)};
+  m.byName["f"] = 0;
+  m.byName["g"] = 1;
+  m.fns.push_back(std::move(f));
+  m.fns.push_back(std::move(g));
+  VerifyResult r = verifyModule(m);
+  expectError(r, 0, "Load reads r0 as a memref but it is int", "g");
+}
+
+TEST(VerifierInterproc, CallResultTypeConfusionRejected) {
+  // g returns an int; f binds the result and dereferences it as a
+  // memref. Results carry the callee's Ret typestates, not blanket
+  // trust.
+  BCModule m;
+  BCFunction g;
+  g.name = "g";
+  g.numRegs = 1;
+  g.numResults = 1;
+  g.extras = {0};
+  g.instrs = {ins(BC::ConstI, 0, 0, 0, /*d=*/0, 7),
+              ins(BC::Ret, 0, /*b=*/0, /*c=*/1)};
+  BCFunction f;
+  f.name = "f";
+  f.numRegs = 2;
+  f.extras = {0};
+  f.instrs = {ins(BC::Call, 0, /*b=*/0, /*c=*/0, /*d=*/1, /*imm=*/1),
+              ins(BC::Load, /*a=*/0, 0, /*c=*/0, /*d=*/1), ins(BC::Ret)};
+  m.byName["f"] = 0;
+  m.byName["g"] = 1;
+  m.fns.push_back(std::move(f));
+  m.fns.push_back(std::move(g));
+  VerifyResult r = verifyModule(m);
+  expectError(r, 1, "Load reads r0 as a memref but it is int", "f");
+}
+
+TEST(VerifierInterproc, ClosureBodyBeforeLauncherStillSeeded) {
+  // The closure body sits at a LOWER function index than its launcher
+  // (the compiler emits bodies after their parent, but adversarial
+  // bytecode need not); capture typestates must still reach it.
+  BCModule m;
+  BCFunction body;
+  body.name = "<closure>";
+  body.numRegs = 2;
+  body.numArgs = 1; // one capture: an int in the enclosing frame
+  body.instrs = {ins(BC::Load, /*a=*/0, 0, /*c=*/0, /*d=*/1),
+                 ins(BC::Ret)};
+  BCFunction f;
+  f.name = "f";
+  f.numRegs = 1;
+  Closure c;
+  c.fnIndex = 0;
+  c.captureRegs = {0};
+  f.closures.push_back(c);
+  f.instrs = {ins(BC::ConstI, 0, 0, 0, /*d=*/0, 5),
+              ins(BC::ParallelOmp, 0, 0, 0, 0, /*imm=*/0), ins(BC::Ret)};
+  m.byName["f"] = 1;
+  m.fns.push_back(std::move(body));
+  m.fns.push_back(std::move(f));
+  VerifyResult r = verifyModule(m);
+  expectError(r, 0, "Load reads r0 as a memref but it is int", "<closure>");
+}
+
+TEST(VerifierInterproc, UnknownElemLoadResultIsNotAMemref) {
+  // A Load with no static element kind yields a scalar: data read from
+  // memory can never be treated as a descriptor pointer.
+  BCFunction f;
+  f.numRegs = 3;
+  f.numArgs = 1; // r0: host-provided memref of unknown elem kind
+  f.instrs = {ins(BC::Load, /*a=*/0, 0, /*c=*/0, /*d=*/1),
+              ins(BC::Load, /*a=*/1, 0, /*c=*/0, /*d=*/2), ins(BC::Ret)};
+  VerifyResult r = verifyModule(singleFn(std::move(f)));
+  expectError(r, 1, "Load reads r1 as a memref but it is a scalar");
+}
+
+TEST(VerifierInterproc, HostArgMergedWithConstIsNotAMemref) {
+  // r1 is a host argument on one path and an attacker-chosen integer on
+  // the other; the merge must carry the concrete side's constraints,
+  // not the trusted side's blanket permissions.
+  BCFunction f;
+  f.numRegs = 3;
+  f.numArgs = 2; // r0: condition, r1: host-provided value
+  f.instrs = {
+      ins(BC::JumpIfFalse, /*a=*/0, 0, 0, 0, /*imm=*/2), // 0
+      ins(BC::ConstI, 0, 0, 0, /*d=*/1, 0xdead),         // 1
+      ins(BC::Load, /*a=*/1, 0, /*c=*/0, /*d=*/2),       // 2
+      ins(BC::Ret),                                      // 3
+  };
+  VerifyResult r = verifyModule(singleFn(std::move(f)));
+  expectError(r, 2, "Load reads r1 as a memref but it is int");
+}
+
+TEST(VerifierInterproc, TeamBarrierInDualContextFunctionRejected) {
+  // g holds a TeamBarrier and is reachable both from an omp body (has a
+  // team) and from the entry via Call (teamless: the barrier would
+  // silently no-op there while the team side synchronizes).
+  BCModule m;
+  BCFunction f;
+  f.name = "f";
+  f.numRegs = 1;
+  Closure c;
+  c.fnIndex = 1;
+  f.closures.push_back(c);
+  f.instrs = {ins(BC::ParallelOmp, 0, 0, 0, 0, /*imm=*/0),
+              ins(BC::Call, 0, /*b=*/0, /*c=*/0, /*d=*/0, /*imm=*/2),
+              ins(BC::Ret)};
+  BCFunction body;
+  body.name = "<closure>";
+  body.numRegs = 1;
+  body.instrs = {ins(BC::Call, 0, /*b=*/0, /*c=*/0, /*d=*/0, /*imm=*/2),
+                 ins(BC::Ret)};
+  BCFunction g;
+  g.name = "g";
+  g.numRegs = 1;
+  g.instrs = {ins(BC::TeamBarrier), ins(BC::Ret)};
+  m.byName["f"] = 0;
+  m.byName["g"] = 2;
+  m.fns.push_back(std::move(f));
+  m.fns.push_back(std::move(body));
+  m.fns.push_back(std::move(g));
+  VerifyResult r = verifyModule(m);
+  expectError(r, 0, "reachable from both a team (omp) context", "g");
+}
+
+TEST(VerifierInterproc, CalledMemrefHelperStillVerifiesClean) {
+  // The benign counterpart: a helper receiving a real memref from its
+  // call site dereferences it — clean, with the rank statically checked
+  // from the propagated typestate.
+  BCModule m;
+  BCFunction f;
+  f.name = "f";
+  f.numRegs = 1;
+  f.shapes.push_back({TypeKind::F32, {4}});
+  f.extras = {0};
+  f.instrs = {ins(BC::Alloca, 0, /*b=*/0, /*c=*/0, /*d=*/0, /*imm=*/0),
+              ins(BC::Call, 0, /*b=*/0, /*c=*/1, /*d=*/0, /*imm=*/1),
+              ins(BC::Ret)};
+  BCFunction g;
+  g.name = "g";
+  g.numRegs = 3;
+  g.numArgs = 1;
+  g.extras = {1};
+  g.instrs = {ins(BC::ConstI, 0, 0, 0, /*d=*/1, 0),
+              ins(BC::Load, /*a=*/0, /*b=*/0, /*c=*/1, /*d=*/2),
+              ins(BC::Ret)};
+  m.byName["f"] = 0;
+  m.byName["g"] = 1;
+  m.fns.push_back(std::move(f));
+  m.fns.push_back(std::move(g));
+  VerifyResult r = verifyModule(m);
+  EXPECT_TRUE(r.ok()) << r.str();
+}
+
+//===----------------------------------------------------------------------===//
 // VerifiedModule token + metrics
 //===----------------------------------------------------------------------===//
 

@@ -340,6 +340,22 @@ TEST(ArenaTest, RecycledDescriptorIsReset) {
   EXPECT_EQ(d2->data, nullptr);
 }
 
+TEST(ArenaTest, RecycledBufferIsZeroed) {
+  // allocate() contract: zeroed storage on every iteration, recycled or
+  // fresh — iteration N must observe exactly what iteration 1 did.
+  vm::Arena arena;
+  vm::Arena::Mark m = arena.mark();
+  char *buf = arena.allocate(64);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(buf[i], 0) << "fresh buffer byte " << i;
+  std::memset(buf, 0xAB, 64);
+  arena.release(m);
+  char *again = arena.allocate(64);
+  ASSERT_EQ(again, buf);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(again[i], 0) << "recycled buffer byte " << i;
+}
+
 TEST(ArenaTest, BufferRegrowsInPlaceForLargerRequest) {
   vm::Arena arena;
   vm::Arena::Mark m = arena.mark();
