@@ -4,11 +4,13 @@
 // --json=FILE additionally emits a machine-readable BENCH_compile.json
 // (suite latency per scheduler and thread count, mean/median/p95
 // job-completion latency, keying time, arena parse/clone/teardown cost,
-// cache stats, tracing-disabled vs -enabled overhead, and a
-// MetricsRegistry snapshot) so the perf trajectory is tracked across PRs.
+// cache stats, tracing-disabled vs -enabled overhead, failpoint
+// disarmed vs armed-inert overhead, and a MetricsRegistry snapshot) so
+// the perf trajectory is tracked across PRs.
 #include "bench_common.h"
 
 #include "ir/parser.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -299,6 +301,56 @@ void printTracingOverhead(const TracingOverhead &t) {
               t.enabledWall, t.overheadPct);
 }
 
+/// Wall clock of one 4-thread DAG suite batch with failpoints disarmed
+/// (the default: every site is one relaxed atomic load) vs armed with
+/// an inert spec (probability-0 trigger on the hottest site, so the
+/// slow-path site lookup runs on every pass but no fault ever fires).
+/// The disarmed arm is the always-on cost of the instrumentation and
+/// must stay within noise of a build without it.
+struct FailpointOverhead {
+  double disarmedWall = 0;
+  double armedWall = 0;
+  double overheadPct = 0;
+};
+
+FailpointOverhead measureFailpointOverhead() {
+  // Same paired-rep methodology as measureTracingOverhead: median of
+  // per-rep ratios cancels machine drift.
+  constexpr int kReps = 7;
+  FailpointOverhead t;
+  t.disarmedWall = std::numeric_limits<double>::infinity();
+  t.armedWall = std::numeric_limits<double>::infinity();
+  std::vector<double> ratios;
+  for (int i = 0; i < kReps; ++i) {
+    failpoint::clearAll();
+    double off = measureSuiteSession(4, driver::ScheduleMode::Dag).wallSeconds;
+    std::string err;
+    if (!failpoint::configure("pass.run=error:0,0.0", &err)) {
+      std::fprintf(stderr, "bench_compile: failpoint spec rejected: %s\n",
+                   err.c_str());
+      break;
+    }
+    double on = measureSuiteSession(4, driver::ScheduleMode::Dag).wallSeconds;
+    failpoint::clearAll();
+    t.disarmedWall = std::min(t.disarmedWall, off);
+    t.armedWall = std::min(t.armedWall, on);
+    if (off > 0)
+      ratios.push_back(on / off);
+  }
+  if (!ratios.empty()) {
+    std::sort(ratios.begin(), ratios.end());
+    t.overheadPct = 100.0 * (ratios[ratios.size() / 2] - 1.0);
+  }
+  return t;
+}
+
+void printFailpointOverhead(const FailpointOverhead &t) {
+  std::printf("\n=== Failpoint overhead (4-thread DAG suite batch) ===\n\n");
+  std::printf("  failpoints disarmed    : %10.4f s\n", t.disarmedWall);
+  std::printf("  armed, inert spec      : %10.4f s  (%+.1f%% median paired)\n",
+              t.armedWall, t.overheadPct);
+}
+
 /// Cold-populate cache behavior of one DAG suite batch (hits include
 /// in-batch dedup of kernels shared across modules).
 transforms::PassResultCache::StatsSnapshot measureCacheStats() {
@@ -314,7 +366,7 @@ void writeJson(const std::string &path,
                const std::vector<SchedulerRow> &rows, const KeyingTimes &k,
                const IrMemoryTimes &im,
                const transforms::PassResultCache::StatsSnapshot &cs,
-               const TracingOverhead &to) {
+               const TracingOverhead &to, const FailpointOverhead &fo) {
   std::FILE *f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "bench_compile: cannot write '%s'\n", path.c_str());
@@ -374,6 +426,11 @@ void writeJson(const std::string &path,
                "  \"tracing\": {\"disabled_wall_s\": %.6f, "
                "\"enabled_wall_s\": %.6f, \"enabled_overhead_pct\": %.2f},\n",
                to.disabledWall, to.enabledWall, to.overheadPct);
+  std::fprintf(f,
+               "  \"failpoints\": {\"disarmed_wall_s\": %.6f, "
+               "\"armed_inert_wall_s\": %.6f, "
+               "\"armed_overhead_pct\": %.2f},\n",
+               fo.disarmedWall, fo.armedWall, fo.overheadPct);
   // Process-wide registry snapshot over everything this run compiled:
   // the trajectory of scheduler/cache/arena activity across PRs.
   const auto &reg = metrics::MetricsRegistry::instance();
@@ -434,7 +491,10 @@ int main(int argc, char **argv) {
   printIrMemory(irMem);
   TracingOverhead tracing = measureTracingOverhead();
   printTracingOverhead(tracing);
+  FailpointOverhead failpoints = measureFailpointOverhead();
+  printFailpointOverhead(failpoints);
   if (!jsonPath.empty())
-    writeJson(jsonPath, rows, keying, irMem, measureCacheStats(), tracing);
+    writeJson(jsonPath, rows, keying, irMem, measureCacheStats(), tracing,
+              failpoints);
   return 0;
 }

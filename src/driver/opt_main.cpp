@@ -11,6 +11,17 @@
 //                [--no-pass-cache] [--cache-stats]
 //                [--trace-json=FILE] [--metrics[=FILE]]
 //                [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]
+//                [--job-timeout=SECONDS] [--failpoints=SPEC]
+//
+// --job-timeout=SECONDS arms a per-module compile deadline: a module
+// that exceeds it fails with an attributed "deadline exceeded"
+// diagnostic while the rest of the batch completes (exit stays nonzero).
+// --failpoints=SPEC arms the deterministic fault-injection subsystem
+// (support/failpoint.h; same grammar as $PARALIFT_FAILPOINTS), e.g.
+// --failpoints='cache.disk.write=error;pass.run=throw:7,0.1'. Any
+// failure a fault provokes is contained to the affected module.
+// Infrastructure exceptions escaping the session entirely print a
+// "paralift-opt: fatal:" line and exit 3 instead of aborting.
 //
 // PIPELINE is a comma-separated list of registered pass names, each with
 // optional {key=value,...} parameters and (for repeat) a parenthesized
@@ -58,6 +69,7 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "transforms/registry.h"
 #include "vm/compile.h"
@@ -93,6 +105,7 @@ int usage(const char *argv0) {
       "       [--no-pass-cache] [--cache-stats]\n"
       "       [--trace-json=FILE] [--metrics[=FILE]]\n"
       "       [--print-ir-before[=PASS]] [--print-ir-after[=PASS]]\n"
+      "       [--job-timeout=SECONDS] [--failpoints=SPEC]\n"
       "\n"
       "PIPELINE example: 'inline,repeat{n=2}(canonicalize,cse),\n"
       "                   unroll{max-trip=16},cpuify{mincut=false}'\n"
@@ -129,9 +142,40 @@ long long parsePositive(const std::string &value) {
   }
 }
 
+/// Parses a strictly positive double; -1 on junk.
+double parsePositiveSeconds(const std::string &value) {
+  try {
+    size_t consumed = 0;
+    double d = std::stod(value, &consumed);
+    return (consumed == value.size() && d > 0) ? d : -1;
+  } catch (const std::exception &) {
+    return -1;
+  }
+}
+
+int optMain(int argc, char **argv);
+
 } // namespace
 
 int main(int argc, char **argv) {
+  // Top-level containment: per-job failures are already contained by the
+  // session, so anything reaching here is infrastructure trouble
+  // (bad_alloc, a filesystem surprise). Report and exit nonzero instead
+  // of std::terminate's abort + core.
+  try {
+    return optMain(argc, argv);
+  } catch (const std::exception &e) {
+    std::fprintf(stderr, "paralift-opt: fatal: %s\n", e.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "paralift-opt: fatal: non-standard exception\n");
+    return 3;
+  }
+}
+
+namespace {
+
+int optMain(int argc, char **argv) {
   std::vector<std::string> paths;
   std::string passes;
   bool cuda = false;
@@ -150,6 +194,7 @@ int main(int argc, char **argv) {
   bool printBefore = false, printAfter = false;
   std::string printBeforeFilter, printAfterFilter;
   unsigned pmThreads = 1;
+  double jobTimeoutSeconds = 0;
   driver::ScheduleMode schedule = driver::ScheduleMode::Dag;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -223,6 +268,22 @@ int main(int argc, char **argv) {
         return 2;
       }
       pmThreads = static_cast<unsigned>(n);
+    } else if (arg.rfind("--job-timeout=", 0) == 0) {
+      jobTimeoutSeconds = parsePositiveSeconds(arg.substr(14));
+      if (jobTimeoutSeconds < 0) {
+        std::fprintf(stderr,
+                     "error: invalid --job-timeout value '%s' (expected a "
+                     "positive seconds count)\n",
+                     arg.substr(14).c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--failpoints=", 0) == 0) {
+      std::string err;
+      if (!failpoint::configure(arg.substr(13), &err)) {
+        std::fprintf(stderr, "error: invalid --failpoints spec: %s\n",
+                     err.c_str());
+        return 2;
+      }
     } else if (arg.rfind("--pm-schedule=", 0) == 0) {
       std::string v = arg.substr(14);
       if (v == "dag") {
@@ -260,6 +321,7 @@ int main(int argc, char **argv) {
   driver::SessionOptions so;
   so.threads = pmThreads;
   so.schedule = schedule;
+  so.jobTimeoutSeconds = jobTimeoutSeconds;
   so.verifyEach = verifyEach;
   so.verifyAnalyses = verifyAnalyses;
   so.collectTiming = timing;
@@ -387,3 +449,5 @@ int main(int argc, char **argv) {
   }
   return rc;
 }
+
+} // namespace

@@ -2,6 +2,7 @@
 
 #include "ir/verifier.h"
 #include "runtime/thread_pool.h"
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 #include "transforms/pass_cache.h"
@@ -221,7 +222,21 @@ void CompilerSession::runFrontendOne(CompileJob &job) {
   trace::TraceSpan span(trace::enabled() ? "parse:" + job.name_
                                          : std::string(),
                         "frontend");
-  job.result_.module = frontend::compileToIR(job.source_, job.diag_);
+  // Parser containment: a throwing frontend (or an injected
+  // "parse.module" fault) fails this job with an attributed diagnostic;
+  // the rest of the batch parses and compiles normally.
+  try {
+    failpoint::evaluate("parse.module");
+    job.result_.module = frontend::compileToIR(job.source_, job.diag_);
+  } catch (const std::exception &e) {
+    job.diag_.error(SourceLoc(),
+                    "module parse threw: " + std::string(e.what()));
+    return;
+  } catch (...) {
+    job.diag_.error(SourceLoc(),
+                    "module parse threw a non-standard exception");
+    return;
+  }
   if (job.diag_.hasErrors())
     return;
   if (opts_.mode == SessionMode::Optimize) {
@@ -312,7 +327,28 @@ void CompilerSession::compileGroupPerModule(
       markDone(*job, false);
       continue;
     }
+    // This path runs whole pipelines per job, so cancellation/deadline
+    // is polled once per job, before its pipeline starts (see the
+    // "Failure semantics" header section).
+    std::string reason = job->cancel_.expiredReason();
+    if (!reason.empty()) {
+      job->diag_.error(SourceLoc(), reason + " before pipeline start");
+      markDone(*job, false);
+      continue;
+    }
     bool ok = pm.run(job->result_.module.get(), job->diag_);
+    if (ok && opts_.maxArenaBytesPerModule) {
+      uint64_t bytes =
+          job->result_.module.op()->arena().bytesAllocated();
+      if (bytes > opts_.maxArenaBytesPerModule) {
+        job->diag_.error(SourceLoc(),
+                         "IR arena limit exceeded (" +
+                             std::to_string(bytes) + " > " +
+                             std::to_string(opts_.maxArenaBytesPerModule) +
+                             " bytes) after pipeline");
+        ok = false;
+      }
+    }
     ok = finalVerify(pm, job->result_.module.get(), job->diag_, ok);
     markDone(*job, ok);
   }
@@ -337,6 +373,9 @@ void CompilerSession::compileGroupBatch(
   transforms::PassManager::BatchOptions bo;
   bo.verifyEach = opts_.verifyEach;
   bo.timing = opts_.collectTiming ? &timing_ : nullptr;
+  bo.maxArenaBytes = opts_.maxArenaBytesPerModule;
+  for (CompileJob *job : live)
+    bo.cancels.push_back(&job->cancel_);
   std::vector<char> oks = pm.runOnModules(modules, diags, bo);
   for (size_t i = 0; i < live.size(); ++i) {
     bool ok = finalVerify(pm, modules[i], *diags[i], oks[i] != 0);
@@ -349,6 +388,11 @@ bool CompilerSession::compileAll() {
   std::vector<CompileJob *> batch = takeQueued();
   if (!batch.empty()) {
     batchStart_ = std::chrono::steady_clock::now();
+    // Per-job deadlines run from batch start: "deadline exceeded after
+    // Ns" measures the same window latencySeconds() reports.
+    if (opts_.jobTimeoutSeconds > 0)
+      for (CompileJob *job : batch)
+        job->cancel_.setDeadline(opts_.jobTimeoutSeconds);
     // One async span per job, from batch admission to markDone — in the
     // trace these are the per-job "queue + compile" lifetimes that start
     // together and resolve incrementally under the DAG scheduler.
@@ -440,6 +484,9 @@ bool CompilerSession::compileAll() {
           transforms::PassManager::BatchOptions bo;
           bo.verifyEach = opts_.verifyEach;
           bo.timing = opts_.collectTiming ? &timing_ : nullptr;
+          bo.maxArenaBytes = opts_.maxArenaBytesPerModule;
+          for (CompileJob *job : group.jobs)
+            bo.cancels.push_back(&job->cancel_);
           transforms::PassManager *pmPtr = &pm;
           std::vector<CompileJob *> groupJobs = group.jobs;
           bo.onModuleDone = [this, pmPtr, groupJobs](size_t idx, bool ok) {
@@ -458,6 +505,24 @@ bool CompilerSession::compileAll() {
               pm.scheduleBatch(sched, std::move(items), std::move(bo)));
         }
         sched.run();
+        // Containment sweep: a task chain severed mid-batch (an
+        // exception contained by the scheduler's worker loop, e.g. an
+        // injected "scheduler.task" fault) leaves its job un-resolved
+        // even though run() drained. Every future must resolve, so any
+        // job still not Done here failed — attribute and mark it.
+        for (CompileJob *job : batch) {
+          bool done;
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done = job->state_ == CompileJob::State::Done;
+          }
+          if (!done) {
+            job->diag_.error(SourceLoc(),
+                             "compile task aborted before completion "
+                             "(exception contained by the scheduler)");
+            markDone(*job, false);
+          }
+        }
         if (opts_.collectTiming)
           for (auto &state : states)
             state->foldTimingInto(timing_);

@@ -96,6 +96,51 @@
 //    disabled (the default), instrumentation costs one relaxed atomic
 //    load per site — the recorder is compiled in but never buffers.
 //
+// Failure semantics
+// -----------------
+// The session is the process's failure-containment boundary; the
+// guarantees below are what the fault-injection soak (tests/test_faults)
+// asserts, and what an embedding daemon may rely on:
+//
+//  - Job vs batch vs process. Any failure inside one job's compile — a
+//    frontend error, a throwing pass, a verifier rejection, an injected
+//    fault (support/failpoint.h), a breached arena cap, a cancelled or
+//    timed-out token — fails *that job only*: its future resolves with
+//    ok() == false and at least one diagnostic attributing the failure
+//    (module name, failing pass or stage, reason). The rest of the batch
+//    compiles normally, every CompileJob::wait() returns, compileAll()
+//    returns, and the process never terminates on a job failure.
+//    Exceptions escaping a scheduler task are additionally contained by
+//    the worker loop itself (scheduler.task_exceptions metric); any job
+//    whose task chain was severed that way is swept and marked failed
+//    when the batch drains, so futures still resolve.
+//
+//  - Cancellation and deadlines. CompileJob::cancel() requests
+//    cooperative cancellation; SessionOptions::jobTimeoutSeconds arms a
+//    per-job deadline at batch start. Both are polled at pass/step
+//    boundaries only — the pass currently executing always finishes, so
+//    IR, cache, and in-flight claims stay consistent; the job then fails
+//    with "cancelled ..." or "deadline exceeded after Ns in pass P"
+//    before its next pass. A compile that is between passes reacts
+//    within one step; one stuck *inside* a pass is not interrupted
+//    (cooperative, not preemptive). The per-module instrumentation path
+//    (verifyAnalyses / configurePassManager) polls once per job, before
+//    its pipeline starts.
+//
+//  - Cache degradation. Disk trouble in the pass cache (unwritable or
+//    unreadable entries, ENOSPC) is retried once with a short backoff,
+//    then demotes the cache to memory-only for the rest of its life:
+//    compiles keep succeeding, they just stop replaying/persisting
+//    across processes ("cache.disk.disabled" metric, stderr warning,
+//    PassResultCache::diskDemoted()). Corrupt or truncated entries are
+//    plain misses — re-verified keys and payload hashing mean a bad
+//    entry can never replay wrong IR.
+//
+//  - Memory bounds. SessionOptions::maxArenaBytesPerModule caps each
+//    job's IR arena; a module whose arena exceeds the cap after a pass
+//    fails with a per-job OOM diagnostic ("IR arena limit exceeded")
+//    instead of growing until the kernel OOM-kills the process.
+//
 //  - Metrics. A process-wide MetricsRegistry aggregates named counters,
 //    gauges, and log2-bucket latency histograms across every subsystem:
 //    "cache.*" (hits/misses/stores/waits/disk/evictions), "scheduler.*"
@@ -174,6 +219,16 @@ struct SessionOptions {
   /// Also collect pass statistics needing extra IR walks
   /// (statisticsStr()).
   bool collectStatistics = false;
+
+  /// Per-job compile deadline in seconds, armed when the batch starts
+  /// compiling; 0 disables. A job that exceeds it fails with "deadline
+  /// exceeded after Ns in pass P" at its next pass/step boundary while
+  /// the rest of the batch completes normally (see "Failure semantics").
+  /// (--job-timeout at the CLI.)
+  double jobTimeoutSeconds = 0;
+  /// Per-module IR-arena byte cap; a job whose module arena exceeds it
+  /// after a pass fails with a clean per-job OOM diagnostic. 0 = off.
+  uint64_t maxArenaBytesPerModule = 0;
 
   // Cache resolution, first match wins:
   //   1. `cache`     — caller-owned, shareable across sessions;
@@ -264,6 +319,19 @@ public:
   /// under Lockstep every job's latency is ~the batch wall time.
   double latencySeconds();
 
+  /// Requests cooperative cancellation of this job (thread-safe,
+  /// idempotent, callable mid-batch from any thread). The job stops at
+  /// its next pass/step boundary and fails with a "cancelled" diagnostic;
+  /// a job cancelled before its batch starts never runs a pass. Other
+  /// jobs are unaffected. No-op once the job is Done.
+  void cancel() { cancel_.cancel(); }
+  /// This job's cancellation/deadline token (see
+  /// transforms::CancellationToken); the session arms its deadline from
+  /// SessionOptions::jobTimeoutSeconds at batch start.
+  const transforms::CancellationToken &cancellation() const {
+    return cancel_;
+  }
+
 private:
   friend class CompilerSession;
   enum class State { Queued, Compiling, Done };
@@ -273,6 +341,7 @@ private:
   std::string source_;               ///< empty for addModule jobs
   bool preparsed_ = false;           ///< addModule: skip the frontend
   transforms::PipelineOptions pipelineOpts_;
+  transforms::CancellationToken cancel_;
   DiagnosticEngine diag_;
   CompileResult result_;
   bool frontendOk_ = false;

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -142,6 +143,7 @@ struct SchedCounters {
   metrics::Counter &injects;
   metrics::Counter &parks;
   metrics::Counter &idleWakeups;
+  metrics::Counter &taskExceptions;
 };
 
 SchedCounters &schedCounters() {
@@ -149,7 +151,8 @@ SchedCounters &schedCounters() {
   static SchedCounters *c = new SchedCounters{
       reg.counter("scheduler.tasks"), reg.counter("scheduler.steals"),
       reg.counter("scheduler.injects"), reg.counter("scheduler.parks"),
-      reg.counter("scheduler.idle_wakeups")};
+      reg.counter("scheduler.idle_wakeups"),
+      reg.counter("scheduler.task_exceptions")};
   return *c;
 }
 } // namespace
@@ -243,7 +246,27 @@ void TaskScheduler::workerLoop(unsigned self) {
         trace::TraceSpan span("task", "sched");
         if (stolen)
           span.annotate("origin", "stolen");
-        task(self);
+        // Last-line containment: an exception escaping a task must not
+        // unwind into the worker loop (std::terminate kills every
+        // in-flight job) and must not skip the pending_ decrement below
+        // (run() would never return). Batch tasks catch at the job
+        // boundary themselves; this only covers a missed site.
+        try {
+          failpoint::evaluate("scheduler.task");
+          task(self);
+        } catch (const std::exception &e) {
+          span.annotate("error", "exception");
+          taskExceptions_.fetch_add(1, std::memory_order_relaxed);
+          schedCounters().taskExceptions.add();
+          if (onTaskException_)
+            onTaskException_(e.what());
+        } catch (...) {
+          span.annotate("error", "exception");
+          taskExceptions_.fetch_add(1, std::memory_order_relaxed);
+          schedCounters().taskExceptions.add();
+          if (onTaskException_)
+            onTaskException_("");
+        }
       }
       tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
       schedCounters().tasks.add();
@@ -276,6 +299,7 @@ TaskScheduler::Stats TaskScheduler::stats() const {
   s.injects = injects_.load(std::memory_order_relaxed);
   s.parks = parks_.load(std::memory_order_relaxed);
   s.idleWakeups = idleWakeups_.load(std::memory_order_relaxed);
+  s.taskExceptions = taskExceptions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -134,13 +134,26 @@ public:
   /// lifetime. The same figures feed the process-wide MetricsRegistry
   /// ("scheduler.*"), where they aggregate across schedulers.
   struct Stats {
-    uint64_t tasksExecuted = 0; ///< tasks run to completion
-    uint64_t steals = 0;        ///< takes from a sibling's deque
-    uint64_t injects = 0;       ///< spawns from outside any worker
-    uint64_t parks = 0;         ///< idle waits on the condition variable
-    uint64_t idleWakeups = 0;   ///< parks that woke to find work
+    uint64_t tasksExecuted = 0;  ///< tasks run to completion
+    uint64_t steals = 0;         ///< takes from a sibling's deque
+    uint64_t injects = 0;        ///< spawns from outside any worker
+    uint64_t parks = 0;          ///< idle waits on the condition variable
+    uint64_t idleWakeups = 0;    ///< parks that woke to find work
+    uint64_t taskExceptions = 0; ///< tasks that exited via exception
   };
   Stats stats() const;
+
+  /// Last-line containment: a task lambda that exits via exception is
+  /// swallowed here (counted in Stats::taskExceptions and the
+  /// "scheduler.task_exceptions" metric) instead of unwinding into the
+  /// worker loop and calling std::terminate. Failure *attribution* is the
+  /// spawner's job — batch tasks catch at the job boundary and record a
+  /// diagnostic; this hook only guarantees the scheduler and its pending
+  /// count survive a missed catch. The handler runs on the throwing
+  /// worker with the exception message (or "" for non-std exceptions).
+  void setExceptionHandler(std::function<void(const char *)> handler) {
+    onTaskException_ = std::move(handler);
+  }
 
 private:
   struct WorkerQueue {
@@ -167,6 +180,8 @@ private:
   std::atomic<uint64_t> injects_{0};
   std::atomic<uint64_t> parks_{0};
   std::atomic<uint64_t> idleWakeups_{0};
+  std::atomic<uint64_t> taskExceptions_{0};
+  std::function<void(const char *)> onTaskException_;
 };
 
 /// A serial dispatch queue in the style of Grand Central Dispatch, used by

@@ -1,0 +1,228 @@
+#include "support/failpoint.h"
+
+#include "support/metrics.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paralift::failpoint {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}
+
+namespace {
+
+enum class Mode { Throw, Error, Delay, PartialWrite };
+
+struct Site {
+  std::string name;
+  Mode mode = Mode::Error;
+  uint64_t delayMs = 0; // Delay mode
+  uint64_t seed = 0;
+  // Trigger: every `nth` hit when nth > 0, else probability `prob`.
+  uint64_t nth = 1;
+  double prob = 0.0;
+  std::atomic<uint64_t> hits{0};
+  metrics::Counter *triggered = nullptr; // resolved once at configure()
+};
+
+struct Config {
+  std::mutex mutex;
+  // Stable node addresses: evaluateSlow holds the mutex only to find the
+  // site, then works on the node (hits is atomic).
+  std::map<std::string, std::unique_ptr<Site>, std::less<>> sites;
+};
+
+Config &config() {
+  static Config *c = new Config;
+  return *c;
+}
+
+// SplitMix64 — a well-mixed pure function of (seed, hit index) so
+// probability triggering is reproducible run to run.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool parseUint(std::string_view s, uint64_t &out) {
+  if (s.empty())
+    return false;
+  out = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9')
+      return false;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return true;
+}
+
+bool parseEntry(std::string_view entry, Site &site, std::string &err) {
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    err = "expected site=mode in '" + std::string(entry) + "'";
+    return false;
+  }
+  site.name = std::string(entry.substr(0, eq));
+  std::string_view rhs = entry.substr(eq + 1);
+
+  std::string_view modeStr = rhs;
+  std::string_view trig;
+  if (size_t colon = rhs.find(':'); colon != std::string_view::npos) {
+    modeStr = rhs.substr(0, colon);
+    trig = rhs.substr(colon + 1);
+  }
+
+  if (modeStr == "throw") {
+    site.mode = Mode::Throw;
+  } else if (modeStr == "error") {
+    site.mode = Mode::Error;
+  } else if (modeStr == "partial-write") {
+    site.mode = Mode::PartialWrite;
+  } else if (modeStr.rfind("delay(", 0) == 0 && modeStr.back() == ')') {
+    site.mode = Mode::Delay;
+    if (!parseUint(modeStr.substr(6, modeStr.size() - 7), site.delayMs)) {
+      err = "bad delay milliseconds in '" + std::string(modeStr) + "'";
+      return false;
+    }
+  } else {
+    err = "unknown failpoint mode '" + std::string(modeStr) + "'";
+    return false;
+  }
+
+  if (trig.empty())
+    return true; // default: seed 0, fire on every hit
+  size_t comma = trig.find(',');
+  if (comma == std::string_view::npos) {
+    err = "expected seed,trigger after ':' in '" + std::string(entry) + "'";
+    return false;
+  }
+  if (!parseUint(trig.substr(0, comma), site.seed)) {
+    err = "bad seed in '" + std::string(entry) + "'";
+    return false;
+  }
+  std::string_view t = trig.substr(comma + 1);
+  if (t.find('.') != std::string_view::npos) {
+    site.nth = 0;
+    std::string ts(t);
+    char *end = nullptr;
+    site.prob = std::strtod(ts.c_str(), &end);
+    if (end != ts.c_str() + ts.size() || site.prob < 0.0 ||
+        site.prob >= 1.0) {
+      err = "probability must be in [0,1) in '" + std::string(entry) + "'";
+      return false;
+    }
+  } else if (!parseUint(t, site.nth) || site.nth == 0) {
+    err = "trigger must be a period >= 1 or a probability in '" +
+          std::string(entry) + "'";
+    return false;
+  }
+  return true;
+}
+
+// Arms failpoints from $PARALIFT_FAILPOINTS on first use, mirroring
+// $PARALIFT_TRACE. Errors in the env spec go to stderr rather than
+// aborting the process.
+struct EnvInit {
+  EnvInit() {
+    if (const char *spec = std::getenv("PARALIFT_FAILPOINTS")) {
+      std::string err;
+      if (!configure(spec, &err))
+        std::fprintf(stderr, "paralift: ignoring $PARALIFT_FAILPOINTS: %s\n",
+                     err.c_str());
+    }
+  }
+};
+EnvInit envInit;
+
+} // namespace
+
+bool configure(const std::string &spec, std::string *err) {
+  std::map<std::string, std::unique_ptr<Site>, std::less<>> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t semi = spec.find(';', pos);
+    if (semi == std::string::npos)
+      semi = spec.size();
+    std::string_view entry(spec.data() + pos, semi - pos);
+    // Trim surrounding spaces.
+    while (!entry.empty() && entry.front() == ' ')
+      entry.remove_prefix(1);
+    while (!entry.empty() && entry.back() == ' ')
+      entry.remove_suffix(1);
+    if (!entry.empty()) {
+      auto site = std::make_unique<Site>();
+      std::string e;
+      if (!parseEntry(entry, *site, e)) {
+        if (err)
+          *err = e;
+        return false;
+      }
+      site->triggered = &metrics::MetricsRegistry::instance().counter(
+          "failpoint.triggered." + site->name);
+      parsed[site->name] = std::move(site);
+    }
+    pos = semi + 1;
+  }
+
+  Config &c = config();
+  std::scoped_lock lock(c.mutex);
+  c.sites = std::move(parsed);
+  detail::g_armed.store(!c.sites.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void clearAll() {
+  Config &c = config();
+  std::scoped_lock lock(c.mutex);
+  c.sites.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+Action evaluateSlow(std::string_view site) {
+  Site *s = nullptr;
+  {
+    Config &c = config();
+    std::scoped_lock lock(c.mutex);
+    auto it = c.sites.find(site);
+    if (it == c.sites.end())
+      return Action::None;
+    s = it->second.get();
+  }
+  // Hit indices are handed out atomically: the set of triggered indices
+  // is a pure function of (seed, trigger), whichever thread draws them.
+  uint64_t hit = s->hits.fetch_add(1, std::memory_order_relaxed);
+  bool fire;
+  if (s->nth > 0)
+    fire = hit % s->nth == 0;
+  else
+    fire = static_cast<double>(mix64(s->seed ^ mix64(hit)) >> 11) *
+               0x1.0p-53 <
+           s->prob;
+  if (!fire)
+    return Action::None;
+
+  s->triggered->add();
+  switch (s->mode) {
+  case Mode::Throw:
+    throw InjectedFault(s->name);
+  case Mode::Delay:
+    std::this_thread::sleep_for(std::chrono::milliseconds(s->delayMs));
+    return Action::None;
+  case Mode::Error:
+    return Action::Error;
+  case Mode::PartialWrite:
+    return Action::PartialWrite;
+  }
+  return Action::None;
+}
+
+} // namespace paralift::failpoint

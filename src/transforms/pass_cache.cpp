@@ -1,9 +1,11 @@
 #include "transforms/pass_cache.h"
 
+#include "support/failpoint.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -74,10 +76,20 @@ uint64_t PassResultCache::diskLimitBytes() const {
   return diskLimitBytes_;
 }
 
+void PassResultCache::disableDisk(const char *reason) {
+  if (diskDisabled_.exchange(true, std::memory_order_relaxed))
+    return;
+  metrics::MetricsRegistry::instance().counter("cache.disk.disabled").add();
+  std::fprintf(stderr,
+               "paralift: warning: pass cache demoted to memory-only "
+               "(%s); dir=%s\n",
+               reason, dir_.c_str());
+}
+
 PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
   EvictionStats out;
   uint64_t limit = diskLimitBytes();
-  if (dir_.empty() || limit == 0)
+  if (!diskEnabled() || limit == 0)
     return out;
   trace::TraceSpan span("cache:evict", "cache");
   bytesSinceSweep_.store(0, std::memory_order_relaxed);
@@ -126,7 +138,7 @@ PassResultCache::EvictionStats PassResultCache::evictToDiskLimit() {
 
 void PassResultCache::maybeAutoEvict(uint64_t bytesJustWritten) {
   uint64_t limit = diskLimitBytes();
-  if (dir_.empty() || limit == 0)
+  if (!diskEnabled() || limit == 0)
     return;
   uint64_t pending = bytesSinceSweep_.fetch_add(bytesJustWritten,
                                                 std::memory_order_relaxed) +
@@ -196,7 +208,7 @@ PassResultCache::lookup(const Hash128 &input, const std::string &spec) {
   }
   // Disk I/O happens outside the lock so --pm-threads workers hitting
   // memory entries never queue behind a file read.
-  if (!dir_.empty()) {
+  if (diskEnabled()) {
     if (auto fromDisk = loadFromDisk(key, input, spec)) {
       // Refresh the entry's mtime: the eviction sweep is LRU-by-mtime,
       // and a disk hit is a use. (Memory hits were either stored or
@@ -253,7 +265,7 @@ PassResultCache::acquire(const Hash128 &input, const std::string &spec,
       return out;
     }
   }
-  if (!dir_.empty()) {
+  if (diskEnabled()) {
     if (auto fromDisk = loadFromDisk(key, input, spec)) {
       std::error_code ec;
       std::filesystem::last_write_time(
@@ -317,9 +329,21 @@ void PassResultCache::store(const Hash128 &input, const std::string &spec,
   // Write the file outside the lock (the temp+rename protocol already
   // tolerates concurrent writers of one key; same key implies same
   // value for deterministic passes).
-  if (!dir_.empty())
-    if (uint64_t written = writeToDisk(key, input, spec, entry))
+  if (diskEnabled()) {
+    uint64_t written = writeToDisk(key, input, spec, entry);
+    if (!written) {
+      // ENOSPC, unwritable dir, rename failure (or an injected fault):
+      // retry once after a short backoff — transient pressure often
+      // clears — then demote to memory-only. Cache trouble degrades
+      // performance, never jobs.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      written = writeToDisk(key, input, spec, entry);
+      if (!written)
+        disableDisk("disk write failed twice");
+    }
+    if (written)
       maybeAutoEvict(written);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.stores;
   cacheCounters().stores.add();
@@ -344,6 +368,18 @@ void PassResultCache::store(const Hash128 &input, const std::string &spec,
 std::optional<PassResultCache::Entry>
 PassResultCache::loadFromDisk(const Hash128 &key, const Hash128 &input,
                               const std::string &spec) {
+  // Injected IO error (a real one would be an open/read failing with
+  // errno set, which the stream API folds into "no entry"): retry once
+  // after a short backoff, then demote to memory-only. Corrupt *content*
+  // below is deliberately not a demotion — one bad file is a miss, not
+  // evidence the disk is failing.
+  if (failpoint::shouldFail("cache.disk.read")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (failpoint::shouldFail("cache.disk.read")) {
+      disableDisk("disk read failed twice");
+      return std::nullopt;
+    }
+  }
   std::ifstream in(keyFile(key), std::ios::binary);
   if (!in)
     return std::nullopt;
@@ -405,6 +441,12 @@ uint64_t PassResultCache::writeToDisk(const Hash128 &key,
   trace::TraceSpan span("cache:disk-write", "cache");
   if (span.active())
     span.annotate("spec", spec);
+  // error = simulated ENOSPC (caller retries then demotes);
+  // partial-write = short payload that reports success here and
+  // surfaces on read-back as a text-hash mismatch (a miss).
+  failpoint::Action inject = failpoint::evaluate("cache.disk.write");
+  if (inject == failpoint::Action::Error)
+    return 0;
   std::string path = keyFile(key);
   // Unique temp name per process+thread+key (thread ids alone are not
   // unique across processes sharing one cache dir); rename is atomic on
@@ -428,7 +470,11 @@ uint64_t PassResultCache::writeToDisk(const Hash128 &key,
         out << (i ? "," : "") << entry.funcHashes[i].hex();
       out << "\n";
     }
-    out << "---\n" << entry.ir;
+    out << "---\n";
+    size_t irBytes = entry.ir.size();
+    if (inject == failpoint::Action::PartialWrite)
+      irBytes /= 2; // torn payload, "successful" write
+    out.write(entry.ir.data(), static_cast<std::streamsize>(irBytes));
     if (!out) {
       // Failed write (e.g. disk full): do not litter the shared dir.
       out.close();

@@ -95,6 +95,15 @@ public:
 
   const std::string &directory() const { return dir_; }
 
+  /// True once disk trouble (repeated read/write failure, e.g. ENOSPC)
+  /// has demoted this cache to memory-only for the rest of its life.
+  /// Demotion is a performance event, never a job failure: compiles
+  /// simply stop replaying/persisting across processes. Counted once in
+  /// the "cache.disk.disabled" metric and warned to stderr.
+  bool diskDemoted() const {
+    return diskDisabled_.load(std::memory_order_relaxed);
+  }
+
   // In-flight computation registry -------------------------------------------
   // In-batch dedup for concurrent schedulers (PassManager::scheduleBatch):
   // the first task to miss on a key claims it and computes; tasks
@@ -179,6 +188,10 @@ public:
 private:
   std::string keyFile(const Hash128 &key) const;
   static Hash128 keyHash(const Hash128 &input, const std::string &spec);
+  /// Disk is usable: a directory was configured and no demotion yet.
+  bool diskEnabled() const { return !dir_.empty() && !diskDemoted(); }
+  /// One-shot demotion to memory-only (idempotent, thread-safe).
+  void disableDisk(const char *reason);
   std::optional<Entry> loadFromDisk(const Hash128 &key, const Hash128 &input,
                                     const std::string &spec);
   /// Returns the bytes the entry file occupies on disk (header + payload),
@@ -207,6 +220,7 @@ private:
   uint64_t diskLimitBytes_ = 0;
   std::atomic<uint64_t> bytesSinceSweep_{0};
   std::atomic<bool> sweeping_{false};
+  std::atomic<bool> diskDisabled_{false};
 };
 
 } // namespace paralift::transforms

@@ -5,6 +5,7 @@
 #include "ir/printer.h"
 #include "ir/verifier.h"
 #include "runtime/thread_pool.h"
+#include "support/failpoint.h"
 #include "support/trace.h"
 
 #include <algorithm>
@@ -537,6 +538,79 @@ bool IRPrintInstrumentation::afterPass(const Pass &pass, ModuleOp module,
 }
 
 //===----------------------------------------------------------------------===//
+// CancellationToken
+//===----------------------------------------------------------------------===//
+
+namespace {
+int64_t steadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
+
+void CancellationToken::setDeadline(double seconds) {
+  if (seconds <= 0) {
+    deadlineNanos_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  timeoutSeconds_ = seconds;
+  deadlineNanos_.store(steadyNowNanos() +
+                           static_cast<int64_t>(seconds * 1e9),
+                       std::memory_order_relaxed);
+}
+
+bool CancellationToken::expired() const {
+  if (cancelled_.load(std::memory_order_relaxed))
+    return true;
+  int64_t deadline = deadlineNanos_.load(std::memory_order_relaxed);
+  return deadline != 0 && steadyNowNanos() >= deadline;
+}
+
+std::string CancellationToken::expiredReason() const {
+  if (cancelled_.load(std::memory_order_relaxed))
+    return "cancelled";
+  int64_t deadline = deadlineNanos_.load(std::memory_order_relaxed);
+  if (deadline != 0 && steadyNowNanos() >= deadline) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "deadline exceeded after %gs",
+                  timeoutSeconds_);
+    return buf;
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Pass-execution containment
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every pass-execution boundary goes through here: evaluates the
+/// "pass.run" failpoint, runs `body`, and converts any escaping
+/// exception into a structured diagnostic attributed to the pass — a
+/// throwing pass fails its module, never the batch or the process.
+/// Essential on pool/scheduler workers, where an uncaught exception
+/// would otherwise unwind into the worker loop.
+template <typename Fn>
+bool runPassContained(const std::string &passName, DiagnosticEngine &diag,
+                      Fn &&body) {
+  try {
+    failpoint::evaluate("pass.run");
+    return body();
+  } catch (const std::exception &e) {
+    diag.error(SourceLoc(),
+               "pass '" + passName + "' threw: " + e.what());
+  } catch (...) {
+    diag.error(SourceLoc(), "pass '" + passName +
+                                "' threw a non-standard exception");
+  }
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
 // PassManager
 //===----------------------------------------------------------------------===//
 
@@ -588,7 +662,9 @@ bool PassManager::runOnFunctions(FunctionPass &pass,
   if (!pool || funcs.size() < 2) {
     bool ok = true;
     for (ir::Op *func : funcs)
-      ok = pass.runOnFunction(func, diag) && ok;
+      ok = runPassContained(pass.name(), diag,
+                            [&] { return pass.runOnFunction(func, diag); }) &&
+           ok;
     return ok;
   }
 
@@ -605,7 +681,13 @@ bool PassManager::runOnFunctions(FunctionPass &pass,
   pool->parallel([&](unsigned, runtime::Team &) {
     for (size_t i = next.fetch_add(1); i < funcs.size();
          i = next.fetch_add(1))
-      localOk[i] = pass.runOnFunction(funcs[i], localDiags[i]) ? 1 : 0;
+      localOk[i] = runPassContained(pass.name(), localDiags[i],
+                                    [&, i] {
+                                      return pass.runOnFunction(
+                                          funcs[i], localDiags[i]);
+                                    })
+                       ? 1
+                       : 0;
   });
 
   bool ok = true;
@@ -768,7 +850,9 @@ bool PassManager::runPassCached(Pass &pass, ModuleOp module,
     cache_->notePassExecuted();
     scope.wholeModule = true;
     size_t errorsAtStart = diag.numErrors();
-    if (!pass.run(module, diag) || diag.numErrors() > errorsAtStart)
+    if (!runPassContained(pass.name(), diag,
+                          [&] { return pass.run(module, diag); }) ||
+        diag.numErrors() > errorsAtStart)
       return false;
     st.irHash.clear();
     PassResultCache::Entry entry;
@@ -898,7 +982,8 @@ bool PassManager::run(ModuleOp module, DiagnosticEngine &diag) {
           ok = runOnFunctions(static_cast<FunctionPass &>(*pass),
                               collectFuncs(module), diag, pool);
         else
-          ok = pass->run(module, diag);
+          ok = runPassContained(pass->name(), diag,
+                                [&] { return pass->run(module, diag); });
       }
     }
     // Reverse order so instrumentations nest (first installed =
@@ -1013,15 +1098,21 @@ void PassManager::runFunctionPassBatch(
   for (size_t k = 0; k < n; ++k)
     localDiags[k].setModuleName(diags[missed[k].mod]->moduleName());
   std::vector<char> localOk(n, 1);
+  auto runOne = [&](size_t k) {
+    return runPassContained(pass.name(), localDiags[k], [&] {
+             return pass.runOnFunction(missed[k].func, localDiags[k]);
+           })
+               ? 1
+               : 0;
+  };
   if (!pool || n < 2) {
     for (size_t k = 0; k < n; ++k)
-      localOk[k] = pass.runOnFunction(missed[k].func, localDiags[k]) ? 1 : 0;
+      localOk[k] = runOne(k);
   } else {
     std::atomic<size_t> next{0};
     pool->parallel([&](unsigned, runtime::Team &) {
       for (size_t k = next.fetch_add(1); k < n; k = next.fetch_add(1))
-        localOk[k] =
-            pass.runOnFunction(missed[k].func, localDiags[k]) ? 1 : 0;
+        localOk[k] = runOne(k);
     });
   }
   for (size_t k = 0; k < n; ++k) {
@@ -1059,7 +1150,8 @@ void PassManager::runFunctionPassBatch(
     size_t errorsBefore = diags[i]->numErrors();
     DiagnosticEngine local;
     local.setModuleName(diags[i]->moduleName());
-    bool itemOk = pass.runOnFunction(it.func, local);
+    bool itemOk = runPassContained(
+        pass.name(), local, [&] { return pass.runOnFunction(it.func, local); });
     diags[i]->mergeFrom(local);
     if (!itemOk || diags[i]->numErrors() > errorsBefore) {
       ok[i] = 0;
@@ -1137,6 +1229,19 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
   };
 
   for (auto &pass : passes_) {
+    // Cancellation/deadline poll at the pass boundary: an expired module
+    // drops out before this pass runs; the rest of the batch continues.
+    for (size_t i = 0; i < modules.size(); ++i) {
+      if (!ok[i] || i >= opts.cancels.size() || !opts.cancels[i])
+        continue;
+      std::string reason = opts.cancels[i]->expiredReason();
+      if (reason.empty())
+        continue;
+      diags[i]->error(SourceLoc(),
+                      reason + " in pass '" + pass->name() + "'");
+      ok[i] = 0;
+      materializeAll(modules[i], st[i]);
+    }
     pass->beginRun();
     uint64_t rssStart = 0;
     uint64_t arenaStart = 0;
@@ -1196,6 +1301,24 @@ PassManager::runOnModules(const std::vector<ModuleOp> &modules,
                                            "' broke invariant: " + e);
           ok[i] = 0;
         }
+      }
+    }
+
+    // Per-module arena cap: runaway IR growth becomes a clean per-job
+    // OOM failure, not process death.
+    if (opts.maxArenaBytes) {
+      for (size_t i = 0; i < modules.size(); ++i) {
+        if (!ok[i])
+          continue;
+        uint64_t bytes = modules[i].op->arena().bytesAllocated();
+        if (bytes <= opts.maxArenaBytes)
+          continue;
+        diags[i]->error(SourceLoc(),
+                        "IR arena limit exceeded (" + std::to_string(bytes) +
+                            " > " + std::to_string(opts.maxArenaBytes) +
+                            " bytes) after pass '" + pass->name() + "'");
+        ok[i] = 0;
+        materializeAll(modules[i], st[i]);
       }
     }
 
@@ -1339,12 +1462,50 @@ bool BatchDag::verifyAfter(size_t i, Pass &pass) {
   return ok;
 }
 
+bool BatchDag::checkJobLimits(size_t i, Pass &pass) {
+  Mod &m = *mods_[i];
+  if (i < opts_.cancels.size() && opts_.cancels[i]) {
+    std::string reason = opts_.cancels[i]->expiredReason();
+    if (!reason.empty()) {
+      m.diag->error(SourceLoc(),
+                    reason + " in pass '" + pass.name() + "'");
+      fail(i);
+      return true;
+    }
+  }
+  if (opts_.maxArenaBytes && m.module) {
+    uint64_t bytes = m.module->arena().bytesAllocated();
+    if (bytes > opts_.maxArenaBytes) {
+      m.diag->error(SourceLoc(),
+                    "IR arena limit exceeded (" + std::to_string(bytes) +
+                        " > " + std::to_string(opts_.maxArenaBytes) +
+                        " bytes) in pass '" + pass.name() + "'");
+      fail(i);
+      return true;
+    }
+  }
+  return false;
+}
+
 void BatchDag::startModule(size_t i, unsigned worker) {
   Mod &m = *mods_[i];
   {
     trace::TraceSpan span(spanName("start:", m.diag->moduleName()), "pm");
     if (m.prepare) {
-      auto parsed = m.prepare();
+      // The prepare hook crosses into frontend code on a scheduler
+      // worker; contain anything it throws as this module's parse
+      // failure (the session's own hook catches too — this covers
+      // callers that schedule batches directly).
+      std::optional<ModuleOp> parsed;
+      try {
+        parsed = m.prepare();
+      } catch (const std::exception &e) {
+        m.diag->error(SourceLoc(),
+                      std::string("module preparation threw: ") + e.what());
+      } catch (...) {
+        m.diag->error(SourceLoc(),
+                      "module preparation threw a non-standard exception");
+      }
       if (!parsed) {
         finish(i, false);
         return;
@@ -1371,12 +1532,36 @@ void BatchDag::advance(size_t i, unsigned worker) {
       return;
     }
     Pass &pass = *pm_.passes_[m.passIdx];
+    // Step boundary: cancellation/deadline and the arena cap are polled
+    // here, where no cache claims are held and the module is quiescent.
+    if (checkJobLimits(i, pass))
+      return;
     Step s;
     {
       trace::TraceSpan span(spanName("pass:", pass.name()), "pm");
-      s = pass.isFunctionPass()
-              ? runFunctionPass(i, static_cast<FunctionPass &>(pass), worker)
-              : runModulePass(i, pass, worker);
+      // Pass bodies are individually contained (runPassContained); this
+      // outer catch covers the step machinery itself — cache probes,
+      // materialization, hashing — so no exception ever unwinds into the
+      // scheduler's worker loop. Claims held by an interrupted scan may
+      // leak until end of batch (waiters then fail via the session's
+      // sweep); the batch itself always survives.
+      try {
+        s = pass.isFunctionPass()
+                ? runFunctionPass(i, static_cast<FunctionPass &>(pass),
+                                  worker)
+                : runModulePass(i, pass, worker);
+      } catch (const std::exception &e) {
+        m.diag->error(SourceLoc(), "pass step '" + pass.name() +
+                                       "' threw: " + e.what());
+        fail(i);
+        return;
+      } catch (...) {
+        m.diag->error(SourceLoc(),
+                      "pass step '" + pass.name() +
+                          "' threw a non-standard exception");
+        fail(i);
+        return;
+      }
       if (span.active()) {
         if (s == Step::Advanced)
           span.annotate("cache", m.stepExecuted ? "run" : "replay");
@@ -1454,7 +1639,8 @@ BatchDag::Step BatchDag::runModulePass(size_t i, Pass &pass,
   uint64_t rssStart = opts_.timing ? readPeakRssBytes() : 0;
   uint64_t arenaStart = module.op->arena().bytesAllocated();
   auto t0 = std::chrono::steady_clock::now();
-  bool okRun = pass.run(module, diag);
+  bool okRun = runPassContained(pass.name(), diag,
+                                [&] { return pass.run(module, diag); });
   double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -1649,8 +1835,12 @@ BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
         // approximate; the per-(module,pass) fold remains exact.
         uint64_t arenaStart = fan->items[k].func->arena().bytesAllocated();
         auto t0 = std::chrono::steady_clock::now();
-        fan->oks[k] = fan->pass->runOnFunction(fan->items[k].func,
-                                               fan->diags[k])
+        fan->oks[k] = runPassContained(fan->pass->name(), fan->diags[k],
+                                       [&] {
+                                         return fan->pass->runOnFunction(
+                                             fan->items[k].func,
+                                             fan->diags[k]);
+                                       })
                           ? 1
                           : 0;
         double secs = std::chrono::duration<double>(
@@ -1679,8 +1869,13 @@ BatchDag::Step BatchDag::executeMisses(size_t i, FunctionPass &pass,
     uint64_t rssStart = opts_.timing ? readPeakRssBytes() : 0;
     uint64_t arenaStart = fan->items[k].func->arena().bytesAllocated();
     auto t0 = std::chrono::steady_clock::now();
-    fan->oks[k] =
-        pass.runOnFunction(fan->items[k].func, fan->diags[k]) ? 1 : 0;
+    fan->oks[k] = runPassContained(pass.name(), fan->diags[k],
+                                   [&] {
+                                     return pass.runOnFunction(
+                                         fan->items[k].func, fan->diags[k]);
+                                   })
+                      ? 1
+                      : 0;
     double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

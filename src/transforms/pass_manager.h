@@ -394,6 +394,43 @@ private:
 };
 
 //===----------------------------------------------------------------------===//
+// CancellationToken
+//===----------------------------------------------------------------------===//
+
+/// Cooperative cancellation and deadline for one compile job. The batch
+/// schedulers (runOnModules / scheduleBatch) poll it at pass/step
+/// boundaries — an expired job fails with an attributed diagnostic
+/// ("cancelled ..." / "deadline exceeded after Ns in pass P") before its
+/// next pass starts; the pass currently executing is never interrupted
+/// mid-flight, so IR and cache state stay consistent. Thread-safe: any
+/// thread may cancel() while workers poll.
+class CancellationToken {
+public:
+  /// Requests cancellation. Idempotent.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelRequested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms a deadline `seconds` from now; seconds <= 0 disarms.
+  void setDeadline(double seconds);
+
+  /// True once cancel() was called or the armed deadline passed.
+  bool expired() const;
+
+  /// Why the job should stop: "cancelled" or "deadline exceeded after
+  /// <N>s"; empty while the job may keep running. Stable once non-empty
+  /// (deadlines never un-expire and cancel is one-way).
+  std::string expiredReason() const;
+
+private:
+  std::atomic<bool> cancelled_{false};
+  /// Steady-clock deadline in nanoseconds since epoch; 0 = disarmed.
+  std::atomic<int64_t> deadlineNanos_{0};
+  double timeoutSeconds_ = 0;
+};
+
+//===----------------------------------------------------------------------===//
 // PassManager
 //===----------------------------------------------------------------------===//
 
@@ -477,6 +514,15 @@ public:
     /// batch drains. This is what lets CompileJob futures resolve
     /// incrementally inside one batch.
     std::function<void(size_t index, bool ok)> onModuleDone;
+    /// Per-module cancellation/deadline tokens, parallel to the
+    /// modules/items vector (missing or null slots are never cancelled).
+    /// Polled before every pass/step; an expired module fails with the
+    /// token's reason attributed to the pass it would have run next.
+    std::vector<const CancellationToken *> cancels;
+    /// Per-module IR-arena byte cap; a module whose arena exceeds it
+    /// after a pass fails with a per-job OOM diagnostic instead of
+    /// growing until the process dies. 0 = unlimited.
+    uint64_t maxArenaBytes = 0;
   };
 
   /// One module of a DAG batch (scheduleBatch). Either `module` is a
@@ -685,6 +731,11 @@ private:
   /// results, advances the hash chain, and drains `remaining` (true).
   bool completeStep(size_t i, Fan &fan);
   bool verifyAfter(size_t i, Pass &pass);
+  /// Polls the module's cancellation token (before a step) or arena cap
+  /// (after); on violation records the diagnostic, fails the module, and
+  /// returns true (abort the chain). Called only between steps, where no
+  /// cache claims are held.
+  bool checkJobLimits(size_t i, Pass &pass);
   void finish(size_t i, bool ok);
   void fail(size_t i);
   void addSample(unsigned worker, size_t i, const std::string &spec,

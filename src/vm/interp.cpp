@@ -2,15 +2,35 @@
 
 #include "ir/op.h"
 #include "support/diagnostics.h"
+#include "support/failpoint.h"
+#include "support/metrics.h"
 
 #include <cmath>
 #include <cstring>
+#include <mutex>
+#include <stdexcept>
 
 namespace paralift::vm {
 
 using runtime::Team;
 
 namespace {
+
+/// A VM runtime trap: bounds/rank violation under boundsCheck, arena-cap
+/// breach, barrier misplacement. Thrown from the interpreter core,
+/// caught at the tryCall boundary and surfaced as CallResult::error —
+/// never an assert/abort, so a long-lived service survives hostile
+/// requests. call() re-establishes the legacy fatalError behavior on
+/// top of this.
+struct VmTrap : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+metrics::Counter &vmExecErrors() {
+  static metrics::Counter *c =
+      &metrics::MetricsRegistry::instance().counter("vm.exec.errors");
+  return *c;
+}
 
 int64_t cmpI(int64_t pred, int64_t a, int64_t b) {
   using ir::CmpIPred;
@@ -95,7 +115,21 @@ CallResult Interp::tryCall(const std::string &name, std::vector<Slot> args) {
   Arena arena;
   Ctx ctx;
   ctx.arena = &arena;
-  exec(*fn, regs.data(), ctx, &out.results);
+  // Trap boundary: anything the interpreter core throws (VmTrap, an
+  // injected "vm.exec" fault, a bad_alloc from a hostile shape) becomes
+  // a structured error on this result — the process survives.
+  try {
+    failpoint::evaluate("vm.exec");
+    exec(*fn, regs.data(), ctx, &out.results);
+  } catch (const std::exception &e) {
+    out.error = "trap in '" + name + "': " + e.what();
+    out.results.clear();
+    vmExecErrors().add();
+  } catch (...) {
+    out.error = "trap in '" + name + "': non-standard exception";
+    out.results.clear();
+    vmExecErrors().add();
+  }
   return out;
 }
 
@@ -115,6 +149,11 @@ MemRef *Interp::doAlloca(const BCFunction &fn, const Instr &in, Slot *regs,
   int64_t bytes = m->byteSize();
   // Arena::allocate returns zeroed storage (fresh and recycled alike).
   m->data = arena.allocate(static_cast<size_t>(std::max<int64_t>(bytes, 1)));
+  if (opts_.maxArenaBytes && arena.reservedBytes() > opts_.maxArenaBytes)
+    throw VmTrap("VM arena limit exceeded (" +
+                 std::to_string(arena.reservedBytes()) + " > " +
+                 std::to_string(opts_.maxArenaBytes) + " bytes) in " +
+                 fn.name);
   return m;
 }
 
@@ -209,14 +248,14 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
   case BC::Load: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
     if (opts_.boundsCheck && checkDescriptors_ && m.rank != in.c)
-      fatalError("load rank mismatch: " + std::to_string(in.c) +
+      throw VmTrap("load rank mismatch: " + std::to_string(in.c) +
                  " indices vs rank " + std::to_string(m.rank) + " in " +
                  fn.name);
     int64_t off = 0;
     for (int32_t i = 0; i < in.c; ++i) {
       int64_t idx = regs[fn.extras[in.b + i]].i;
       if (opts_.boundsCheck && (idx < 0 || idx >= m.sizes[i]))
-        fatalError("load index out of bounds: dim " + std::to_string(i) +
+        throw VmTrap("load index out of bounds: dim " + std::to_string(i) +
                    " idx " + std::to_string(idx) + " size " +
                    std::to_string(m.sizes[i]) + " in " + fn.name);
       off = off * m.sizes[i] + idx;
@@ -239,21 +278,21 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
       regs[in.d].i = m.data[off] != 0;
       break;
     default:
-      fatalError("bad load elem kind");
+      throw VmTrap("bad load elem kind");
     }
     break;
   }
   case BC::Store: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
     if (opts_.boundsCheck && checkDescriptors_ && m.rank != in.c)
-      fatalError("store rank mismatch: " + std::to_string(in.c) +
+      throw VmTrap("store rank mismatch: " + std::to_string(in.c) +
                  " indices vs rank " + std::to_string(m.rank) + " in " +
                  fn.name);
     int64_t off = 0;
     for (int32_t i = 0; i < in.c; ++i) {
       int64_t idx = regs[fn.extras[in.b + i]].i;
       if (opts_.boundsCheck && (idx < 0 || idx >= m.sizes[i]))
-        fatalError("store index out of bounds: dim " + std::to_string(i) +
+        throw VmTrap("store index out of bounds: dim " + std::to_string(i) +
                    " idx " + std::to_string(idx) + " size " +
                    std::to_string(m.sizes[i]) + " in " + fn.name);
       off = off * m.sizes[i] + idx;
@@ -278,7 +317,7 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
       m.data[off] = regs[in.d].i ? 1 : 0;
       break;
     default:
-      fatalError("bad store elem kind");
+      throw VmTrap("bad store elem kind");
     }
     break;
   }
@@ -286,7 +325,7 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
     if (opts_.boundsCheck && checkDescriptors_ &&
         (in.imm < 0 || in.imm >= m.rank))
-      fatalError("dim index " + std::to_string(in.imm) +
+      throw VmTrap("dim index " + std::to_string(in.imm) +
                  " out of range for rank " + std::to_string(m.rank) +
                  " in " + fn.name);
     regs[in.d].i = m.sizes[in.imm];
@@ -295,7 +334,7 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
   case BC::SubView: {
     const MemRef &m = *static_cast<MemRef *>(regs[in.a].p);
     if (opts_.boundsCheck && checkDescriptors_ && in.c > m.rank)
-      fatalError("subview rank mismatch: drops " + std::to_string(in.c) +
+      throw VmTrap("subview rank mismatch: drops " + std::to_string(in.c) +
                  " dims vs rank " + std::to_string(m.rank) + " in " +
                  fn.name);
     MemRef *v = ctx.arena->newDesc();
@@ -305,7 +344,7 @@ Interp::StepResult Interp::step(const BCFunction &fn, Slot *regs, Ctx &ctx,
     for (int32_t i = 0; i < in.c; ++i) {
       int64_t idx = regs[fn.extras[in.b + i]].i;
       if (opts_.boundsCheck && (idx < 0 || idx >= m.sizes[i]))
-        fatalError("subview index out of bounds");
+        throw VmTrap("subview index out of bounds");
       off = off * m.sizes[i] + idx;
     }
     int64_t inner = 1;
@@ -383,7 +422,7 @@ void Interp::exec(const BCFunction &fn, Slot *regs, Ctx &ctx,
     if (r == StepResult::Returned)
       return;
     if (r == StepResult::Barrier)
-      fatalError("polygeist.barrier outside lockstep execution; run "
+      throw VmTrap("polygeist.barrier outside lockstep execution; run "
                  "cpuify or use the SIMT executor");
   }
 }
@@ -397,6 +436,23 @@ void Interp::execParallelOmp(const BCFunction &fn, const Closure &c,
   for (int32_t r : c.captureRegs)
     captures.push_back(regs[r]);
   (void)fn;
+  // Per-thread trap containment: a trap must not unwind into the pool's
+  // worker loop (std::terminate); record the first one and re-surface it
+  // on the calling thread once the region joins, so it still reaches the
+  // tryCall boundary. Caveat: a trapped thread stops participating in
+  // team barriers, so bytecode with a barrier *after* the trap point can
+  // stall its siblings — acceptable for trap-on-hostile-input, which
+  // aborts the request anyway.
+  std::mutex trapMutex;
+  std::string trap;
+  bool trapped = false;
+  auto record = [&](const char *what) {
+    std::scoped_lock lock(trapMutex);
+    if (!trapped) {
+      trapped = true;
+      trap = what;
+    }
+  };
   pool_.parallel([&](unsigned tid, Team &team) {
     std::vector<Slot> frame(body.numRegs);
     std::copy(captures.begin(), captures.end(), frame.begin());
@@ -405,8 +461,16 @@ void Interp::execParallelOmp(const BCFunction &fn, const Closure &c,
     inner.team = &team;
     inner.tid = tid;
     inner.arena = &arena;
-    exec(body, frame.data(), inner, nullptr);
+    try {
+      exec(body, frame.data(), inner, nullptr);
+    } catch (const std::exception &e) {
+      record(e.what());
+    } catch (...) {
+      record("non-standard exception");
+    }
   });
+  if (trapped)
+    throw VmTrap(trap);
 }
 
 void Interp::execParallelScf(const BCFunction &fn, const Closure &c,

@@ -79,6 +79,7 @@ public:
       bufs_.emplace_back();
     Buf &b = bufs_[bufsUsed_++];
     if (b.cap < bytes) {
+      reserved_ += bytes - b.cap;
       b.data = std::make_unique<char[]>(bytes); // value-init: zeroed
       b.cap = bytes;
     } else if (bytes > 0) {
@@ -100,6 +101,9 @@ public:
   size_t liveBuffers() const { return bufsUsed_; }
   size_t pooledDescs() const { return descs_.size(); }
   size_t pooledBuffers() const { return bufs_.size(); }
+  /// Total buffer bytes this arena has reserved (monotonic; recycling
+  /// never shrinks it) — what ExecOptions::maxArenaBytes caps.
+  uint64_t reservedBytes() const { return reserved_; }
 
 private:
   struct Buf {
@@ -110,6 +114,7 @@ private:
   std::vector<Buf> bufs_;
   size_t descsUsed_ = 0;
   size_t bufsUsed_ = 0;
+  uint64_t reserved_ = 0;
 };
 
 struct ExecOptions {
@@ -118,11 +123,19 @@ struct ExecOptions {
   /// only needed for untrusted input; without one it also enables the
   /// descriptor sanity checks.
   bool boundsCheck = true;
+  /// Per-execution-arena byte cap (each serial run and each team/SIMT
+  /// thread context has its own arena). A breach traps — surfaced as a
+  /// CallResult error by tryCall — instead of allocating until the
+  /// process is OOM-killed. 0 = unlimited.
+  uint64_t maxArenaBytes = 0;
 };
 
 /// Outcome of Interp::tryCall: results on success, a non-empty error
-/// otherwise (unknown function, arity mismatch). Lets a long-lived server
-/// answer a bad request instead of aborting the process.
+/// otherwise — unknown function, arity mismatch, or a runtime trap
+/// (bounds/rank violation under boundsCheck, arena-cap breach, an
+/// injected "vm.exec" fault). Traps are counted in the "vm.exec.errors"
+/// metric. Lets a long-lived server answer a bad request instead of
+/// aborting the process.
 struct CallResult {
   std::vector<Slot> results;
   std::string error;
@@ -149,12 +162,17 @@ public:
 
   /// Calls a named function; args are pre-populated registers (scalars or
   /// MemRef* created via makeMemRef). Returns the function results.
-  /// Aborts via fatalError on an unknown name or arity mismatch — use
-  /// tryCall where the process must survive bad requests.
+  /// Aborts via fatalError on an unknown name, arity mismatch, or
+  /// runtime trap — use tryCall where the process must survive bad
+  /// requests.
   std::vector<Slot> call(const std::string &name, std::vector<Slot> args);
 
-  /// Like call(), but surfaces unknown-function and arity errors as a
-  /// structured CallResult instead of killing the process.
+  /// Like call(), but surfaces unknown-function/arity errors *and*
+  /// runtime traps (bounds violations under boundsCheck, arena-cap
+  /// breaches) as a structured CallResult instead of killing the
+  /// process. Traps unwind cleanly: team threads contain their own trap
+  /// and the first one is re-surfaced on the calling thread after the
+  /// parallel region joins.
   CallResult tryCall(const std::string &name, std::vector<Slot> args);
 
   /// Wraps an external buffer in a descriptor owned by this Interp (alive

@@ -9,13 +9,17 @@
 #include "ir/parser.h"
 #include "ir/printer.h"
 #include "rodinia/rodinia.h"
+#include "support/failpoint.h"
+#include "support/metrics.h"
 #include "transforms/pass_cache.h"
 #include "transforms/registry.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unistd.h>
 
 using namespace paralift;
@@ -687,4 +691,183 @@ TEST(PassCacheTest, MidPipelineInspectionSeesRealIRAndKeepsReplay) {
   EXPECT_NE(printed.find(afterCse), std::string::npos)
       << "instrumentation printed stale IR:\n"
       << printed;
+}
+
+//===----------------------------------------------------------------------===//
+// Disk fault matrix: corruption and IO-pressure scenarios, injected via
+// failpoints. The contract everywhere: a damaged or failing disk layer
+// yields a miss (recompute, correct IR) or a clean demotion to
+// memory-only — never a wrong replay, never a crash.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct FailpointGuard {
+  ~FailpointGuard() { paralift::failpoint::clearAll(); }
+};
+
+uint64_t counterVal(const std::string &name) {
+  return paralift::metrics::MetricsRegistry::instance().counterValue(name);
+}
+
+} // namespace
+
+TEST(DiskFaultTest, TruncatedEntryIsAMissNotWrongReplay) {
+  std::string dir = tempDir("fault-trunc");
+  const std::string pipeline = "canonicalize,cse";
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    runCached(m.get(), pipeline, &cache);
+  }
+  // Chop every entry in half: the header parses but the payload hash no
+  // longer matches (or the payload is cut mid-record).
+  for (auto &e : std::filesystem::directory_iterator(dir)) {
+    auto size = std::filesystem::file_size(e.path());
+    std::filesystem::resize_file(e.path(), size / 2);
+  }
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    OwnedModule reference = parseOk(twoFuncModule("2.0"));
+    DiagnosticEngine diag;
+    ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    // Corrupt *content* is a plain miss; only IO errors demote.
+    EXPECT_FALSE(cache.diskDemoted());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskFaultTest, GarbageHeaderIsAMissNotWrongReplay) {
+  std::string dir = tempDir("fault-header");
+  const std::string pipeline = "canonicalize,cse";
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    runCached(m.get(), pipeline, &cache);
+  }
+  // Keep each entry's size but destroy its header line.
+  for (auto &e : std::filesystem::directory_iterator(dir)) {
+    std::fstream f(e.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.write("XXXXXXXXXXXXXXXX", 16);
+  }
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    OwnedModule reference = parseOk(twoFuncModule("2.0"));
+    DiagnosticEngine diag;
+    ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_FALSE(cache.diskDemoted());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskFaultTest, PartialWriteIsCaughtOnReadBack) {
+  FailpointGuard guard;
+  std::string dir = tempDir("fault-partial");
+  const std::string pipeline = "canonicalize,cse";
+  std::string err;
+  // Every store is cut short mid-write, as if the process died or the
+  // filesystem lost the tail. The writer doesn't notice.
+  ASSERT_TRUE(
+      paralift::failpoint::configure("cache.disk.write=partial-write", &err))
+      << err;
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    runCached(m.get(), pipeline, &cache);
+    EXPECT_FALSE(cache.diskDemoted()); // a short write is not an IO error
+  }
+  paralift::failpoint::clearAll();
+  // Read-back must reject every damaged entry: a miss and a correct
+  // recompute, never a replay of the torn payload.
+  {
+    PassResultCache cache(dir);
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    OwnedModule reference = parseOk(twoFuncModule("2.0"));
+    DiagnosticEngine diag;
+    ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+    EXPECT_EQ(cache.stats().diskHits, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskFaultTest, WriteErrorsRetryThenDemoteToMemoryOnly) {
+  FailpointGuard guard;
+  std::string dir = tempDir("fault-enospc");
+  std::string err;
+  // Persistent write failure (ENOSPC-style): the first store retries
+  // once, then the cache demotes itself to memory-only for good.
+  ASSERT_TRUE(paralift::failpoint::configure("cache.disk.write=error", &err))
+      << err;
+  uint64_t disabledBefore = counterVal("cache.disk.disabled");
+  PassResultCache cache(dir);
+  OwnedModule m1 = parseOk(twoFuncModule("2.0"));
+  std::string first = runCached(m1.get(), "canonicalize,cse", &cache);
+  EXPECT_TRUE(cache.diskDemoted());
+  EXPECT_EQ(counterVal("cache.disk.disabled"), disabledBefore + 1);
+  // The memory tier is untouched: an identical module replays from it
+  // with zero pass executions, and the IR still matches.
+  uint64_t executedAfterFirst = cache.stats().passesExecuted;
+  OwnedModule m2 = parseOk(twoFuncModule("2.0"));
+  EXPECT_EQ(runCached(m2.get(), "canonicalize,cse", &cache), first);
+  EXPECT_EQ(cache.stats().passesExecuted, executedAfterFirst);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskFaultTest, ReadErrorsRetryThenDemoteToMemoryOnly) {
+  FailpointGuard guard;
+  std::string dir = tempDir("fault-readerr");
+  const std::string pipeline = "canonicalize,cse";
+  {
+    PassResultCache cache(dir); // populate the directory fault-free
+    OwnedModule m = parseOk(twoFuncModule("2.0"));
+    runCached(m.get(), pipeline, &cache);
+  }
+  std::string err;
+  ASSERT_TRUE(paralift::failpoint::configure("cache.disk.read=error", &err))
+      << err;
+  PassResultCache cache(dir);
+  OwnedModule m = parseOk(twoFuncModule("2.0"));
+  OwnedModule reference = parseOk(twoFuncModule("2.0"));
+  DiagnosticEngine diag;
+  ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+  EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+  EXPECT_TRUE(cache.diskDemoted());
+  EXPECT_EQ(cache.stats().diskHits, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskFaultTest, EvictionRacingStoresIsSafe) {
+  std::string dir = tempDir("fault-evict-race");
+  const std::string pipeline = "canonicalize,cse";
+  PassResultCache cache(dir);
+  cache.setDiskLimitBytes(1); // every sweep wants to remove everything
+  std::atomic<bool> stop{false};
+  std::thread evictor([&] {
+    while (!stop.load())
+      cache.evictToDiskLimit();
+  });
+  // Stores race the sweeping evictor: each entry either lands and is
+  // later evicted, or is gone by the time a lookup probes it — a miss,
+  // never a torn replay or a crash.
+  for (int i = 0; i < 16; ++i) {
+    OwnedModule m =
+        parseOk(twoFuncModule((std::to_string(i) + ".0").c_str()));
+    OwnedModule reference =
+        parseOk(twoFuncModule((std::to_string(i) + ".0").c_str()));
+    DiagnosticEngine diag;
+    ASSERT_TRUE(runPassPipeline(reference.get(), pipeline, diag));
+    EXPECT_EQ(runCached(m.get(), pipeline, &cache), printOp(reference.op()));
+  }
+  stop.store(true);
+  evictor.join();
+  EXPECT_FALSE(cache.diskDemoted()); // eviction pressure is not an IO fault
+  std::filesystem::remove_all(dir);
 }
